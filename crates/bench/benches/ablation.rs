@@ -1,0 +1,69 @@
+//! Criterion bench for design-choice ablations: resampling schemes and
+//! the cost of the exact translator-error computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incremental::translator_error;
+use incremental::{resample, Correspondence, ParticleCollection, ResampleScheme};
+use ppl::dist::Dist;
+use ppl::{addr, Handler, LogWeight, PplError, Trace, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weighted_collection(m: usize, seed: u64) -> ParticleCollection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = ParticleCollection::new();
+    for i in 0..m {
+        let mut t = Trace::new();
+        let d = Dist::uniform_int(0, m as i64);
+        let lp = d.log_prob(&Value::Int(i as i64));
+        t.record_choice(addr!["id"], Value::Int(i as i64), d, lp)
+            .expect("fresh");
+        let w = ppl::dist::util::uniform_unit(&mut rng);
+        c.push(t, LogWeight::from_prob(w));
+    }
+    c
+}
+
+fn bench_resampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resampling_schemes");
+    let collection = weighted_collection(1_000, 9);
+    for scheme in [
+        ResampleScheme::Multinomial,
+        ResampleScheme::Systematic,
+        ResampleScheme::Stratified,
+        ResampleScheme::Residual,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scheme", format!("{scheme:?}")),
+            &scheme,
+            |b, &scheme| {
+                let mut rng = StdRng::seed_from_u64(10);
+                b.iter(|| resample(&collection, scheme, &mut rng).expect("resamples"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_translator_error(c: &mut Criterion) {
+    let p = |h: &mut dyn Handler| -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let po = if x.truthy()? { 0.6 } else { 0.4 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    };
+    let q = |h: &mut dyn Handler| -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let y = h.sample(addr!["y"], Dist::flip(0.3))?;
+        let po = if x.truthy()? || y.truthy()? { 0.8 } else { 0.2 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    };
+    c.bench_function("exact_translator_error_small_model", |b| {
+        let corr = Correspondence::identity_on(["x"]);
+        b.iter(|| translator_error(&p, &q, &corr).expect("finite"));
+    });
+}
+
+criterion_group!(benches, bench_resampling, bench_translator_error);
+criterion_main!(benches);

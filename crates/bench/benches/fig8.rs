@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 8: one incremental estimate (translate 30
+//! exact conjugate samples into the robust model) vs one MCMC sweep of
+//! the from-scratch baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incremental::CorrespondenceTranslator;
+use incremental::{McmcKernel, SmcConfig};
+use inference::IndependentMetropolisCycle;
+use models::data::hospital::HospitalData;
+use models::regression::{
+    exact_posterior_traces, regression_correspondence, LinRegModel, NoOutlierParams,
+    OutlierParams, RobustRegModel,
+};
+use ppl::handlers::simulate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig8(_c: &mut Criterion) {
+    // Iterations are tens of milliseconds; bound the sampling effort so
+    // `cargo bench --workspace` stays snappy.
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .configure_from_args();
+    let c = &mut c;
+    let data = HospitalData::paper_scale();
+    let p_model = LinRegModel {
+        params: NoOutlierParams::default(),
+        xs: data.xs.clone(),
+        ys: data.ys.clone(),
+    };
+    let q_model = RobustRegModel {
+        params: OutlierParams::default(),
+        xs: data.xs.clone(),
+        ys: data.ys.clone(),
+    };
+    let translator = CorrespondenceTranslator::new(
+        p_model.clone(),
+        q_model.clone(),
+        regression_correspondence(),
+    );
+    let kernel = IndependentMetropolisCycle::new(q_model.clone());
+
+    c.bench_function("fig8_incremental_estimate_30_traces", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let particles = exact_posterior_traces(&p_model, 30, &mut rng).expect("conjugate");
+            incremental::infer(
+                &translator,
+                None,
+                &particles,
+                &SmcConfig::translate_only(),
+                &mut rng,
+            )
+            .expect("translates")
+        });
+    });
+    c.bench_function("fig8_mcmc_one_sweep", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let chain = simulate(&q_model, &mut rng).expect("simulates");
+        b.iter(|| kernel.step(&chain, &mut rng).expect("steps"));
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

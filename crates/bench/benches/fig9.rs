@@ -1,0 +1,64 @@
+//! Criterion bench for Figure 9: incremental translation of 30 FFBS
+//! traces into the second-order HMM vs one back-and-forth Gibbs sweep.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incremental::CorrespondenceTranslator;
+use incremental::{McmcKernel, SmcConfig};
+use inference::{GibbsKernel, SweepOrder};
+use models::data::typo::{train_models, TypoCorpus};
+use models::hmm_model::{
+    exact_first_order_traces, hmm_correspondence, FirstOrderHmmModel, SecondOrderHmmModel,
+};
+use ppl::handlers::simulate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig9(_c: &mut Criterion) {
+    // Iterations are tens of milliseconds; bound the sampling effort so
+    // `cargo bench --workspace` stays snappy.
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .configure_from_args();
+    let c = &mut c;
+    let corpus = TypoCorpus::generate(8_000, 0.15, 42);
+    let (first, second) = train_models(&corpus);
+    let test = TypoCorpus::generate(1, 0.15, 43);
+    let word = test.pairs[0].typed.clone();
+    let p_model = FirstOrderHmmModel {
+        params: Arc::new(first),
+        observations: word.clone(),
+    };
+    let q_model = SecondOrderHmmModel {
+        params: Arc::new(second),
+        observations: word,
+    };
+    let translator =
+        CorrespondenceTranslator::new(p_model.clone(), q_model.clone(), hmm_correspondence());
+    let kernel = GibbsKernel::with_order(q_model.clone(), SweepOrder::BackAndForth);
+
+    c.bench_function("fig9_incremental_30_traces", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let input = exact_first_order_traces(&p_model, 30, &mut rng).expect("FFBS");
+            incremental::infer(
+                &translator,
+                None,
+                &input,
+                &SmcConfig::translate_only(),
+                &mut rng,
+            )
+            .expect("translates")
+        });
+    });
+    c.bench_function("fig9_gibbs_one_back_and_forth_sweep", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let chain = simulate(&q_model, &mut rng).expect("simulates");
+        b.iter(|| kernel.step(&chain, &mut rng).expect("sweeps"));
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

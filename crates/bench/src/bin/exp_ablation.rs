@@ -1,0 +1,16 @@
+//! Runs the ablation studies: translator error ε(R) vs effective sample
+//! size (Appendix B), and resampling-scheme comparison (Section 4.2).
+//!
+//! Usage: `cargo run --release -p benches --bin exp_ablation [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, reps) = if quick { (1_000, 5) } else { (10_000, 20) };
+    let rows = benches::ablation::epsilon_vs_samples(11, m, reps);
+    println!("{}", benches::ablation::render_epsilon(&rows));
+    let (exact, schemes) = benches::ablation::resampling_schemes(13, m.min(2_000), reps * 4);
+    println!("{}", benches::ablation::render_schemes(exact, &schemes));
+    let (exact_mean, proposals) =
+        benches::ablation::fresh_proposal_ablation(17, m.min(2_000), reps);
+    println!("{}", benches::ablation::render_proposals(exact_mean, &proposals));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the Figure 1 numbers: prior/posterior bars, the worked
+//! translation weight ≈ 1.19, an end-to-end incremental estimate, and the
+//! exact translator error of the refinement edit.
+//!
+//! Usage: `cargo run --release -p benches --bin exp_fig1 [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let traces = if quick { 2_000 } else { 20_000 };
+    let results = benches::fig1::run(traces, 7);
+    println!("{}", benches::fig1::render(&results));
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 10: trace translation time vs number of data
+//! points, baseline (Section 5) vs the dependency-tracking optimized
+//! algorithm (Section 6), on the Gaussian-mixture hyperparameter edit.
+//!
+//! Usage: `cargo run --release -p benches --bin exp_fig10 [--quick] [--csv]`
+
+use benches::fig10::{render, run, Fig10Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig10Config::quick()
+    } else {
+        Fig10Config::default()
+    };
+    let points = run(&config);
+    if std::env::args().any(|a| a == "--csv") {
+        println!("n,baseline_s,optimized_s,visited,skipped");
+        for p in &points {
+            println!(
+                "{},{},{},{},{}",
+                p.n,
+                p.baseline.as_secs_f64(),
+                p.optimized.as_secs_f64(),
+                p.visited,
+                p.skipped
+            );
+        }
+    } else {
+        println!("{}", render(&points));
+    }
+}

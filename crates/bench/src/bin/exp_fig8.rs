@@ -1,0 +1,31 @@
+//! Regenerates Figure 8: robust-regression estimation error vs median
+//! runtime per estimate, for incremental inference, incremental without
+//! weights, and from-scratch MCMC.
+//!
+//! Usage: `cargo run --release -p benches --bin exp_fig8 [--quick] [--csv]`
+
+use benches::fig8::{render, run, Fig8Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig8Config::quick()
+    } else {
+        Fig8Config::default()
+    };
+    let results = run(&config);
+    if std::env::args().any(|a| a == "--csv") {
+        println!("method,work,median_runtime_s,avg_error");
+        for p in &results.points {
+            println!(
+                "{},{},{},{}",
+                p.method,
+                p.work,
+                p.median_runtime.as_secs_f64(),
+                p.avg_error
+            );
+        }
+    } else {
+        println!("{}", render(&results));
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 9: typo-correction ground-truth log probability vs
+//! runtime per word, for incremental inference, incremental without
+//! weights, and back-and-forth Gibbs.
+//!
+//! Usage: `cargo run --release -p benches --bin exp_fig9 [--quick] [--csv]`
+
+use benches::fig9::{render, run, Fig9Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Fig9Config::quick()
+    } else {
+        Fig9Config::default()
+    };
+    let results = run(&config);
+    if std::env::args().any(|a| a == "--csv") {
+        println!("method,work,median_runtime_s,avg_log_prob,avg_per_char_prob");
+        for p in &results.points {
+            println!(
+                "{},{},{},{},{}",
+                p.method,
+                p.work,
+                p.median_runtime.as_secs_f64(),
+                p.avg_log_prob,
+                p.avg_per_char_prob
+            );
+        }
+    } else {
+        println!("{}", render(&results));
+    }
+}

@@ -1,0 +1,316 @@
+//! Experiment FIG9: higher-order HMM typo correction (Section 7.3).
+//!
+//! `P` is a first-order HMM over intended letters (exact posterior
+//! samples by FFBS); `Q` is a second-order HMM that fits English trigram
+//! structure better but "impedes exact inference". Incremental inference
+//! translates the FFBS samples to `Q`; the baseline is a from-scratch
+//! Gibbs sampler with back-and-forth sweeps. Accuracy is "the estimated
+//! log probability of the ground truth hidden sequence under the
+//! approximate posterior" on held-out words.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use incremental::{McmcKernel, ParticleCollection};
+use incremental::CorrespondenceTranslator;
+use inference::stats::mean;
+use inference::{GibbsKernel, SweepOrder};
+use models::data::typo::{train_models, TypoCorpus};
+use models::hmm_model::{
+    exact_first_order_traces, ground_truth_log_prob, hmm_correspondence, per_char_posterior_prob,
+    FirstOrderHmmModel, SecondOrderHmmModel,
+};
+use ppl::handlers::simulate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{fmt_duration, median_duration, timed, Table};
+
+/// Floor applied to per-position marginals inside the log metric.
+const MARGINAL_FLOOR: f64 = 1e-3;
+
+/// Configuration of the FIG9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Training corpus size (paper: 29,056 words).
+    pub train_words: usize,
+    /// Held-out test words.
+    pub test_words: usize,
+    /// Per-letter typo rate of the noise channel.
+    pub typo_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Trace counts for the incremental methods (paper highlights 30).
+    pub incremental_m: Vec<usize>,
+    /// Back-and-forth sweep counts for the Gibbs baseline (paper: 10).
+    pub gibbs_sweeps: Vec<usize>,
+    /// Number of parallel Gibbs chains (matches the trace count).
+    pub gibbs_chains: usize,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            train_words: 29_056,
+            test_words: 40,
+            typo_rate: 0.15,
+            seed: 1729,
+            incremental_m: vec![3, 10, 30, 100],
+            gibbs_sweeps: vec![1, 3, 10],
+            gibbs_chains: 30,
+        }
+    }
+}
+
+impl Fig9Config {
+    /// Smaller configuration for tests.
+    pub fn quick() -> Fig9Config {
+        Fig9Config {
+            train_words: 4000,
+            test_words: 8,
+            incremental_m: vec![30],
+            gibbs_sweeps: vec![2],
+            gibbs_chains: 15,
+            ..Fig9Config::default()
+        }
+    }
+}
+
+/// One point on the Figure 9 plot.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Method name.
+    pub method: &'static str,
+    /// Work parameter (traces or sweeps).
+    pub work: usize,
+    /// Median runtime per word.
+    pub median_runtime: Duration,
+    /// Mean (over test words) estimated log probability of the ground
+    /// truth hidden sequence.
+    pub avg_log_prob: f64,
+    /// Mean per-character ground-truth posterior probability (the
+    /// Section 7.3 summary statistic).
+    pub avg_per_char_prob: f64,
+}
+
+/// The full experiment output.
+#[derive(Debug, Clone)]
+pub struct Fig9Results {
+    /// All method points.
+    pub points: Vec<Fig9Point>,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on internal errors only.
+pub fn run(config: &Fig9Config) -> Fig9Results {
+    let train = TypoCorpus::generate(config.train_words, config.typo_rate, config.seed);
+    let test = TypoCorpus::generate(config.test_words, config.typo_rate, config.seed + 1);
+    let (first, second) = train_models(&train);
+    let first = Arc::new(first);
+    let second = Arc::new(second);
+
+    let mut points = Vec::new();
+
+    for &m in &config.incremental_m {
+        for weights in [true, false] {
+            let mut log_probs = Vec::new();
+            let mut per_char = Vec::new();
+            let mut runtimes = Vec::new();
+            for (w, pair) in test.pairs.iter().enumerate() {
+                let p_model = FirstOrderHmmModel {
+                    params: Arc::clone(&first),
+                    observations: pair.typed.clone(),
+                };
+                let q_model = SecondOrderHmmModel {
+                    params: Arc::clone(&second),
+                    observations: pair.typed.clone(),
+                };
+                let translator = CorrespondenceTranslator::new(
+                    p_model.clone(),
+                    q_model,
+                    hmm_correspondence(),
+                );
+                let mut rng = StdRng::seed_from_u64(config.seed + 1000 + w as u64);
+                let (particles, elapsed) = timed(|| {
+                    let input =
+                        exact_first_order_traces(&p_model, m, &mut rng).expect("FFBS");
+                    if weights {
+                        incremental::infer(
+                            &translator,
+                            None,
+                            &input,
+                            &incremental::SmcConfig::translate_only(),
+                            &mut rng,
+                        )
+                        .expect("translation succeeds")
+                    } else {
+                        incremental::infer_without_weights(&translator, &input, &mut rng)
+                            .expect("translation succeeds")
+                    }
+                });
+                runtimes.push(elapsed);
+                log_probs.push(
+                    ground_truth_log_prob(&particles, &pair.intended, MARGINAL_FLOOR)
+                        .expect("non-degenerate"),
+                );
+                per_char.push(
+                    per_char_posterior_prob(&particles, &pair.intended)
+                        .expect("non-degenerate"),
+                );
+            }
+            points.push(Fig9Point {
+                method: if weights {
+                    "incremental"
+                } else {
+                    "incremental-no-weights"
+                },
+                work: m,
+                median_runtime: median_duration(&runtimes),
+                avg_log_prob: mean(&log_probs),
+                avg_per_char_prob: mean(&per_char),
+            });
+        }
+    }
+
+    for &sweeps in &config.gibbs_sweeps {
+        let mut log_probs = Vec::new();
+        let mut per_char = Vec::new();
+        let mut runtimes = Vec::new();
+        for (w, pair) in test.pairs.iter().enumerate() {
+            let q_model = SecondOrderHmmModel {
+                params: Arc::clone(&second),
+                observations: pair.typed.clone(),
+            };
+            let kernel = GibbsKernel::with_order(q_model.clone(), SweepOrder::BackAndForth);
+            let mut rng = StdRng::seed_from_u64(config.seed + 5000 + w as u64);
+            let (particles, elapsed) = timed(|| {
+                let mut collection = ParticleCollection::new();
+                for _ in 0..config.gibbs_chains {
+                    let mut chain = simulate(&q_model, &mut rng).expect("q simulates");
+                    chain = kernel.steps(&chain, sweeps, &mut rng).expect("gibbs");
+                    collection.push(chain, ppl::LogWeight::ONE);
+                }
+                collection
+            });
+            runtimes.push(elapsed);
+            log_probs.push(
+                ground_truth_log_prob(&particles, &pair.intended, MARGINAL_FLOOR)
+                    .expect("non-degenerate"),
+            );
+            per_char.push(
+                per_char_posterior_prob(&particles, &pair.intended).expect("non-degenerate"),
+            );
+        }
+        points.push(Fig9Point {
+            method: "gibbs",
+            work: sweeps,
+            median_runtime: median_duration(&runtimes),
+            avg_log_prob: mean(&log_probs),
+            avg_per_char_prob: mean(&per_char),
+        });
+    }
+
+    Fig9Results { points }
+}
+
+/// Quality check on the translated posterior for a single word — used by
+/// the test suite and the example binary.
+pub fn single_word_demo(seed: u64) -> (String, String, f64) {
+    let train = TypoCorpus::generate(8000, 0.15, seed);
+    let (first, second) = train_models(&train);
+    let test = TypoCorpus::generate(1, 0.15, seed + 99);
+    let pair = &test.pairs[0];
+    let p_model = FirstOrderHmmModel {
+        params: Arc::new(first),
+        observations: pair.typed.clone(),
+    };
+    let q_model = SecondOrderHmmModel {
+        params: Arc::new(second),
+        observations: pair.typed.clone(),
+    };
+    let translator =
+        CorrespondenceTranslator::new(p_model.clone(), q_model, hmm_correspondence());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = exact_first_order_traces(&p_model, 30, &mut rng).expect("FFBS");
+    let particles = incremental::infer(
+        &translator,
+        None,
+        &input,
+        &incremental::SmcConfig::translate_only(),
+        &mut rng,
+    )
+    .expect("translation succeeds");
+    let pc = per_char_posterior_prob(&particles, &pair.intended).expect("non-degenerate");
+    (
+        models::data::typo::indices_to_word(&pair.intended),
+        models::data::typo::indices_to_word(&pair.typed),
+        pc,
+    )
+}
+
+/// Renders the results.
+pub fn render(r: &Fig9Results) -> String {
+    let mut table = Table::new(
+        "Figure 9: typo correction — ground-truth log probability vs runtime per word",
+        &[
+            "method",
+            "work",
+            "median runtime",
+            "avg log P(truth)",
+            "avg per-char P(truth)",
+        ],
+    );
+    for p in &r.points {
+        table.row(&[
+            p.method.into(),
+            p.work.to_string(),
+            fmt_duration(p.median_runtime),
+            format!("{:.3}", p.avg_log_prob),
+            format!("{:.3}", p.avg_per_char_prob),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_the_paper_shape() {
+        let r = run(&Fig9Config::quick());
+        let incr = r
+            .points
+            .iter()
+            .find(|p| p.method == "incremental")
+            .unwrap();
+        let gibbs = r.points.iter().find(|p| p.method == "gibbs").unwrap();
+        // Incremental is better than a couple of Gibbs sweeps, and much
+        // faster.
+        assert!(
+            incr.avg_log_prob > gibbs.avg_log_prob,
+            "incremental {} vs gibbs {}",
+            incr.avg_log_prob,
+            gibbs.avg_log_prob
+        );
+        assert!(
+            incr.median_runtime < gibbs.median_runtime,
+            "incremental {:?} vs gibbs {:?}",
+            incr.median_runtime,
+            gibbs.median_runtime
+        );
+        // Per-character accuracy is meaningfully high (typos are rare).
+        assert!(incr.avg_per_char_prob > 0.3, "{}", incr.avg_per_char_prob);
+        assert!(render(&r).contains("Figure 9"));
+    }
+
+    #[test]
+    fn single_word_demo_decodes() {
+        let (truth, typed, pc) = single_word_demo(3);
+        assert_eq!(truth.len(), typed.len());
+        assert!(pc > 0.2, "per-char prob {pc} for {typed} -> {truth}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # benches — the experiment harness
+//!
+//! One module per paper artifact, each with a `run` function producing
+//! structured results and a `render` function printing the table the
+//! paper's figure plots:
+//!
+//! - [`fig1`] — the Figure 1 burglary example (bars, worked weight,
+//!   end-to-end translation, exact translator error).
+//! - [`fig8`] — robust regression: error vs runtime for incremental /
+//!   no-weights / MCMC.
+//! - [`fig9`] — HMM typo correction: ground-truth log probability vs
+//!   runtime for incremental / no-weights / Gibbs.
+//! - [`fig10`] — GMM hyperparameter edit: baseline vs optimized
+//!   translation time as N grows.
+//! - [`ablation`] — ε(R) vs sample size (Appendix B) and resampling
+//!   schemes.
+//!
+//! Binaries `exp_fig1` … `exp_ablation` print the tables; Criterion
+//! benches of the same workloads live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod report;

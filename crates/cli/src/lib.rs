@@ -1,0 +1,484 @@
+//! # ppl-cli — command-line front end
+//!
+//! Drives the workspace from program *source text*:
+//!
+//! ```text
+//! ppl check <file>                      # parse + static diagnostics
+//! ppl fmt <file>                        # canonical pretty-printed form
+//! ppl run <file> [--seed N]             # simulate one trace
+//! ppl enumerate <file> [--limit N]      # exact posterior (finite discrete)
+//! ppl sample <file> --steps N [--seed]  # single-site MH over the posterior
+//! ppl translate <p> <q> [--traces M]    # incremental inference across an edit
+//! ```
+//!
+//! All command logic lives here as functions from source text to rendered
+//! output, so it is directly unit-testable; `main.rs` only handles files
+//! and argument plumbing.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+use std::fmt::Write as _;
+
+use depgraph::{ExecGraph, IncrementalTranslator};
+use incremental::{McmcKernel, ParticleCollection, SmcConfig};
+use inference::{ExactPosterior, SingleSiteMh};
+use ppl::check::{check, Severity};
+use ppl::handlers::simulate;
+use ppl::{parse, Enumeration, PplError, Trace, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parses and statically checks a program; renders the diagnostics.
+///
+/// # Errors
+///
+/// Returns parse errors; static findings are part of the *output*, not an
+/// error.
+pub fn cmd_check(source: &str) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let diagnostics = check(&program);
+    if diagnostics.is_empty() {
+        return Ok("no issues found\n".to_string());
+    }
+    let mut out = String::new();
+    for d in &diagnostics {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s)",
+        errors,
+        diagnostics.len() - errors
+    );
+    Ok(out)
+}
+
+/// Pretty-prints a program in canonical form (explicit site labels).
+///
+/// # Errors
+///
+/// Returns parse errors.
+pub fn cmd_fmt(source: &str) -> Result<String, PplError> {
+    Ok(parse(source)?.to_string())
+}
+
+/// Simulates one trace and renders it.
+///
+/// # Errors
+///
+/// Returns parse and evaluation errors.
+pub fn cmd_run(source: &str, seed: u64) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = simulate(&program, &mut rng)?;
+    Ok(trace.to_string())
+}
+
+/// Simulates one trace and serializes its choices in the
+/// [`ppl::trace_io`] format (for `ppl run --save`).
+///
+/// # Errors
+///
+/// Returns parse and evaluation errors.
+pub fn cmd_run_save(source: &str, seed: u64) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = simulate(&program, &mut rng)?;
+    Ok(ppl::trace_io::write_choice_map(&trace.to_choice_map()))
+}
+
+/// Runs single-site MH and serializes thinned chain states as a weighted
+/// collection (for `ppl sample --save`; unit weights).
+///
+/// # Errors
+///
+/// Returns parse and evaluation errors.
+pub fn cmd_sample_save(
+    source: &str,
+    steps: usize,
+    keep: usize,
+    seed: u64,
+) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let kernel = SingleSiteMh::new(program.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = simulate(&program, &mut rng)?;
+    let thin = (steps / keep.max(1)).max(1);
+    let mut entries = Vec::with_capacity(keep);
+    for i in 0..steps {
+        trace = kernel.step(&trace, &mut rng)?;
+        if (i + 1) % thin == 0 && entries.len() < keep {
+            entries.push((trace.to_choice_map(), 0.0));
+        }
+    }
+    Ok(ppl::trace_io::write_weighted_collection(&entries))
+}
+
+/// Translates *saved* traces (the `trace_io` collection format) of `P`
+/// into weighted traces of `Q`, rendering estimates (for
+/// `ppl translate --load`).
+///
+/// # Errors
+///
+/// Returns parse, deserialization, replay, and translation errors.
+pub fn cmd_translate_saved(
+    p_source: &str,
+    q_source: &str,
+    saved: &str,
+    seed: u64,
+) -> Result<String, PplError> {
+    let p = parse(p_source)?;
+    let q = parse(q_source)?;
+    let translator = IncrementalTranslator::from_edit(p.clone(), q);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries = ppl::trace_io::parse_weighted_collection(saved)?;
+    let mut particles = ParticleCollection::new();
+    for (map, log_weight) in &entries {
+        // Replay against P to rebuild full traces (re-validating them).
+        let trace = ppl::handlers::score(&p, map)?;
+        particles.push(trace, ppl::LogWeight::from_log(*log_weight));
+    }
+    let adapted = incremental::infer(
+        &translator,
+        None,
+        &particles,
+        &SmcConfig::translate_only(),
+        &mut rng,
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loaded {} traces; translated; ESS = {:.1}",
+        entries.len(),
+        adapted.ess()
+    );
+    let mut rows: Vec<(Value, f64)> = Vec::new();
+    let weights = adapted.normalized_weights()?;
+    for (particle, w) in adapted.iter().zip(weights) {
+        if let Some(v) = particle.trace.return_value() {
+            match rows.iter_mut().find(|(u, _)| u.num_eq(v)) {
+                Some(slot) => slot.1 += w,
+                None => rows.push((v.clone(), w)),
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = writeln!(out, "weighted posterior over Q's return values:");
+    for (value, prob) in rows.into_iter().take(20) {
+        let _ = writeln!(out, "  {value} : {prob:.4}");
+    }
+    Ok(out)
+}
+
+/// Exactly enumerates a finite discrete program: normalizing constant and
+/// the posterior over return values.
+///
+/// # Errors
+///
+/// Returns parse/enumeration errors (e.g. continuous choices).
+pub fn cmd_enumerate(source: &str, limit: usize) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let enumeration = Enumeration::run_with_limit(&program, limit)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "traces: {}", enumeration.traces().len());
+    let _ = writeln!(out, "Z = {:.6}", enumeration.z());
+    let _ = writeln!(out, "posterior over return values:");
+    let mut rows = enumeration.return_distribution();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (value, prob) in rows {
+        let _ = writeln!(out, "  {value} : {prob:.6}");
+    }
+    Ok(out)
+}
+
+/// Runs single-site MH and renders the empirical return-value
+/// distribution.
+///
+/// # Errors
+///
+/// Returns parse and evaluation errors.
+pub fn cmd_sample(source: &str, steps: usize, seed: u64) -> Result<String, PplError> {
+    let program = parse(source)?;
+    let kernel = SingleSiteMh::new(program.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = simulate(&program, &mut rng)?;
+    let burn_in = steps / 5;
+    let mut counts: Vec<(Value, usize)> = Vec::new();
+    for i in 0..steps {
+        trace = kernel.step(&trace, &mut rng)?;
+        if i >= burn_in {
+            if let Some(v) = trace.return_value() {
+                match counts.iter_mut().find(|(u, _)| u.num_eq(v)) {
+                    Some(slot) => slot.1 += 1,
+                    None => counts.push((v.clone(), 1)),
+                }
+            }
+        }
+    }
+    let kept = (steps - burn_in).max(1);
+    counts.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+    let mut out = String::new();
+    let _ = writeln!(out, "{steps} MH steps ({burn_in} burn-in); return values:");
+    for (value, count) in counts.into_iter().take(20) {
+        let _ = writeln!(out, "  {value} : {:.4}", count as f64 / kept as f64);
+    }
+    Ok(out)
+}
+
+/// Incremental inference across a program edit: derives the
+/// correspondence by diffing, obtains posterior traces of `P` (exactly
+/// when enumerable, otherwise by thinned MH), translates them, and
+/// renders the weighted return-value estimate for `Q` plus diagnostics.
+///
+/// # Errors
+///
+/// Returns parse, inference, and translation errors.
+pub fn cmd_translate(
+    p_source: &str,
+    q_source: &str,
+    traces: usize,
+    seed: u64,
+) -> Result<String, PplError> {
+    let p = parse(p_source)?;
+    let q = parse(q_source)?;
+    let translator = IncrementalTranslator::from_edit(p.clone(), q.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "derived correspondence (Q site -> P site):");
+    let mut rules: Vec<_> = translator
+        .edit()
+        .correspondence
+        .site_rules()
+        .map(|(a, b)| format!("  {a} -> {b}"))
+        .collect();
+    rules.sort();
+    for r in &rules {
+        let _ = writeln!(out, "{r}");
+    }
+    if rules.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    }
+
+    // Posterior samples of P: exact when the program is finite discrete,
+    // otherwise a thinned single-site MH chain.
+    let input: Vec<Trace> = match ExactPosterior::new(&p) {
+        Ok(sampler) => {
+            let _ = writeln!(out, "P posterior: exact (by enumeration)");
+            sampler.samples(traces, &mut rng)
+        }
+        Err(_) => {
+            let _ = writeln!(out, "P posterior: single-site MH (thinned chain)");
+            let kernel = SingleSiteMh::new(p.clone());
+            let mut chain = simulate(&p, &mut rng)?;
+            let thin = 10;
+            for _ in 0..50 * thin {
+                chain = kernel.step(&chain, &mut rng)?; // burn-in
+            }
+            let mut collected = Vec::with_capacity(traces);
+            while collected.len() < traces {
+                for _ in 0..thin {
+                    chain = kernel.step(&chain, &mut rng)?;
+                }
+                collected.push(chain.clone());
+            }
+            collected
+        }
+    };
+
+    let particles = ParticleCollection::from_traces(input);
+    let adapted = incremental::infer(
+        &translator,
+        None,
+        &particles,
+        &SmcConfig::translate_only(),
+        &mut rng,
+    )?;
+    let _ = writeln!(
+        out,
+        "translated {} traces; ESS = {:.1}",
+        adapted.len(),
+        adapted.ess()
+    );
+    let _ = writeln!(out, "weighted posterior over Q's return values:");
+    let mut rows: Vec<(Value, f64)> = Vec::new();
+    let weights = adapted.normalized_weights()?;
+    for (particle, w) in adapted.iter().zip(weights) {
+        if let Some(v) = particle.trace.return_value() {
+            match rows.iter_mut().find(|(u, _)| u.num_eq(v)) {
+                Some(slot) => slot.1 += w,
+                None => rows.push((v.clone(), w)),
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (value, prob) in rows.into_iter().take(20) {
+        let _ = writeln!(out, "  {value} : {prob:.4}");
+    }
+    Ok(out)
+}
+
+/// Builds and translates through the dependency graph, reporting the
+/// visit statistics — the `--stats` mode of `translate`.
+///
+/// # Errors
+///
+/// Returns parse, evaluation, and translation errors.
+pub fn cmd_translate_stats(
+    p_source: &str,
+    q_source: &str,
+    seed: u64,
+) -> Result<String, PplError> {
+    let p = parse(p_source)?;
+    let q = parse(q_source)?;
+    let translator = IncrementalTranslator::from_edit(p.clone(), q);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = ExecGraph::simulate(&p, &mut rng)?;
+    graph.warm_index();
+    let result = translator.translate_graph(&graph, &mut rng)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace size: {} choices", graph.num_choices());
+    let _ = writeln!(
+        out,
+        "visited {} statement instances, skipped {}",
+        result.stats.visited, result.stats.skipped
+    );
+    let _ = writeln!(out, "log weight: {:.6}", result.log_weight.log());
+    Ok(out)
+}
+
+/// Renders usage help.
+pub fn usage() -> String {
+    "usage: ppl <command> [args]\n\
+     commands:\n\
+       check <file>                         parse and statically check\n\
+       fmt <file>                           canonical pretty-printed form\n\
+       run <file> [--seed N] [--save F]     simulate one trace\n\
+       enumerate <file> [--limit N]         exact posterior (finite discrete)\n\
+       sample <file> --steps N [--seed N] [--save F --keep K]\n\
+                                            single-site MH\n\
+       translate <p> <q> [--traces M] [--seed N] [--stats] [--load F]\n\
+                                            incremental inference across an edit\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COIN: &str = "x = flip(0.3) @ x; observe(flip(x ? 0.9 : 0.1) @ o == 1); return x;";
+
+    #[test]
+    fn check_reports_clean_and_dirty() {
+        assert_eq!(cmd_check(COIN).unwrap(), "no issues found\n");
+        let out = cmd_check("y = ghost; return y;").unwrap();
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("1 error(s)"), "{out}");
+        assert!(cmd_check("x = ;").is_err());
+    }
+
+    #[test]
+    fn fmt_is_canonical() {
+        let out = cmd_fmt("x=flip(0.3)@x;return x;").unwrap();
+        assert!(out.contains("x = flip(0.3) @ \"x\";"), "{out}");
+        // Idempotent.
+        assert_eq!(cmd_fmt(&out).unwrap(), out);
+    }
+
+    #[test]
+    fn run_prints_a_trace() {
+        let out = cmd_run(COIN, 1).unwrap();
+        assert!(out.contains("x ->"), "{out}");
+        assert!(out.contains("return"), "{out}");
+    }
+
+    #[test]
+    fn enumerate_prints_z_and_distribution() {
+        let out = cmd_enumerate(COIN, 10_000).unwrap();
+        assert!(out.contains("Z = 0.34"), "{out}"); // 0.3*0.9 + 0.7*0.1
+        assert!(out.contains("posterior over return values"), "{out}");
+        // Continuous programs are rejected.
+        assert!(cmd_enumerate("x = gauss(0.0, 1.0); return x;", 100).is_err());
+    }
+
+    #[test]
+    fn sample_matches_enumeration() {
+        let out = cmd_sample(COIN, 40_000, 3).unwrap();
+        // exact posterior P(x=1) = 0.27 / 0.34 ≈ 0.794
+        let line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("true"))
+            .expect("true row");
+        let freq: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!((freq - 0.794).abs() < 0.02, "{out}");
+    }
+
+    #[test]
+    fn translate_reports_correspondence_and_estimate() {
+        let q = "x = flip(0.3) @ x; observe(flip(x ? 0.99 : 0.01) @ o == 1); return x;";
+        let out = cmd_translate(COIN, q, 20_000, 4).unwrap();
+        assert!(out.contains("x -> x"), "{out}");
+        assert!(out.contains("exact (by enumeration)"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("true"))
+            .expect("true row");
+        let freq: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        // exact for Q: 0.3*0.99 / (0.3*0.99 + 0.7*0.01) ≈ 0.977
+        assert!((freq - 0.977).abs() < 0.02, "{out}");
+    }
+
+    #[test]
+    fn translate_falls_back_to_mh_for_continuous_p() {
+        let p = "m = gauss(0.0, 2.0) @ m; observe(gauss(m, 1.0) @ o == 1.5); return m;";
+        let q = "m = gauss(0.0, 2.0) @ m; observe(gauss(m, 0.5) @ o == 1.5); return m;";
+        let out = cmd_translate(p, q, 50, 5).unwrap();
+        assert!(out.contains("single-site MH"), "{out}");
+        assert!(out.contains("ESS"), "{out}");
+    }
+
+    #[test]
+    fn translate_stats_shows_visits() {
+        let p = "a = 1; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let q = "a = 2; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let out = cmd_translate_stats(p, q, 6).unwrap();
+        assert!(out.contains("visited"), "{out}");
+        assert!(out.contains("log weight"), "{out}");
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        // Save MH samples of P, reload them, translate into Q.
+        let q = "x = flip(0.3) @ x; observe(flip(x ? 0.99 : 0.01) @ o == 1); return x;";
+        let saved = cmd_sample_save(COIN, 30_000, 2_000, 9).unwrap();
+        assert!(saved.starts_with("# incremental-ppl collection v1"));
+        let out = cmd_translate_saved(COIN, q, &saved, 10).unwrap();
+        assert!(out.contains("loaded 2000 traces"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("true"))
+            .expect("true row");
+        let freq: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!((freq - 0.977).abs() < 0.05, "{out}");
+    }
+
+    #[test]
+    fn run_save_produces_parsable_choices() {
+        let saved = cmd_run_save(COIN, 11).unwrap();
+        let map = ppl::trace_io::parse_choice_map(&saved).unwrap();
+        assert_eq!(map.len(), 1); // one latent (the observation is not a choice)
+    }
+
+    #[test]
+    fn usage_lists_commands() {
+        let u = usage();
+        for cmd in ["check", "fmt", "run", "enumerate", "sample", "translate"] {
+            assert!(u.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The `ppl` binary: thin argument/file plumbing over [`ppl_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let flag = |name: &str, default: u64| -> Result<u64, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(default),
+            Some(i) => args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}")),
+        }
+    };
+    let positional = |n: usize| -> Result<&String, String> {
+        args.iter()
+            .skip(1)
+            .filter(|a| !a.starts_with("--"))
+            .nth(n)
+            .ok_or_else(|| format!("missing argument; see `ppl help`\n{}", ppl_cli::usage()))
+    };
+    let render = |r: Result<String, ppl::PplError>| r.map_err(|e| e.to_string());
+
+    match command {
+        "help" | "--help" | "-h" => Ok(ppl_cli::usage()),
+        "check" => render(ppl_cli::cmd_check(&read(positional(0)?)?)),
+        "fmt" => render(ppl_cli::cmd_fmt(&read(positional(0)?)?)),
+        "run" => {
+            let source = read(positional(0)?)?;
+            let seed = flag("--seed", 0)?;
+            match args.iter().position(|a| a == "--save") {
+                Some(i) => {
+                    let path = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--save needs a path".to_string())?;
+                    let text = render(ppl_cli::cmd_run_save(&source, seed))?;
+                    std::fs::write(path, text)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    Ok(format!("saved trace to {path}\n"))
+                }
+                None => render(ppl_cli::cmd_run(&source, seed)),
+            }
+        }
+        "enumerate" => {
+            let source = read(positional(0)?)?;
+            render(ppl_cli::cmd_enumerate(
+                &source,
+                flag("--limit", 1_000_000)? as usize,
+            ))
+        }
+        "sample" => {
+            let source = read(positional(0)?)?;
+            let steps = flag("--steps", 10_000)? as usize;
+            let seed = flag("--seed", 0)?;
+            match args.iter().position(|a| a == "--save") {
+                Some(i) => {
+                    let path = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--save needs a path".to_string())?;
+                    let keep = flag("--keep", 100)? as usize;
+                    let text =
+                        render(ppl_cli::cmd_sample_save(&source, steps, keep, seed))?;
+                    std::fs::write(path, text)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    Ok(format!("saved samples to {path}\n"))
+                }
+                None => render(ppl_cli::cmd_sample(&source, steps, seed)),
+            }
+        }
+        "translate" => {
+            let p = read(positional(0)?)?;
+            let q = read(positional(1)?)?;
+            if args.iter().any(|a| a == "--stats") {
+                render(ppl_cli::cmd_translate_stats(&p, &q, flag("--seed", 0)?))
+            } else if let Some(i) = args.iter().position(|a| a == "--load") {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--load needs a path".to_string())?;
+                let saved = read(path)?;
+                render(ppl_cli::cmd_translate_saved(&p, &q, &saved, flag("--seed", 0)?))
+            } else {
+                render(ppl_cli::cmd_translate(
+                    &p,
+                    &q,
+                    flag("--traces", 1_000)? as usize,
+                    flag("--seed", 0)?,
+                ))
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{}", ppl_cli::usage())),
+    }
+}

@@ -1,0 +1,351 @@
+//! Semantic correspondence between the random choices of two programs.
+//!
+//! A correspondence (Section 5.1) is a bijection `f : F_Q → F_P` between a
+//! subset of the addresses of program `Q` and a subset of the addresses of
+//! program `P`. Two kinds of entries are supported:
+//!
+//! - **explicit pairs** between individual addresses, and
+//! - **site rules** mapping a site label of `Q` to a site label of `P`
+//!   while preserving loop-index components — the indexed-family scheme of
+//!   Section 5.4 (e.g. every `hidden/i` of the second-order HMM corresponds
+//!   to `hidden/i` of the first-order HMM).
+
+use std::collections::HashMap;
+
+use ppl::address::Component;
+use ppl::{Address, PplError};
+
+/// A correspondence `f : F_Q → F_P` from addresses of the *new* program `Q`
+/// to addresses of the *old* program `P`.
+///
+/// # Examples
+///
+/// ```
+/// use incremental::Correspondence;
+/// use ppl::addr;
+/// let mut f = Correspondence::new();
+/// f.add_pair(addr!["eps"], addr!["alpha"]).unwrap();
+/// f.add_site_rule("hidden", "hidden").unwrap();
+/// assert_eq!(f.lookup(&addr!["eps"]), Some(addr!["alpha"]));
+/// assert_eq!(f.lookup(&addr!["hidden", 3]), Some(addr!["hidden", 3]));
+/// assert_eq!(f.lookup(&addr!["other"]), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Correspondence {
+    pairs: HashMap<Address, Address>,
+    site_rules: HashMap<String, String>,
+}
+
+impl Correspondence {
+    /// Creates an empty correspondence (no choice is reused).
+    pub fn new() -> Correspondence {
+        Correspondence::default()
+    }
+
+    /// The identity correspondence on the given site labels: each site of
+    /// `Q` maps to the same-named site of `P`, preserving indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site appears twice in `sites`.
+    pub fn identity_on<'a>(sites: impl IntoIterator<Item = &'a str>) -> Correspondence {
+        let mut f = Correspondence::new();
+        for s in sites {
+            f.add_site_rule(s, s).expect("duplicate site in identity correspondence");
+        }
+        f
+    }
+
+    /// Builds a correspondence from explicit `(Q address, P address)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pairs do not describe a bijection.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (Address, Address)>,
+    ) -> Result<Correspondence, PplError> {
+        let mut f = Correspondence::new();
+        for (q, p) in pairs {
+            f.add_pair(q, p)?;
+        }
+        Ok(f)
+    }
+
+    /// Adds an explicit address pair `f(q) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` is already mapped or `p` is already a target
+    /// (the correspondence must stay a bijection).
+    pub fn add_pair(&mut self, q: Address, p: Address) -> Result<(), PplError> {
+        if self.pairs.contains_key(&q) {
+            return Err(PplError::Other(format!(
+                "correspondence already maps Q address `{q}`"
+            )));
+        }
+        if self.pairs.values().any(|existing| *existing == p) {
+            return Err(PplError::Other(format!(
+                "correspondence already targets P address `{p}`"
+            )));
+        }
+        self.pairs.insert(q, p);
+        Ok(())
+    }
+
+    /// Adds a site rule: every Q address with head symbol `q_site` maps to
+    /// the P address with head `p_site` and the same index components.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q_site` already has a rule or `p_site` is
+    /// already a rule target.
+    pub fn add_site_rule(&mut self, q_site: &str, p_site: &str) -> Result<(), PplError> {
+        if self.site_rules.contains_key(q_site) {
+            return Err(PplError::Other(format!(
+                "correspondence already has a rule for Q site `{q_site}`"
+            )));
+        }
+        if self.site_rules.values().any(|existing| existing == p_site) {
+            return Err(PplError::Other(format!(
+                "correspondence already targets P site `{p_site}`"
+            )));
+        }
+        self.site_rules
+            .insert(q_site.to_string(), p_site.to_string());
+        Ok(())
+    }
+
+    /// Looks up `f(q)`, if `q ∈ F_Q`. Explicit pairs take precedence over
+    /// site rules.
+    pub fn lookup(&self, q: &Address) -> Option<Address> {
+        if let Some(p) = self.pairs.get(q) {
+            return Some(p.clone());
+        }
+        if let Some(Component::Sym(head)) = q.components().first() {
+            if let Some(p_site) = self.site_rules.get(head.as_ref()) {
+                return Some(q.with_head_sym(p_site));
+            }
+        }
+        None
+    }
+
+    /// Whether `q ∈ F_Q`.
+    pub fn maps(&self, q: &Address) -> bool {
+        self.lookup(q).is_some()
+    }
+
+    /// The inverse correspondence `f⁻¹ : F_P → F_Q` (used by the backward
+    /// kernel `ℓ_{Q→P} = k_{Q→P}` of Eq. (7)).
+    pub fn inverse(&self) -> Correspondence {
+        Correspondence {
+            pairs: self.pairs.iter().map(|(q, p)| (p.clone(), q.clone())).collect(),
+            site_rules: self
+                .site_rules
+                .iter()
+                .map(|(q, p)| (p.clone(), q.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of explicit pairs (site rules not counted: they describe
+    /// unboundedly many pairs).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the correspondence is empty (maps nothing).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty() && self.site_rules.is_empty()
+    }
+
+    /// Iterates over the explicit pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (&Address, &Address)> {
+        self.pairs.iter()
+    }
+
+    /// Iterates over the site rules as `(Q site, P site)`.
+    pub fn site_rules(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.site_rules.iter().map(|(q, p)| (q.as_str(), p.as_str()))
+    }
+}
+
+/// A diagnostic of how a correspondence covers a concrete pair of
+/// traces — useful before committing to a translation (Section 5.3: the
+/// error grows with every non-corresponding choice).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverageReport {
+    /// Pairs `(q address, p address)` that would be reused (mapped, both
+    /// present, supports equal).
+    pub reusable: Vec<(Address, Address)>,
+    /// Q addresses with no correspondence entry.
+    pub unmapped_q: Vec<Address>,
+    /// Q addresses mapped to a P address absent from the P trace
+    /// (Section 5.1 case (i)).
+    pub missing_in_p: Vec<Address>,
+    /// Q addresses mapped to a same-named choice with a different support
+    /// (Section 5.1 case (ii)).
+    pub support_mismatch: Vec<Address>,
+    /// P addresses in the correspondence image that no Q choice consumed.
+    pub unconsumed_p: Vec<Address>,
+}
+
+impl CoverageReport {
+    /// Fraction of Q's choices that reuse a P choice (1.0 = every choice
+    /// carried over).
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.reusable.len()
+            + self.unmapped_q.len()
+            + self.missing_in_p.len()
+            + self.support_mismatch.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.reusable.len() as f64 / total as f64
+    }
+}
+
+impl Correspondence {
+    /// Analyzes how this correspondence covers the concrete trace pair
+    /// `(t of P, u of Q)` — which choices reuse, which fall back, and
+    /// which P choices go unconsumed.
+    pub fn coverage(&self, p_trace: &ppl::Trace, q_trace: &ppl::Trace) -> CoverageReport {
+        let mut report = CoverageReport::default();
+        let mut consumed: std::collections::HashSet<Address> = std::collections::HashSet::new();
+        for (q_addr, q_choice) in q_trace.choices() {
+            match self.lookup(q_addr) {
+                None => report.unmapped_q.push(q_addr.clone()),
+                Some(p_addr) => match p_trace.choice(&p_addr) {
+                    None => report.missing_in_p.push(q_addr.clone()),
+                    Some(p_choice) => {
+                        if q_choice.dist.same_support(&p_choice.dist) {
+                            consumed.insert(p_addr.clone());
+                            report.reusable.push((q_addr.clone(), p_addr));
+                        } else {
+                            report.support_mismatch.push(q_addr.clone());
+                        }
+                    }
+                },
+            }
+        }
+        let inverse = self.inverse();
+        for (p_addr, _) in p_trace.choices() {
+            if inverse.maps(p_addr) && !consumed.contains(p_addr) {
+                report.unconsumed_p.push(p_addr.clone());
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::addr;
+
+    #[test]
+    fn explicit_pairs_round_trip() {
+        // Fig. 5 correspondence: ε↔α, ζ↔β, η↔γ.
+        let f = Correspondence::from_pairs([
+            (addr!["eps"], addr!["alpha"]),
+            (addr!["zeta"], addr!["beta"]),
+            (addr!["eta"], addr!["gamma"]),
+        ])
+        .unwrap();
+        assert_eq!(f.lookup(&addr!["eps"]), Some(addr!["alpha"]));
+        assert_eq!(f.lookup(&addr!["iota"]), None);
+        assert_eq!(f.num_pairs(), 3);
+        let inv = f.inverse();
+        assert_eq!(inv.lookup(&addr!["alpha"]), Some(addr!["eps"]));
+        assert_eq!(inv.lookup(&addr!["eps"]), None);
+    }
+
+    #[test]
+    fn bijectivity_enforced() {
+        let mut f = Correspondence::new();
+        f.add_pair(addr!["a"], addr!["x"]).unwrap();
+        assert!(f.add_pair(addr!["a"], addr!["y"]).is_err());
+        assert!(f.add_pair(addr!["b"], addr!["x"]).is_err());
+        f.add_site_rule("s", "t").unwrap();
+        assert!(f.add_site_rule("s", "u").is_err());
+        assert!(f.add_site_rule("v", "t").is_err());
+    }
+
+    #[test]
+    fn site_rules_preserve_indices() {
+        // Section 5.4: geometric trial i corresponds to trial i.
+        let f = Correspondence::identity_on(["trial"]);
+        assert_eq!(f.lookup(&addr!["trial", 7]), Some(addr!["trial", 7]));
+        assert_eq!(f.lookup(&addr!["trial"]), Some(addr!["trial"]));
+        let mut g = Correspondence::new();
+        g.add_site_rule("state", "hidden").unwrap();
+        assert_eq!(g.lookup(&addr!["state", 2]), Some(addr!["hidden", 2]));
+    }
+
+    #[test]
+    fn explicit_pairs_shadow_site_rules() {
+        let mut f = Correspondence::new();
+        f.add_site_rule("x", "x").unwrap();
+        f.add_pair(addr!["x", 0], addr!["y", 9]).unwrap();
+        assert_eq!(f.lookup(&addr!["x", 0]), Some(addr!["y", 9]));
+        assert_eq!(f.lookup(&addr!["x", 1]), Some(addr!["x", 1]));
+    }
+
+    #[test]
+    fn empty_correspondence_maps_nothing() {
+        let f = Correspondence::new();
+        assert!(f.is_empty());
+        assert!(!f.maps(&addr!["anything"]));
+    }
+
+    #[test]
+    fn coverage_classifies_every_case() {
+        use ppl::dist::Dist;
+        use ppl::{Trace, Value};
+        // P trace: alpha (flip), beta (uniform 0..5), omega (flip, mapped
+        // but never consumed).
+        let mut t = Trace::new();
+        for (name, dist, value) in [
+            ("alpha", Dist::flip(0.5), Value::Bool(true)),
+            ("beta", Dist::uniform_int(0, 5), Value::Int(3)),
+            ("omega", Dist::flip(0.5), Value::Bool(false)),
+        ] {
+            let lp = dist.log_prob(&value);
+            t.record_choice(addr![name], value, dist, lp).unwrap();
+        }
+        // Q trace: eps (mapped to alpha, reusable), zeta (mapped to beta
+        // but support differs), eta (mapped to missing gamma), iota
+        // (unmapped).
+        let mut u = Trace::new();
+        for (name, dist, value) in [
+            ("eps", Dist::flip(0.25), Value::Bool(true)),
+            ("zeta", Dist::uniform_int(0, 9), Value::Int(7)),
+            ("eta", Dist::flip(0.5), Value::Bool(true)),
+            ("iota", Dist::uniform_int(-5, -2), Value::Int(-3)),
+        ] {
+            let lp = dist.log_prob(&value);
+            u.record_choice(addr![name], value, dist, lp).unwrap();
+        }
+        let f = Correspondence::from_pairs([
+            (addr!["eps"], addr!["alpha"]),
+            (addr!["zeta"], addr!["beta"]),
+            (addr!["eta"], addr!["gamma"]),
+            (addr!["never"], addr!["omega"]),
+        ])
+        .unwrap();
+        let report = f.coverage(&t, &u);
+        assert_eq!(report.reusable, vec![(addr!["eps"], addr!["alpha"])]);
+        assert_eq!(report.support_mismatch, vec![addr!["zeta"]]);
+        assert_eq!(report.missing_in_p, vec![addr!["eta"]]);
+        assert_eq!(report.unmapped_q, vec![addr!["iota"]]);
+        assert_eq!(report.unconsumed_p, vec![addr!["beta"], addr!["omega"]]);
+        assert!((report.reuse_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_reports_fraction_one() {
+        let f = Correspondence::new();
+        let report = f.coverage(&ppl::Trace::new(), &ppl::Trace::new());
+        assert_eq!(report.reuse_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The MCMC rejuvenation interface used by Algorithm 2.
+//!
+//! `infer` optionally runs a sampler `mcmc_Q` on each translated trace.
+//! Soundness (Lemma 2) requires the kernel to leave the posterior
+//! `Pr[u ∼ Q]` invariant; concrete kernels (single-site
+//! Metropolis–Hastings, Gibbs, independent-Metropolis cycles) live in the
+//! `inference` crate and implement this trait.
+
+use rand::RngCore;
+
+use ppl::{PplError, Trace};
+
+/// A Markov kernel on traces of `Q` with the posterior as invariant
+/// distribution.
+pub trait McmcKernel {
+    /// Advances the chain by one transition from `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from re-running the program.
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError>;
+
+    /// Advances the chain by `n` transitions ("one call to `mcmc_Q` can
+    /// lead to multiple iterations of an MCMC sampler").
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`McmcKernel::step`].
+    fn steps(&self, trace: &Trace, n: usize, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let mut current = trace.clone();
+        for _ in 0..n {
+            current = self.step(&current, rng)?;
+        }
+        Ok(current)
+    }
+}
+
+impl<K: McmcKernel + ?Sized> McmcKernel for &K {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        (**self).step(trace, rng)
+    }
+}
+
+impl<K: McmcKernel + ?Sized> McmcKernel for Box<K> {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        (**self).step(trace, rng)
+    }
+}
+
+/// The identity kernel: trivially invariant for every distribution. Useful
+/// as a placeholder and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityKernel;
+
+impl McmcKernel for IdentityKernel {
+    fn step(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        Ok(trace.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Trace::new();
+        let k = IdentityKernel;
+        assert_eq!(k.step(&t, &mut rng).unwrap(), t);
+        assert_eq!(k.steps(&t, 10, &mut rng).unwrap(), t);
+    }
+
+    #[test]
+    fn trait_objects_delegate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Trace::new();
+        let boxed: Box<dyn McmcKernel> = Box::new(IdentityKernel);
+        boxed.step(&t, &mut rng).unwrap();
+        let by_ref: &dyn McmcKernel = &IdentityKernel;
+        by_ref.steps(&t, 3, &mut rng).unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Weighted particle collections.
+//!
+//! A weighted collection `{(t_j, w_j)}` approximates a posterior
+//! `Pr[t ∼ P]` by the empirical distribution
+//! `P̂(t) = Σ_j (w_j / Σ_k w_k) δ(t, t_j)` (Section 4.2), and estimates
+//! expectations with the self-normalized estimator of Eq. (5).
+
+use ppl::logweight::log_sum_exp;
+use ppl::{LogWeight, PplError, Trace};
+
+/// One weighted trace.
+#[derive(Debug, Clone)]
+pub struct Particle {
+    /// The trace.
+    pub trace: Trace,
+    /// Its log weight.
+    pub log_weight: LogWeight,
+}
+
+/// A weighted collection of traces approximating a posterior.
+///
+/// # Examples
+///
+/// ```
+/// use incremental::ParticleCollection;
+/// use ppl::{addr, Handler, PplError};
+/// use ppl::dist::Dist;
+/// use ppl::handlers::simulate;
+/// use rand::SeedableRng;
+///
+/// let model = |h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(0.5));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let traces = (0..100).map(|_| simulate(&model, &mut rng)).collect::<Result<Vec<_>, _>>()?;
+/// let particles = ParticleCollection::from_traces(traces);
+/// let p = particles.probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())?;
+/// assert!(p > 0.2 && p < 0.8);
+/// # Ok::<(), PplError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParticleCollection {
+    particles: Vec<Particle>,
+}
+
+impl ParticleCollection {
+    /// Creates an empty collection.
+    pub fn new() -> ParticleCollection {
+        ParticleCollection::default()
+    }
+
+    /// Creates a collection of unit-weight particles from plain traces
+    /// (e.g. exact posterior samples, as in Sections 7.2–7.3).
+    pub fn from_traces(traces: impl IntoIterator<Item = Trace>) -> ParticleCollection {
+        ParticleCollection {
+            particles: traces
+                .into_iter()
+                .map(|trace| Particle {
+                    trace,
+                    log_weight: LogWeight::ONE,
+                })
+                .collect(),
+        }
+    }
+
+    /// Creates a collection from explicit particles.
+    pub fn from_particles(particles: Vec<Particle>) -> ParticleCollection {
+        ParticleCollection { particles }
+    }
+
+    /// Adds a particle.
+    pub fn push(&mut self, trace: Trace, log_weight: LogWeight) {
+        self.particles.push(Particle { trace, log_weight });
+    }
+
+    /// Number of particles `M`.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Iterates over the particles.
+    pub fn iter(&self) -> impl Iterator<Item = &Particle> {
+        self.particles.iter()
+    }
+
+    /// The particles as a slice.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// The log weights.
+    pub fn log_weights(&self) -> Vec<f64> {
+        self.particles.iter().map(|p| p.log_weight.log()).collect()
+    }
+
+    /// Self-normalized weights summing to 1.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the collection is empty or all weights are zero (total
+    /// particle degeneracy).
+    pub fn normalized_weights(&self) -> Result<Vec<f64>, PplError> {
+        let lw = self.log_weights();
+        let lse = log_sum_exp(&lw);
+        if lse == f64::NEG_INFINITY {
+            return Err(PplError::Other(
+                "all particle weights are zero; the approximation has collapsed".to_string(),
+            ));
+        }
+        Ok(lw.iter().map(|w| (w - lse).exp()).collect())
+    }
+
+    /// The self-normalized estimator of Eq. (5):
+    /// `Σ_j w'_j φ(u'_j) / Σ_j w'_j ≈ E_{u∼Q}[φ(u)]`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an empty or fully degenerate collection.
+    pub fn estimate(&self, mut phi: impl FnMut(&Trace) -> f64) -> Result<f64, PplError> {
+        let ws = self.normalized_weights()?;
+        Ok(self
+            .particles
+            .iter()
+            .zip(ws)
+            .map(|(p, w)| w * phi(&p.trace))
+            .sum())
+    }
+
+    /// Estimates the probability of an event `A ⊆ T_Q` using the indicator
+    /// estimator of Section 4.2.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an empty or fully degenerate collection.
+    pub fn probability(&self, mut event: impl FnMut(&Trace) -> bool) -> Result<f64, PplError> {
+        self.estimate(|t| if event(t) { 1.0 } else { 0.0 })
+    }
+
+    /// Effective sample size `(Σ_j w_j)² / Σ_j w_j²` — the degeneracy
+    /// diagnostic of Section 4.2 ("Multiple Steps and resample").
+    pub fn ess(&self) -> f64 {
+        crate::diagnostics::effective_sample_size(&self.log_weights())
+    }
+
+    /// `log((1/M) Σ_j w_j)` — across one `infer` step starting from unit
+    /// weights this estimates `log(Z_Q / Z_P)` (Lemma 6).
+    pub fn log_mean_weight(&self) -> f64 {
+        if self.particles.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        log_sum_exp(&self.log_weights()) - (self.particles.len() as f64).ln()
+    }
+}
+
+impl FromIterator<Particle> for ParticleCollection {
+    fn from_iter<I: IntoIterator<Item = Particle>>(iter: I) -> Self {
+        ParticleCollection {
+            particles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Particle> for ParticleCollection {
+    fn extend<I: IntoIterator<Item = Particle>>(&mut self, iter: I) {
+        self.particles.extend(iter);
+    }
+}
+
+impl IntoIterator for ParticleCollection {
+    type Item = Particle;
+    type IntoIter = std::vec::IntoIter<Particle>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.particles.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::addr;
+    use ppl::dist::Dist;
+    use ppl::Value;
+
+    fn trace_with(name: &str, b: bool) -> Trace {
+        let mut t = Trace::new();
+        let d = Dist::flip(0.5);
+        let lp = d.log_prob(&Value::Bool(b));
+        t.record_choice(addr![name], Value::Bool(b), d, lp).unwrap();
+        t
+    }
+
+    #[test]
+    fn weighted_estimate_matches_hand_computation() {
+        let mut c = ParticleCollection::new();
+        c.push(trace_with("x", true), LogWeight::from_prob(3.0));
+        c.push(trace_with("x", false), LogWeight::from_prob(1.0));
+        let p = c
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_collection_errors() {
+        let mut c = ParticleCollection::new();
+        c.push(trace_with("x", true), LogWeight::ZERO);
+        assert!(c.estimate(|_| 1.0).is_err());
+        assert!(ParticleCollection::new().estimate(|_| 1.0).is_err());
+    }
+
+    #[test]
+    fn ess_of_equal_weights_is_m() {
+        let c = ParticleCollection::from_traces((0..10).map(|_| trace_with("x", true)));
+        assert!((c.ess() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ess_collapses_with_one_dominant_weight() {
+        let mut c = ParticleCollection::new();
+        c.push(trace_with("x", true), LogWeight::from_log(0.0));
+        for _ in 0..9 {
+            c.push(trace_with("x", false), LogWeight::from_log(-40.0));
+        }
+        assert!(c.ess() < 1.001);
+    }
+
+    #[test]
+    fn log_mean_weight_of_unit_weights_is_zero() {
+        let c = ParticleCollection::from_traces((0..7).map(|_| trace_with("x", true)));
+        assert!(c.log_mean_weight().abs() < 1e-12);
+        assert_eq!(ParticleCollection::new().log_mean_weight(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let particles: Vec<Particle> = (0..3)
+            .map(|_| Particle {
+                trace: trace_with("x", true),
+                log_weight: LogWeight::ONE,
+            })
+            .collect();
+        let mut c: ParticleCollection = particles.clone().into_iter().collect();
+        c.extend(particles);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.into_iter().count(), 6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Resampling schemes for weighted particle collections.
+//!
+//! `resample` (Algorithm 2) draws `M` particles with replacement with
+//! probability proportional to weight and resets all weights to 1,
+//! re-allocating computation onto representative traces. The paper notes
+//! that "other resampling schemes besides independent resampling are also
+//! possible"; we provide the standard four.
+
+use rand::RngCore;
+
+use ppl::dist::util::uniform_unit;
+use ppl::{LogWeight, PplError};
+
+use crate::particles::{Particle, ParticleCollection};
+
+/// The resampling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResampleScheme {
+    /// Independent categorical draws (the paper's `resample`).
+    #[default]
+    Multinomial,
+    /// A single uniform offset, stratified over `M` equal slices; lower
+    /// variance than multinomial.
+    Systematic,
+    /// One uniform draw per slice.
+    Stratified,
+    /// Deterministic copies of `⌊M·w̄_j⌋`, residual mass multinomially.
+    Residual,
+}
+
+/// Resamples `M = collection.len()` particles according to `scheme`,
+/// returning a collection of unit-weight particles.
+///
+/// # Errors
+///
+/// Errors if the collection is empty or every weight is zero.
+pub fn resample(
+    collection: &ParticleCollection,
+    scheme: ResampleScheme,
+    rng: &mut dyn RngCore,
+) -> Result<ParticleCollection, PplError> {
+    let m = collection.len();
+    let weights = collection.normalized_weights()?;
+    let indices = match scheme {
+        ResampleScheme::Multinomial => multinomial_indices(&weights, m, rng),
+        ResampleScheme::Systematic => offset_indices(&weights, m, rng, true),
+        ResampleScheme::Stratified => offset_indices(&weights, m, rng, false),
+        ResampleScheme::Residual => residual_indices(&weights, m, rng),
+    };
+    Ok(indices
+        .into_iter()
+        .map(|i| Particle {
+            trace: collection.particles()[i].trace.clone(),
+            log_weight: LogWeight::ONE,
+        })
+        .collect())
+}
+
+fn multinomial_indices(weights: &[f64], m: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    (0..m).map(|_| pick(weights, uniform_unit(rng))).collect()
+}
+
+/// Systematic (`single_offset = true`) or stratified resampling.
+fn offset_indices(
+    weights: &[f64],
+    m: usize,
+    rng: &mut dyn RngCore,
+    single_offset: bool,
+) -> Vec<usize> {
+    let shared = uniform_unit(rng);
+    (0..m)
+        .map(|j| {
+            let u = if single_offset {
+                shared
+            } else {
+                uniform_unit(rng)
+            };
+            pick(weights, (j as f64 + u) / m as f64)
+        })
+        .collect()
+}
+
+fn residual_indices(weights: &[f64], m: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    let mut indices = Vec::with_capacity(m);
+    let mut residual = Vec::with_capacity(weights.len());
+    for (i, w) in weights.iter().enumerate() {
+        let expected = w * m as f64;
+        let copies = expected.floor() as usize;
+        indices.extend(std::iter::repeat_n(i, copies));
+        residual.push(expected - copies as f64);
+    }
+    let remaining = m - indices.len();
+    if remaining > 0 {
+        let total: f64 = residual.iter().sum();
+        if total > 0.0 {
+            let normalized: Vec<f64> = residual.iter().map(|r| r / total).collect();
+            for _ in 0..remaining {
+                indices.push(pick(&normalized, uniform_unit(rng)));
+            }
+        } else {
+            // Exact integer weights: fill by repeating the largest weight.
+            let argmax = weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            indices.extend(std::iter::repeat_n(argmax, remaining));
+        }
+    }
+    indices
+}
+
+/// Inverse-CDF lookup of `u ∈ [0, 1)` in normalized `weights`.
+fn pick(weights: &[f64], u: f64) -> usize {
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    // Floating-point slack: the last positive-weight index.
+    weights
+        .iter()
+        .rposition(|w| *w > 0.0)
+        .expect("normalized weights must have positive mass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::dist::Dist;
+    use ppl::{addr, Trace, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_trace(i: i64) -> Trace {
+        let mut t = Trace::new();
+        let d = Dist::uniform_int(0, 1_000);
+        let lp = d.log_prob(&Value::Int(i));
+        t.record_choice(addr!["id"], Value::Int(i), d, lp).unwrap();
+        t
+    }
+
+    fn weighted_collection(weights: &[f64]) -> ParticleCollection {
+        let mut c = ParticleCollection::new();
+        for (i, w) in weights.iter().enumerate() {
+            c.push(labeled_trace(i as i64), LogWeight::from_prob(*w));
+        }
+        c
+    }
+
+    fn label(p: &Particle) -> i64 {
+        p.trace.value(&addr!["id"]).unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn all_schemes_preserve_count_and_reset_weights() {
+        let c = weighted_collection(&[0.1, 0.2, 0.3, 0.4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for scheme in [
+            ResampleScheme::Multinomial,
+            ResampleScheme::Systematic,
+            ResampleScheme::Stratified,
+            ResampleScheme::Residual,
+        ] {
+            let r = resample(&c, scheme, &mut rng).unwrap();
+            assert_eq!(r.len(), 4, "{scheme:?}");
+            for p in r.iter() {
+                assert_eq!(p.log_weight, LogWeight::ONE, "{scheme:?}");
+            }
+        }
+    }
+
+    /// Every scheme is unbiased: the expected number of copies of particle
+    /// `j` is `M · w̄_j`.
+    #[test]
+    fn resampling_is_unbiased() {
+        let weights = [0.05, 0.15, 0.30, 0.50];
+        let c = weighted_collection(&weights);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rounds = 20_000;
+        for scheme in [
+            ResampleScheme::Multinomial,
+            ResampleScheme::Systematic,
+            ResampleScheme::Stratified,
+            ResampleScheme::Residual,
+        ] {
+            let mut counts = [0usize; 4];
+            for _ in 0..rounds {
+                let r = resample(&c, scheme, &mut rng).unwrap();
+                for p in r.iter() {
+                    counts[label(p) as usize] += 1;
+                }
+            }
+            for (j, w) in weights.iter().enumerate() {
+                let freq = counts[j] as f64 / (rounds * 4) as f64;
+                assert!(
+                    (freq - w).abs() < 0.01,
+                    "{scheme:?}: particle {j} frequency {freq} vs weight {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_particles_never_survive() {
+        let c = weighted_collection(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for scheme in [
+            ResampleScheme::Multinomial,
+            ResampleScheme::Systematic,
+            ResampleScheme::Stratified,
+            ResampleScheme::Residual,
+        ] {
+            let r = resample(&c, scheme, &mut rng).unwrap();
+            assert!(r.iter().all(|p| label(p) == 1), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn residual_keeps_integer_copies() {
+        // weights M*w = [2, 1, 1] exactly: residual resampling is
+        // deterministic.
+        let c = weighted_collection(&[0.5, 0.25, 0.25]);
+        let mut rng = StdRng::seed_from_u64(4);
+        // M = 3, expected copies: 1.5, 0.75, 0.75 — at least one copy of 0.
+        let r = resample(&c, ResampleScheme::Residual, &mut rng).unwrap();
+        assert!(r.iter().any(|p| label(p) == 0));
+    }
+
+    #[test]
+    fn degenerate_input_errors() {
+        let c = weighted_collection(&[0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(resample(&c, ResampleScheme::Multinomial, &mut rng).is_err());
+        let empty = ParticleCollection::new();
+        assert!(resample(&empty, ResampleScheme::Systematic, &mut rng).is_err());
+    }
+
+    #[test]
+    fn systematic_with_equal_weights_is_a_permutation() {
+        let c = weighted_collection(&[0.25, 0.25, 0.25, 0.25]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = resample(&c, ResampleScheme::Systematic, &mut rng).unwrap();
+        let mut labels: Vec<i64> = r.iter().map(label).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,418 @@
+//! A single SMC step for probabilistic programs (Algorithm 2).
+//!
+//! `infer` transforms a weighted collection of traces of `P` into a
+//! weighted collection of traces of `Q`:
+//!
+//! 1. translate every trace (`(u_j, Δw_j) ∼ translate(R, t_j)`,
+//!    `w'_j ← w_j · Δw_j`);
+//! 2. optionally resample;
+//! 3. optionally rejuvenate each trace with an MCMC kernel for `Q`.
+//!
+//! Iterating `infer` over a sequence of programs is the "Multiple Steps"
+//! regime of Section 4.2 (see [`crate::sequence`]).
+
+use rand::RngCore;
+
+use ppl::{PplError, Trace};
+
+use crate::mcmc::McmcKernel;
+use crate::particles::ParticleCollection;
+use crate::resample::{resample, ResampleScheme};
+use crate::translator::TraceTranslator;
+
+/// When to resample within an `infer` step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ResamplePolicy {
+    /// Never resample (the weights carry all information).
+    #[default]
+    Never,
+    /// Always resample after reweighting.
+    Always,
+    /// Resample when `ESS < threshold_fraction · M` — the standard
+    /// degeneracy trigger suggested in Section 4.2.
+    EssBelow(f64),
+}
+
+/// Configuration of one SMC step.
+#[derive(Debug, Clone, Default)]
+pub struct SmcConfig {
+    /// When to resample.
+    pub resample: ResamplePolicy,
+    /// How to resample.
+    pub scheme: ResampleScheme,
+    /// Number of MCMC transitions applied per particle (0 disables
+    /// rejuvenation even if a kernel is supplied).
+    pub mcmc_steps: usize,
+}
+
+impl SmcConfig {
+    /// The paper's default: no resampling, no rejuvenation — translation
+    /// and reweighting only (as in the Section 7.2/7.3 experiments).
+    pub fn translate_only() -> SmcConfig {
+        SmcConfig::default()
+    }
+
+    /// Resample always with `n` rejuvenation sweeps.
+    pub fn with_rejuvenation(n: usize) -> SmcConfig {
+        SmcConfig {
+            resample: ResamplePolicy::Always,
+            scheme: ResampleScheme::default(),
+            mcmc_steps: n,
+        }
+    }
+}
+
+/// One step of SMC (Algorithm 2): translate, reweight, optionally
+/// resample, optionally run `mcmc_Q`.
+///
+/// # Errors
+///
+/// Propagates translation/MCMC errors, and resampling errors if all
+/// weights collapse to zero under a policy that resamples.
+///
+/// # Examples
+///
+/// ```
+/// use incremental::{infer, Correspondence, CorrespondenceTranslator,
+///                   ParticleCollection, SmcConfig};
+/// use ppl::{addr, Handler, PplError};
+/// use ppl::dist::Dist;
+/// use ppl::handlers::simulate;
+/// use rand::SeedableRng;
+///
+/// let p = |h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(0.5));
+/// let q = |h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(0.9));
+/// let translator = CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["x"]));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let traces = (0..200).map(|_| simulate(&p, &mut rng)).collect::<Result<Vec<_>, _>>()?;
+/// let particles = ParticleCollection::from_traces(traces);
+/// let out = infer(&translator, None, &particles, &SmcConfig::translate_only(), &mut rng)?;
+/// let p_true = out.probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())?;
+/// assert!((p_true - 0.9).abs() < 0.1);
+/// # Ok::<(), PplError>(())
+/// ```
+pub fn infer(
+    translator: &dyn TraceTranslator,
+    mcmc: Option<&dyn McmcKernel>,
+    particles: &ParticleCollection,
+    config: &SmcConfig,
+    rng: &mut dyn RngCore,
+) -> Result<ParticleCollection, PplError> {
+    // 1. Translate and reweight.
+    let mut translated = ParticleCollection::new();
+    for particle in particles.iter() {
+        let out = translator.translate(&particle.trace, rng)?;
+        translated.push(out.trace, particle.log_weight + out.log_weight);
+    }
+
+    // 2. Optional resampling.
+    let should_resample = match config.resample {
+        ResamplePolicy::Never => false,
+        ResamplePolicy::Always => true,
+        ResamplePolicy::EssBelow(fraction) => {
+            translated.ess() < fraction * translated.len() as f64
+        }
+    };
+    let collection = if should_resample {
+        resample(&translated, config.scheme, rng)?
+    } else {
+        translated
+    };
+
+    // 3. Optional MCMC rejuvenation.
+    match (mcmc, config.mcmc_steps) {
+        (Some(kernel), steps) if steps > 0 => {
+            let mut rejuvenated = ParticleCollection::new();
+            for particle in collection.iter() {
+                let trace: Trace = kernel.steps(&particle.trace, steps, rng)?;
+                rejuvenated.push(trace, particle.log_weight);
+            }
+            Ok(rejuvenated)
+        }
+        _ => Ok(collection),
+    }
+}
+
+/// Parallel translation: each particle's `translate` is independent
+/// (Algorithm 2's first loop is embarrassingly parallel), so the
+/// collection is chunked across `threads` workers.
+///
+/// Determinism: particle `j` is translated with an RNG seeded from
+/// `base_seed` and `j`, so the result is identical for any thread count
+/// (and reproducible across runs) — unlike threading one RNG through.
+///
+/// # Errors
+///
+/// Propagates the first translation error encountered.
+pub fn translate_parallel(
+    translator: &(dyn TraceTranslator + Sync),
+    particles: &ParticleCollection,
+    base_seed: u64,
+    threads: usize,
+) -> Result<ParticleCollection, PplError> {
+    use crate::particles::Particle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    type ChunkResult = Result<Vec<(usize, Trace, ppl::LogWeight)>, PplError>;
+    let threads = threads.max(1);
+    let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
+    let chunk_size = items.len().div_ceil(threads).max(1);
+    let results: Vec<ChunkResult> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (j, particle) in chunk {
+                            let mut rng = StdRng::seed_from_u64(
+                                base_seed.wrapping_add((*j as u64).wrapping_mul(0x9E37_79B9)),
+                            );
+                            let translated = translator.translate(&particle.trace, &mut rng)?;
+                            out.push((
+                                *j,
+                                translated.trace,
+                                particle.log_weight + translated.log_weight,
+                            ));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("translation worker panicked"))
+                .collect()
+        });
+    let mut slots: Vec<Option<(Trace, ppl::LogWeight)>> = vec![None; particles.len()];
+    for chunk in results {
+        for (j, trace, w) in chunk? {
+            slots[j] = Some((trace, w));
+        }
+    }
+    let mut out = ParticleCollection::new();
+    for slot in slots {
+        let (trace, w) = slot.expect("every particle translated");
+        out.push(trace, w);
+    }
+    Ok(out)
+}
+
+/// Translates a collection without resampling or rejuvenation and also
+/// returns the per-particle weight increments (useful for analysis of the
+/// "no weights" ablation in the paper's Figures 8–9).
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn translate_collection(
+    translator: &dyn TraceTranslator,
+    particles: &ParticleCollection,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection, Vec<f64>), PplError> {
+    let mut out = ParticleCollection::new();
+    let mut increments = Vec::with_capacity(particles.len());
+    for particle in particles.iter() {
+        let translated = translator.translate(&particle.trace, rng)?;
+        increments.push(translated.log_weight.log());
+        out.push(translated.trace, particle.log_weight + translated.log_weight);
+    }
+    Ok((out, increments))
+}
+
+/// The "no weights" ablation: translate but *discard* the weight
+/// estimates, keeping the input weights. Converges to the wrong
+/// distribution (the translator output distribution `η_{P→Q}`, not the
+/// posterior of `Q`) — exactly the failure mode Figures 8 and 9
+/// demonstrate.
+///
+/// # Errors
+///
+/// Propagates translation errors.
+pub fn infer_without_weights(
+    translator: &dyn TraceTranslator,
+    particles: &ParticleCollection,
+    rng: &mut dyn RngCore,
+) -> Result<ParticleCollection, PplError> {
+    let mut out = ParticleCollection::new();
+    for particle in particles.iter() {
+        let translated = translator.translate(&particle.trace, rng)?;
+        out.push(translated.trace, particle.log_weight);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::Correspondence;
+    use crate::forward::CorrespondenceTranslator;
+    use crate::mcmc::IdentityKernel;
+    use ppl::dist::Dist;
+    use ppl::{addr, Enumeration, Handler, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// P: x ~ flip(0.5), observe flip(x?0.2:0.8)=1.
+    fn p_model(h: &mut dyn Handler) -> Result<Value, ppl::PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let po = if x.truthy()? { 0.2 } else { 0.8 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    }
+
+    /// Q: same latent, different observation model.
+    fn q_model(h: &mut dyn Handler) -> Result<Value, ppl::PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let po = if x.truthy()? { 0.7 } else { 0.1 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    }
+
+    fn posterior_samples_of_p(m: usize, rng: &mut StdRng) -> ParticleCollection {
+        // Exact posterior sampling by enumeration + inverse CDF.
+        let e = Enumeration::run(&p_model).unwrap();
+        let marg = e.probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let mut traces = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x = ppl::dist::util::uniform_unit(rng) < marg;
+            // Rebuild the full trace by constrained scoring.
+            let mut map = ppl::ChoiceMap::new();
+            map.insert(addr!["x"], Value::Bool(x));
+            let t = ppl::handlers::score(&p_model, &map).unwrap();
+            traces.push(t);
+        }
+        ParticleCollection::from_traces(traces)
+    }
+
+    #[test]
+    fn infer_converges_to_q_posterior() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let particles = posterior_samples_of_p(20_000, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let out = infer(
+            &translator,
+            None,
+            &particles,
+            &SmcConfig::translate_only(),
+            &mut rng,
+        )
+        .unwrap();
+        let estimate = out
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        let exact = Enumeration::run(&q_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        assert!(
+            (estimate - exact).abs() < 0.02,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn without_weights_converges_to_wrong_answer() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let particles = posterior_samples_of_p(20_000, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let out = infer_without_weights(&translator, &particles, &mut rng).unwrap();
+        let estimate = out
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        // Without weights the x marginal stays at P's posterior.
+        let p_posterior = Enumeration::run(&p_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let q_posterior = Enumeration::run(&q_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        assert!((estimate - p_posterior).abs() < 0.02);
+        assert!((estimate - q_posterior).abs() > 0.1);
+    }
+
+    #[test]
+    fn resampling_policies_work() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let particles = posterior_samples_of_p(500, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        for policy in [
+            ResamplePolicy::Never,
+            ResamplePolicy::Always,
+            ResamplePolicy::EssBelow(0.99),
+            ResamplePolicy::EssBelow(0.001),
+        ] {
+            let config = SmcConfig {
+                resample: policy,
+                ..SmcConfig::default()
+            };
+            let out = infer(&translator, None, &particles, &config, &mut rng).unwrap();
+            assert_eq!(out.len(), 500);
+            // After Always/high-threshold resampling, weights are unit.
+            if policy == ResamplePolicy::Always {
+                assert!(out.iter().all(|p| p.log_weight.log() == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn mcmc_rejuvenation_runs() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let particles = posterior_samples_of_p(50, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let config = SmcConfig {
+            mcmc_steps: 3,
+            ..SmcConfig::default()
+        };
+        let kernel = IdentityKernel;
+        let out = infer(&translator, Some(&kernel), &particles, &config, &mut rng).unwrap();
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn parallel_translation_is_deterministic_and_correct() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let particles = posterior_samples_of_p(2_000, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let one = translate_parallel(&translator, &particles, 7, 1).unwrap();
+        let four = translate_parallel(&translator, &particles, 7, 4).unwrap();
+        let nine = translate_parallel(&translator, &particles, 7, 9).unwrap();
+        // Thread-count independence: identical traces and weights.
+        for ((a, b), c) in one.iter().zip(four.iter()).zip(nine.iter()) {
+            assert_eq!(a.trace.to_choice_map(), b.trace.to_choice_map());
+            assert_eq!(b.trace.to_choice_map(), c.trace.to_choice_map());
+            assert!((a.log_weight.log() - b.log_weight.log()).abs() < 1e-15);
+        }
+        // And the estimate matches the exact posterior.
+        let exact = Enumeration::run(&q_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let estimate = four
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        assert!((estimate - exact).abs() < 0.05, "{estimate} vs {exact}");
+    }
+
+    #[test]
+    fn translate_collection_reports_increments() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let particles = posterior_samples_of_p(10, &mut rng);
+        let translator =
+            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let (out, increments) = translate_collection(&translator, &particles, &mut rng).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(increments.len(), 10);
+        // Increments are the weight ratio 0.7/0.2 or 0.1/0.8 (obs only).
+        for inc in increments {
+            let w = inc.exp();
+            assert!(
+                (w - 0.7 / 0.2).abs() < 1e-9 || (w - 0.1 / 0.8).abs() < 1e-9,
+                "unexpected increment {w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Abstract trace translators (Section 4.1, Algorithm 1).
+//!
+//! A trace translator is a tuple `R = (P, Q, k_{P→Q}, ℓ_{Q→P})`. Its
+//! `translate` operation (Algorithm 1) samples `u ∼ k_{P→Q}(·; t)` and
+//! evaluates the weight estimate
+//!
+//! ```text
+//!             P̃r[u ∼ Q] · ℓ_{Q→P}(t; u)
+//! ŵ(u; t) =  ---------------------------          (Eq. 2)
+//!             P̃r[t ∼ P] · k_{P→Q}(u; t)
+//! ```
+//!
+//! which is an unbiased estimate of `(Z_Q / Z_P) · w_{P→Q}(u)` (Lemma 4 of
+//! the supplement).
+
+use rand::RngCore;
+
+use ppl::{LogWeight, PplError, Trace, Value};
+
+/// The result of translating one trace.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// The translated trace `u` of program `Q`.
+    pub trace: Trace,
+    /// The log weight estimate `log ŵ_{P→Q}(u; t)`.
+    pub log_weight: LogWeight,
+    /// The return value of `Q` under `u`.
+    pub output: Value,
+}
+
+/// A trace translator: anything that can adapt a trace of one program into
+/// a weighted trace of another (Algorithm 1's `translate`).
+///
+/// Implementations in this workspace:
+/// - [`crate::CorrespondenceTranslator`] — the Section 5 translator driven
+///   by a semantic correspondence of random choices;
+/// - `depgraph::IncrementalTranslator` — the Section 6 optimized
+///   translator that re-executes only the program slice affected by an
+///   edit.
+pub trait TraceTranslator {
+    /// Translates trace `t` of `P` into a weighted trace of `Q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from running `Q` (or replaying `P`).
+    fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError>;
+}
+
+impl<T: TraceTranslator + ?Sized> TraceTranslator for &T {
+    fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+        (**self).translate(t, rng)
+    }
+}
+
+impl<T: TraceTranslator + ?Sized> TraceTranslator for Box<T> {
+    fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+        (**self).translate(t, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A translator usable through references and boxes.
+    struct Null;
+
+    impl TraceTranslator for Null {
+        fn translate(&self, t: &Trace, _rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+            Ok(Translated {
+                trace: t.clone(),
+                log_weight: LogWeight::ONE,
+                output: Value::Int(0),
+            })
+        }
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Trace::new();
+        let boxed: Box<dyn TraceTranslator> = Box::new(Null);
+        let out = boxed.translate(&t, &mut rng).unwrap();
+        assert_eq!(out.log_weight, LogWeight::ONE);
+        let by_ref: &dyn TraceTranslator = &Null;
+        by_ref.translate(&t, &mut rng).unwrap();
+    }
+}

@@ -1,0 +1,433 @@
+//! Building execution graphs: run a program once, recording every
+//! statement instance, its dependencies, and its effects.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::RngCore;
+
+use ppl::ast::{Block, Program, Stmt};
+use ppl::dist::Dist;
+use ppl::{Address, ChoiceMap, PplError, Trace, Value};
+
+use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
+use crate::record::{BlockRecord, Effect, ExecGraph, ObsData, StmtRecord, Summary};
+
+/// Samples every choice from its prior.
+struct PriorSource<'a> {
+    rng: &'a mut dyn RngCore,
+}
+
+impl ChoiceSource for PriorSource<'_> {
+    fn draw(&mut self, _addr: &Address, dist: &Dist) -> Result<Value, PplError> {
+        Ok(dist.sample(self.rng))
+    }
+}
+
+/// Replays choices from a map; errors on missing addresses.
+struct ReplaySource<'a> {
+    choices: &'a ChoiceMap,
+}
+
+impl ChoiceSource for ReplaySource<'_> {
+    fn draw(&mut self, addr: &Address, _dist: &Dist) -> Result<Value, PplError> {
+        self.choices
+            .get(addr)
+            .cloned()
+            .ok_or_else(|| PplError::MissingChoice(addr.clone()))
+    }
+}
+
+impl ExecGraph {
+    /// Builds a graph by executing `program` under the prior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn simulate(program: &Program, rng: &mut dyn RngCore) -> Result<ExecGraph, PplError> {
+        let mut source = PriorSource { rng };
+        build(program, &mut source)
+    }
+
+    /// Builds a graph by replaying the given choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::MissingChoice`] when the program needs a choice
+    /// the map lacks, plus any evaluation errors.
+    pub fn replay(program: &Program, choices: &ChoiceMap) -> Result<ExecGraph, PplError> {
+        let mut source = ReplaySource { choices };
+        build(program, &mut source)
+    }
+
+    /// Builds a graph from an existing trace of the program.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecGraph::replay`].
+    pub fn from_trace(program: &Program, trace: &Trace) -> Result<ExecGraph, PplError> {
+        Self::replay(program, &trace.to_choice_map())
+    }
+}
+
+fn build(program: &Program, source: &mut dyn ChoiceSource) -> Result<ExecGraph, PplError> {
+    let mut env: Env = Env::new();
+    let mut loops: Vec<i64> = Vec::new();
+    let mut builder = Builder {
+        env: &mut env,
+        loops: &mut loops,
+        source,
+    };
+    let mut stmts = builder.exec_block(&program.body)?;
+    // The return expression is recorded as a trailing pseudo-leaf so that
+    // any choices it makes are part of the graph.
+    let mut ret_summary = Summary::default();
+    let return_value = match &program.ret {
+        Some(e) => {
+            let v = {
+                let mut ev = ExprEval {
+                    env: builder.env,
+                    loops: builder.loops,
+                    source: builder.source,
+                };
+                ev.eval(e, &mut ret_summary)?
+            };
+            if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
+                stmts.push(Rc::new(StmtRecord::Leaf {
+                    summary: ret_summary,
+                }));
+            }
+            v
+        }
+        None => Value::Int(0),
+    };
+    let root = Rc::new(BlockRecord::finalize(stmts));
+    Ok(ExecGraph::assemble(program.clone(), root, return_value))
+}
+
+struct Builder<'a> {
+    env: &'a mut Env,
+    loops: &'a mut Vec<i64>,
+    source: &'a mut dyn ChoiceSource,
+}
+
+impl Builder<'_> {
+    fn eval(&mut self, expr: &ppl::ast::Expr, sum: &mut Summary) -> Result<Value, PplError> {
+        let mut ev = ExprEval {
+            env: self.env,
+            loops: self.loops,
+            source: self.source,
+        };
+        ev.eval(expr, sum)
+    }
+
+    fn exec_block(&mut self, block: &Block) -> Result<Vec<Rc<StmtRecord>>, PplError> {
+        let mut records = Vec::with_capacity(block.stmts().len());
+        for stmt in block.stmts() {
+            records.push(Rc::new(self.exec_stmt(stmt)?));
+        }
+        Ok(records)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<StmtRecord, PplError> {
+        match stmt {
+            Stmt::Skip => Ok(StmtRecord::Skip),
+            Stmt::Assign(name, expr) => {
+                let mut summary = Summary::default();
+                let value = self.eval(expr, &mut summary)?;
+                self.env.insert(
+                    name.clone(),
+                    Slot {
+                        value: value.clone(),
+                        dirty: false,
+                    },
+                );
+                summary.effects.push(Effect::Var(name.clone(), value));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::AssignIndex(name, idx, expr) => {
+                let mut summary = Summary::default();
+                let i = self.eval(idx, &mut summary)?.as_int()?;
+                let value = self.eval(expr, &mut summary)?;
+                // Element assignment reads the array (it preserves the
+                // other elements).
+                summary.reads.insert(name.clone());
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
+                let items = slot.value.as_array_mut()?;
+                if i < 0 || i as usize >= items.len() {
+                    return Err(PplError::IndexOutOfBounds {
+                        index: i,
+                        len: items.len(),
+                    });
+                }
+                items[i as usize] = value.clone();
+                summary.effects.push(Effect::Elem(name.clone(), i, value));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::Observe(rand, value_expr) => {
+                let mut summary = Summary::default();
+                let dist = {
+                    let mut ev = ExprEval {
+                        env: self.env,
+                        loops: self.loops,
+                        source: self.source,
+                    };
+                    ev.build_dist(&rand.kind, &mut summary)?
+                };
+                let value = self.eval(value_expr, &mut summary)?;
+                let addr = {
+                    let ev = ExprEval {
+                        env: self.env,
+                        loops: self.loops,
+                        source: self.source,
+                    };
+                    ev.address_for(rand)
+                };
+                let log_prob = dist.log_prob(&value);
+                summary.obs_score += log_prob;
+                summary.observations.push((
+                    addr,
+                    ObsData {
+                        value,
+                        dist,
+                        log_prob,
+                    },
+                ));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let mut summary = Summary::default();
+                let took_then = self.eval(cond, &mut summary)?.truthy()?;
+                let branch = if took_then { then_b } else { else_b };
+                let body = Rc::new(BlockRecord::finalize(self.exec_block(branch)?));
+                summary.reads.extend(body.summary.reads.iter().cloned());
+                summary.effects.extend(body.summary.effects.iter().cloned());
+                summary.obs_score += body.summary.obs_score;
+                Ok(StmtRecord::If {
+                    took_then,
+                    body,
+                    summary,
+                })
+            }
+            Stmt::For(var, lo_e, hi_e, body) => {
+                let mut summary = Summary::default();
+                let lo = self.eval(lo_e, &mut summary)?.as_int()?;
+                let hi = self.eval(hi_e, &mut summary)?.as_int()?;
+                let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
+                let mut written: BTreeSet<String> = BTreeSet::new();
+                written.insert(var.clone());
+                for i in lo..hi {
+                    self.env.insert(
+                        var.clone(),
+                        Slot {
+                            value: Value::Int(i),
+                            dirty: false,
+                        },
+                    );
+                    self.loops.push(i);
+                    let iter_result = self.exec_block(body);
+                    self.loops.pop();
+                    let iter = Rc::new(BlockRecord::finalize(iter_result?));
+                    summary.reads.extend(iter.summary.reads.iter().cloned());
+                    summary.obs_score += iter.summary.obs_score;
+                    for effect in &iter.summary.effects {
+                        written.insert(effect.var_name().to_string());
+                    }
+                    iters.push(iter);
+                }
+                // Compress effects into one final snapshot per written
+                // variable (O(1) each thanks to Arc-backed arrays).
+                for name in &written {
+                    if let Some(slot) = self.env.get(name) {
+                        summary
+                            .effects
+                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                    }
+                }
+                // The loop variable itself is loop-internal; reading it
+                // within the body does not create an external dependency.
+                summary.reads.remove(var);
+                Ok(StmtRecord::For {
+                    lo,
+                    hi,
+                    iters,
+                    summary,
+                })
+            }
+            Stmt::While(cond_e, body) => {
+                let mut summary = Summary::default();
+                let mut iters = Vec::new();
+                let mut written: BTreeSet<String> = BTreeSet::new();
+                let mut i = 0_i64;
+                loop {
+                    self.loops.push(i);
+                    let mut cond_sum = Summary::default();
+                    let continued = self.eval(cond_e, &mut cond_sum).and_then(|v| v.truthy());
+                    let continued = match continued {
+                        Ok(b) => b,
+                        Err(e) => {
+                            self.loops.pop();
+                            return Err(e);
+                        }
+                    };
+                    summary.reads.extend(cond_sum.reads.iter().cloned());
+                    summary.obs_score += cond_sum.obs_score;
+                    if !continued {
+                        self.loops.pop();
+                        iters.push(crate::record::WhileIter {
+                            cond: cond_sum,
+                            continued: false,
+                            body: None,
+                        });
+                        break;
+                    }
+                    let body_result = self.exec_block(body);
+                    self.loops.pop();
+                    let body_rec = Rc::new(BlockRecord::finalize(body_result?));
+                    summary.reads.extend(body_rec.summary.reads.iter().cloned());
+                    summary.obs_score += body_rec.summary.obs_score;
+                    for effect in &body_rec.summary.effects {
+                        written.insert(effect.var_name().to_string());
+                    }
+                    iters.push(crate::record::WhileIter {
+                        cond: cond_sum,
+                        continued: true,
+                        body: Some(body_rec),
+                    });
+                    i += 1;
+                    if i > 10_000_000 {
+                        return Err(PplError::FuelExhausted { budget: 10_000_000 });
+                    }
+                }
+                for name in &written {
+                    if let Some(slot) = self.env.get(name) {
+                        summary
+                            .effects
+                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                    }
+                }
+                Ok(StmtRecord::While { iters, summary })
+            }
+        }
+    }
+}
+
+/// Applies a recorded effect list to an environment, marking the written
+/// variables with the given dirtiness.
+pub(crate) fn apply_effects(env: &mut Env, effects: &[Effect], dirty: bool) -> Result<(), PplError> {
+    for effect in effects {
+        match effect {
+            Effect::Var(name, value) => {
+                env.insert(
+                    name.clone(),
+                    Slot {
+                        value: value.clone(),
+                        dirty,
+                    },
+                );
+            }
+            Effect::Elem(name, i, value) => {
+                let slot = env
+                    .get_mut(name)
+                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
+                let items = slot.value.as_array_mut()?;
+                if *i < 0 || *i as usize >= items.len() {
+                    return Err(PplError::IndexOutOfBounds {
+                        index: *i,
+                        len: items.len(),
+                    });
+                }
+                items[*i as usize] = value.clone();
+                slot.dirty = slot.dirty || dirty;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::handlers::simulate;
+    use ppl::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_flattens_to_the_same_trace_as_the_interpreter() {
+        let program = parse(
+            "a = 1;
+             b = flip(a / 3) @ b;
+             if a < 2 { c = uniform(0, 5) @ c1; } else { c = uniform(6, 10) @ c2; }
+             d = flip(b / 2) @ d;
+             observe(flip(1 / 5) @ o == d);
+             return c;",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = simulate(&program, &mut rng).unwrap();
+        let graph = ExecGraph::from_trace(&program, &reference).unwrap();
+        let flattened = graph.to_trace().unwrap();
+        assert_eq!(flattened.to_choice_map(), reference.to_choice_map());
+        assert!((flattened.score().log() - reference.score().log()).abs() < 1e-12);
+        assert_eq!(flattened.return_value(), reference.return_value());
+        assert!((graph.score().log() - reference.score().log()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmm_graph_records_loops() {
+        let program = models::gmm::gmm_program(10.0, 20, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = ExecGraph::simulate(&program, &mut rng).unwrap();
+        assert_eq!(graph.num_choices(), 5 + 2 * 20);
+        let trace = graph.to_trace().unwrap();
+        assert_eq!(trace.len(), 45);
+        // Evaluation order: centers first, then pick/point interleaved.
+        let order: Vec<String> = trace.choices().map(|(a, _)| a.to_string()).collect();
+        assert_eq!(order[0], "center/0");
+        assert_eq!(order[5], "pick/0");
+        assert_eq!(order[6], "point/0");
+    }
+
+    #[test]
+    fn simulate_and_replay_agree() {
+        let program = models::gmm::gmm_program(5.0, 7, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g1 = ExecGraph::simulate(&program, &mut rng).unwrap();
+        let t1 = g1.to_trace().unwrap();
+        let g2 = ExecGraph::from_trace(&program, &t1).unwrap();
+        let t2 = g2.to_trace().unwrap();
+        assert_eq!(t1.to_choice_map(), t2.to_choice_map());
+        assert!((t1.score().log() - t2.score().log()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn while_graph_matches_interpreter() {
+        let program = parse(
+            "n = 1; while flip(0.6) @ t { n = n + 1; } return n;",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let reference = simulate(&program, &mut rng).unwrap();
+            let graph = ExecGraph::from_trace(&program, &reference).unwrap();
+            let flattened = graph.to_trace().unwrap();
+            assert_eq!(flattened.to_choice_map(), reference.to_choice_map());
+            assert!((flattened.score().log() - reference.score().log()).abs() < 1e-12);
+            assert_eq!(flattened.return_value(), reference.return_value());
+        }
+    }
+
+    #[test]
+    fn observations_recorded_with_scores() {
+        let program = parse("observe(flip(0.25) @ o == 1); return 0;").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = ExecGraph::simulate(&program, &mut rng).unwrap();
+        let obs = graph.observation(&ppl::addr!["o"]).unwrap();
+        assert!((obs.log_prob.prob() - 0.25).abs() < 1e-12);
+        assert!((graph.score().prob() - 0.25).abs() < 1e-12);
+    }
+}

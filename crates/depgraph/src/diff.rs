@@ -1,0 +1,601 @@
+//! Structural diff of two programs, and the derived correspondence.
+//!
+//! Section 6: "We generate a semantic correspondence automatically from a
+//! program edit by assuming that random expressions that correspond
+//! syntactically in the two programs also correspond semantically."
+//!
+//! Statements are aligned block-by-block with a weighted LCS; matched
+//! statements are compared *modulo site labels* (two separately parsed
+//! programs number their auto-generated sites independently), and random
+//! expressions at matching structural positions yield site rules in the
+//! [`Correspondence`].
+
+use incremental::Correspondence;
+use ppl::ast::{Block, Expr, Program, RandExpr, RandKind, Stmt};
+
+/// How a matched statement pair differs.
+#[derive(Debug, Clone)]
+pub enum StmtDiff {
+    /// Deep-equal modulo site labels: skippable when no inputs changed.
+    Unchanged,
+    /// Same shape (kind and target), but sub-expressions differ: must be
+    /// re-executed.
+    Edited,
+    /// Matched `if` statements; branches diff recursively.
+    IfDiff {
+        /// Whether the conditions differ (modulo sites).
+        cond_changed: bool,
+        /// Diff of the then-branches.
+        then_diff: Box<BlockDiff>,
+        /// Diff of the else-branches.
+        else_diff: Box<BlockDiff>,
+    },
+    /// Matched `for` statements; the body diffs recursively.
+    ForDiff {
+        /// Whether the bound expressions differ (modulo sites).
+        bounds_changed: bool,
+        /// Diff of the bodies.
+        body_diff: Box<BlockDiff>,
+    },
+    /// Matched `while` statements; the body diffs recursively.
+    WhileDiff {
+        /// Whether the conditions differ (modulo sites or in site labels).
+        cond_changed: bool,
+        /// Diff of the bodies.
+        body_diff: Box<BlockDiff>,
+    },
+}
+
+impl StmtDiff {
+    /// Whether the whole subtree is unchanged (skippable when clean).
+    pub fn is_unchanged(&self) -> bool {
+        match self {
+            StmtDiff::Unchanged => true,
+            StmtDiff::Edited => false,
+            StmtDiff::IfDiff {
+                cond_changed,
+                then_diff,
+                else_diff,
+            } => !cond_changed && then_diff.is_unchanged() && else_diff.is_unchanged(),
+            StmtDiff::ForDiff {
+                bounds_changed,
+                body_diff,
+            } => !bounds_changed && body_diff.is_unchanged(),
+            StmtDiff::WhileDiff {
+                cond_changed,
+                body_diff,
+            } => !cond_changed && body_diff.is_unchanged(),
+        }
+    }
+}
+
+/// One entry in a block's diff, in Q-program order (with removals
+/// interleaved at their original position).
+#[derive(Debug, Clone)]
+pub enum DiffOp {
+    /// A Q statement, possibly matched to a P statement.
+    Stmt {
+        /// Index into the Q block.
+        q_index: usize,
+        /// Index into the P block, when matched.
+        p_index: Option<usize>,
+        /// How the pair differs (always [`StmtDiff::Edited`]-equivalent
+        /// semantics when unmatched — callers treat `p_index: None` as
+        /// fresh execution).
+        diff: StmtDiff,
+    },
+    /// A P statement with no counterpart in Q (deleted by the edit).
+    RemovedP(usize),
+}
+
+/// The diff of two blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockDiff {
+    /// Operations in order.
+    pub ops: Vec<DiffOp>,
+}
+
+impl BlockDiff {
+    /// Whether the whole block is unchanged.
+    pub fn is_unchanged(&self) -> bool {
+        self.ops.iter().all(|op| match op {
+            DiffOp::Stmt {
+                p_index, diff, ..
+            } => p_index.is_some() && diff.is_unchanged(),
+            DiffOp::RemovedP(_) => false,
+        })
+    }
+}
+
+/// A program edit: the target program `Q`, the structural diff against
+/// `P`, and the derived site correspondence (Q sites → P sites).
+#[derive(Debug, Clone)]
+pub struct ProgramEdit {
+    /// The diff of the top-level blocks.
+    pub diff: BlockDiff,
+    /// The derived semantic correspondence.
+    pub correspondence: Correspondence,
+}
+
+/// Diffs `p` against `q` and derives the correspondence.
+pub fn diff_programs(p: &Program, q: &Program) -> ProgramEdit {
+    let mut corr = Correspondence::new();
+    let diff = diff_blocks(&p.body, &q.body, &mut corr);
+    ProgramEdit {
+        diff,
+        correspondence: corr,
+    }
+}
+
+/// Alignment score: higher is better; `None` means the pair must not be
+/// matched.
+fn match_score(p: &Stmt, q: &Stmt) -> Option<u32> {
+    if stmt_eq_mod_sites(p, q) {
+        return Some(3);
+    }
+    match (p, q) {
+        (Stmt::Assign(a, _), Stmt::Assign(b, _)) if a == b => Some(2),
+        (Stmt::AssignIndex(a, _, _), Stmt::AssignIndex(b, _, _)) if a == b => Some(2),
+        (Stmt::If(..), Stmt::If(..)) => Some(2),
+        (Stmt::While(..), Stmt::While(..)) => Some(2),
+        (Stmt::For(a, ..), Stmt::For(b, ..)) if a == b => Some(2),
+        (Stmt::Observe(..), Stmt::Observe(..)) => Some(2),
+        (Stmt::Assign(..), Stmt::Assign(..)) => Some(1),
+        _ => None,
+    }
+}
+
+fn diff_blocks(p: &Block, q: &Block, corr: &mut Correspondence) -> BlockDiff {
+    let ps = p.stmts();
+    let qs = q.stmts();
+    // Weighted LCS (Needleman–Wunsch with zero gap penalty).
+    let n = ps.len();
+    let m = qs.len();
+    let mut table = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            let skip = table[i + 1][j].max(table[i][j + 1]);
+            let matched = match_score(&ps[i], &qs[j]).map(|s| s + table[i + 1][j + 1]);
+            table[i][j] = matched.map_or(skip, |mv| mv.max(skip));
+        }
+    }
+    // Trace back the alignment.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let matched = match_score(&ps[i], &qs[j]).map(|s| s + table[i + 1][j + 1]);
+        if matched == Some(table[i][j]) && matched.is_some() {
+            let diff = diff_stmt(&ps[i], &qs[j], corr);
+            ops.push(DiffOp::Stmt {
+                q_index: j,
+                p_index: Some(i),
+                diff,
+            });
+            i += 1;
+            j += 1;
+        } else if table[i + 1][j] >= table[i][j + 1] {
+            ops.push(DiffOp::RemovedP(i));
+            i += 1;
+        } else {
+            ops.push(DiffOp::Stmt {
+                q_index: j,
+                p_index: None,
+                diff: StmtDiff::Edited,
+            });
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(DiffOp::RemovedP(i));
+        i += 1;
+    }
+    while j < m {
+        ops.push(DiffOp::Stmt {
+            q_index: j,
+            p_index: None,
+            diff: StmtDiff::Edited,
+        });
+        j += 1;
+    }
+    BlockDiff { ops }
+}
+
+fn diff_stmt(p: &Stmt, q: &Stmt, corr: &mut Correspondence) -> StmtDiff {
+    match (p, q) {
+        (Stmt::If(pc, pt, pe), Stmt::If(qc, qt, qe)) => {
+            pair_expr_sites(pc, qc, corr);
+            StmtDiff::IfDiff {
+                cond_changed: !expr_eq_mod_sites(pc, qc) || !exprs_sites_equal(pc, qc),
+                then_diff: Box::new(diff_blocks(pt, qt, corr)),
+                else_diff: Box::new(diff_blocks(pe, qe, corr)),
+            }
+        }
+        (Stmt::While(pc, pb), Stmt::While(qc, qb)) => {
+            pair_expr_sites(pc, qc, corr);
+            StmtDiff::WhileDiff {
+                cond_changed: !expr_eq_mod_sites(pc, qc) || !exprs_sites_equal(pc, qc),
+                body_diff: Box::new(diff_blocks(pb, qb, corr)),
+            }
+        }
+        (Stmt::For(_, plo, phi, pb), Stmt::For(_, qlo, qhi, qb)) => {
+            pair_expr_sites(plo, qlo, corr);
+            pair_expr_sites(phi, qhi, corr);
+            StmtDiff::ForDiff {
+                bounds_changed: !expr_eq_mod_sites(plo, qlo)
+                    || !expr_eq_mod_sites(phi, qhi)
+                    || !exprs_sites_equal(plo, qlo)
+                    || !exprs_sites_equal(phi, qhi),
+                body_diff: Box::new(diff_blocks(pb, qb, corr)),
+            }
+        }
+        _ => {
+            pair_stmt_sites(p, q, corr);
+            // A statement is skippable only when it is deep-equal
+            // *including* site labels: skipping shares the old record, so
+            // its recorded addresses must be exactly what Q would
+            // generate. (Auto-generated labels shift under insertions;
+            // such statements are re-executed instead — the
+            // correspondence still reuses their values, so the weight is
+            // unaffected.)
+            if stmt_eq_mod_sites(p, q) && stmt_sites_equal(p, q) {
+                StmtDiff::Unchanged
+            } else {
+                StmtDiff::Edited
+            }
+        }
+    }
+}
+
+/// Whether two expressions carry identical site labels (in identical
+/// syntactic order).
+fn exprs_sites_equal(a: &Expr, b: &Expr) -> bool {
+    let mut sa = Vec::new();
+    let mut sb = Vec::new();
+    a.collect_sites(&mut sa);
+    b.collect_sites(&mut sb);
+    sa == sb
+}
+
+/// Whether two (leaf) statements carry identical site labels.
+fn stmt_sites_equal(p: &Stmt, q: &Stmt) -> bool {
+    fn stmt_sites(s: &Stmt, out: &mut Vec<ppl::ast::SiteId>) {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(_, e) => e.collect_sites(out),
+            Stmt::AssignIndex(_, i, e) => {
+                i.collect_sites(out);
+                e.collect_sites(out);
+            }
+            Stmt::Observe(r, e) => {
+                out.push(r.site.clone());
+                match &r.kind {
+                    RandKind::Flip(p)
+                    | RandKind::Poisson(p)
+                    | RandKind::GeometricDist(p)
+                    | RandKind::Exponential(p) => p.collect_sites(out),
+                    RandKind::UniformInt(a, b)
+                    | RandKind::UniformReal(a, b)
+                    | RandKind::Gauss(a, b)
+                    | RandKind::Beta(a, b) => {
+                        a.collect_sites(out);
+                        b.collect_sites(out);
+                    }
+                    RandKind::Categorical(ws) => {
+                        for w in ws {
+                            w.collect_sites(out);
+                        }
+                    }
+                }
+                e.collect_sites(out);
+            }
+            Stmt::If(c, t, e) => {
+                c.collect_sites(out);
+                for s in t.stmts().iter().chain(e.stmts()) {
+                    stmt_sites(s, out);
+                }
+            }
+            Stmt::While(c, b) => {
+                c.collect_sites(out);
+                for s in b.stmts() {
+                    stmt_sites(s, out);
+                }
+            }
+            Stmt::For(_, lo, hi, b) => {
+                lo.collect_sites(out);
+                hi.collect_sites(out);
+                for s in b.stmts() {
+                    stmt_sites(s, out);
+                }
+            }
+        }
+    }
+    let mut sp = Vec::new();
+    let mut sq = Vec::new();
+    stmt_sites(p, &mut sp);
+    stmt_sites(q, &mut sq);
+    sp == sq
+}
+
+/// Deep statement equality ignoring site labels.
+pub fn stmt_eq_mod_sites(p: &Stmt, q: &Stmt) -> bool {
+    match (p, q) {
+        (Stmt::Skip, Stmt::Skip) => true,
+        (Stmt::Assign(a, e1), Stmt::Assign(b, e2)) => a == b && expr_eq_mod_sites(e1, e2),
+        (Stmt::AssignIndex(a, i1, e1), Stmt::AssignIndex(b, i2, e2)) => {
+            a == b && expr_eq_mod_sites(i1, i2) && expr_eq_mod_sites(e1, e2)
+        }
+        (Stmt::If(c1, t1, e1), Stmt::If(c2, t2, e2)) => {
+            expr_eq_mod_sites(c1, c2) && block_eq_mod_sites(t1, t2) && block_eq_mod_sites(e1, e2)
+        }
+        (Stmt::While(c1, b1), Stmt::While(c2, b2)) => {
+            expr_eq_mod_sites(c1, c2) && block_eq_mod_sites(b1, b2)
+        }
+        (Stmt::For(v1, l1, h1, b1), Stmt::For(v2, l2, h2, b2)) => {
+            v1 == v2
+                && expr_eq_mod_sites(l1, l2)
+                && expr_eq_mod_sites(h1, h2)
+                && block_eq_mod_sites(b1, b2)
+        }
+        (Stmt::Observe(r1, e1), Stmt::Observe(r2, e2)) => {
+            rand_eq_mod_sites(r1, r2) && expr_eq_mod_sites(e1, e2)
+        }
+        _ => false,
+    }
+}
+
+fn block_eq_mod_sites(a: &Block, b: &Block) -> bool {
+    a.stmts().len() == b.stmts().len()
+        && a.stmts()
+            .iter()
+            .zip(b.stmts())
+            .all(|(x, y)| stmt_eq_mod_sites(x, y))
+}
+
+/// Deep expression equality ignoring site labels.
+pub fn expr_eq_mod_sites(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Const(x), Expr::Const(y)) => x == y,
+        (Expr::Var(x), Expr::Var(y)) => x == y,
+        (Expr::Unary(o1, e1), Expr::Unary(o2, e2)) => o1 == o2 && expr_eq_mod_sites(e1, e2),
+        (Expr::Binary(o1, a1, b1), Expr::Binary(o2, a2, b2)) => {
+            o1 == o2 && expr_eq_mod_sites(a1, a2) && expr_eq_mod_sites(b1, b2)
+        }
+        (Expr::Index(a1, b1), Expr::Index(a2, b2))
+        | (Expr::ArrayInit(a1, b1), Expr::ArrayInit(a2, b2)) => {
+            expr_eq_mod_sites(a1, a2) && expr_eq_mod_sites(b1, b2)
+        }
+        (Expr::Call(f1, as1), Expr::Call(f2, as2)) => {
+            f1 == f2
+                && as1.len() == as2.len()
+                && as1.iter().zip(as2).all(|(x, y)| expr_eq_mod_sites(x, y))
+        }
+        (Expr::Ternary(c1, t1, e1), Expr::Ternary(c2, t2, e2)) => {
+            expr_eq_mod_sites(c1, c2)
+                && expr_eq_mod_sites(t1, t2)
+                && expr_eq_mod_sites(e1, e2)
+        }
+        (Expr::Random(r1), Expr::Random(r2)) => rand_eq_mod_sites(r1, r2),
+        _ => false,
+    }
+}
+
+fn rand_eq_mod_sites(a: &RandExpr, b: &RandExpr) -> bool {
+    match (&a.kind, &b.kind) {
+        (RandKind::Flip(p1), RandKind::Flip(p2))
+        | (RandKind::Poisson(p1), RandKind::Poisson(p2))
+        | (RandKind::GeometricDist(p1), RandKind::GeometricDist(p2))
+        | (RandKind::Exponential(p1), RandKind::Exponential(p2)) => expr_eq_mod_sites(p1, p2),
+        (RandKind::UniformInt(a1, b1), RandKind::UniformInt(a2, b2))
+        | (RandKind::UniformReal(a1, b1), RandKind::UniformReal(a2, b2))
+        | (RandKind::Gauss(a1, b1), RandKind::Gauss(a2, b2))
+        | (RandKind::Beta(a1, b1), RandKind::Beta(a2, b2)) => {
+            expr_eq_mod_sites(a1, a2) && expr_eq_mod_sites(b1, b2)
+        }
+        (RandKind::Categorical(w1), RandKind::Categorical(w2)) => {
+            w1.len() == w2.len()
+                && w1.iter().zip(w2).all(|(x, y)| expr_eq_mod_sites(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Pairs the random-expression sites of two *matched* statements.
+fn pair_stmt_sites(p: &Stmt, q: &Stmt, corr: &mut Correspondence) {
+    match (p, q) {
+        (Stmt::Assign(_, e1), Stmt::Assign(_, e2)) => pair_expr_sites(e1, e2, corr),
+        (Stmt::AssignIndex(_, i1, e1), Stmt::AssignIndex(_, i2, e2)) => {
+            pair_expr_sites(i1, i2, corr);
+            pair_expr_sites(e1, e2, corr);
+        }
+        (Stmt::Observe(r1, e1), Stmt::Observe(r2, e2)) => {
+            pair_rand_sites(r1, r2, corr);
+            pair_expr_sites(e1, e2, corr);
+        }
+        _ => {}
+    }
+}
+
+/// Walks two expressions in parallel; random expressions of the same
+/// family at the same structural position are put in correspondence.
+fn pair_expr_sites(p: &Expr, q: &Expr, corr: &mut Correspondence) {
+    match (p, q) {
+        (Expr::Unary(_, e1), Expr::Unary(_, e2)) => pair_expr_sites(e1, e2, corr),
+        (Expr::Binary(_, a1, b1), Expr::Binary(_, a2, b2))
+        | (Expr::Index(a1, b1), Expr::Index(a2, b2))
+        | (Expr::ArrayInit(a1, b1), Expr::ArrayInit(a2, b2)) => {
+            pair_expr_sites(a1, a2, corr);
+            pair_expr_sites(b1, b2, corr);
+        }
+        (Expr::Call(_, as1), Expr::Call(_, as2)) => {
+            for (x, y) in as1.iter().zip(as2) {
+                pair_expr_sites(x, y, corr);
+            }
+        }
+        (Expr::Ternary(c1, t1, e1), Expr::Ternary(c2, t2, e2)) => {
+            pair_expr_sites(c1, c2, corr);
+            pair_expr_sites(t1, t2, corr);
+            pair_expr_sites(e1, e2, corr);
+        }
+        (Expr::Random(r1), Expr::Random(r2)) => pair_rand_sites(r1, r2, corr),
+        _ => {}
+    }
+}
+
+fn pair_rand_sites(p: &RandExpr, q: &RandExpr, corr: &mut Correspondence) {
+    if p.kind.family() != q.kind.family() {
+        return;
+    }
+    // Recurse into parameters first (nested random expressions).
+    match (&p.kind, &q.kind) {
+        (RandKind::Flip(a), RandKind::Flip(b))
+        | (RandKind::Poisson(a), RandKind::Poisson(b))
+        | (RandKind::GeometricDist(a), RandKind::GeometricDist(b))
+        | (RandKind::Exponential(a), RandKind::Exponential(b)) => pair_expr_sites(a, b, corr),
+        (RandKind::UniformInt(a1, b1), RandKind::UniformInt(a2, b2))
+        | (RandKind::UniformReal(a1, b1), RandKind::UniformReal(a2, b2))
+        | (RandKind::Gauss(a1, b1), RandKind::Gauss(a2, b2))
+        | (RandKind::Beta(a1, b1), RandKind::Beta(a2, b2)) => {
+            pair_expr_sites(a1, a2, corr);
+            pair_expr_sites(b1, b2, corr);
+        }
+        (RandKind::Categorical(w1), RandKind::Categorical(w2)) => {
+            for (x, y) in w1.iter().zip(w2) {
+                pair_expr_sites(x, y, corr);
+            }
+        }
+        _ => {}
+    }
+    // Best effort: duplicate labels (same site reused) are skipped rather
+    // than erroring — the translator then treats the choice as fresh.
+    let _ = corr.add_site_rule(q.site.as_str(), p.site.as_str());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::parse;
+
+    #[test]
+    fn identical_programs_diff_as_unchanged() {
+        let p = parse("x = flip(0.5); y = x + 1; return y;").unwrap();
+        let q = parse("x = flip(0.5); y = x + 1; return y;").unwrap();
+        let edit = diff_programs(&p, &q);
+        assert!(edit.diff.is_unchanged());
+        // flip#1 of Q maps to flip#1 of P.
+        assert_eq!(
+            edit.correspondence.lookup(&ppl::addr!["flip#1"]),
+            Some(ppl::addr!["flip#1"])
+        );
+    }
+
+    #[test]
+    fn constant_edit_is_edited_statement() {
+        let p = parse("a = 1; b = flip(a / 3); return b;").unwrap();
+        let q = parse("a = 2; b = flip(a / 3); return b;").unwrap();
+        let edit = diff_programs(&p, &q);
+        assert!(!edit.diff.is_unchanged());
+        let kinds: Vec<bool> = edit
+            .diff
+            .ops
+            .iter()
+            .map(|op| match op {
+                DiffOp::Stmt { diff, p_index, .. } => {
+                    p_index.is_some() && diff.is_unchanged()
+                }
+                DiffOp::RemovedP(_) => false,
+            })
+            .collect();
+        assert_eq!(kinds, [false, true]); // a=... edited, b=... unchanged
+        // The flip still corresponds.
+        assert!(edit.correspondence.maps(&ppl::addr!["flip#1"]));
+    }
+
+    #[test]
+    fn insertion_shifts_auto_labels_but_still_corresponds() {
+        // Q inserts a flip before the shared one: the shared flip is
+        // flip#1 in P but flip#2 in Q.
+        let p = parse("x = flip(0.5); return x;").unwrap();
+        let q = parse("e = flip(0.1); x = flip(0.5); return x;").unwrap();
+        let edit = diff_programs(&p, &q);
+        assert_eq!(
+            edit.correspondence.lookup(&ppl::addr!["flip#2"]),
+            Some(ppl::addr!["flip#1"])
+        );
+        assert!(!edit.correspondence.maps(&ppl::addr!["flip#1"]));
+    }
+
+    #[test]
+    fn deletion_produces_removed_op() {
+        let p = parse("a = flip(0.5); b = flip(0.5); return b;").unwrap();
+        let q = parse("b = flip(0.5); return b;").unwrap();
+        let edit = diff_programs(&p, &q);
+        let removed: Vec<usize> = edit
+            .diff
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                DiffOp::RemovedP(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(removed, [0]);
+    }
+
+    #[test]
+    fn if_and_for_diff_recursively() {
+        let p = parse(
+            "k = 2; xs = array(k, 0);
+             for i in [0..k) { xs[i] = gauss(0.0, 1.0); }
+             if k < 3 { y = 1; } else { y = 2; }
+             return y;",
+        )
+        .unwrap();
+        let q = parse(
+            "k = 2; xs = array(k, 0);
+             for i in [0..k) { xs[i] = gauss(0.0, 5.0); }
+             if k < 3 { y = 1; } else { y = 2; }
+             return y;",
+        )
+        .unwrap();
+        let edit = diff_programs(&p, &q);
+        let mut saw_for = false;
+        for op in &edit.diff.ops {
+            if let DiffOp::Stmt {
+                diff: StmtDiff::ForDiff {
+                    bounds_changed,
+                    body_diff,
+                },
+                ..
+            } = op
+            {
+                saw_for = true;
+                assert!(!bounds_changed);
+                assert!(!body_diff.is_unchanged());
+            }
+        }
+        assert!(saw_for);
+        // The gauss inside the loop still corresponds (it moved from
+        // parameter 1.0 to 5.0 but keeps its structural position).
+        assert!(edit.correspondence.maps(&ppl::addr!["gauss#1", 0]));
+    }
+
+    #[test]
+    fn different_families_do_not_correspond() {
+        // Fig. 5 moral: flip and uniform never pair up.
+        let p = parse("c = flip(0.5); return c;").unwrap();
+        let q = parse("c = uniform(1, 6); return c;").unwrap();
+        let edit = diff_programs(&p, &q);
+        assert!(!edit.correspondence.maps(&ppl::addr!["uniform#1"]));
+    }
+
+    #[test]
+    fn annotated_sites_survive_the_diff() {
+        let p = parse("x = flip(0.5) @ keep; return x;").unwrap();
+        let q = parse("x = flip(0.25) @ kept; return x;").unwrap();
+        let edit = diff_programs(&p, &q);
+        assert_eq!(
+            edit.correspondence.lookup(&ppl::addr!["kept"]),
+            Some(ppl::addr!["keep"])
+        );
+    }
+}

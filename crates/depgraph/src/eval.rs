@@ -1,0 +1,178 @@
+//! Shared expression evaluator for the dependency-graph runtime.
+//!
+//! Mirrors the semantics of `ppl::interp` exactly (operator semantics are
+//! reused from there), but additionally records into a [`Summary`] the
+//! variables read and the random choices made — the dependency
+//! information change propagation runs on.
+
+use std::collections::HashMap;
+
+use ppl::ast::{Expr, RandExpr, RandKind};
+use ppl::dist::Dist;
+use ppl::interp::{apply_binary, apply_builtin, apply_unary};
+use ppl::{Address, PplError, Value};
+
+use crate::record::{ChoiceData, Summary};
+
+/// An environment slot: the value plus whether it (possibly) differs from
+/// the corresponding old execution.
+#[derive(Debug, Clone)]
+pub(crate) struct Slot {
+    pub value: Value,
+    pub dirty: bool,
+}
+
+/// Variable environment.
+pub(crate) type Env = HashMap<String, Slot>;
+
+/// Where choice values come from: prior sampling (graph building), replay
+/// (rebuilding a graph from a trace), or correspondence reuse (change
+/// propagation).
+pub(crate) trait ChoiceSource {
+    fn draw(&mut self, addr: &Address, dist: &Dist) -> Result<Value, PplError>;
+}
+
+/// Evaluates expressions against an environment and a choice source,
+/// recording reads and choices into summaries.
+pub(crate) struct ExprEval<'a> {
+    pub env: &'a mut Env,
+    pub loops: &'a mut Vec<i64>,
+    pub source: &'a mut dyn ChoiceSource,
+}
+
+impl ExprEval<'_> {
+    pub fn address_for(&self, rand: &RandExpr) -> Address {
+        let mut addr = Address::from(rand.site.as_str());
+        for &i in self.loops.iter() {
+            addr.push(i);
+        }
+        addr
+    }
+
+    pub fn eval(&mut self, expr: &Expr, sum: &mut Summary) -> Result<Value, PplError> {
+        match expr {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => {
+                sum.reads.insert(name.clone());
+                self.env
+                    .get(name)
+                    .map(|slot| slot.value.clone())
+                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))
+            }
+            Expr::Unary(op, e) => {
+                let v = self.eval(e, sum)?;
+                apply_unary(*op, &v)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, sum)?;
+                let vb = self.eval(b, sum)?;
+                apply_binary(*op, &va, &vb)
+            }
+            Expr::Index(arr, idx) => {
+                let a = self.eval(arr, sum)?;
+                let i = self.eval(idx, sum)?.as_int()?;
+                let items = a.as_array()?;
+                if i < 0 || i as usize >= items.len() {
+                    return Err(PplError::IndexOutOfBounds {
+                        index: i,
+                        len: items.len(),
+                    });
+                }
+                Ok(items[i as usize].clone())
+            }
+            Expr::ArrayInit(n, init) => {
+                let n = self.eval(n, sum)?.as_int()?;
+                if n < 0 {
+                    return Err(PplError::Other(format!("array length is negative: {n}")));
+                }
+                let init = self.eval(init, sum)?;
+                Ok(Value::array(vec![init; n as usize]))
+            }
+            Expr::Call(builtin, args) => {
+                if args.len() != builtin.arity() {
+                    return Err(PplError::Other(format!(
+                        "{} expects {} argument(s), got {}",
+                        builtin.name(),
+                        builtin.arity(),
+                        args.len()
+                    )));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, sum)?);
+                }
+                apply_builtin(*builtin, &vals)
+            }
+            Expr::Ternary(c, t, e) => {
+                if self.eval(c, sum)?.truthy()? {
+                    self.eval(t, sum)
+                } else {
+                    self.eval(e, sum)
+                }
+            }
+            Expr::Random(rand) => {
+                let dist = self.build_dist(&rand.kind, sum)?;
+                let addr = self.address_for(rand);
+                let value = self.source.draw(&addr, &dist)?;
+                let log_prob = dist.log_prob(&value);
+                sum.choices.push((
+                    addr,
+                    ChoiceData {
+                        value: value.clone(),
+                        dist,
+                        log_prob,
+                    },
+                ));
+                Ok(value)
+            }
+        }
+    }
+
+    pub fn build_dist(&mut self, kind: &RandKind, sum: &mut Summary) -> Result<Dist, PplError> {
+        match kind {
+            RandKind::Flip(p) => {
+                let p = self.eval(p, sum)?.as_real()?;
+                Dist::try_flip(p)
+            }
+            RandKind::UniformInt(lo, hi) => {
+                let lo = self.eval(lo, sum)?.as_int()?;
+                let hi = self.eval(hi, sum)?.as_int()?;
+                Dist::try_uniform_int(lo, hi)
+            }
+            RandKind::UniformReal(lo, hi) => {
+                let lo = self.eval(lo, sum)?.as_real()?;
+                let hi = self.eval(hi, sum)?.as_real()?;
+                Dist::try_uniform_real(lo, hi)
+            }
+            RandKind::Gauss(mean, std) => {
+                let mean = self.eval(mean, sum)?.as_real()?;
+                let std = self.eval(std, sum)?.as_real()?;
+                Dist::try_normal(mean, std)
+            }
+            RandKind::Categorical(ws) => {
+                let mut probs = Vec::with_capacity(ws.len());
+                for w in ws {
+                    probs.push(self.eval(w, sum)?.as_real()?);
+                }
+                Dist::try_categorical(&probs)
+            }
+            RandKind::Poisson(l) => {
+                let l = self.eval(l, sum)?.as_real()?;
+                Dist::try_poisson(l)
+            }
+            RandKind::GeometricDist(p) => {
+                let p = self.eval(p, sum)?.as_real()?;
+                Dist::try_geometric(p)
+            }
+            RandKind::Beta(a, b) => {
+                let a = self.eval(a, sum)?.as_real()?;
+                let b = self.eval(b, sum)?.as_real()?;
+                Dist::try_beta(a, b)
+            }
+            RandKind::Exponential(r) => {
+                let r = self.eval(r, sum)?.as_real()?;
+                Dist::try_exponential(r)
+            }
+        }
+    }
+}

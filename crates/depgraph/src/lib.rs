@@ -1,0 +1,34 @@
+//! # depgraph — the dependency-tracking runtime of Section 6
+//!
+//! When `Q` results from a small edit to `P`, trace translation can avoid
+//! a full execution of `Q`: this crate represents the trace as an
+//! execution graph ([`ExecGraph`]), diffs the two programs
+//! ([`diff_programs`]) to derive the syntactic→semantic correspondence
+//! automatically, and propagates changes through the graph, re-executing
+//! only the affected slice ([`IncrementalTranslator`]).
+//!
+//! For the Gaussian-mixture hyperparameter edit of Figure 10, translation
+//! work is `O(K)` in the number of clusters, independent of the `N` data
+//! points — while the baseline Section 5 translator
+//! (`incremental::CorrespondenceTranslator`) visits all `O(N + K)` trace
+//! elements.
+//!
+//! Loops are fully supported: `for` iterations are keyed by the loop
+//! variable and `while` iterations by their iteration counter, matching
+//! the interpreter's Section 5.4 addressing, so unchanged iterations are
+//! skipped and reused by reference.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod build;
+pub mod diff;
+mod eval;
+pub mod propagate;
+pub mod record;
+pub mod translator;
+
+pub use diff::{diff_programs, BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+pub use propagate::{IncrementalResult, VisitStats};
+pub use record::ExecGraph;
+pub use translator::IncrementalTranslator;

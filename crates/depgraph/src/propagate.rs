@@ -1,0 +1,672 @@
+//! Change propagation: the optimized trace translation of Section 6.
+//!
+//! Given the execution graph `G_t` of `P`, the edited program `Q`, and
+//! the diff-derived correspondence, this constructs the translated graph
+//! `G_u` and the weight estimate `ŵ_{P→Q}(u; t)` by re-executing only the
+//! statements affected by the edit — "propagating changes from these
+//! nodes throughout the dependency graph in topological order". Unchanged
+//! subtrees are shared (`Rc`) between `G_t` and `G_u`.
+//!
+//! Weight accounting follows the paper's efficient scheme exactly:
+//!
+//! - every *visited* corresponding random choice contributes
+//!   `Pr[u_i ∼ Q | …]` to the numerator and `Pr[t_{f(i)} ∼ P | …]` to the
+//!   denominator;
+//! - every *visited* observation contributes its new likelihood to the
+//!   numerator and (when matched) its old likelihood to the denominator;
+//! - observations *removed* by the edit contribute their old likelihood
+//!   to the denominator;
+//! - everything else cancels and is never touched.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::RngCore;
+
+use incremental::Correspondence;
+use ppl::ast::{Block, Program, Stmt};
+use ppl::dist::Dist;
+use ppl::{Address, LogWeight, PplError, Value};
+
+use crate::diff::{BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
+use crate::record::{BlockRecord, Effect, ExecGraph, ObsData, StmtRecord, Summary};
+
+/// How much work a translation did — the quantity Figure 10 plots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VisitStats {
+    /// Statement instances re-executed.
+    pub visited: usize,
+    /// Statement instances (or whole loop iterations / loops) skipped by
+    /// reusing their records.
+    pub skipped: usize,
+}
+
+/// The result of one incremental translation.
+#[derive(Debug, Clone)]
+pub struct IncrementalResult {
+    /// The translated execution graph `G_u`.
+    pub graph: ExecGraph,
+    /// `log ŵ_{P→Q}(u; t)`.
+    pub log_weight: LogWeight,
+    /// Work counters.
+    pub stats: VisitStats,
+}
+
+/// Translates the execution graph `old` of `P` into a graph of `q`,
+/// guided by `edit` (produced by [`crate::diff::diff_programs`]).
+///
+/// # Errors
+///
+/// Propagates evaluation errors from re-executing the affected slice.
+pub fn translate_graph(
+    q: &Program,
+    edit: &ProgramEdit,
+    old: &ExecGraph,
+    rng: &mut dyn RngCore,
+) -> Result<IncrementalResult, PplError> {
+    let mut propagator = Propagator {
+        old,
+        rng,
+        correspondence: &edit.correspondence,
+        env: Env::new(),
+        loops: Vec::new(),
+        log_num: LogWeight::ONE,
+        log_den: LogWeight::ONE,
+        stats: VisitStats::default(),
+    };
+    let mut stmts = propagator.exec_block(&q.body, &edit.diff, Some(&old.root))?;
+    // Return expression: always evaluated (cheap), recorded like build.rs
+    // does so flattening yields a complete trace.
+    let mut ret_summary = Summary::default();
+    let return_value = match &q.ret {
+        Some(e) => {
+            let v = propagator.eval(e, &mut ret_summary)?;
+            if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
+                stmts.push(Rc::new(StmtRecord::Leaf {
+                    summary: ret_summary,
+                }));
+            }
+            v
+        }
+        None => Value::Int(0),
+    };
+    let root = Rc::new(BlockRecord::finalize(stmts));
+    let graph = ExecGraph::assemble(q.clone(), root, return_value);
+    Ok(IncrementalResult {
+        graph,
+        log_weight: propagator.log_num - propagator.log_den,
+        stats: propagator.stats,
+    })
+}
+
+struct Propagator<'a> {
+    old: &'a ExecGraph,
+    rng: &'a mut dyn RngCore,
+    correspondence: &'a Correspondence,
+    env: Env,
+    loops: Vec<i64>,
+    log_num: LogWeight,
+    log_den: LogWeight,
+    stats: VisitStats,
+}
+
+/// Choice source used inside visited statements: reuse through the
+/// correspondence when the old graph has a same-support counterpart
+/// (accumulating Eq. (8) factors), sample fresh otherwise (the fresh
+/// factors cancel against the kernel density).
+struct ReuseSource<'a, 'b> {
+    old: &'a ExecGraph,
+    correspondence: &'a Correspondence,
+    rng: &'b mut dyn RngCore,
+    log_num: &'b mut LogWeight,
+    log_den: &'b mut LogWeight,
+}
+
+impl ChoiceSource for ReuseSource<'_, '_> {
+    fn draw(&mut self, addr: &Address, dist: &Dist) -> Result<Value, PplError> {
+        if let Some(p_addr) = self.correspondence.lookup(addr) {
+            if let Some(old_choice) = self.old.choice(&p_addr) {
+                if dist.same_support(&old_choice.dist) {
+                    *self.log_num += dist.log_prob(&old_choice.value);
+                    *self.log_den += old_choice.log_prob;
+                    return Ok(old_choice.value.clone());
+                }
+            }
+        }
+        Ok(dist.sample(self.rng))
+    }
+}
+
+impl Propagator<'_> {
+    fn eval(&mut self, expr: &ppl::ast::Expr, sum: &mut Summary) -> Result<Value, PplError> {
+        let mut source = ReuseSource {
+            old: self.old,
+            correspondence: self.correspondence,
+            rng: self.rng,
+            log_num: &mut self.log_num,
+            log_den: &mut self.log_den,
+        };
+        let mut ev = ExprEval {
+            env: &mut self.env,
+            loops: &mut self.loops,
+            source: &mut source,
+        };
+        ev.eval(expr, sum)
+    }
+
+    fn build_dist(
+        &mut self,
+        kind: &ppl::ast::RandKind,
+        sum: &mut Summary,
+    ) -> Result<Dist, PplError> {
+        let mut source = ReuseSource {
+            old: self.old,
+            correspondence: self.correspondence,
+            rng: self.rng,
+            log_num: &mut self.log_num,
+            log_den: &mut self.log_den,
+        };
+        let mut ev = ExprEval {
+            env: &mut self.env,
+            loops: &mut self.loops,
+            source: &mut source,
+        };
+        ev.build_dist(kind, sum)
+    }
+
+    fn address_for(&self, rand: &ppl::ast::RandExpr) -> Address {
+        let mut addr = Address::from(rand.site.as_str());
+        for &i in &self.loops {
+            addr.push(i);
+        }
+        addr
+    }
+
+    fn any_dirty(&self, reads: &BTreeSet<String>) -> bool {
+        reads
+            .iter()
+            .any(|name| self.env.get(name).map(|s| s.dirty).unwrap_or(true))
+    }
+
+    /// Applies a skipped record's effects (clean: identical to the old
+    /// execution).
+    fn skip_record(&mut self, record: &StmtRecord) -> Result<(), PplError> {
+        if let Some(summary) = record.summary() {
+            crate::build::apply_effects(&mut self.env, &summary.effects, false)?;
+        }
+        self.stats.skipped += 1;
+        Ok(())
+    }
+
+    /// Accounts for a removed old subtree: its observations enter the
+    /// denominator, and variables it wrote are re-checked for dirtiness.
+    fn remove_record(&mut self, summary: &Summary) {
+        self.log_den += summary.obs_score;
+        self.reconcile_writes(summary);
+    }
+
+    /// After re-executing (or removing) a statement with an old record,
+    /// re-derives the dirtiness of every variable the old execution
+    /// wrote: clean iff the current value equals the old final value.
+    fn reconcile_writes(&mut self, old_summary: &Summary) {
+        for effect in &old_summary.effects {
+            match effect {
+                Effect::Var(name, old_value) => {
+                    if let Some(slot) = self.env.get_mut(name) {
+                        slot.dirty = !slot.value.num_eq(old_value);
+                    }
+                }
+                Effect::Elem(name, _, _) => {
+                    // Element-level old finals cannot be reconstructed in
+                    // isolation; stay with whatever dirtiness execution
+                    // set (conservative).
+                    let _ = name;
+                }
+            }
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        diff: &BlockDiff,
+        old: Option<&BlockRecord>,
+    ) -> Result<Vec<Rc<StmtRecord>>, PplError> {
+        let mut records = Vec::with_capacity(block.stmts().len());
+        for op in &diff.ops {
+            match op {
+                DiffOp::RemovedP(p_index) => {
+                    if let Some(old_block) = old {
+                        if let Some(summary) = old_block.stmts[*p_index].summary() {
+                            let summary = summary.clone();
+                            self.remove_record(&summary);
+                        }
+                    }
+                }
+                DiffOp::Stmt {
+                    q_index,
+                    p_index,
+                    diff: stmt_diff,
+                } => {
+                    let stmt = &block.stmts()[*q_index];
+                    let old_rec: Option<Rc<StmtRecord>> = match (old, p_index) {
+                        (Some(old_block), Some(i)) => Some(Rc::clone(&old_block.stmts[*i])),
+                        _ => None,
+                    };
+                    // Skip when nothing changed and no dirty inputs.
+                    if let Some(rec) = &old_rec {
+                        let clean = match rec.summary() {
+                            Some(s) => !self.any_dirty(&s.reads),
+                            None => true,
+                        };
+                        if stmt_diff.is_unchanged() && clean {
+                            self.skip_record(rec)?;
+                            records.push(Rc::clone(rec));
+                            continue;
+                        }
+                    }
+                    self.stats.visited += 1;
+                    let record = self.visit_stmt(stmt, stmt_diff, old_rec.as_deref())?;
+                    records.push(Rc::new(record));
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    fn visit_stmt(
+        &mut self,
+        stmt: &Stmt,
+        diff: &StmtDiff,
+        old_rec: Option<&StmtRecord>,
+    ) -> Result<StmtRecord, PplError> {
+        match stmt {
+            Stmt::Skip => Ok(StmtRecord::Skip),
+            Stmt::Assign(name, expr) => {
+                let mut summary = Summary::default();
+                let value = self.eval(expr, &mut summary)?;
+                let old_final = old_rec.and_then(final_var_value(name));
+                let dirty = old_final.is_none_or(|old| !value.num_eq(old));
+                self.env.insert(
+                    name.clone(),
+                    Slot {
+                        value: value.clone(),
+                        dirty,
+                    },
+                );
+                summary.effects.push(Effect::Var(name.clone(), value));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::AssignIndex(name, idx, expr) => {
+                let mut summary = Summary::default();
+                let i = self.eval(idx, &mut summary)?.as_int()?;
+                let value = self.eval(expr, &mut summary)?;
+                summary.reads.insert(name.clone());
+                let old_elem = old_rec.and_then(|r| {
+                    r.summary().and_then(|s| {
+                        s.effects.iter().find_map(|e| match e {
+                            Effect::Elem(n, j, v) if n == name && *j == i => Some(v),
+                            _ => None,
+                        })
+                    })
+                });
+                let changed = old_elem.is_none_or(|old| !value.num_eq(old));
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
+                let items = slot.value.as_array_mut()?;
+                if i < 0 || i as usize >= items.len() {
+                    return Err(PplError::IndexOutOfBounds {
+                        index: i,
+                        len: items.len(),
+                    });
+                }
+                items[i as usize] = value.clone();
+                slot.dirty = slot.dirty || changed;
+                summary.effects.push(Effect::Elem(name.clone(), i, value));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::Observe(rand, value_expr) => {
+                let mut summary = Summary::default();
+                let dist = self.build_dist(&rand.kind, &mut summary)?;
+                let value = self.eval(value_expr, &mut summary)?;
+                let addr = self.address_for(rand);
+                let log_prob = dist.log_prob(&value);
+                // Numerator: the observation under Q.
+                self.log_num += log_prob;
+                // Denominator: the matched old observation, if any.
+                if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
+                    self.log_den += old_summary.obs_score;
+                }
+                summary.obs_score += log_prob;
+                summary.observations.push((
+                    addr,
+                    ObsData {
+                        value,
+                        dist,
+                        log_prob,
+                    },
+                ));
+                Ok(StmtRecord::Leaf { summary })
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let mut summary = Summary::default();
+                let took_then = self.eval(cond, &mut summary)?.truthy()?;
+                let branch = if took_then { then_b } else { else_b };
+                let branch_diff_owned;
+                let (branch_diff, old_body) = match (diff, old_rec) {
+                    (
+                        StmtDiff::IfDiff {
+                            then_diff,
+                            else_diff,
+                            ..
+                        },
+                        Some(StmtRecord::If {
+                            took_then: old_took,
+                            body,
+                            ..
+                        }),
+                    ) if *old_took == took_then => {
+                        let d: &BlockDiff = if took_then { then_diff } else { else_diff };
+                        (d, Some(&**body))
+                    }
+                    _ => {
+                        // Branch flipped, statement replaced, or no old
+                        // record: the old executed branch is removed and
+                        // the new branch runs fresh.
+                        if let Some(StmtRecord::If { body, .. }) = old_rec {
+                            let removed = body.summary.clone();
+                            self.remove_record(&removed);
+                        }
+                        branch_diff_owned = fresh_block_diff(branch);
+                        (&branch_diff_owned, None)
+                    }
+                };
+                let body_records = self.exec_block(branch, branch_diff, old_body)?;
+                let body = Rc::new(BlockRecord::finalize(body_records));
+                summary.reads.extend(body.summary.reads.iter().cloned());
+                summary.effects.extend(body.summary.effects.iter().cloned());
+                summary.obs_score += body.summary.obs_score;
+                if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
+                    let old_summary = old_summary.clone();
+                    self.reconcile_writes(&old_summary);
+                }
+                Ok(StmtRecord::If {
+                    took_then,
+                    body,
+                    summary,
+                })
+            }
+            Stmt::For(var, lo_e, hi_e, body) => {
+                let mut summary = Summary::default();
+                let lo = self.eval(lo_e, &mut summary)?.as_int()?;
+                let hi = self.eval(hi_e, &mut summary)?.as_int()?;
+                let fresh_body;
+                let body_diff = match diff {
+                    StmtDiff::ForDiff { body_diff, .. } => &**body_diff,
+                    _ => {
+                        fresh_body = fresh_block_diff(body);
+                        &fresh_body
+                    }
+                };
+                let old_for = match old_rec {
+                    Some(StmtRecord::For { lo, hi, iters, .. }) => Some((*lo, *hi, iters)),
+                    _ => None,
+                };
+                let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
+                let mut written: BTreeSet<String> = BTreeSet::new();
+                written.insert(var.clone());
+                for i in lo..hi {
+                    self.env.insert(
+                        var.clone(),
+                        Slot {
+                            value: Value::Int(i),
+                            dirty: false,
+                        },
+                    );
+                    let old_iter: Option<&Rc<BlockRecord>> =
+                        old_for.as_ref().and_then(|(old_lo, old_hi, old_iters)| {
+                            if *old_lo <= i && i < *old_hi {
+                                old_iters.get((i - old_lo) as usize)
+                            } else {
+                                None
+                            }
+                        });
+                    let iter_rc = match old_iter {
+                        Some(old_iter)
+                            if body_diff.is_unchanged()
+                                && !self.any_dirty(&old_iter.summary.reads) =>
+                        {
+                            // Skip the whole iteration.
+                            crate::build::apply_effects(
+                                &mut self.env,
+                                &old_iter.summary.effects,
+                                false,
+                            )?;
+                            self.stats.skipped += 1;
+                            Rc::clone(old_iter)
+                        }
+                        _ => {
+                            self.stats.visited += 1;
+                            let old_iter = old_iter.cloned();
+                            self.loops.push(i);
+                            let result =
+                                self.exec_block(body, body_diff, old_iter.as_deref());
+                            self.loops.pop();
+                            Rc::new(BlockRecord::finalize(result?))
+                        }
+                    };
+                    summary.reads.extend(iter_rc.summary.reads.iter().cloned());
+                    summary.obs_score += iter_rc.summary.obs_score;
+                    for effect in &iter_rc.summary.effects {
+                        written.insert(effect.var_name().to_string());
+                    }
+                    iters.push(iter_rc);
+                }
+                // Old iterations beyond the new bounds were removed.
+                if let Some((old_lo, old_hi, old_iters)) = old_for {
+                    for i in old_lo..old_hi {
+                        if i < lo || i >= hi {
+                            let removed = old_iters[(i - old_lo) as usize].summary.clone();
+                            self.remove_record(&removed);
+                        }
+                    }
+                }
+                for name in &written {
+                    if let Some(slot) = self.env.get(name) {
+                        summary
+                            .effects
+                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                    }
+                }
+                summary.reads.remove(var);
+                if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
+                    let old_summary = old_summary.clone();
+                    self.reconcile_writes(&old_summary);
+                }
+                Ok(StmtRecord::For {
+                    lo,
+                    hi,
+                    iters,
+                    summary,
+                })
+            }
+            Stmt::While(cond_e, body) => {
+                let mut summary = Summary::default();
+                let fresh_body;
+                let (cond_changed, body_diff) = match diff {
+                    StmtDiff::WhileDiff {
+                        cond_changed,
+                        body_diff,
+                    } => (*cond_changed, &**body_diff),
+                    _ => {
+                        fresh_body = fresh_block_diff(body);
+                        (true, &fresh_body)
+                    }
+                };
+                let old_iters: Option<&Vec<crate::record::WhileIter>> = match old_rec {
+                    Some(StmtRecord::While { iters, .. }) => Some(iters),
+                    _ => None,
+                };
+                let mut iters: Vec<crate::record::WhileIter> = Vec::new();
+                let mut written: BTreeSet<String> = BTreeSet::new();
+                let mut i = 0_i64;
+                loop {
+                    let old_iter = old_iters.and_then(|v| v.get(i as usize));
+                    // Skip the iteration wholesale when nothing can have
+                    // changed (same code, clean inputs).
+                    if let Some(old_iter) = old_iter {
+                        let clean = !cond_changed
+                            && body_diff.is_unchanged()
+                            && !old_iter.reads().any(|name| {
+                                self.env.get(name).map(|s| s.dirty).unwrap_or(true)
+                            });
+                        if clean {
+                            if let Some(b) = &old_iter.body {
+                                crate::build::apply_effects(
+                                    &mut self.env,
+                                    &b.summary.effects,
+                                    false,
+                                )?;
+                            }
+                            self.stats.skipped += 1;
+                            summary.reads.extend(old_iter.reads().cloned());
+                            summary.obs_score += old_iter.obs_score();
+                            for effect in
+                                old_iter.body.iter().flat_map(|b| b.summary.effects.iter())
+                            {
+                                written.insert(effect.var_name().to_string());
+                            }
+                            let continued = old_iter.continued;
+                            iters.push(old_iter.clone());
+                            if !continued {
+                                break;
+                            }
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    // Visit: re-evaluate the condition (reusing choices
+                    // through the correspondence) and, when it holds, the
+                    // body against the matched old records.
+                    self.stats.visited += 1;
+                    self.loops.push(i);
+                    let mut cond_sum = Summary::default();
+                    let continued = self.eval(cond_e, &mut cond_sum).and_then(|v| v.truthy());
+                    let continued = match continued {
+                        Ok(b) => b,
+                        Err(e) => {
+                            self.loops.pop();
+                            return Err(e);
+                        }
+                    };
+                    summary.reads.extend(cond_sum.reads.iter().cloned());
+                    summary.obs_score += cond_sum.obs_score;
+                    if !continued {
+                        self.loops.pop();
+                        iters.push(crate::record::WhileIter {
+                            cond: cond_sum,
+                            continued: false,
+                            body: None,
+                        });
+                        // The old iteration at this index may have had a
+                        // body that no longer runs.
+                        if let Some(old_iter) = old_iter {
+                            if let Some(b) = &old_iter.body {
+                                let removed = b.summary.clone();
+                                self.remove_record(&removed);
+                            }
+                        }
+                        break;
+                    }
+                    let old_body = old_iter.and_then(|it| it.body.clone());
+                    let body_result = self.exec_block(body, body_diff, old_body.as_deref());
+                    self.loops.pop();
+                    let body_rec = Rc::new(BlockRecord::finalize(body_result?));
+                    summary.reads.extend(body_rec.summary.reads.iter().cloned());
+                    summary.obs_score += body_rec.summary.obs_score;
+                    for effect in &body_rec.summary.effects {
+                        written.insert(effect.var_name().to_string());
+                    }
+                    iters.push(crate::record::WhileIter {
+                        cond: cond_sum,
+                        continued: true,
+                        body: Some(body_rec),
+                    });
+                    i += 1;
+                    if i > 10_000_000 {
+                        return Err(PplError::FuelExhausted { budget: 10_000_000 });
+                    }
+                }
+                // Old iterations beyond the new termination point were
+                // removed entirely.
+                if let Some(old_iters) = old_iters {
+                    for old_iter in old_iters.iter().skip(iters.len()) {
+                        self.log_den += old_iter.obs_score();
+                        if let Some(b) = &old_iter.body {
+                            let removed = b.summary.clone();
+                            self.reconcile_writes(&removed);
+                        }
+                    }
+                }
+                for name in &written {
+                    if let Some(slot) = self.env.get(name) {
+                        summary
+                            .effects
+                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                    }
+                }
+                if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
+                    let old_summary = old_summary.clone();
+                    self.reconcile_writes(&old_summary);
+                }
+                Ok(StmtRecord::While { iters, summary })
+            }
+        }
+    }
+}
+
+/// Extracts the old final value of `name` from a record's summary.
+fn final_var_value(name: &str) -> impl Fn(&StmtRecord) -> Option<&Value> + '_ {
+    move |record: &StmtRecord| {
+        record.summary().and_then(|s| {
+            s.effects.iter().rev().find_map(|e| match e {
+                Effect::Var(n, v) if n == name => Some(v),
+                _ => None,
+            })
+        })
+    }
+}
+
+/// A diff that treats every statement of `block` as new (fresh
+/// execution).
+fn fresh_block_diff(block: &Block) -> BlockDiff {
+    let ops = block
+        .stmts()
+        .iter()
+        .enumerate()
+        .map(|(j, stmt)| DiffOp::Stmt {
+            q_index: j,
+            p_index: None,
+            diff: fresh_stmt_diff(stmt),
+        })
+        .collect();
+    BlockDiff { ops }
+}
+
+fn fresh_stmt_diff(stmt: &Stmt) -> StmtDiff {
+    match stmt {
+        Stmt::If(_, t, e) => StmtDiff::IfDiff {
+            cond_changed: true,
+            then_diff: Box::new(fresh_block_diff(t)),
+            else_diff: Box::new(fresh_block_diff(e)),
+        },
+        Stmt::For(_, _, _, b) => StmtDiff::ForDiff {
+            bounds_changed: true,
+            body_diff: Box::new(fresh_block_diff(b)),
+        },
+        _ => StmtDiff::Edited,
+    }
+}

@@ -1,0 +1,376 @@
+//! Execution graphs: the trace representation of Section 6.
+//!
+//! "We assume that t is provided to the algorithm in the form of a graph
+//! data structure G_t, where every expression, sub-expression, and
+//! statement evaluated during the construction of t is a node." Our
+//! [`ExecGraph`] stores one *record* per executed statement instance,
+//! organized as a tree mirroring the program structure; dependencies are
+//! tracked through variable read/write *summaries* on each record rather
+//! than explicit edges (the summaries are what change propagation needs).
+//!
+//! Records are reference-counted so that the incremental translator can
+//! share unchanged subtrees between `G_t` and `G_u` in O(1) — the key to
+//! the `O(K)` hyperparameter edit of Figure 10.
+
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use ppl::ast::Program;
+use ppl::dist::Dist;
+use ppl::{Address, LogWeight, PplError, Trace, Value};
+
+/// The recorded data of one random choice.
+#[derive(Debug, Clone)]
+pub struct ChoiceData {
+    /// The value.
+    pub value: Value,
+    /// The distribution with concrete parameters at evaluation time.
+    pub dist: Dist,
+    /// Its log probability.
+    pub log_prob: LogWeight,
+}
+
+/// The recorded data of one observation.
+#[derive(Debug, Clone)]
+pub struct ObsData {
+    /// The observed value.
+    pub value: Value,
+    /// The observation distribution.
+    pub dist: Dist,
+    /// Its log likelihood.
+    pub log_prob: LogWeight,
+}
+
+/// One write performed by a statement.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// `x = value`
+    Var(String, Value),
+    /// `x[i] = value`
+    Elem(String, i64, Value),
+}
+
+impl Effect {
+    /// The written variable's name.
+    pub fn var_name(&self) -> &str {
+        match self {
+            Effect::Var(name, _) | Effect::Elem(name, _, _) => name,
+        }
+    }
+}
+
+/// Dependency summary of a record subtree.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Variables read anywhere in the subtree (including loop variables
+    /// and array index expressions).
+    pub reads: BTreeSet<String>,
+    /// Writes, in execution order. Loop records compress element writes
+    /// into one final [`Effect::Var`] snapshot per variable (O(1) to
+    /// apply thanks to `Arc`-backed arrays).
+    pub effects: Vec<Effect>,
+    /// Random choices made directly by this record (leaves, conditions,
+    /// and bounds — not descendants).
+    pub choices: Vec<(Address, ChoiceData)>,
+    /// Observations made directly by this record.
+    pub observations: Vec<(Address, ObsData)>,
+    /// Total observation log likelihood of the subtree *including*
+    /// descendants — the "removed observation" factor of Section 6.
+    pub obs_score: LogWeight,
+}
+
+/// A recorded statement instance.
+#[derive(Debug, Clone)]
+pub enum StmtRecord {
+    /// `skip`
+    Skip,
+    /// A leaf statement: assignment, element assignment, or observation.
+    Leaf {
+        /// Dependency summary.
+        summary: Summary,
+    },
+    /// An executed `if`.
+    If {
+        /// Whether the then-branch was taken.
+        took_then: bool,
+        /// The executed branch's records.
+        body: Rc<BlockRecord>,
+        /// Summary covering the condition and the executed branch.
+        summary: Summary,
+    },
+    /// An executed `for` loop.
+    For {
+        /// Evaluated lower bound.
+        lo: i64,
+        /// Evaluated upper bound (exclusive).
+        hi: i64,
+        /// Per-iteration records, indexed `0 ↦ lo`, `1 ↦ lo+1`, ….
+        iters: Vec<Rc<BlockRecord>>,
+        /// Summary with compressed (snapshot) effects.
+        summary: Summary,
+    },
+    /// An executed `while` loop.
+    While {
+        /// Per-iteration records (the last one has `continued == false`
+        /// and no body).
+        iters: Vec<WhileIter>,
+        /// Summary with compressed (snapshot) effects.
+        summary: Summary,
+    },
+}
+
+/// One iteration of a recorded `while` loop: the condition evaluation
+/// plus, when the condition held, the body.
+#[derive(Debug, Clone)]
+pub struct WhileIter {
+    /// Reads and random choices of the condition evaluation at this
+    /// iteration (addresses carry the iteration index).
+    pub cond: Summary,
+    /// Whether the condition evaluated to true (and the body ran).
+    pub continued: bool,
+    /// The body records (present iff `continued`).
+    pub body: Option<Rc<BlockRecord>>,
+}
+
+impl WhileIter {
+    /// Aggregate observation score of the iteration (condition + body).
+    pub fn obs_score(&self) -> LogWeight {
+        let body = self
+            .body
+            .as_ref()
+            .map(|b| b.summary.obs_score)
+            .unwrap_or(LogWeight::ONE);
+        self.cond.obs_score + body
+    }
+
+    /// Reads of the iteration (condition + body), for skip checks.
+    pub fn reads(&self) -> impl Iterator<Item = &String> {
+        self.cond.reads.iter().chain(
+            self.body
+                .iter()
+                .flat_map(|b| b.summary.reads.iter()),
+        )
+    }
+}
+
+impl StmtRecord {
+    /// The record's dependency summary (empty for `skip`).
+    pub fn summary(&self) -> Option<&Summary> {
+        match self {
+            StmtRecord::Skip => None,
+            StmtRecord::Leaf { summary }
+            | StmtRecord::If { summary, .. }
+            | StmtRecord::For { summary, .. }
+            | StmtRecord::While { summary, .. } => Some(summary),
+        }
+    }
+}
+
+/// The records of one executed block, with an aggregate summary.
+#[derive(Debug, Clone, Default)]
+pub struct BlockRecord {
+    /// One record per executed statement, in order.
+    pub stmts: Vec<Rc<StmtRecord>>,
+    /// Aggregate summary of the whole block.
+    pub summary: Summary,
+}
+
+impl BlockRecord {
+    /// Builds the aggregate summary from the statement records.
+    pub fn finalize(stmts: Vec<Rc<StmtRecord>>) -> BlockRecord {
+        let mut summary = Summary::default();
+        for stmt in &stmts {
+            if let Some(s) = stmt.summary() {
+                summary.reads.extend(s.reads.iter().cloned());
+                summary.effects.extend(s.effects.iter().cloned());
+                summary.obs_score += s.obs_score;
+            }
+        }
+        // A block's own reads exclude variables it defined *before* the
+        // read — but tracking that precisely requires def-before-use
+        // analysis; the conservative superset only costs extra visits,
+        // never wrong results.
+        BlockRecord { stmts, summary }
+    }
+}
+
+/// The execution graph `G_t` of a program `P` on a trace `t`.
+///
+/// The by-address indices are built lazily on first lookup, so that
+/// *producing* a translated graph stays proportional to the number of
+/// visited nodes (the Figure 10 `O(K)` property), while repeated reuse
+/// lookups against an input graph are O(1).
+#[derive(Debug, Clone, Default)]
+struct Indexes {
+    choices: HashMap<Address, ChoiceData>,
+    observations: HashMap<Address, ObsData>,
+}
+
+/// The execution graph of one program run.
+#[derive(Debug, Clone)]
+pub struct ExecGraph {
+    /// The program this graph was built from.
+    pub program: Program,
+    /// The root block record.
+    pub root: Rc<BlockRecord>,
+    /// The return value of the execution.
+    pub return_value: Value,
+    indexes: std::cell::OnceCell<Indexes>,
+}
+
+impl ExecGraph {
+    /// Assembles a graph. The address indices are built lazily; duplicate
+    /// addresses (which only well-formed programs avoid) surface as
+    /// [`PplError::AddressCollision`] from [`ExecGraph::to_trace`].
+    pub fn assemble(program: Program, root: Rc<BlockRecord>, return_value: Value) -> ExecGraph {
+        ExecGraph {
+            program,
+            root,
+            return_value,
+            indexes: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn indexes(&self) -> &Indexes {
+        self.indexes.get_or_init(|| {
+            let mut idx = Indexes::default();
+            index_block(&self.root, &mut idx);
+            idx
+        })
+    }
+
+    /// Forces the lazy index build (useful before timing translations).
+    pub fn warm_index(&self) {
+        let _ = self.indexes();
+    }
+
+    /// Looks up the choice at `addr` in `t`.
+    pub fn choice(&self, addr: &Address) -> Option<&ChoiceData> {
+        self.indexes().choices.get(addr)
+    }
+
+    /// Looks up the observation at `addr`.
+    pub fn observation(&self, addr: &Address) -> Option<&ObsData> {
+        self.indexes().observations.get(addr)
+    }
+
+    /// Number of recorded choices.
+    pub fn num_choices(&self) -> usize {
+        self.indexes().choices.len()
+    }
+
+    /// `log P̃r[t ∼ P]`: total score of the recorded execution.
+    pub fn score(&self) -> LogWeight {
+        let idx = self.indexes();
+        let choice_score: LogWeight = idx.choices.values().map(|c| c.log_prob).sum();
+        let obs_score: LogWeight = idx.observations.values().map(|o| o.log_prob).sum();
+        choice_score + obs_score
+    }
+
+    /// Flattens the graph into a [`Trace`] (O(trace size)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::AddressCollision`] on duplicate addresses.
+    pub fn to_trace(&self) -> Result<Trace, PplError> {
+        let mut trace = Trace::new();
+        flatten_block(&self.root, &mut trace)?;
+        trace.set_return_value(self.return_value.clone());
+        Ok(trace)
+    }
+}
+
+fn index_block(block: &BlockRecord, idx: &mut Indexes) {
+    for stmt in &block.stmts {
+        if let Some(summary) = stmt.summary() {
+            for (addr, data) in &summary.choices {
+                idx.choices.entry(addr.clone()).or_insert_with(|| data.clone());
+            }
+            for (addr, data) in &summary.observations {
+                idx.observations
+                    .entry(addr.clone())
+                    .or_insert_with(|| data.clone());
+            }
+        }
+        match &**stmt {
+            StmtRecord::If { body, .. } => index_block(body, idx),
+            StmtRecord::For { iters, .. } => {
+                for iter in iters {
+                    index_block(iter, idx);
+                }
+            }
+            StmtRecord::While { iters, .. } => {
+                for iter in iters {
+                    for (addr, data) in &iter.cond.choices {
+                        idx.choices.entry(addr.clone()).or_insert_with(|| data.clone());
+                    }
+                    for (addr, data) in &iter.cond.observations {
+                        idx.observations
+                            .entry(addr.clone())
+                            .or_insert_with(|| data.clone());
+                    }
+                    if let Some(body) = &iter.body {
+                        index_block(body, idx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn flatten_block(block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError> {
+    for stmt in &block.stmts {
+        if let Some(summary) = stmt.summary() {
+            for (addr, data) in &summary.choices {
+                trace.record_choice(
+                    addr.clone(),
+                    data.value.clone(),
+                    data.dist.clone(),
+                    data.log_prob,
+                )?;
+            }
+            for (addr, data) in &summary.observations {
+                trace.record_observation(
+                    addr.clone(),
+                    data.value.clone(),
+                    data.dist.clone(),
+                    data.log_prob,
+                )?;
+            }
+        }
+        match &**stmt {
+            StmtRecord::If { body, .. } => flatten_block(body, trace)?,
+            StmtRecord::For { iters, .. } => {
+                for iter in iters {
+                    flatten_block(iter, trace)?;
+                }
+            }
+            StmtRecord::While { iters, .. } => {
+                for iter in iters {
+                    for (addr, data) in &iter.cond.choices {
+                        trace.record_choice(
+                            addr.clone(),
+                            data.value.clone(),
+                            data.dist.clone(),
+                            data.log_prob,
+                        )?;
+                    }
+                    for (addr, data) in &iter.cond.observations {
+                        trace.record_observation(
+                            addr.clone(),
+                            data.value.clone(),
+                            data.dist.clone(),
+                            data.log_prob,
+                        )?;
+                    }
+                    if let Some(body) = &iter.body {
+                        flatten_block(body, trace)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! MCMC convergence diagnostics: autocorrelation, integrated
+//! autocorrelation time / effective sample size, and split-R̂.
+//!
+//! These back the "gold standard" runs of the experiment harness: before
+//! trusting a long chain as ground truth, check that R̂ ≈ 1 and the
+//! effective sample size is large.
+
+use crate::stats::mean;
+
+/// Lag-`k` sample autocorrelation of a series (`NaN` if the series is too
+/// short or constant).
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let var: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if var == 0.0 {
+        return f64::NAN;
+    }
+    let cov: f64 = xs[..xs.len() - lag]
+        .iter()
+        .zip(&xs[lag..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    cov / var
+}
+
+/// Integrated autocorrelation time `τ = 1 + 2 Σ ρ_k`, truncated by
+/// Geyer's initial positive sequence criterion.
+pub fn integrated_autocorrelation_time(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return f64::NAN;
+    }
+    let mut tau = 1.0;
+    let mut k = 1;
+    while k + 1 < xs.len() / 2 {
+        let pair = autocorrelation(xs, k) + autocorrelation(xs, k + 1);
+        if !pair.is_finite() || pair <= 0.0 {
+            break;
+        }
+        tau += 2.0 * pair;
+        k += 2;
+    }
+    tau
+}
+
+/// Effective sample size `n / τ` of a single chain.
+pub fn chain_ess(xs: &[f64]) -> f64 {
+    let tau = integrated_autocorrelation_time(xs);
+    if !tau.is_finite() || tau <= 0.0 {
+        return f64::NAN;
+    }
+    xs.len() as f64 / tau
+}
+
+/// Split-R̂ (Gelman–Rubin with split chains): values near 1 indicate the
+/// chains agree; values ≳ 1.05 indicate non-convergence.
+///
+/// Each input chain is split in half, so even a single chain yields a
+/// meaningful statistic. Returns `NaN` if there is not enough data.
+pub fn split_r_hat(chains: &[Vec<f64>]) -> f64 {
+    let mut splits: Vec<&[f64]> = Vec::new();
+    for chain in chains {
+        if chain.len() < 4 {
+            return f64::NAN;
+        }
+        let mid = chain.len() / 2;
+        splits.push(&chain[..mid]);
+        splits.push(&chain[mid..mid * 2]);
+    }
+    let m = splits.len() as f64;
+    let n = splits.iter().map(|s| s.len()).min().unwrap_or(0) as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let chain_means: Vec<f64> = splits.iter().map(|s| mean(s)).collect();
+    let grand = mean(&chain_means);
+    // Between-chain variance.
+    let b = n / (m - 1.0)
+        * chain_means
+            .iter()
+            .map(|cm| (cm - grand) * (cm - grand))
+            .sum::<f64>();
+    // Within-chain variance.
+    let w = splits
+        .iter()
+        .map(|s| {
+            let cm = mean(s);
+            s.iter().map(|x| (x - cm) * (x - cm)).sum::<f64>() / (n - 1.0)
+        })
+        .sum::<f64>()
+        / m;
+    if w == 0.0 {
+        return f64::NAN;
+    }
+    let var_plus = (n - 1.0) / n * w + b / n;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::dist::util::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iid_chain(n: usize, seed: u64, shift: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| shift + standard_normal(&mut rng)).collect()
+    }
+
+    /// AR(1) chain with coefficient rho.
+    fn ar1_chain(n: usize, rho: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = rho * x + (1.0 - rho * rho).sqrt() * standard_normal(&mut rng);
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_near_zero() {
+        let xs = iid_chain(50_000, 1, 0.0);
+        assert!(autocorrelation(&xs, 1).abs() < 0.02);
+        assert!(autocorrelation(&xs, 10).abs() < 0.02);
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_rho() {
+        let xs = ar1_chain(100_000, 0.8, 2);
+        assert!((autocorrelation(&xs, 1) - 0.8).abs() < 0.02);
+        assert!((autocorrelation(&xs, 2) - 0.64).abs() < 0.03);
+    }
+
+    #[test]
+    fn iat_and_ess_scale_with_mixing() {
+        let fast = ar1_chain(50_000, 0.1, 3);
+        let slow = ar1_chain(50_000, 0.9, 4);
+        let tau_fast = integrated_autocorrelation_time(&fast);
+        let tau_slow = integrated_autocorrelation_time(&slow);
+        // Theory: τ = (1+ρ)/(1−ρ): ≈1.22 vs ≈19.
+        assert!((tau_fast - 1.22).abs() < 0.15, "τ_fast {tau_fast}");
+        assert!((tau_slow - 19.0).abs() < 3.0, "τ_slow {tau_slow}");
+        assert!(chain_ess(&fast) > 5.0 * chain_ess(&slow));
+    }
+
+    #[test]
+    fn r_hat_near_one_for_agreeing_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| iid_chain(5_000, 10 + i, 0.0)).collect();
+        let r = split_r_hat(&chains);
+        assert!((r - 1.0).abs() < 0.01, "R̂ = {r}");
+    }
+
+    #[test]
+    fn r_hat_detects_disagreeing_chains() {
+        let chains = vec![iid_chain(5_000, 20, 0.0), iid_chain(5_000, 21, 3.0)];
+        let r = split_r_hat(&chains);
+        assert!(r > 1.5, "R̂ = {r} should flag disagreement");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(autocorrelation(&[1.0, 1.0, 1.0, 1.0], 1).is_nan());
+        assert!(autocorrelation(&[1.0], 1).is_nan());
+        assert!(split_r_hat(&[vec![1.0, 2.0]]).is_nan());
+        assert!(chain_ess(&[1.0]).is_nan());
+    }
+}

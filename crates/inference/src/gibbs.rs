@@ -1,0 +1,226 @@
+//! Gibbs sampling for fixed-structure models with discrete choices.
+//!
+//! One sweep visits each finite-support random choice and redraws it from
+//! its exact full conditional, obtained by scoring the program at every
+//! support value with all other choices held fixed. This is the baseline
+//! of the paper's Section 7.3 ("10 back-and-forth Gibbs sweeps").
+
+use rand::RngCore;
+
+use incremental::McmcKernel;
+use ppl::dist::util::uniform_unit;
+use ppl::handlers::score;
+use ppl::logweight::log_sum_exp;
+use ppl::{Address, Model, PplError, Trace};
+
+/// Sweep order over the sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOrder {
+    /// Visit sites in evaluation order.
+    #[default]
+    Forward,
+    /// Visit sites forward, then backward — one "back-and-forth" sweep
+    /// (Section 7.3).
+    BackAndForth,
+}
+
+/// A systematic-scan Gibbs kernel.
+///
+/// # Requirements
+///
+/// The model must have *fixed structure*: the set of addresses must not
+/// depend on the values of the choices being updated (true for the HMM
+/// programs of Listings 3–4). A structure change surfaces as a
+/// [`PplError::MissingChoice`] error. Continuous choices are skipped.
+#[derive(Debug, Clone)]
+pub struct GibbsKernel<M> {
+    model: M,
+    order: SweepOrder,
+}
+
+impl<M: Model> GibbsKernel<M> {
+    /// Creates a forward-sweep Gibbs kernel.
+    pub fn new(model: M) -> GibbsKernel<M> {
+        GibbsKernel {
+            model,
+            order: SweepOrder::Forward,
+        }
+    }
+
+    /// Creates a Gibbs kernel with the given sweep order.
+    pub fn with_order(model: M, order: SweepOrder) -> GibbsKernel<M> {
+        GibbsKernel { model, order }
+    }
+
+    /// Resamples the choice at `site` from its exact full conditional.
+    fn update_site(
+        &self,
+        current: &Trace,
+        site: &Address,
+        rng: &mut dyn RngCore,
+    ) -> Result<Trace, PplError> {
+        let record = current
+            .choice(site)
+            .ok_or_else(|| PplError::MissingChoice(site.clone()))?;
+        let Some(support) = record.dist.enumerate_support() else {
+            return Ok(current.clone()); // continuous: skip
+        };
+        let mut scores = Vec::with_capacity(support.len());
+        let mut traces = Vec::with_capacity(support.len());
+        for v in &support {
+            let mut constraints = current.to_choice_map();
+            constraints.insert(site.clone(), v.clone());
+            let trace = score(&self.model, &constraints)?;
+            scores.push(trace.score().log());
+            traces.push(trace);
+        }
+        let lse = log_sum_exp(&scores);
+        if lse == f64::NEG_INFINITY {
+            return Err(PplError::Other(format!(
+                "gibbs conditional at `{site}` has zero mass"
+            )));
+        }
+        let u = uniform_unit(rng);
+        let mut acc = 0.0;
+        for (i, s) in scores.iter().enumerate() {
+            acc += (s - lse).exp();
+            if u < acc {
+                return Ok(traces.swap_remove(i));
+            }
+        }
+        let last = scores
+            .iter()
+            .rposition(|s| *s > f64::NEG_INFINITY)
+            .expect("positive mass exists");
+        Ok(traces.swap_remove(last))
+    }
+}
+
+impl<M: Model> McmcKernel for GibbsKernel<M> {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let sites: Vec<Address> = trace.choices().map(|(a, _)| a.clone()).collect();
+        let mut current = trace.clone();
+        for site in &sites {
+            current = self.update_site(&current, site, rng)?;
+        }
+        if self.order == SweepOrder::BackAndForth {
+            for site in sites.iter().rev() {
+                current = self.update_site(&current, site, rng)?;
+            }
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::dist::Dist;
+    use ppl::handlers::simulate;
+    use ppl::{addr, Enumeration, Handler, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 3-state chain with observations: fixed structure, discrete.
+    fn chain_model(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let mut prev = 0_i64;
+        for i in 0..3 {
+            let probs = match prev {
+                0 => [0.6, 0.3, 0.1],
+                1 => [0.2, 0.5, 0.3],
+                _ => [0.1, 0.3, 0.6],
+            };
+            let x = h.sample(addr!["x", i], Dist::categorical(&probs))?;
+            prev = x.as_int()?;
+            let obs_probs = match prev {
+                0 => [0.7, 0.2, 0.1],
+                1 => [0.2, 0.6, 0.2],
+                _ => [0.1, 0.2, 0.7],
+            };
+            h.observe(addr!["y", i], Dist::categorical(&obs_probs), Value::Int(1))?;
+        }
+        Ok(Value::Int(prev))
+    }
+
+    #[test]
+    fn gibbs_targets_exact_posterior() {
+        let kernel = GibbsKernel::new(chain_model);
+        let exact = Enumeration::run(&chain_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x", 1]).unwrap().num_eq(&Value::Int(1)));
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut trace = simulate(&chain_model, &mut rng).unwrap();
+        let (mut hits, total) = (0usize, 20_000usize);
+        for i in 0..total + 500 {
+            trace = kernel.step(&trace, &mut rng).unwrap();
+            if i >= 500 && trace.value(&addr!["x", 1]).unwrap().num_eq(&Value::Int(1)) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / total as f64;
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn back_and_forth_also_targets_posterior() {
+        let kernel = GibbsKernel::with_order(chain_model, SweepOrder::BackAndForth);
+        let exact = Enumeration::run(&chain_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x", 0]).unwrap().num_eq(&Value::Int(0)));
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut trace = simulate(&chain_model, &mut rng).unwrap();
+        let (mut hits, total) = (0usize, 10_000usize);
+        for i in 0..total + 200 {
+            trace = kernel.step(&trace, &mut rng).unwrap();
+            if i >= 200 && trace.value(&addr!["x", 0]).unwrap().num_eq(&Value::Int(0)) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / total as f64;
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn continuous_choices_are_skipped() {
+        let model = |h: &mut dyn Handler| {
+            let x = h.sample(addr!["x"], Dist::normal(0.0, 1.0))?;
+            let _b = h.sample(addr!["b"], Dist::flip(0.5))?;
+            Ok(x)
+        };
+        let kernel = GibbsKernel::new(model);
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = simulate(&model, &mut rng).unwrap();
+        let next = kernel.step(&t, &mut rng).unwrap();
+        // The continuous x is untouched.
+        assert_eq!(next.value(&addr!["x"]), t.value(&addr!["x"]));
+    }
+
+    #[test]
+    fn structure_change_is_an_error() {
+        let model = |h: &mut dyn Handler| {
+            let a = h.sample(addr!["a"], Dist::flip(0.5))?;
+            if a.truthy()? {
+                h.sample(addr!["b"], Dist::flip(0.5))?;
+            }
+            Ok(a)
+        };
+        let kernel = GibbsKernel::new(model);
+        let mut rng = StdRng::seed_from_u64(24);
+        // Find a trace with a = true (so flipping a during the sweep
+        // removes b and triggers the structure error).
+        let mut result = Ok(Trace::new());
+        let mut tried = false;
+        for _ in 0..100 {
+            let t = simulate(&model, &mut rng).unwrap();
+            if t.value(&addr!["a"]).unwrap().truthy().unwrap() {
+                tried = true;
+                result = kernel.step(&t, &mut rng);
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        assert!(tried);
+        assert!(result.is_err(), "expected a structure-change error");
+    }
+}

@@ -1,0 +1,348 @@
+//! Exact inference for first-order hidden Markov models: forward filtering,
+//! backward smoothing, FFBS posterior sampling, and Viterbi decoding.
+//!
+//! Section 7.3 uses the fact that "exact samples from the first-order
+//! model are efficiently obtained using dynamic programming": these
+//! routines produce the exact posterior samples that seed incremental
+//! inference into the second-order model.
+
+use rand::RngCore;
+
+use ppl::dist::util::uniform_unit;
+use ppl::logweight::log_sum_exp;
+use ppl::PplError;
+
+/// A first-order HMM with `k` hidden states and `v` observation symbols,
+/// parameterized in log space.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    /// `log π_i`: initial state log probabilities (`k`).
+    pub log_initial: Vec<f64>,
+    /// `log A[i][j] = log Pr[x_{t+1} = j | x_t = i]` (`k × k`).
+    pub log_transition: Vec<Vec<f64>>,
+    /// `log B[i][o] = log Pr[y_t = o | x_t = i]` (`k × v`).
+    pub log_observation: Vec<Vec<f64>>,
+}
+
+impl Hmm {
+    /// Number of hidden states.
+    pub fn num_states(&self) -> usize {
+        self.log_initial.len()
+    }
+
+    /// Number of observation symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.log_observation.first().map_or(0, Vec::len)
+    }
+
+    /// Validates dimensions and (approximate) normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] on shape mismatches or
+    /// rows that do not sum to one.
+    pub fn validate(&self) -> Result<(), PplError> {
+        let k = self.num_states();
+        if k == 0 {
+            return Err(PplError::InvalidDistribution("HMM needs k > 0".into()));
+        }
+        let rows_ok = self.log_transition.len() == k
+            && self.log_transition.iter().all(|r| r.len() == k)
+            && self.log_observation.len() == k;
+        if !rows_ok {
+            return Err(PplError::InvalidDistribution(
+                "HMM matrix dimensions are inconsistent".into(),
+            ));
+        }
+        let check_row = |row: &[f64]| (log_sum_exp(row)).abs() < 1e-6;
+        if !check_row(&self.log_initial)
+            || !self.log_transition.iter().all(|r| check_row(r))
+            || !self.log_observation.iter().all(|r| check_row(r))
+        {
+            return Err(PplError::InvalidDistribution(
+                "HMM rows must be normalized".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Forward algorithm: returns the filtering lattice
+    /// `α[t][i] = log Pr[y_{1:t}, x_t = i]` and the log evidence
+    /// `log Pr[y_{1:T}]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty or contains an out-of-range
+    /// symbol.
+    pub fn forward(&self, observations: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        assert!(!observations.is_empty(), "need at least one observation");
+        let k = self.num_states();
+        let mut alpha = Vec::with_capacity(observations.len());
+        let mut first = vec![0.0; k];
+        for (i, slot) in first.iter_mut().enumerate() {
+            *slot = self.log_initial[i] + self.log_observation[i][observations[0]];
+        }
+        alpha.push(first);
+        for &obs in &observations[1..] {
+            let prev = alpha.last().expect("non-empty");
+            let mut next = vec![0.0; k];
+            for (j, slot) in next.iter_mut().enumerate() {
+                let terms: Vec<f64> = (0..k)
+                    .map(|i| prev[i] + self.log_transition[i][j])
+                    .collect();
+                *slot = log_sum_exp(&terms) + self.log_observation[j][obs];
+            }
+            alpha.push(next);
+        }
+        let evidence = log_sum_exp(alpha.last().expect("non-empty"));
+        (alpha, evidence)
+    }
+
+    /// Posterior marginals `γ[t][i] = Pr[x_t = i | y_{1:T}]` via
+    /// forward–backward.
+    pub fn smoothed_marginals(&self, observations: &[usize]) -> Vec<Vec<f64>> {
+        let k = self.num_states();
+        let (alpha, evidence) = self.forward(observations);
+        let t_max = observations.len();
+        let mut beta = vec![vec![0.0_f64; k]; t_max];
+        for t in (0..t_max.saturating_sub(1)).rev() {
+            for i in 0..k {
+                let terms: Vec<f64> = (0..k)
+                    .map(|j| {
+                        self.log_transition[i][j]
+                            + self.log_observation[j][observations[t + 1]]
+                            + beta[t + 1][j]
+                    })
+                    .collect();
+                beta[t][i] = log_sum_exp(&terms);
+            }
+        }
+        (0..t_max)
+            .map(|t| {
+                (0..k)
+                    .map(|i| (alpha[t][i] + beta[t][i] - evidence).exp())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// One exact posterior sample of the hidden sequence via
+    /// forward-filtering backward-sampling (FFBS).
+    pub fn posterior_sample(&self, observations: &[usize], rng: &mut dyn RngCore) -> Vec<usize> {
+        let k = self.num_states();
+        let (alpha, _) = self.forward(observations);
+        let t_max = observations.len();
+        let mut states = vec![0usize; t_max];
+        states[t_max - 1] = sample_log_weights(&alpha[t_max - 1], rng);
+        for t in (0..t_max - 1).rev() {
+            let next = states[t + 1];
+            let weights: Vec<f64> = (0..k)
+                .map(|i| alpha[t][i] + self.log_transition[i][next])
+                .collect();
+            states[t] = sample_log_weights(&weights, rng);
+        }
+        states
+    }
+
+    /// Exact posterior log probability of a full hidden sequence
+    /// `log Pr[x_{1:T} | y_{1:T}]`.
+    pub fn sequence_log_posterior(&self, observations: &[usize], states: &[usize]) -> f64 {
+        let (_, evidence) = self.forward(observations);
+        let mut joint = self.log_initial[states[0]] + self.log_observation[states[0]][observations[0]];
+        for t in 1..observations.len() {
+            joint += self.log_transition[states[t - 1]][states[t]]
+                + self.log_observation[states[t]][observations[t]];
+        }
+        joint - evidence
+    }
+
+    /// Viterbi decoding: the most likely hidden sequence.
+    pub fn viterbi(&self, observations: &[usize]) -> Vec<usize> {
+        let k = self.num_states();
+        let t_max = observations.len();
+        let mut delta = vec![vec![f64::NEG_INFINITY; k]; t_max];
+        let mut back = vec![vec![0usize; k]; t_max];
+        for (i, slot) in delta[0].iter_mut().enumerate() {
+            *slot = self.log_initial[i] + self.log_observation[i][observations[0]];
+        }
+        for t in 1..t_max {
+            for j in 0..k {
+                let (best_i, best) = (0..k)
+                    .map(|i| (i, delta[t - 1][i] + self.log_transition[i][j]))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("k > 0");
+                delta[t][j] = best + self.log_observation[j][observations[t]];
+                back[t][j] = best_i;
+            }
+        }
+        let mut states = vec![0usize; t_max];
+        states[t_max - 1] = (0..k)
+            .max_by(|&a, &b| delta[t_max - 1][a].partial_cmp(&delta[t_max - 1][b]).unwrap())
+            .expect("k > 0");
+        for t in (0..t_max - 1).rev() {
+            states[t] = back[t + 1][states[t + 1]];
+        }
+        states
+    }
+}
+
+fn sample_log_weights(log_weights: &[f64], rng: &mut dyn RngCore) -> usize {
+    let lse = log_sum_exp(log_weights);
+    let u = uniform_unit(rng);
+    let mut acc = 0.0;
+    for (i, w) in log_weights.iter().enumerate() {
+        acc += (w - lse).exp();
+        if u < acc {
+            return i;
+        }
+    }
+    log_weights
+        .iter()
+        .rposition(|w| *w > f64::NEG_INFINITY)
+        .expect("positive mass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_hmm() -> Hmm {
+        let ln = |x: f64| x.ln();
+        Hmm {
+            log_initial: vec![ln(0.6), ln(0.4)],
+            log_transition: vec![vec![ln(0.7), ln(0.3)], vec![ln(0.2), ln(0.8)]],
+            log_observation: vec![vec![ln(0.9), ln(0.1)], vec![ln(0.3), ln(0.7)]],
+        }
+    }
+
+    /// Brute-force enumeration of all hidden sequences for validation.
+    fn brute_force_posterior(hmm: &Hmm, obs: &[usize]) -> Vec<(Vec<usize>, f64)> {
+        let k = hmm.num_states();
+        let t = obs.len();
+        let mut seqs: Vec<Vec<usize>> = vec![vec![]];
+        for _ in 0..t {
+            seqs = seqs
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |i| {
+                        let mut s2 = s.clone();
+                        s2.push(i);
+                        s2
+                    })
+                })
+                .collect();
+        }
+        let joints: Vec<f64> = seqs
+            .iter()
+            .map(|s| {
+                let mut j = hmm.log_initial[s[0]] + hmm.log_observation[s[0]][obs[0]];
+                for t in 1..obs.len() {
+                    j += hmm.log_transition[s[t - 1]][s[t]] + hmm.log_observation[s[t]][obs[t]];
+                }
+                j
+            })
+            .collect();
+        let z = log_sum_exp(&joints);
+        seqs.into_iter()
+            .zip(joints)
+            .map(|(s, j)| (s, (j - z).exp()))
+            .collect()
+    }
+
+    #[test]
+    fn validates_shapes_and_normalization() {
+        assert!(toy_hmm().validate().is_ok());
+        let mut bad = toy_hmm();
+        bad.log_initial = vec![0.0, 0.0]; // sums to 2
+        assert!(bad.validate().is_err());
+        let mut bad = toy_hmm();
+        bad.log_transition.pop();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn forward_evidence_matches_brute_force() {
+        let hmm = toy_hmm();
+        let obs = [0, 1, 1, 0];
+        let (_, evidence) = hmm.forward(&obs);
+        // Brute force: sum of joints.
+        let total: f64 = brute_force_posterior(&hmm, &obs)
+            .iter()
+            .map(|(s, _)| {
+                let mut j = hmm.log_initial[s[0]] + hmm.log_observation[s[0]][obs[0]];
+                for t in 1..obs.len() {
+                    j += hmm.log_transition[s[t - 1]][s[t]] + hmm.log_observation[s[t]][obs[t]];
+                }
+                j.exp()
+            })
+            .sum();
+        assert!((evidence.exp() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index used across three parallel tables
+    fn smoothed_marginals_match_brute_force() {
+        let hmm = toy_hmm();
+        let obs = [0, 1, 0];
+        let gamma = hmm.smoothed_marginals(&obs);
+        let posterior = brute_force_posterior(&hmm, &obs);
+        for t in 0..obs.len() {
+            for i in 0..2 {
+                let exact: f64 = posterior
+                    .iter()
+                    .filter(|(s, _)| s[t] == i)
+                    .map(|(_, p)| p)
+                    .sum();
+                assert!(
+                    (gamma[t][i] - exact).abs() < 1e-10,
+                    "t={t} i={i}: {} vs {exact}",
+                    gamma[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ffbs_samples_the_exact_posterior() {
+        let hmm = toy_hmm();
+        let obs = [0, 1];
+        let posterior = brute_force_posterior(&hmm, &obs);
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let s = hmm.posterior_sample(&obs, &mut rng);
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        for (s, p) in posterior {
+            let freq = *counts.get(&s).unwrap_or(&0) as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "seq {s:?}: freq {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    fn sequence_log_posterior_normalizes() {
+        let hmm = toy_hmm();
+        let obs = [1, 0, 1];
+        let total: f64 = brute_force_posterior(&hmm, &obs)
+            .iter()
+            .map(|(s, _)| hmm.sequence_log_posterior(&obs, s).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn viterbi_finds_the_mode() {
+        let hmm = toy_hmm();
+        let obs = [0, 0, 1, 1, 1];
+        let map_seq = hmm.viterbi(&obs);
+        let posterior = brute_force_posterior(&hmm, &obs);
+        let (best, _) = posterior
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(&map_seq, best);
+    }
+}

@@ -1,0 +1,154 @@
+//! Likelihood weighting (prior-proposal importance sampling) and
+//! rejection sampling.
+//!
+//! These are the simplest non-incremental baselines: both sample the
+//! program from scratch. Figure 1's caption notes that "simple rejection
+//! sampling using the prior as a proposal will be inefficient" when the
+//! posterior differs strongly from the prior — these implementations let
+//! the test suite and benches quantify that.
+
+use rand::RngCore;
+
+use incremental::ParticleCollection;
+use ppl::dist::util::uniform_unit;
+use ppl::handlers::generate;
+use ppl::{ChoiceMap, Model, PplError, Trace};
+
+/// Likelihood weighting: `m` prior runs, each weighted by its observation
+/// likelihood. Returns a weighted [`ParticleCollection`] targeting the
+/// posterior.
+///
+/// # Errors
+///
+/// Propagates model evaluation errors.
+pub fn likelihood_weighting(
+    model: &dyn Model,
+    m: usize,
+    rng: &mut dyn RngCore,
+) -> Result<ParticleCollection, PplError> {
+    let empty = ChoiceMap::new();
+    let mut out = ParticleCollection::new();
+    for _ in 0..m {
+        let (trace, log_weight) = generate(model, &empty, rng)?;
+        out.push(trace, log_weight);
+    }
+    Ok(out)
+}
+
+/// Rejection sampling with the prior as proposal: accept a prior run with
+/// probability equal to its observation likelihood. Produces exact
+/// (unweighted) posterior samples.
+///
+/// # Errors
+///
+/// Returns an error if any observation likelihood exceeds 1 (continuous
+/// observation densities cannot be used as acceptance probabilities), if
+/// the model fails, or if `max_attempts` proposals are rejected in a row.
+pub fn rejection_sample(
+    model: &dyn Model,
+    rng: &mut dyn RngCore,
+    max_attempts: usize,
+) -> Result<Trace, PplError> {
+    for _ in 0..max_attempts {
+        let (trace, log_weight) = generate(model, &ChoiceMap::new(), rng)?;
+        let accept_prob = log_weight.prob();
+        if accept_prob > 1.0 + 1e-12 {
+            return Err(PplError::Other(format!(
+                "rejection sampling requires likelihoods <= 1, got {accept_prob}"
+            )));
+        }
+        if uniform_unit(rng) < accept_prob {
+            return Ok(trace);
+        }
+    }
+    Err(PplError::Other(format!(
+        "rejection sampling failed to accept within {max_attempts} attempts"
+    )))
+}
+
+/// Draws `m` exact posterior samples by rejection.
+///
+/// # Errors
+///
+/// See [`rejection_sample`].
+pub fn rejection_samples(
+    model: &dyn Model,
+    m: usize,
+    rng: &mut dyn RngCore,
+    max_attempts: usize,
+) -> Result<Vec<Trace>, PplError> {
+    (0..m).map(|_| rejection_sample(model, rng, max_attempts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::dist::Dist;
+    use ppl::{addr, Enumeration, Handler, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.3))?;
+        let po = if x.truthy()? { 0.9 } else { 0.2 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    }
+
+    fn exact_posterior() -> f64 {
+        Enumeration::run(&model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+    }
+
+    #[test]
+    fn likelihood_weighting_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let particles = likelihood_weighting(&model, 50_000, &mut rng).unwrap();
+        let est = particles
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        assert!((est - exact_posterior()).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn likelihood_weighting_z_estimate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let particles = likelihood_weighting(&model, 50_000, &mut rng).unwrap();
+        let z = particles.log_mean_weight().exp();
+        let exact_z = Enumeration::run(&model).unwrap().z();
+        assert!((z - exact_z).abs() < 0.01, "z {z} vs {exact_z}");
+    }
+
+    #[test]
+    fn rejection_sampling_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = rejection_samples(&model, 20_000, &mut rng, 10_000).unwrap();
+        let freq = samples
+            .iter()
+            .filter(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .count() as f64
+            / samples.len() as f64;
+        assert!((freq - exact_posterior()).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn rejection_rejects_densities_above_one() {
+        let dense = |h: &mut dyn Handler| {
+            h.observe(addr!["o"], Dist::normal(0.0, 0.01), Value::Real(0.0))?;
+            Ok(Value::Int(0))
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(rejection_sample(&dense, &mut rng, 10).is_err());
+    }
+
+    #[test]
+    fn rejection_gives_up_eventually() {
+        let hopeless = |h: &mut dyn Handler| {
+            h.observe(addr!["o"], Dist::flip(0.0), Value::Bool(true))?;
+            Ok(Value::Int(0))
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(rejection_sample(&hopeless, &mut rng, 100).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Kernel combinators: cycles, mixtures, and move-rate tracking.
+//!
+//! The paper's Algorithm 2 accepts any MCMC kernel with the posterior
+//! invariant; these combinators build composite kernels out of the
+//! primitive ones (a cycle and a mixture of invariant kernels are
+//! invariant).
+
+use std::cell::Cell;
+
+use rand::RngCore;
+
+use incremental::McmcKernel;
+use ppl::dist::util::uniform_unit;
+use ppl::{PplError, Trace};
+
+/// Applies each component kernel once, in order (a *cycle* of kernels —
+/// invariant if every component is).
+pub struct CycleKernel {
+    kernels: Vec<Box<dyn McmcKernel>>,
+}
+
+impl std::fmt::Debug for CycleKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleKernel")
+            .field("len", &self.kernels.len())
+            .finish()
+    }
+}
+
+impl CycleKernel {
+    /// Creates a cycle from component kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty component list.
+    pub fn new(kernels: Vec<Box<dyn McmcKernel>>) -> CycleKernel {
+        assert!(!kernels.is_empty(), "cycle needs at least one kernel");
+        CycleKernel { kernels }
+    }
+}
+
+impl McmcKernel for CycleKernel {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let mut current = trace.clone();
+        for kernel in &self.kernels {
+            current = kernel.step(&current, rng)?;
+        }
+        Ok(current)
+    }
+}
+
+/// Picks one component kernel at random per step, with the given
+/// weights (a *mixture* of kernels — invariant if every component is).
+pub struct MixtureKernel {
+    weighted: Vec<(f64, Box<dyn McmcKernel>)>,
+    total: f64,
+}
+
+impl std::fmt::Debug for MixtureKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixtureKernel")
+            .field("len", &self.weighted.len())
+            .finish()
+    }
+}
+
+impl MixtureKernel {
+    /// Creates a mixture kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or any weight is non-positive.
+    pub fn new(weighted: Vec<(f64, Box<dyn McmcKernel>)>) -> MixtureKernel {
+        assert!(!weighted.is_empty(), "mixture needs at least one kernel");
+        assert!(
+            weighted.iter().all(|(w, _)| *w > 0.0 && w.is_finite()),
+            "mixture weights must be positive"
+        );
+        let total = weighted.iter().map(|(w, _)| w).sum();
+        MixtureKernel { weighted, total }
+    }
+}
+
+impl McmcKernel for MixtureKernel {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let u = uniform_unit(rng) * self.total;
+        let mut acc = 0.0;
+        for (w, kernel) in &self.weighted {
+            acc += w;
+            if u < acc {
+                return kernel.step(trace, rng);
+            }
+        }
+        self.weighted
+            .last()
+            .expect("non-empty by construction")
+            .1
+            .step(trace, rng)
+    }
+}
+
+/// Wraps a kernel and records how often a step actually changed the
+/// trace — a cheap mixing diagnostic (not exactly the acceptance rate: a
+/// proposal that re-proposes the current value counts as "no move").
+pub struct TrackedKernel<K> {
+    inner: K,
+    steps: Cell<u64>,
+    moves: Cell<u64>,
+}
+
+impl<K: std::fmt::Debug> std::fmt::Debug for TrackedKernel<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedKernel")
+            .field("inner", &self.inner)
+            .field("steps", &self.steps.get())
+            .field("moves", &self.moves.get())
+            .finish()
+    }
+}
+
+impl<K: McmcKernel> TrackedKernel<K> {
+    /// Wraps `inner`.
+    pub fn new(inner: K) -> TrackedKernel<K> {
+        TrackedKernel {
+            inner,
+            steps: Cell::new(0),
+            moves: Cell::new(0),
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Fraction of steps that changed the trace (`NaN` before the first
+    /// step).
+    pub fn move_rate(&self) -> f64 {
+        if self.steps.get() == 0 {
+            f64::NAN
+        } else {
+            self.moves.get() as f64 / self.steps.get() as f64
+        }
+    }
+
+    /// Resets the counters.
+    pub fn reset(&self) {
+        self.steps.set(0);
+        self.moves.set(0);
+    }
+}
+
+impl<K: McmcKernel> McmcKernel for TrackedKernel<K> {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let next = self.inner.step(trace, rng)?;
+        self.steps.set(self.steps.get() + 1);
+        if next.to_choice_map() != trace.to_choice_map() {
+            self.moves.set(self.moves.get() + 1);
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GibbsKernel, SingleSiteMh};
+    use incremental::IdentityKernel;
+    use ppl::dist::Dist;
+    use ppl::handlers::simulate;
+    use ppl::{addr, Enumeration, Handler, PplError, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let y = h.sample(addr!["y"], Dist::flip(0.5))?;
+        let po = if x.truthy()? != y.truthy()? { 0.9 } else { 0.1 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    }
+
+    fn chain_estimate(kernel: &dyn McmcKernel, steps: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = simulate(&model, &mut rng).unwrap();
+        let mut hits = 0usize;
+        let burn = steps / 10;
+        for i in 0..steps {
+            trace = kernel.step(&trace, &mut rng).unwrap();
+            if i >= burn && trace.value(&addr!["x"]).unwrap().truthy().unwrap() {
+                hits += 1;
+            }
+        }
+        hits as f64 / (steps - burn) as f64
+    }
+
+    #[test]
+    fn cycle_of_invariant_kernels_is_invariant() {
+        let kernel = CycleKernel::new(vec![
+            Box::new(SingleSiteMh::new(
+                model as fn(&mut dyn Handler) -> Result<Value, PplError>,
+            )),
+            Box::new(GibbsKernel::new(
+                model as fn(&mut dyn Handler) -> Result<Value, PplError>,
+            )),
+        ]);
+        let exact = Enumeration::run(&model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let freq = chain_estimate(&kernel, 30_000, 1);
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs {exact}");
+    }
+
+    #[test]
+    fn mixture_of_invariant_kernels_is_invariant() {
+        let kernel = MixtureKernel::new(vec![
+            (
+                0.3,
+                Box::new(SingleSiteMh::new(
+                    model as fn(&mut dyn Handler) -> Result<Value, PplError>,
+                )) as Box<dyn McmcKernel>,
+            ),
+            (
+                0.7,
+                Box::new(GibbsKernel::new(
+                    model as fn(&mut dyn Handler) -> Result<Value, PplError>,
+                )),
+            ),
+        ]);
+        let exact = Enumeration::run(&model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let freq = chain_estimate(&kernel, 40_000, 2);
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs {exact}");
+    }
+
+    #[test]
+    fn tracked_kernel_counts_moves() {
+        let tracked = TrackedKernel::new(GibbsKernel::new(
+            model as fn(&mut dyn Handler) -> Result<Value, PplError>,
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut trace = simulate(&model, &mut rng).unwrap();
+        assert!(tracked.move_rate().is_nan());
+        for _ in 0..500 {
+            trace = tracked.step(&trace, &mut rng).unwrap();
+        }
+        assert_eq!(tracked.steps_taken(), 500);
+        let rate = tracked.move_rate();
+        assert!(rate > 0.1 && rate <= 1.0, "move rate {rate}");
+        tracked.reset();
+        assert_eq!(tracked.steps_taken(), 0);
+    }
+
+    #[test]
+    fn identity_kernel_never_moves() {
+        let tracked = TrackedKernel::new(IdentityKernel);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = simulate(&model, &mut rng).unwrap();
+        for _ in 0..10 {
+            tracked.step(&trace, &mut rng).unwrap();
+        }
+        assert_eq!(tracked.move_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cycle_panics() {
+        let _ = CycleKernel::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_mixture_weight_panics() {
+        let _ = MixtureKernel::new(vec![(0.0, Box::new(IdentityKernel) as Box<dyn McmcKernel>)]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # inference — baseline and exact inference algorithms
+//!
+//! Everything the paper's evaluation compares against or builds on:
+//!
+//! - [`SingleSiteMh`] — lightweight single-site Metropolis–Hastings
+//!   (Wingate et al. 2011 style).
+//! - [`IndependentMetropolisCycle`] — the Section 7.2 MCMC baseline: "a
+//!   cycle of independent Metropolis updates to each latent variable".
+//! - [`GibbsKernel`] — systematic-scan Gibbs for fixed-structure discrete
+//!   models (the Section 7.3 baseline, including back-and-forth sweeps).
+//! - [`likelihood_weighting`] / [`rejection_sample`] — from-scratch
+//!   importance and rejection baselines.
+//! - [`Hmm`] — exact first-order HMM inference (forward–backward, FFBS,
+//!   Viterbi) used to produce the exact `P` samples of Section 7.3.
+//! - [`linreg`] — conjugate Bayesian linear regression (the exact `P`
+//!   posterior of Section 7.2).
+//! - [`ExactPosterior`] — exact posterior sampling of finite discrete
+//!   models by enumeration.
+//!
+//! All MCMC kernels implement [`incremental::McmcKernel`] and can be used
+//! as the rejuvenation step of Algorithm 2.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod diag;
+pub mod drift;
+pub mod exact;
+pub mod kernels;
+pub mod gibbs;
+pub mod hmm;
+pub mod importance;
+pub mod linreg;
+pub mod mh;
+pub mod stats;
+
+pub use drift::GaussianDriftKernel;
+pub use kernels::{CycleKernel, MixtureKernel, TrackedKernel};
+pub use exact::ExactPosterior;
+pub use gibbs::{GibbsKernel, SweepOrder};
+pub use hmm::Hmm;
+pub use importance::{likelihood_weighting, rejection_sample, rejection_samples};
+pub use mh::{IndependentMetropolisCycle, SingleSiteMh};

@@ -1,0 +1,205 @@
+//! Conjugate Bayesian linear regression: exact posterior over
+//! `(intercept, slope)`.
+//!
+//! The Section 7.2 experiment notes that "exact posterior sampling is
+//! tractable in P": with Gaussian priors `N(0, σ_p²)` on both coefficients
+//! and Gaussian noise `N(0, σ²)`, the posterior is a bivariate normal with
+//! closed form. These exact samples seed the incremental inference into
+//! the robust (non-conjugate) model Q.
+
+use rand::RngCore;
+
+use ppl::dist::util::standard_normal;
+use ppl::PplError;
+
+/// A bivariate normal posterior over `(intercept, slope)`.
+#[derive(Debug, Clone)]
+pub struct BivariateNormal {
+    /// Mean `[intercept, slope]`.
+    pub mean: [f64; 2],
+    /// Covariance matrix (row major).
+    pub cov: [[f64; 2]; 2],
+    chol: [[f64; 2]; 2],
+}
+
+impl BivariateNormal {
+    /// Creates the distribution, pre-computing the Cholesky factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cov` is not (numerically) positive definite.
+    pub fn new(mean: [f64; 2], cov: [[f64; 2]; 2]) -> Result<BivariateNormal, PplError> {
+        let a = cov[0][0];
+        if a <= 0.0 {
+            return Err(PplError::InvalidDistribution(
+                "covariance not positive definite".into(),
+            ));
+        }
+        let l11 = a.sqrt();
+        let l21 = cov[1][0] / l11;
+        let rest = cov[1][1] - l21 * l21;
+        if rest <= 0.0 {
+            return Err(PplError::InvalidDistribution(
+                "covariance not positive definite".into(),
+            ));
+        }
+        Ok(BivariateNormal {
+            mean,
+            cov,
+            chol: [[l11, 0.0], [l21, rest.sqrt()]],
+        })
+    }
+
+    /// Samples `(intercept, slope)`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> (f64, f64) {
+        let z1 = standard_normal(rng);
+        let z2 = standard_normal(rng);
+        (
+            self.mean[0] + self.chol[0][0] * z1,
+            self.mean[1] + self.chol[1][0] * z1 + self.chol[1][1] * z2,
+        )
+    }
+}
+
+/// Exact posterior for Bayesian linear regression
+/// `y_i ~ N(intercept + slope·x_i, σ²)` with independent `N(0, σ_p²)`
+/// priors on both coefficients (the model of Listing 1).
+///
+/// # Errors
+///
+/// Returns an error for empty data, mismatched lengths, or non-positive
+/// standard deviations.
+pub fn posterior(
+    xs: &[f64],
+    ys: &[f64],
+    noise_std: f64,
+    prior_std: f64,
+) -> Result<BivariateNormal, PplError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(PplError::InvalidDistribution(
+            "regression data must be non-empty and aligned".into(),
+        ));
+    }
+    if noise_std <= 0.0 || prior_std <= 0.0 {
+        return Err(PplError::InvalidDistribution(
+            "standard deviations must be positive".into(),
+        ));
+    }
+    let n = xs.len() as f64;
+    let s2 = noise_std * noise_std;
+    let p2 = prior_std * prior_std;
+    let sum_x: f64 = xs.iter().sum();
+    let sum_xx: f64 = xs.iter().map(|x| x * x).sum();
+    let sum_y: f64 = ys.iter().sum();
+    let sum_xy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    // Precision = X'X/σ² + I/σ_p².
+    let a = n / s2 + 1.0 / p2;
+    let b = sum_x / s2;
+    let d = sum_xx / s2 + 1.0 / p2;
+    let det = a * d - b * b;
+    if det <= 0.0 {
+        return Err(PplError::InvalidDistribution(
+            "posterior precision is singular".into(),
+        ));
+    }
+    let cov = [[d / det, -b / det], [-b / det, a / det]];
+    let rhs = [sum_y / s2, sum_xy / s2];
+    let mean = [
+        cov[0][0] * rhs[0] + cov[0][1] * rhs[1],
+        cov[1][0] * rhs[0] + cov[1][1] * rhs[1],
+    ];
+    BivariateNormal::new(mean, cov)
+}
+
+/// The exact posterior log density of `(intercept, slope)` under the same
+/// model, up to the evidence constant — useful for validating samplers.
+pub fn log_joint(
+    xs: &[f64],
+    ys: &[f64],
+    noise_std: f64,
+    prior_std: f64,
+    intercept: f64,
+    slope: f64,
+) -> f64 {
+    let mut lp = 0.0;
+    let prior_var = prior_std * prior_std;
+    lp += -0.5 * intercept * intercept / prior_var - prior_std.ln();
+    lp += -0.5 * slope * slope / prior_var - prior_std.ln();
+    let noise_var = noise_std * noise_std;
+    for (x, y) in xs.iter().zip(ys) {
+        let r = y - (intercept + slope * x);
+        lp += -0.5 * r * r / noise_var - noise_std.ln();
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn posterior_concentrates_on_truth_with_clean_data() {
+        let (xs, ys) = toy_data();
+        let post = posterior(&xs, &ys, 0.1, 10.0).unwrap();
+        assert!((post.mean[0] - 1.0).abs() < 0.05, "intercept {}", post.mean[0]);
+        assert!((post.mean[1] - 2.0).abs() < 0.02, "slope {}", post.mean[1]);
+    }
+
+    #[test]
+    fn samples_match_posterior_moments() {
+        let (xs, ys) = toy_data();
+        let post = posterior(&xs, &ys, 1.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 100_000;
+        let (mut s_sum, mut s_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let (_, slope) = post.sample(&mut rng);
+            s_sum += slope;
+            s_sq += slope * slope;
+        }
+        let mean = s_sum / n as f64;
+        let var = s_sq / n as f64 - mean * mean;
+        assert!((mean - post.mean[1]).abs() < 0.01);
+        assert!((var - post.cov[1][1]).abs() < 0.01 * post.cov[1][1].max(0.01));
+    }
+
+    #[test]
+    fn posterior_is_mode_of_log_joint() {
+        // Gradient of the log joint at the posterior mean is ~0.
+        let (xs, ys) = toy_data();
+        let post = posterior(&xs, &ys, 0.5, 3.0).unwrap();
+        let f = |i: f64, s: f64| log_joint(&xs, &ys, 0.5, 3.0, i, s);
+        let eps = 1e-5;
+        let [i0, s0] = post.mean;
+        let di = (f(i0 + eps, s0) - f(i0 - eps, s0)) / (2.0 * eps);
+        let ds = (f(i0, s0 + eps) - f(i0, s0 - eps)) / (2.0 * eps);
+        assert!(di.abs() < 1e-4, "d/d intercept = {di}");
+        assert!(ds.abs() < 1e-4, "d/d slope = {ds}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(posterior(&[], &[], 1.0, 1.0).is_err());
+        assert!(posterior(&[1.0], &[1.0, 2.0], 1.0, 1.0).is_err());
+        assert!(posterior(&[1.0], &[1.0], 0.0, 1.0).is_err());
+        assert!(posterior(&[1.0], &[1.0], 1.0, -1.0).is_err());
+        assert!(BivariateNormal::new([0.0, 0.0], [[1.0, 2.0], [2.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn prior_dominates_with_no_informative_data() {
+        // One data point at x = 0 only constrains the intercept.
+        let post = posterior(&[0.0], &[0.0], 1.0, 2.0).unwrap();
+        // Slope posterior ≈ prior N(0, 4).
+        assert!((post.cov[1][1] - 4.0).abs() < 1e-9);
+        assert!(post.mean[1].abs() < 1e-9);
+    }
+}

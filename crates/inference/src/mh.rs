@@ -1,0 +1,345 @@
+//! Metropolis–Hastings kernels in the lightweight single-site style of
+//! [Wingate et al. 2011], which the paper's embedded language builds on.
+//!
+//! [`SingleSiteMh`] picks one random choice uniformly, proposes a fresh
+//! value from its prior distribution, re-executes the program reusing
+//! every other choice where possible, and accepts with the standard
+//! lightweight-MH ratio. [`IndependentMetropolisCycle`] applies the same
+//! update systematically to every site in turn — the "cycle of
+//! independent Metropolis updates to each latent variable" used as the
+//! MCMC baseline in Section 7.2.
+
+use std::collections::HashSet;
+
+use rand::RngCore;
+
+use incremental::McmcKernel;
+use ppl::dist::util::{uniform_below, uniform_unit};
+use ppl::dist::Dist;
+use ppl::{Address, Handler, LogWeight, Model, PplError, Trace, Value};
+
+/// Re-executes `model`, forcing `forced_addr ↦ forced_value`, reusing all
+/// other choices of `old` whose address and support match, and sampling
+/// the rest fresh.
+///
+/// Returns the new trace, the log probability of the freshly sampled
+/// choices (under the new trace's distributions), and the set of
+/// deterministically reused addresses.
+pub(crate) fn regenerate(
+    model: &dyn Model,
+    old: &Trace,
+    forced_addr: &Address,
+    forced_value: &Value,
+    rng: &mut dyn RngCore,
+) -> Result<(Trace, LogWeight, HashSet<Address>), PplError> {
+    let mut handler = RegenHandler {
+        old,
+        forced_addr,
+        forced_value,
+        rng,
+        trace: Trace::new(),
+        log_fresh: LogWeight::ONE,
+        reused: HashSet::new(),
+    };
+    let value = model.exec(&mut handler)?;
+    let RegenHandler {
+        mut trace,
+        log_fresh,
+        reused,
+        ..
+    } = handler;
+    trace.set_return_value(value);
+    Ok((trace, log_fresh, reused))
+}
+
+struct RegenHandler<'a> {
+    old: &'a Trace,
+    forced_addr: &'a Address,
+    forced_value: &'a Value,
+    rng: &'a mut dyn RngCore,
+    trace: Trace,
+    log_fresh: LogWeight,
+    reused: HashSet<Address>,
+}
+
+impl Handler for RegenHandler<'_> {
+    fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
+        let value = if addr == *self.forced_addr {
+            self.forced_value.clone()
+        } else {
+            match self.old.choice(&addr) {
+                Some(record) if dist.same_support(&record.dist) => {
+                    self.reused.insert(addr.clone());
+                    record.value.clone()
+                }
+                _ => {
+                    let v = dist.sample(self.rng);
+                    self.log_fresh += dist.log_prob(&v);
+                    v
+                }
+            }
+        };
+        let log_prob = dist.log_prob(&value);
+        self.trace
+            .record_choice(addr, value.clone(), dist, log_prob)?;
+        Ok(value)
+    }
+
+    fn observe(&mut self, addr: Address, dist: Dist, value: Value) -> Result<(), PplError> {
+        let log_prob = dist.log_prob(&value);
+        self.trace.record_observation(addr, value, dist, log_prob)
+    }
+}
+
+/// One single-site MH update at the choice `site` of `current`.
+///
+/// Returns the next state of the chain (either the accepted proposal or
+/// the unchanged input) and whether the proposal was accepted.
+pub(crate) fn single_site_update(
+    model: &dyn Model,
+    current: &Trace,
+    site: &Address,
+    rng: &mut dyn RngCore,
+) -> Result<(Trace, bool), PplError> {
+    let record = current
+        .choice(site)
+        .ok_or_else(|| PplError::MissingChoice(site.clone()))?;
+    // Propose from the site's prior distribution as recorded in the
+    // current trace.
+    let proposed_value = record.dist.sample(rng);
+    let log_fwd_site = record.dist.log_prob(&proposed_value);
+    let (new_trace, log_fresh, reused) =
+        match regenerate(model, current, site, &proposed_value, rng) {
+            Ok(parts) => parts,
+            // The proposal made a downstream distribution unconstructible:
+            // a zero-probability region, so reject the move.
+            Err(PplError::InvalidDistribution(_)) => return Ok((current.clone(), false)),
+            Err(e) => return Err(e),
+        };
+    if !new_trace.has_choice(site) {
+        // The proposed value steered execution away from the site itself;
+        // reject outright (the reverse move would be impossible).
+        return Ok((current.clone(), false));
+    }
+    // Reverse proposal density of the old value, under the new trace's
+    // distribution at the site (identical parameters when upstream choices
+    // are unchanged, which single-site regeneration guarantees).
+    let new_site_dist = &new_trace.choice(site).expect("checked above").dist;
+    let log_rev_site = new_site_dist.log_prob(&record.value);
+    // Stale choices: in the old trace but not deterministically reused
+    // (and not the updated site) — the reverse regeneration would sample
+    // them fresh.
+    let log_stale: LogWeight = current
+        .choices()
+        .filter(|(a, _)| *a != site && !reused.contains(*a))
+        .map(|(_, c)| c.log_prob)
+        .sum();
+    let log_num =
+        new_trace.score() + LogWeight::from_log(-(new_trace.len() as f64).ln()) + log_rev_site
+            + log_stale;
+    let log_den = current.score()
+        + LogWeight::from_log(-(current.len() as f64).ln())
+        + log_fwd_site
+        + log_fresh;
+    let log_alpha = log_num - log_den;
+    let accept = log_alpha.log() >= 0.0 || uniform_unit(rng) < log_alpha.prob();
+    if accept {
+        Ok((new_trace, true))
+    } else {
+        Ok((current.clone(), false))
+    }
+}
+
+/// Single-site Metropolis–Hastings: each step updates one uniformly
+/// chosen random choice.
+///
+/// # Examples
+///
+/// ```
+/// use incremental::McmcKernel;
+/// use inference::SingleSiteMh;
+/// use ppl::{addr, Handler, PplError};
+/// use ppl::dist::Dist;
+/// use ppl::handlers::simulate;
+/// use rand::SeedableRng;
+///
+/// let model = |h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(0.5));
+/// let kernel = SingleSiteMh::new(model);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t0 = simulate(&model, &mut rng)?;
+/// let t1 = kernel.step(&t0, &mut rng)?;
+/// assert_eq!(t1.len(), 1);
+/// # Ok::<(), PplError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleSiteMh<M> {
+    model: M,
+}
+
+impl<M: Model> SingleSiteMh<M> {
+    /// Creates the kernel for `model`.
+    pub fn new(model: M) -> SingleSiteMh<M> {
+        SingleSiteMh { model }
+    }
+}
+
+impl<M: Model> McmcKernel for SingleSiteMh<M> {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        if trace.is_empty() {
+            return Ok(trace.clone());
+        }
+        let index = uniform_below(rng, trace.len() as u64) as usize;
+        let site = trace
+            .choices()
+            .nth(index)
+            .map(|(a, _)| a.clone())
+            .expect("index in range");
+        let (next, _) = single_site_update(&self.model, trace, &site, rng)?;
+        Ok(next)
+    }
+}
+
+/// A systematic sweep of independent Metropolis updates: one step visits
+/// every random choice of the trace in evaluation order and applies a
+/// single-site update at each.
+#[derive(Debug, Clone)]
+pub struct IndependentMetropolisCycle<M> {
+    model: M,
+}
+
+impl<M: Model> IndependentMetropolisCycle<M> {
+    /// Creates the kernel for `model`.
+    pub fn new(model: M) -> IndependentMetropolisCycle<M> {
+        IndependentMetropolisCycle { model }
+    }
+}
+
+impl<M: Model> McmcKernel for IndependentMetropolisCycle<M> {
+    fn step(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+        let mut current = trace.clone();
+        // Sites are re-read from the evolving trace: an update may change
+        // which sites exist downstream.
+        let mut visited = HashSet::new();
+        loop {
+            let next_site = current
+                .choices()
+                .map(|(a, _)| a.clone())
+                .find(|a| !visited.contains(a));
+            let Some(site) = next_site else { break };
+            visited.insert(site.clone());
+            let (next, _) = single_site_update(&self.model, &current, &site, rng)?;
+            current = next;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::handlers::simulate;
+    use ppl::{addr, Enumeration};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn posterior_model(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let po = if x.truthy()? { 0.9 } else { 0.1 };
+        h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
+        Ok(x)
+    }
+
+    /// A model whose structure depends on a choice: tests regeneration.
+    fn branching_model(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let a = h.sample(addr!["a"], Dist::flip(0.4))?;
+        let b = if a.truthy()? {
+            h.sample(addr!["b1"], Dist::flip(0.7))?
+        } else {
+            h.sample(addr!["b0"], Dist::uniform_int(0, 3))?
+        };
+        let obs_p = if b.truthy()? { 0.8 } else { 0.3 };
+        h.observe(addr!["o"], Dist::flip(obs_p), Value::Bool(true))?;
+        Ok(a)
+    }
+
+    fn chain_frequency(
+        kernel: &dyn McmcKernel,
+        model: &dyn Model,
+        steps: usize,
+        burn_in: usize,
+        seed: u64,
+        event: impl Fn(&Trace) -> bool,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = simulate(model, &mut rng).unwrap();
+        let mut hits = 0usize;
+        for i in 0..steps {
+            trace = kernel.step(&trace, &mut rng).unwrap();
+            if i >= burn_in && event(&trace) {
+                hits += 1;
+            }
+        }
+        hits as f64 / (steps - burn_in) as f64
+    }
+
+    #[test]
+    fn single_site_mh_targets_posterior() {
+        let kernel = SingleSiteMh::new(posterior_model);
+        let exact = Enumeration::run(&posterior_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        let freq = chain_frequency(&kernel, &posterior_model, 60_000, 1000, 11, |t| {
+            t.value(&addr!["x"]).unwrap().truthy().unwrap()
+        });
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn single_site_mh_handles_structure_change() {
+        let kernel = SingleSiteMh::new(branching_model);
+        let exact = Enumeration::run(&branching_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["a"]).unwrap().truthy().unwrap());
+        let freq = chain_frequency(&kernel, &branching_model, 120_000, 2000, 12, |t| {
+            t.value(&addr!["a"]).unwrap().truthy().unwrap()
+        });
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn metropolis_cycle_targets_posterior() {
+        let kernel = IndependentMetropolisCycle::new(branching_model);
+        let exact = Enumeration::run(&branching_model)
+            .unwrap()
+            .probability(|t| t.value(&addr!["a"]).unwrap().truthy().unwrap());
+        let freq = chain_frequency(&kernel, &branching_model, 30_000, 500, 13, |t| {
+            t.value(&addr!["a"]).unwrap().truthy().unwrap()
+        });
+        assert!((freq - exact).abs() < 0.02, "freq {freq} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_trace_is_fixed_point() {
+        let model = |h: &mut dyn Handler| {
+            h.observe(addr!["o"], Dist::flip(0.5), Value::Bool(true))?;
+            Ok(Value::Int(0))
+        };
+        let kernel = SingleSiteMh::new(model);
+        let mut rng = StdRng::seed_from_u64(14);
+        let t = simulate(&model, &mut rng).unwrap();
+        let next = kernel.step(&t, &mut rng).unwrap();
+        assert_eq!(next.to_choice_map(), t.to_choice_map());
+    }
+
+    #[test]
+    fn regenerate_reuses_matching_choices() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let t = simulate(&branching_model, &mut rng).unwrap();
+        let a_old = t.value(&addr!["a"]).unwrap().clone();
+        let (new_t, _, reused) =
+            regenerate(&branching_model, &t, &addr!["a"], &a_old, &mut rng).unwrap();
+        // Same forced value: everything else reused, trace identical.
+        assert_eq!(new_t.to_choice_map(), t.to_choice_map());
+        assert_eq!(reused.len(), t.len() - 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Synthetic data sets standing in for the paper's external assets (see
+//! DESIGN.md §5 for the substitution rationale).
+
+pub mod hospital;
+pub mod typo;

@@ -1,0 +1,347 @@
+//! Synthetic typo corpus and HMM training for the Section 7.3
+//! typo-correction task.
+//!
+//! The paper trains on 29,056 words with typos and ground truth. We build
+//! an equivalent corpus synthetically: intended words drawn from a
+//! built-in English word list, corrupted by a QWERTY-adjacency noise
+//! channel (typos are overwhelmingly neighboring-key presses). English
+//! letter sequences carry strong *trigram* structure that a first-order
+//! model cannot capture — exactly the property that makes the
+//! second-order model `Q` fit better than `P` in Figure 9.
+
+use ppl::dist::util::{uniform_below, uniform_unit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hmm_model::{FirstOrderParams, SecondOrderParams};
+
+/// Number of hidden states / observation symbols: the letters `a..=z`.
+pub const NUM_LETTERS: usize = 26;
+
+/// A built-in list of common English words (lowercase a–z only).
+pub const WORDS: &[&str] = &[
+    "the", "and", "that", "have", "for", "not", "with", "you", "this", "but", "his", "from",
+    "they", "say", "her", "she", "will", "one", "all", "would", "there", "their", "what", "out",
+    "about", "who", "get", "which", "when", "make", "can", "like", "time", "just", "him", "know",
+    "take", "people", "into", "year", "your", "good", "some", "could", "them", "see", "other",
+    "than", "then", "now", "look", "only", "come", "its", "over", "think", "also", "back",
+    "after", "use", "two", "how", "our", "work", "first", "well", "way", "even", "new", "want",
+    "because", "any", "these", "give", "day", "most", "us", "great", "between", "another",
+    "should", "still", "such", "through", "before", "must", "house", "world", "where", "much",
+    "those", "while", "place", "down", "never", "same", "too", "under", "might", "each", "part",
+    "against", "right", "three", "state", "long", "little", "own", "here", "again", "found",
+    "every", "country", "school", "during", "water", "though", "less", "enough", "almost",
+    "thing", "need", "without", "being", "order", "night", "both", "life", "began", "head",
+    "point", "away", "something", "fact", "hand", "high", "year", "moment", "word", "example",
+    "family", "turn", "group", "until", "always", "number", "course", "company", "system",
+    "question", "government", "different", "around", "however", "small", "large", "program",
+    "problem", "against", "important", "children", "together", "often", "later", "nothing",
+    "within", "along", "change", "young", "national", "story", "since", "power", "himself",
+    "public", "present", "several", "social", "possible", "business", "service", "money",
+    "study", "morning", "already", "themselves", "information", "nature", "certain", "kind",
+    "across", "second", "street", "light", "rather", "early", "toward", "better", "person",
+    "become", "among", "north", "white", "south", "action", "level", "president", "history",
+    "party", "result", "others", "whole", "heard", "field", "water", "member", "pay", "law",
+    "car", "door", "end", "why", "front", "area", "mind", "week", "case", "eye", "face",
+    "room", "war", "force", "office", "city", "body", "side", "home", "land", "experience",
+];
+
+/// QWERTY keyboard neighbors of each letter.
+pub fn qwerty_neighbors(letter: usize) -> &'static [usize] {
+    const A: usize = 0;
+    const B: usize = 1;
+    const C: usize = 2;
+    const D: usize = 3;
+    const E: usize = 4;
+    const F: usize = 5;
+    const G: usize = 6;
+    const H: usize = 7;
+    const I: usize = 8;
+    const J: usize = 9;
+    const K: usize = 10;
+    const L: usize = 11;
+    const M: usize = 12;
+    const N: usize = 13;
+    const O: usize = 14;
+    const P: usize = 15;
+    const Q: usize = 16;
+    const R: usize = 17;
+    const S: usize = 18;
+    const T: usize = 19;
+    const U: usize = 20;
+    const V: usize = 21;
+    const W: usize = 22;
+    const X: usize = 23;
+    const Y: usize = 24;
+    const Z: usize = 25;
+    const TABLE: [&[usize]; 26] = [
+        &[Q, W, S, Z],          // a
+        &[V, G, H, N],          // b
+        &[X, D, F, V],          // c
+        &[S, E, R, F, C, X],    // d
+        &[W, S, D, R],          // e
+        &[D, R, T, G, V, C],    // f
+        &[F, T, Y, H, B, V],    // g
+        &[G, Y, U, J, N, B],    // h
+        &[U, J, K, O],          // i
+        &[H, U, I, K, M, N],    // j
+        &[J, I, O, L, M],       // k
+        &[K, O, P],             // l
+        &[N, J, K],             // m
+        &[B, H, J, M],          // n
+        &[I, K, L, P],          // o
+        &[O, L],                // p
+        &[W, A],                // q
+        &[E, D, F, T],          // r
+        &[A, W, E, D, X, Z],    // s
+        &[R, F, G, Y],          // t
+        &[Y, H, J, I],          // u
+        &[C, F, G, B],          // v
+        &[Q, A, S, E],          // w
+        &[Z, S, D, C],          // x
+        &[T, G, H, U],          // y
+        &[A, S, X],             // z
+    ];
+    TABLE[letter]
+}
+
+/// One training pair: the intended word and the typed (noisy) word, as
+/// letter indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordPair {
+    /// Ground-truth letters.
+    pub intended: Vec<usize>,
+    /// Typed letters after the noise channel.
+    pub typed: Vec<usize>,
+}
+
+/// A corpus of (intended, typed) pairs.
+#[derive(Debug, Clone)]
+pub struct TypoCorpus {
+    /// The pairs.
+    pub pairs: Vec<WordPair>,
+}
+
+/// Converts a lowercase word to letter indices.
+///
+/// # Panics
+///
+/// Panics on characters outside `a..=z`.
+pub fn word_to_indices(word: &str) -> Vec<usize> {
+    word.bytes()
+        .map(|b| {
+            assert!(b.is_ascii_lowercase(), "word must be lowercase ascii");
+            (b - b'a') as usize
+        })
+        .collect()
+}
+
+/// Converts letter indices back to a string.
+pub fn indices_to_word(indices: &[usize]) -> String {
+    indices.iter().map(|&i| (b'a' + i as u8) as char).collect()
+}
+
+impl TypoCorpus {
+    /// Generates `num_words` pairs with the given per-letter typo rate,
+    /// deterministically from `seed`.
+    pub fn generate(num_words: usize, typo_rate: f64, seed: u64) -> TypoCorpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(num_words);
+        for _ in 0..num_words {
+            let word = WORDS[uniform_below(&mut rng, WORDS.len() as u64) as usize];
+            let intended = word_to_indices(word);
+            let typed = intended
+                .iter()
+                .map(|&c| {
+                    if uniform_unit(&mut rng) < typo_rate {
+                        let neighbors = qwerty_neighbors(c);
+                        neighbors[uniform_below(&mut rng, neighbors.len() as u64) as usize]
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            pairs.push(WordPair { intended, typed });
+        }
+        TypoCorpus { pairs }
+    }
+
+    /// The paper-scale training corpus: 29,056 words.
+    pub fn paper_scale() -> TypoCorpus {
+        TypoCorpus::generate(29_056, 0.15, 1729)
+    }
+}
+
+/// Trains both HMMs by counting, with interpolation smoothing: the
+/// trigram model backs off to the bigram model, the bigram to uniform.
+pub fn train_models(corpus: &TypoCorpus) -> (FirstOrderParams, SecondOrderParams) {
+    let k = NUM_LETTERS;
+    let alpha = 1.0; // bigram → uniform smoothing mass
+    let beta = 1.0; // trigram → bigram smoothing mass
+
+    let mut bigram = vec![vec![0.0_f64; k]; k];
+    let mut trigram = vec![vec![vec![0.0_f64; k]; k]; k];
+    let mut emission = vec![vec![0.0_f64; k]; k];
+    for pair in &corpus.pairs {
+        let w = &pair.intended;
+        for t in 1..w.len() {
+            bigram[w[t - 1]][w[t]] += 1.0;
+        }
+        for t in 2..w.len() {
+            trigram[w[t - 2]][w[t - 1]][w[t]] += 1.0;
+        }
+        for (i, &c) in w.iter().enumerate() {
+            emission[c][pair.typed[i]] += 1.0;
+        }
+    }
+
+    let log_bigram: Vec<Vec<f64>> = bigram
+        .iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum::<f64>() + alpha;
+            row.iter()
+                .map(|c| ((c + alpha / k as f64) / total).ln())
+                .collect()
+        })
+        .collect();
+    let bigram_probs: Vec<Vec<f64>> = log_bigram
+        .iter()
+        .map(|row| row.iter().map(|lp| lp.exp()).collect())
+        .collect();
+    let log_trigram: Vec<Vec<Vec<f64>>> = trigram
+        .iter()
+        
+        .map(|mid| {
+            mid.iter()
+                .enumerate()
+                .map(|(p1, row)| {
+                    let total: f64 = row.iter().sum::<f64>() + beta;
+                    row.iter()
+                        .enumerate()
+                        .map(|(next, c)| ((c + beta * bigram_probs[p1][next]) / total).ln())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let log_emission: Vec<Vec<f64>> = emission
+        .iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum::<f64>() + alpha;
+            row.iter()
+                .map(|c| ((c + alpha / k as f64) / total).ln())
+                .collect()
+        })
+        .collect();
+
+    (
+        FirstOrderParams {
+            num_states: k,
+            log_transition: log_bigram.clone(),
+            log_observation: log_emission.clone(),
+        },
+        SecondOrderParams {
+            num_states: k,
+            log_first_order_transition: log_bigram,
+            log_transition: log_trigram,
+            log_observation: log_emission,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::logweight::log_sum_exp;
+
+    #[test]
+    fn word_round_trip() {
+        assert_eq!(indices_to_word(&word_to_indices("hello")), "hello");
+        assert_eq!(word_to_indices("abz"), vec![0, 1, 25]);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        for a in 0..NUM_LETTERS {
+            for &b in qwerty_neighbors(a) {
+                assert!(
+                    qwerty_neighbors(b).contains(&a),
+                    "{} -> {} not symmetric",
+                    indices_to_word(&[a]),
+                    indices_to_word(&[b])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_typos_are_neighbors() {
+        let c1 = TypoCorpus::generate(200, 0.2, 3);
+        let c2 = TypoCorpus::generate(200, 0.2, 3);
+        assert_eq!(c1.pairs, c2.pairs);
+        for pair in &c1.pairs {
+            assert_eq!(pair.intended.len(), pair.typed.len());
+            for (i, t) in pair.intended.iter().zip(&pair.typed) {
+                assert!(i == t || qwerty_neighbors(*i).contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn trained_rows_are_normalized() {
+        let corpus = TypoCorpus::generate(1000, 0.15, 4);
+        let (first, second) = train_models(&corpus);
+        for row in &first.log_transition {
+            assert!(log_sum_exp(row).abs() < 1e-9);
+        }
+        for row in &first.log_observation {
+            assert!(log_sum_exp(row).abs() < 1e-9);
+        }
+        for mid in &second.log_transition {
+            for row in mid {
+                assert!(log_sum_exp(row).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn emission_peaks_on_identity() {
+        let corpus = TypoCorpus::generate(3000, 0.15, 5);
+        let (first, _) = train_models(&corpus);
+        // Pick letters that actually occur in the word list.
+        for c in [4usize, 19, 0, 13] {
+            let row = &first.log_observation[c];
+            let argmax = (0..NUM_LETTERS)
+                .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                .unwrap();
+            assert_eq!(argmax, c, "letter {} should be typed correctly most often", c);
+        }
+    }
+
+    #[test]
+    fn second_order_fits_english_better() {
+        // Average log-likelihood of held-out intended words: trigram beats
+        // bigram. This is the property Figure 9 relies on.
+        let train = TypoCorpus::generate(20_000, 0.15, 6);
+        let test = TypoCorpus::generate(500, 0.15, 7);
+        let (first, second) = train_models(&train);
+        let mut ll1 = 0.0;
+        let mut ll2 = 0.0;
+        let mut count = 0usize;
+        for pair in &test.pairs {
+            let w = &pair.intended;
+            for t in 2..w.len() {
+                ll1 += first.log_transition[w[t - 1]][w[t]];
+                ll2 += second.log_transition[w[t - 2]][w[t - 1]][w[t]];
+                count += 1;
+            }
+        }
+        assert!(count > 0);
+        assert!(
+            ll2 > ll1,
+            "trigram ll {} should beat bigram ll {}",
+            ll2 / count as f64,
+            ll1 / count as f64
+        );
+    }
+}

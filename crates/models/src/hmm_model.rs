@@ -1,0 +1,353 @@
+//! First- and second-order hidden Markov models (Listings 3–4) for the
+//! typo-correction experiment of Section 7.3.
+//!
+//! Hidden states are addressed `hidden/i` in both programs, so "each
+//! hidden state is in correspondence for the transition from P to Q".
+//! The second-order model conditions each state on the two previous
+//! states, which "impedes exact inference", while exact samples from the
+//! first-order model come from FFBS ([`exact_first_order_traces`]).
+
+use std::sync::Arc;
+
+use incremental::{Correspondence, ParticleCollection};
+use inference::hmm::Hmm;
+use ppl::dist::Dist;
+use ppl::handlers::score;
+use ppl::{addr, Address, ChoiceMap, Handler, Model, PplError, Value};
+use rand::RngCore;
+
+/// Address of hidden state `i`.
+pub fn addr_hidden(i: usize) -> Address {
+    addr!["hidden", i]
+}
+
+/// Address of observation `i`.
+pub fn addr_obs(i: usize) -> Address {
+    addr!["y", i]
+}
+
+/// Parameters of the first-order HMM (Listing 3). The first state is
+/// uniform, as in the paper's `uniform_discrete(1, num_states)`.
+#[derive(Debug, Clone)]
+pub struct FirstOrderParams {
+    /// Number of hidden states.
+    pub num_states: usize,
+    /// `log_transition[prev][next]`.
+    pub log_transition: Vec<Vec<f64>>,
+    /// `log_observation[state][symbol]`.
+    pub log_observation: Vec<Vec<f64>>,
+}
+
+/// Parameters of the second-order HMM (Listing 4).
+#[derive(Debug, Clone)]
+pub struct SecondOrderParams {
+    /// Number of hidden states.
+    pub num_states: usize,
+    /// `log_first_order_transition[prev][next]` (used for the second
+    /// state).
+    pub log_first_order_transition: Vec<Vec<f64>>,
+    /// `log_transition[prev2][prev1][next]`.
+    pub log_transition: Vec<Vec<Vec<f64>>>,
+    /// `log_observation[state][symbol]`.
+    pub log_observation: Vec<Vec<f64>>,
+}
+
+/// The Listing 3 model applied to one observation sequence.
+#[derive(Debug, Clone)]
+pub struct FirstOrderHmmModel {
+    /// Shared trained parameters.
+    pub params: Arc<FirstOrderParams>,
+    /// Observed symbols (e.g. typed characters).
+    pub observations: Vec<usize>,
+}
+
+impl Model for FirstOrderHmmModel {
+    fn exec(&self, h: &mut dyn Handler) -> Result<Value, PplError> {
+        let k = self.params.num_states as i64;
+        let n = self.observations.len();
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = if i == 0 {
+                h.sample(addr_hidden(0), Dist::uniform_int(0, k - 1))?
+            } else {
+                let prev = states[i - 1] as usize;
+                h.sample(
+                    addr_hidden(i),
+                    Dist::categorical_log(&self.params.log_transition[prev]),
+                )?
+            };
+            states.push(x.as_int()?);
+        }
+        for (i, obs) in self.observations.iter().enumerate() {
+            let state = states[i] as usize;
+            h.observe(
+                addr_obs(i),
+                Dist::categorical_log(&self.params.log_observation[state]),
+                Value::Int(*obs as i64),
+            )?;
+        }
+        Ok(Value::array(states.into_iter().map(Value::Int).collect()))
+    }
+}
+
+/// The Listing 4 model applied to one observation sequence.
+#[derive(Debug, Clone)]
+pub struct SecondOrderHmmModel {
+    /// Shared trained parameters.
+    pub params: Arc<SecondOrderParams>,
+    /// Observed symbols.
+    pub observations: Vec<usize>,
+}
+
+impl Model for SecondOrderHmmModel {
+    fn exec(&self, h: &mut dyn Handler) -> Result<Value, PplError> {
+        let k = self.params.num_states as i64;
+        let n = self.observations.len();
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = if i == 0 {
+                h.sample(addr_hidden(0), Dist::uniform_int(0, k - 1))?
+            } else if i == 1 {
+                let prev = states[0] as usize;
+                h.sample(
+                    addr_hidden(1),
+                    Dist::categorical_log(&self.params.log_first_order_transition[prev]),
+                )?
+            } else {
+                let prev2 = states[i - 2] as usize;
+                let prev1 = states[i - 1] as usize;
+                h.sample(
+                    addr_hidden(i),
+                    Dist::categorical_log(&self.params.log_transition[prev2][prev1]),
+                )?
+            };
+            states.push(x.as_int()?);
+        }
+        for (i, obs) in self.observations.iter().enumerate() {
+            let state = states[i] as usize;
+            h.observe(
+                addr_obs(i),
+                Dist::categorical_log(&self.params.log_observation[state]),
+                Value::Int(*obs as i64),
+            )?;
+        }
+        Ok(Value::array(states.into_iter().map(Value::Int).collect()))
+    }
+}
+
+/// The Section 7.3 correspondence: hidden state `i` of the second-order
+/// model corresponds to hidden state `i` of the first-order model.
+///
+/// Note the supports: `hidden/0` is `uniform(0, k-1)` in both programs and
+/// every later state is a `k`-way categorical, so every pair passes the
+/// support check.
+pub fn hmm_correspondence() -> Correspondence {
+    Correspondence::identity_on(["hidden"])
+}
+
+/// Converts first-order parameters into the dynamic-programming
+/// representation of [`inference::hmm::Hmm`] (uniform initial state).
+pub fn to_dp_hmm(params: &FirstOrderParams) -> Hmm {
+    let k = params.num_states;
+    Hmm {
+        log_initial: vec![-(k as f64).ln(); k],
+        log_transition: params.log_transition.clone(),
+        log_observation: params.log_observation.clone(),
+    }
+}
+
+/// Exact posterior traces of the first-order model via FFBS — the input
+/// collection for incremental inference ("we use exact posterior samples
+/// for P").
+///
+/// # Errors
+///
+/// Propagates scoring errors.
+pub fn exact_first_order_traces(
+    model: &FirstOrderHmmModel,
+    m: usize,
+    rng: &mut dyn RngCore,
+) -> Result<ParticleCollection, PplError> {
+    let dp = to_dp_hmm(&model.params);
+    let mut traces = Vec::with_capacity(m);
+    for _ in 0..m {
+        let states = dp.posterior_sample(&model.observations, rng);
+        let mut constraints = ChoiceMap::new();
+        for (i, s) in states.iter().enumerate() {
+            constraints.insert(addr_hidden(i), Value::Int(*s as i64));
+        }
+        traces.push(score(model, &constraints)?);
+    }
+    Ok(ParticleCollection::from_traces(traces))
+}
+
+/// Per-position posterior marginal probabilities of a ground-truth hidden
+/// sequence under a weighted particle approximation.
+///
+/// # Errors
+///
+/// Errors if the collection is degenerate.
+pub fn ground_truth_marginals(
+    particles: &ParticleCollection,
+    truth: &[usize],
+) -> Result<Vec<f64>, PplError> {
+    (0..truth.len())
+        .map(|i| {
+            particles.probability(|t| {
+                t.value(&addr_hidden(i))
+                    .map(|v| v.num_eq(&Value::Int(truth[i] as i64)))
+                    .unwrap_or(false)
+            })
+        })
+        .collect()
+}
+
+/// The Figure 9 accuracy metric: estimated log probability of the ground
+/// truth hidden sequence, `Σ_i log Pr[x_i = truth_i | y]`, with marginals
+/// floored at `floor` to keep the metric finite.
+///
+/// # Errors
+///
+/// Errors if the collection is degenerate.
+pub fn ground_truth_log_prob(
+    particles: &ParticleCollection,
+    truth: &[usize],
+    floor: f64,
+) -> Result<f64, PplError> {
+    let marginals = ground_truth_marginals(particles, truth)?;
+    Ok(marginals.iter().map(|p| p.max(floor).ln()).sum())
+}
+
+/// Average per-character ground-truth posterior probability (the summary
+/// statistic quoted in Section 7.3, e.g. "0.41 on a test set").
+///
+/// # Errors
+///
+/// Errors if the collection is degenerate.
+pub fn per_char_posterior_prob(
+    particles: &ParticleCollection,
+    truth: &[usize],
+) -> Result<f64, PplError> {
+    let marginals = ground_truth_marginals(particles, truth)?;
+    if marginals.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(marginals.iter().sum::<f64>() / marginals.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::typo::{train_models, TypoCorpus};
+    use ppl::handlers::simulate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> Arc<FirstOrderParams> {
+        let ln = |x: f64| x.ln();
+        Arc::new(FirstOrderParams {
+            num_states: 2,
+            log_transition: vec![vec![ln(0.7), ln(0.3)], vec![ln(0.4), ln(0.6)]],
+            log_observation: vec![vec![ln(0.9), ln(0.1)], vec![ln(0.2), ln(0.8)]],
+        })
+    }
+
+    #[test]
+    fn first_order_model_traces_have_expected_shape() {
+        let model = FirstOrderHmmModel {
+            params: tiny_params(),
+            observations: vec![0, 1, 0, 0],
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = simulate(&model, &mut rng).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.num_observations(), 4);
+        for i in 0..4 {
+            assert!(t.has_choice(&addr_hidden(i)));
+        }
+    }
+
+    #[test]
+    fn model_score_matches_dp_joint() {
+        // The traced model's score equals the DP lattice joint for the
+        // same hidden sequence.
+        let model = FirstOrderHmmModel {
+            params: tiny_params(),
+            observations: vec![1, 0],
+        };
+        let dp = to_dp_hmm(&model.params);
+        let mut constraints = ChoiceMap::new();
+        constraints.insert(addr_hidden(0), Value::Int(1));
+        constraints.insert(addr_hidden(1), Value::Int(0));
+        let t = score(&model, &constraints).unwrap();
+        let joint = dp.log_initial[1]
+            + dp.log_observation[1][1]
+            + dp.log_transition[1][0]
+            + dp.log_observation[0][0];
+        assert!((t.score().log() - joint).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index addresses both particles and gamma
+    fn ffbs_traces_match_smoothed_marginals() {
+        let model = FirstOrderHmmModel {
+            params: tiny_params(),
+            observations: vec![0, 1, 1],
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let particles = exact_first_order_traces(&model, 30_000, &mut rng).unwrap();
+        let dp = to_dp_hmm(&model.params);
+        let gamma = dp.smoothed_marginals(&model.observations);
+        for i in 0..3 {
+            let freq = particles
+                .probability(|t| t.value(&addr_hidden(i)).unwrap().num_eq(&Value::Int(0)))
+                .unwrap();
+            assert!(
+                (freq - gamma[i][0]).abs() < 0.01,
+                "pos {i}: {freq} vs {}",
+                gamma[i][0]
+            );
+        }
+    }
+
+    #[test]
+    fn second_order_model_runs_on_trained_params() {
+        let corpus = TypoCorpus::generate(300, 0.15, 5);
+        let (first, second) = train_models(&corpus);
+        let obs = corpus.pairs[0].typed.clone();
+        let model = SecondOrderHmmModel {
+            params: Arc::new(second),
+            observations: obs.clone(),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = simulate(&model, &mut rng).unwrap();
+        assert_eq!(t.len(), obs.len());
+        // First-order model on the same word works too.
+        let model1 = FirstOrderHmmModel {
+            params: Arc::new(first),
+            observations: obs,
+        };
+        let t1 = simulate(&model1, &mut rng).unwrap();
+        assert_eq!(t1.len(), t.len());
+    }
+
+    #[test]
+    fn metrics_behave() {
+        let model = FirstOrderHmmModel {
+            params: tiny_params(),
+            observations: vec![0, 0],
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let particles = exact_first_order_traces(&model, 5000, &mut rng).unwrap();
+        let truth = vec![0, 0];
+        let marginals = ground_truth_marginals(&particles, &truth).unwrap();
+        assert_eq!(marginals.len(), 2);
+        for m in &marginals {
+            assert!(*m > 0.5, "state 0 should dominate under obs 0: {m}");
+        }
+        let lp = ground_truth_log_prob(&particles, &truth, 1e-6).unwrap();
+        assert!((lp - marginals.iter().map(|p| p.ln()).sum::<f64>()).abs() < 1e-12);
+        let pc = per_char_posterior_prob(&particles, &truth).unwrap();
+        assert!(pc > 0.5 && pc <= 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # models — the evaluation model zoo
+//!
+//! Every program the paper's evaluation uses, in both the embedded
+//! representation (Rust closures/structs over `ppl::Handler`) and — where
+//! the dependency-graph runtime needs it — the surface-language AST:
+//!
+//! - [`burglary`] — the Figure 1 pair (original and earthquake-refined).
+//! - [`worked_examples`] — Figure 3 / Example 1, the Figure 5 pair of
+//!   Example 3, the Figure 7 edit pair, and the geometric program of
+//!   Figure 6.
+//! - [`regression`] — Bayesian linear regression (Listing 1) and robust
+//!   regression (Listing 2) for the Figure 8 experiment.
+//! - [`hmm_model`] — first- and second-order HMMs (Listings 3–4) for the
+//!   Figure 9 typo-correction experiment.
+//! - [`gmm`] — the Gaussian mixture program (Listing 5) for Figure 10.
+//! - [`data`] — synthetic stand-ins for the paper's external data sets.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod burglary;
+pub mod data;
+pub mod gmm;
+pub mod hmm_model;
+pub mod regression;
+pub mod worked_examples;
+pub mod zoo;

@@ -1,0 +1,233 @@
+//! Hierarchical addresses of random choices.
+//!
+//! Each random choice in a trace is identified by an *address*: a sequence
+//! of symbol and integer components. Loop iterations append their index, so
+//! the `i`-th Bernoulli trial of the geometric program of Section 5.4 is
+//! addressed `["flip", i]`, following the naming scheme of
+//! [Wingate et al. 2011] referenced by the paper.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One component of an [`Address`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A symbolic component, e.g. a site label or variable name.
+    Sym(Arc<str>),
+    /// An integer component, e.g. a loop index or data-point index.
+    Idx(i64),
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Sym(s) => write!(f, "{s}"),
+            Component::Idx(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Component {
+    fn from(s: &str) -> Self {
+        Component::Sym(Arc::from(s))
+    }
+}
+
+impl From<String> for Component {
+    fn from(s: String) -> Self {
+        Component::Sym(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Component {
+    fn from(i: i64) -> Self {
+        Component::Idx(i)
+    }
+}
+
+impl From<i32> for Component {
+    fn from(i: i32) -> Self {
+        Component::Idx(i64::from(i))
+    }
+}
+
+impl From<usize> for Component {
+    fn from(i: usize) -> Self {
+        Component::Idx(i as i64)
+    }
+}
+
+/// A hierarchical address identifying a random choice or observation.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::{addr, Address};
+/// let a: Address = "slope".into();
+/// let b = addr!["y", 3];
+/// assert_eq!(b.to_string(), "y/3");
+/// assert!(a != b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(Vec<Component>);
+
+impl Address {
+    /// The empty address (used as a root for extension).
+    pub fn root() -> Address {
+        Address(Vec::new())
+    }
+
+    /// Creates an address from components.
+    pub fn new(components: Vec<Component>) -> Address {
+        Address(components)
+    }
+
+    /// Returns a new address with `component` appended.
+    pub fn child(&self, component: impl Into<Component>) -> Address {
+        let mut components = self.0.clone();
+        components.push(component.into());
+        Address(components)
+    }
+
+    /// Appends a component in place.
+    pub fn push(&mut self, component: impl Into<Component>) {
+        self.0.push(component.into());
+    }
+
+    /// The components of this address.
+    pub fn components(&self) -> &[Component] {
+        &self.0
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the address has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The first component, if any.
+    pub fn head(&self) -> Option<&Component> {
+        self.0.first()
+    }
+
+    /// Concatenates two addresses: `self`'s components followed by
+    /// `other`'s.
+    pub fn concat(&self, other: &Address) -> Address {
+        let mut components = self.0.clone();
+        components.extend(other.0.iter().cloned());
+        Address(components)
+    }
+
+    /// The address formed by all components after the first, if the first
+    /// equals `prefix`.
+    pub fn strip_prefix(&self, prefix: &Address) -> Option<Address> {
+        if self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..] {
+            Some(Address(self.0[prefix.0.len()..].to_vec()))
+        } else {
+            None
+        }
+    }
+
+    /// Returns an address with the head symbol replaced by `sym`, keeping
+    /// all index components. Useful for mapping between site labels of two
+    /// programs while preserving loop indices (Section 5.4).
+    pub fn with_head_sym(&self, sym: &str) -> Address {
+        let mut components = self.0.clone();
+        if let Some(head) = components.first_mut() {
+            *head = Component::from(sym);
+        } else {
+            components.push(Component::from(sym));
+        }
+        Address(components)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "<root>");
+        }
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Address {
+    fn from(s: &str) -> Self {
+        Address(vec![Component::from(s)])
+    }
+}
+
+impl From<String> for Address {
+    fn from(s: String) -> Self {
+        Address(vec![Component::from(s)])
+    }
+}
+
+/// Builds an [`Address`] from a list of components.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::addr;
+/// let a = addr!["hidden", 4];
+/// assert_eq!(a.to_string(), "hidden/4");
+/// ```
+#[macro_export]
+macro_rules! addr {
+    ($($c:expr),+ $(,)?) => {
+        $crate::Address::new(vec![$($crate::address::Component::from($c)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_and_display() {
+        let a = addr!["x", 1, "y"];
+        assert_eq!(a.to_string(), "x/1/y");
+        assert_eq!(a.len(), 3);
+        assert_eq!(Address::root().to_string(), "<root>");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(addr!["a"] < addr!["a", 0]);
+        assert!(addr!["a", 1] < addr!["a", 2]);
+        assert!(addr!["a", 2] < addr!["b"]);
+    }
+
+    #[test]
+    fn child_extends() {
+        let a = Address::from("loop");
+        let b = a.child(7_i64);
+        assert_eq!(b.to_string(), "loop/7");
+        assert_eq!(a.to_string(), "loop");
+    }
+
+    #[test]
+    fn strip_prefix_works() {
+        let a = addr!["m", 3, "x"];
+        let p = Address::from("m");
+        assert_eq!(a.strip_prefix(&p).unwrap(), addr![3, "x"]);
+        assert!(a.strip_prefix(&Address::from("n")).is_none());
+    }
+
+    #[test]
+    fn with_head_sym_preserves_indices() {
+        let a = addr!["hidden", 4];
+        assert_eq!(a.with_head_sym("state"), addr!["state", 4]);
+        assert_eq!(Address::root().with_head_sym("x"), addr!["x"]);
+    }
+}

@@ -1,0 +1,508 @@
+//! Static checks for surface-language programs.
+//!
+//! Catches before execution the mistakes that would otherwise surface as
+//! runtime [`crate::PplError`]s mid-inference:
+//!
+//! - **use of possibly-undefined variables** (path-sensitive: a variable
+//!   assigned in only one branch of an `if`, or only inside a loop body,
+//!   is not definitely defined afterwards);
+//! - **duplicate site labels** that would collide at runtime (two random
+//!   expressions with the same label on one execution path at the same
+//!   loop depth);
+//! - **obvious type errors** (an array used where a number is needed, a
+//!   number indexed like an array) via a simple abstract interpretation.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{Block, Expr, Program, RandExpr, RandKind, Stmt};
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Will (or is very likely to) fail at runtime.
+    Error,
+    /// Suspicious but possibly intentional.
+    Warning,
+}
+
+/// One finding of the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.severity {
+            Severity::Error => write!(f, "error: {}", self.message),
+            Severity::Warning => write!(f, "warning: {}", self.message),
+        }
+    }
+}
+
+/// A coarse abstract type for the flow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsType {
+    Number,
+    Array,
+    Unknown,
+}
+
+impl AbsType {
+    fn join(self, other: AbsType) -> AbsType {
+        if self == other {
+            self
+        } else {
+            AbsType::Unknown
+        }
+    }
+}
+
+/// Definedness of a variable at a program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Defined {
+    Definitely,
+    Maybe,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Env {
+    vars: HashMap<String, (Defined, AbsType)>,
+}
+
+impl Env {
+    fn define(&mut self, name: &str, ty: AbsType) {
+        self.vars.insert(name.to_string(), (Defined::Definitely, ty));
+    }
+
+    /// Merge of two branch outcomes: defined only if defined in both.
+    fn join(mut self, other: Env) -> Env {
+        let mut merged = HashMap::new();
+        for (name, (d1, t1)) in self.vars.drain() {
+            match other.vars.get(&name) {
+                Some((d2, t2)) => {
+                    let d = if d1 == Defined::Definitely && *d2 == Defined::Definitely {
+                        Defined::Definitely
+                    } else {
+                        Defined::Maybe
+                    };
+                    merged.insert(name, (d, t1.join(*t2)));
+                }
+                None => {
+                    merged.insert(name, (Defined::Maybe, t1));
+                }
+            }
+        }
+        for (name, (_, t)) in other.vars {
+            merged.entry(name).or_insert((Defined::Maybe, t));
+        }
+        Env { vars: merged }
+    }
+}
+
+struct Checker {
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// Checks `program`, returning all diagnostics (errors first).
+pub fn check(program: &Program) -> Vec<Diagnostic> {
+    let mut checker = Checker {
+        diagnostics: Vec::new(),
+    };
+    let mut env = Env::default();
+    let mut path_sites = HashSet::new();
+    checker.check_block(&program.body, &mut env, &mut path_sites, 0);
+    if let Some(ret) = &program.ret {
+        checker.check_expr(ret, &env, &mut path_sites, 0);
+    }
+    checker
+        .diagnostics
+        .sort_by_key(|d| (d.severity != Severity::Error, d.message.clone()));
+    checker.diagnostics.dedup();
+    checker.diagnostics
+}
+
+/// Convenience: parse-and-check error count is zero.
+pub fn is_clean(program: &Program) -> bool {
+    check(program)
+        .iter()
+        .all(|d| d.severity != Severity::Error)
+}
+
+impl Checker {
+    fn error(&mut self, message: String) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            message,
+        });
+    }
+
+    fn warning(&mut self, message: String) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            message,
+        });
+    }
+
+    fn check_block(
+        &mut self,
+        block: &Block,
+        env: &mut Env,
+        path_sites: &mut HashSet<String>,
+        loop_depth: usize,
+    ) {
+        for stmt in block.stmts() {
+            self.check_stmt(stmt, env, path_sites, loop_depth);
+        }
+    }
+
+    fn check_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        path_sites: &mut HashSet<String>,
+        loop_depth: usize,
+    ) {
+        match stmt {
+            Stmt::Skip => {}
+            Stmt::Assign(name, expr) => {
+                let ty = self.check_expr(expr, env, path_sites, loop_depth);
+                env.define(name, ty);
+            }
+            Stmt::AssignIndex(name, idx, expr) => {
+                let idx_ty = self.check_expr(idx, env, path_sites, loop_depth);
+                if idx_ty == AbsType::Array {
+                    self.error(format!("index expression for `{name}` is an array"));
+                }
+                self.check_expr(expr, env, path_sites, loop_depth);
+                match env.vars.get(name) {
+                    None => self.error(format!(
+                        "element assignment to `{name}` before the array is defined"
+                    )),
+                    Some((Defined::Maybe, _)) => self.warning(format!(
+                        "element assignment to `{name}`, which may be undefined here"
+                    )),
+                    Some((Defined::Definitely, AbsType::Number)) => {
+                        self.error(format!("`{name}` is a number but is indexed like an array"))
+                    }
+                    _ => {}
+                }
+            }
+            Stmt::Observe(rand, expr) => {
+                self.check_rand(rand, env, path_sites, loop_depth);
+                self.check_expr(expr, env, path_sites, loop_depth);
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let cond_ty = self.check_expr(cond, env, path_sites, loop_depth);
+                if cond_ty == AbsType::Array {
+                    self.error("`if` condition is an array".to_string());
+                }
+                // Branches see independent site paths (they never both
+                // execute).
+                let mut then_env = env.clone();
+                let mut then_sites = path_sites.clone();
+                self.check_block(then_b, &mut then_env, &mut then_sites, loop_depth);
+                let mut else_env = env.clone();
+                let mut else_sites = path_sites.clone();
+                self.check_block(else_b, &mut else_env, &mut else_sites, loop_depth);
+                *env = then_env.join(else_env);
+                // Sites used in either branch are used on *some* path.
+                path_sites.extend(then_sites);
+                path_sites.extend(else_sites);
+            }
+            Stmt::While(cond, body) => {
+                // Condition checked in the pre-loop environment; the body
+                // may run zero times, so its definitions are only Maybe.
+                self.check_expr(cond, env, path_sites, loop_depth);
+                let mut body_env = env.clone();
+                let mut body_sites = HashSet::new();
+                self.check_block(body, &mut body_env, &mut body_sites, loop_depth + 1);
+                *env = env.clone().join(body_env);
+            }
+            Stmt::For(var, lo, hi, body) => {
+                let lo_ty = self.check_expr(lo, env, path_sites, loop_depth);
+                let hi_ty = self.check_expr(hi, env, path_sites, loop_depth);
+                if lo_ty == AbsType::Array || hi_ty == AbsType::Array {
+                    self.error(format!("loop bounds of `for {var}` are arrays"));
+                }
+                let mut body_env = env.clone();
+                body_env.define(var, AbsType::Number);
+                // Loop iterations get distinct loop indices in their
+                // addresses, so the body starts a fresh site path.
+                let mut body_sites = HashSet::new();
+                self.check_block(body, &mut body_env, &mut body_sites, loop_depth + 1);
+                // The body may run zero times: join with the pre-state.
+                *env = env.clone().join(body_env);
+            }
+        }
+    }
+
+    fn check_rand(
+        &mut self,
+        rand: &RandExpr,
+        env: &Env,
+        path_sites: &mut HashSet<String>,
+        loop_depth: usize,
+    ) {
+        // A site executed twice on the same path at the same loop depth
+        // collides at runtime.
+        if !path_sites.insert(rand.site.as_str().to_string()) {
+            self.error(format!(
+                "site `{}` is used by more than one random expression on the same \
+                 execution path; the addresses would collide",
+                rand.site
+            ));
+        }
+        let mut check_param = |e: &Expr, what: &str| {
+            let ty = self.check_expr_inner(e, env, path_sites, loop_depth);
+            if ty == AbsType::Array {
+                self.error(format!(
+                    "{what} of `{}` at site `{}` is an array",
+                    rand.kind.family(),
+                    rand.site
+                ));
+            }
+        };
+        match &rand.kind {
+            RandKind::Flip(p)
+            | RandKind::Poisson(p)
+            | RandKind::GeometricDist(p)
+            | RandKind::Exponential(p) => check_param(p, "parameter"),
+            RandKind::UniformInt(a, b)
+            | RandKind::UniformReal(a, b)
+            | RandKind::Gauss(a, b)
+            | RandKind::Beta(a, b) => {
+                check_param(a, "first parameter");
+                check_param(b, "second parameter");
+            }
+            RandKind::Categorical(ws) => {
+                for w in ws {
+                    check_param(w, "weight");
+                }
+            }
+        }
+    }
+
+    fn check_expr(
+        &mut self,
+        expr: &Expr,
+        env: &Env,
+        path_sites: &mut HashSet<String>,
+        loop_depth: usize,
+    ) -> AbsType {
+        self.check_expr_inner(expr, env, path_sites, loop_depth)
+    }
+
+    fn check_expr_inner(
+        &mut self,
+        expr: &Expr,
+        env: &Env,
+        path_sites: &mut HashSet<String>,
+        loop_depth: usize,
+    ) -> AbsType {
+        match expr {
+            Expr::Const(v) => match v {
+                crate::Value::Array(_) => AbsType::Array,
+                _ => AbsType::Number,
+            },
+            Expr::Var(name) => match env.vars.get(name) {
+                None => {
+                    self.error(format!("variable `{name}` is used before being defined"));
+                    AbsType::Unknown
+                }
+                Some((Defined::Maybe, ty)) => {
+                    self.warning(format!(
+                        "variable `{name}` may be undefined here (it is not assigned on \
+                         every path)"
+                    ));
+                    *ty
+                }
+                Some((Defined::Definitely, ty)) => *ty,
+            },
+            Expr::Unary(_, e) => {
+                let ty = self.check_expr_inner(e, env, path_sites, loop_depth);
+                if ty == AbsType::Array {
+                    self.error("unary operator applied to an array".to_string());
+                }
+                AbsType::Number
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.check_expr_inner(a, env, path_sites, loop_depth);
+                let tb = self.check_expr_inner(b, env, path_sites, loop_depth);
+                use crate::ast::BinOp::*;
+                // `==`/`!=` compare arrays fine; everything else needs
+                // numbers.
+                if !matches!(op, Eq | Ne) && (ta == AbsType::Array || tb == AbsType::Array) {
+                    self.error(format!(
+                        "binary operator `{op:?}` applied to an array operand"
+                    ));
+                }
+                AbsType::Number
+            }
+            Expr::Index(arr, idx) => {
+                let ta = self.check_expr_inner(arr, env, path_sites, loop_depth);
+                if ta == AbsType::Number {
+                    self.error("indexing into a number".to_string());
+                }
+                let ti = self.check_expr_inner(idx, env, path_sites, loop_depth);
+                if ti == AbsType::Array {
+                    self.error("array used as an index".to_string());
+                }
+                AbsType::Unknown
+            }
+            Expr::ArrayInit(n, init) => {
+                let tn = self.check_expr_inner(n, env, path_sites, loop_depth);
+                if tn == AbsType::Array {
+                    self.error("array length is an array".to_string());
+                }
+                self.check_expr_inner(init, env, path_sites, loop_depth);
+                AbsType::Array
+            }
+            Expr::Call(builtin, args) => {
+                for a in args {
+                    self.check_expr_inner(a, env, path_sites, loop_depth);
+                }
+                match builtin {
+                    crate::ast::Builtin::Len => AbsType::Number,
+                    _ => AbsType::Number,
+                }
+            }
+            Expr::Ternary(c, t, e) => {
+                let tc = self.check_expr_inner(c, env, path_sites, loop_depth);
+                if tc == AbsType::Array {
+                    self.error("ternary condition is an array".to_string());
+                }
+                let tt = self.check_expr_inner(t, env, path_sites, loop_depth);
+                let te = self.check_expr_inner(e, env, path_sites, loop_depth);
+                tt.join(te)
+            }
+            Expr::Random(rand) => {
+                self.check_rand(rand, env, path_sites, loop_depth);
+                AbsType::Number
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn errors(src: &str) -> Vec<String> {
+        check(&parse(src).unwrap())
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.message)
+            .collect()
+    }
+
+    fn warnings(src: &str) -> Vec<String> {
+        check(&parse(src).unwrap())
+            .into_iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .map(|d| d.message)
+            .collect()
+    }
+
+    #[test]
+    fn clean_programs_have_no_diagnostics() {
+        for src in [
+            "x = flip(0.5); return x;",
+            "a = 1; b = a + 2; if a < b { c = 1; } else { c = 2; } return c;",
+            "xs = array(3, 0); for i in [0..3) { xs[i] = gauss(0.0, 1.0); } return xs;",
+            "observe(flip(0.5) == 1);",
+        ] {
+            let diagnostics = check(&parse(src).unwrap());
+            assert!(diagnostics.is_empty(), "{src}: {diagnostics:?}");
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let errs = errors("x = ghost + 1; return x;");
+        assert!(errs.iter().any(|m| m.contains("`ghost`")), "{errs:?}");
+    }
+
+    #[test]
+    fn branch_only_definition_is_a_warning() {
+        let warns = warnings("a = flip(0.5); if a { y = 1; } x = y + 1; return x;");
+        assert!(warns.iter().any(|m| m.contains("`y`")), "{warns:?}");
+        // Defined in both branches: clean.
+        assert!(warnings(
+            "a = flip(0.5); if a { y = 1; } else { y = 2; } x = y + 1; return x;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn loop_body_definition_is_maybe() {
+        let warns = warnings("for i in [0..3) { y = i; } x = y; return x;");
+        assert!(warns.iter().any(|m| m.contains("`y`")), "{warns:?}");
+    }
+
+    #[test]
+    fn duplicate_site_on_one_path_is_an_error() {
+        let errs = errors("x = flip(0.5) @ s; y = flip(0.5) @ s; return x;");
+        assert!(errs.iter().any(|m| m.contains("`s`")), "{errs:?}");
+        // Different branches: fine.
+        assert!(errors(
+            "a = flip(0.5); if a { x = flip(0.5) @ s; } else { x = flip(0.3) @ s; } return x;"
+        )
+        .is_empty());
+        // Inside a loop: loop indices disambiguate — fine.
+        assert!(errors("for i in [0..3) { x = flip(0.5) @ s; } return 0;").is_empty());
+    }
+
+    #[test]
+    fn array_type_errors() {
+        let errs = errors("a = array(3, 0); x = a + 1; return x;");
+        assert!(errs.iter().any(|m| m.contains("array operand")), "{errs:?}");
+        let errs = errors("n = 3; x = n[0]; return x;");
+        assert!(errs.iter().any(|m| m.contains("indexing into a number")), "{errs:?}");
+        let errs = errors("a = array(2, 0); x = flip(a); return x;");
+        assert!(errs.iter().any(|m| m.contains("parameter")), "{errs:?}");
+        let errs = errors("n = 1; n[0] = 2; return n;");
+        assert!(errs.iter().any(|m| m.contains("indexed like an array")), "{errs:?}");
+    }
+
+    #[test]
+    fn element_assignment_before_definition() {
+        let errs = errors("xs[0] = 1; return 0;");
+        assert!(errs.iter().any(|m| m.contains("before the array is defined")), "{errs:?}");
+    }
+
+    #[test]
+    fn is_clean_matches_error_presence() {
+        assert!(is_clean(&parse("x = 1; return x;").unwrap()));
+        assert!(!is_clean(&parse("x = ghost; return x;").unwrap()));
+    }
+
+    #[test]
+    fn evaluation_programs_are_clean() {
+        assert!(check(&models_src_burglary()).is_empty());
+        fn models_src_burglary() -> crate::ast::Program {
+            parse(
+                "burglary = flip(0.02) @ alpha;
+                 pAlarm = burglary ? 0.9 : 0.01;
+                 alarm = flip(pAlarm) @ beta;
+                 if alarm { pMaryWakes = 0.8; } else { pMaryWakes = 0.05; }
+                 observe(flip(pMaryWakes) == 1) @ o;
+                 return burglary;",
+            )
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn while_loops_check() {
+        let warns = warnings("n = 0; while n < 3 { n = n + 1; m = n; } x = m; return x;");
+        assert!(warns.iter().any(|m| m.contains("`m`")), "{warns:?}");
+        let errs = errors("while ghost { skip; }");
+        assert!(errs.iter().any(|m| m.contains("`ghost`")), "{errs:?}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The Bernoulli distribution — the paper's `flip(p)`.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_unit;
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A Bernoulli distribution over `{false, true}` with success probability
+/// `p` — the paper's `flip(p)` random expression.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Bernoulli;
+/// use ppl::Value;
+/// let d = Bernoulli::new(0.2).unwrap();
+/// assert!((d.log_prob(&Value::Bool(true)).prob() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Result<Bernoulli, PplError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(PplError::InvalidDistribution(format!(
+                "flip probability must be in [0, 1], got {p}"
+            )));
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples a boolean.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        Value::Bool(uniform_unit(rng) < self.p)
+    }
+
+    /// Log probability of `value` (zero outside `{0, 1}`).
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.truthy() {
+            Ok(b) if Support::Booleans.contains(value) => {
+                LogWeight::from_prob(if b { self.p } else { 1.0 - self.p })
+            }
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support `{false, true}`.
+    pub fn support(&self) -> Support {
+        Support::Booleans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Bernoulli::new(0.0).is_ok());
+        assert!(Bernoulli::new(1.0).is_ok());
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn log_prob_matches_parameter() {
+        let d = Bernoulli::new(0.02).unwrap();
+        assert!((d.log_prob(&Value::Bool(true)).prob() - 0.02).abs() < 1e-12);
+        assert!((d.log_prob(&Value::Bool(false)).prob() - 0.98).abs() < 1e-12);
+        // Numeric encodings of booleans score identically.
+        assert_eq!(d.log_prob(&Value::Int(1)), d.log_prob(&Value::Bool(true)));
+        assert!(d.log_prob(&Value::Int(2)).is_zero());
+        assert!(d.log_prob(&Value::array(vec![])).is_zero());
+    }
+
+    #[test]
+    fn sampling_frequency_matches_p() {
+        let d = Bernoulli::new(0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if d.sample(&mut rng).truthy().unwrap() {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn degenerate_flips_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let always = Bernoulli::new(1.0).unwrap();
+        let never = Bernoulli::new(0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(always.sample(&mut rng), Value::Bool(true));
+            assert_eq!(never.sample(&mut rng), Value::Bool(false));
+        }
+        assert!(always.log_prob(&Value::Bool(false)).is_zero());
+    }
+}

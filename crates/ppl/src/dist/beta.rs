@@ -1,0 +1,166 @@
+//! The Beta distribution on `(0, 1)`.
+
+use rand::RngCore;
+
+use super::poisson::ln_gamma;
+use super::support::Support;
+use super::util::{standard_normal, uniform_positive};
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A Beta(α, β) distribution on the open unit interval.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Beta;
+/// use ppl::Value;
+/// let d = Beta::new(1.0, 1.0).unwrap(); // uniform
+/// assert!((d.log_prob(&Value::Real(0.3)).prob() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless both shape
+    /// parameters are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Beta, PplError> {
+        if !alpha.is_finite() || !beta.is_finite() || alpha <= 0.0 || beta <= 0.0 {
+            return Err(PplError::InvalidDistribution(format!(
+                "beta shapes must be positive and finite, got Beta({alpha}, {beta})"
+            )));
+        }
+        Ok(Beta { alpha, beta })
+    }
+
+    /// The first shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The second shape parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Samples via two gamma draws: `X = G_α / (G_α + G_β)`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        Value::Real((x / (x + y)).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON))
+    }
+
+    /// Log density on `(0, 1)`.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.as_real() {
+            Ok(x) if x > 0.0 && x < 1.0 => LogWeight::from_log(
+                (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+                    + ln_gamma(self.alpha + self.beta)
+                    - ln_gamma(self.alpha)
+                    - ln_gamma(self.beta),
+            ),
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support `(0, 1)`.
+    pub fn support(&self) -> Support {
+        Support::RealInterval { lo: 0.0, hi: 1.0 }
+    }
+}
+
+/// Marsaglia–Tsang gamma sampling with unit scale; boosts shapes below 1.
+pub(crate) fn sample_gamma(shape: f64, rng: &mut dyn RngCore) -> f64 {
+    if shape < 1.0 {
+        // Boost: G(a) = G(a+1) · U^{1/a}.
+        let u = uniform_positive(rng);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = standard_normal(rng);
+        let v = 1.0 + c * z;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = uniform_positive(rng);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_shapes() {
+        assert!(Beta::new(0.5, 2.0).is_ok());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let d = Beta::new(2.5, 1.5).unwrap();
+        let steps = 100_000;
+        let h = 1.0 / steps as f64;
+        let total: f64 = (0..steps)
+            .map(|i| d.log_prob(&Value::Real((i as f64 + 0.5) * h)).prob() * h)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-4, "integral {total}");
+    }
+
+    #[test]
+    fn sample_moments() {
+        // Beta(2, 3): mean 0.4, var = 2*3 / (25 * 6) = 0.04.
+        let d = Beta::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(91);
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng).as_real().unwrap();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 0.4).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.04).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn small_shape_sampling_works() {
+        let d = Beta::new(0.3, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(92);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| d.sample(&mut rng).as_real().unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn boundary_scores_zero() {
+        let d = Beta::new(2.0, 2.0).unwrap();
+        assert!(d.log_prob(&Value::Real(0.0)).is_zero());
+        assert!(d.log_prob(&Value::Real(1.0)).is_zero());
+        assert!(d.log_prob(&Value::Real(-0.5)).is_zero());
+    }
+}

@@ -1,0 +1,196 @@
+//! Categorical distribution over `0..k`, with linear- or log-space weights.
+//!
+//! This backs the `categorical_log` primitive used by the paper's HMM
+//! programs (Listings 3–4), where transition and observation rows are stored
+//! as log probabilities.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_unit;
+use crate::error::PplError;
+use crate::logweight::{log_sum_exp, LogWeight};
+use crate::value::Value;
+
+/// A categorical distribution over the integers `0..k`.
+///
+/// Stored in log space internally; construct with [`Categorical::from_probs`]
+/// or [`Categorical::from_log_probs`]. Unnormalized inputs are normalized.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Categorical;
+/// use ppl::Value;
+/// let d = Categorical::from_probs(&[0.2, 0.8]).unwrap();
+/// assert!((d.log_prob(&Value::Int(1)).prob() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    log_probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical from linear-space weights (normalized
+    /// automatically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] if the weights are empty,
+    /// contain negatives/NaNs, or sum to zero.
+    pub fn from_probs(probs: &[f64]) -> Result<Categorical, PplError> {
+        if probs.iter().any(|p| *p < 0.0 || p.is_nan()) {
+            return Err(PplError::InvalidDistribution(
+                "categorical weights must be non-negative".to_string(),
+            ));
+        }
+        Self::from_log_probs(&probs.iter().map(|p| p.ln()).collect::<Vec<_>>())
+    }
+
+    /// Creates a categorical from log-space weights (normalized
+    /// automatically) — the `categorical_log` primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] if the weights are empty,
+    /// all `-inf`, or contain NaN/`+inf`.
+    pub fn from_log_probs(log_probs: &[f64]) -> Result<Categorical, PplError> {
+        if log_probs.is_empty() {
+            return Err(PplError::InvalidDistribution(
+                "categorical needs at least one outcome".to_string(),
+            ));
+        }
+        if log_probs.iter().any(|p| p.is_nan() || *p == f64::INFINITY) {
+            return Err(PplError::InvalidDistribution(
+                "categorical log-weights must be finite or -inf".to_string(),
+            ));
+        }
+        let lse = log_sum_exp(log_probs);
+        if lse == f64::NEG_INFINITY {
+            return Err(PplError::InvalidDistribution(
+                "categorical weights sum to zero".to_string(),
+            ));
+        }
+        Ok(Categorical {
+            log_probs: log_probs.iter().map(|p| p - lse).collect(),
+        })
+    }
+
+    /// The number of outcomes `k`.
+    pub fn len(&self) -> usize {
+        self.log_probs.len()
+    }
+
+    /// Whether the distribution has zero outcomes (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.log_probs.is_empty()
+    }
+
+    /// The normalized log probabilities.
+    pub fn log_probs(&self) -> &[f64] {
+        &self.log_probs
+    }
+
+    /// Samples an outcome index by inverse CDF.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        let u = uniform_unit(rng);
+        let mut acc = 0.0;
+        for (i, lp) in self.log_probs.iter().enumerate() {
+            acc += lp.exp();
+            if u < acc {
+                return Value::Int(i as i64);
+            }
+        }
+        // Floating-point slack: return the last outcome with positive mass.
+        let last = self
+            .log_probs
+            .iter()
+            .rposition(|lp| *lp > f64::NEG_INFINITY)
+            .expect("categorical has positive mass by construction");
+        Value::Int(last as i64)
+    }
+
+    /// Log probability of outcome `value`.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.as_int() {
+            Ok(i) if i >= 0 && (i as usize) < self.log_probs.len() => {
+                LogWeight::from_log(self.log_probs[i as usize])
+            }
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support `0..=k-1`.
+    pub fn support(&self) -> Support {
+        Support::IntRange {
+            lo: 0,
+            hi: self.log_probs.len() as i64 - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Categorical::from_probs(&[]).is_err());
+        assert!(Categorical::from_probs(&[-0.1, 1.0]).is_err());
+        assert!(Categorical::from_probs(&[0.0, 0.0]).is_err());
+        assert!(Categorical::from_log_probs(&[f64::NAN]).is_err());
+        assert!(Categorical::from_log_probs(&[f64::NEG_INFINITY, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn normalizes_unnormalized_weights() {
+        let d = Categorical::from_probs(&[1.0, 3.0]).unwrap();
+        assert!((d.log_prob(&Value::Int(0)).prob() - 0.25).abs() < 1e-12);
+        assert!((d.log_prob(&Value::Int(1)).prob() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_round_trip() {
+        let d1 = Categorical::from_probs(&[0.1, 0.2, 0.7]).unwrap();
+        let d2 = Categorical::from_log_probs(&[0.1_f64.ln(), 0.2_f64.ln(), 0.7_f64.ln()]).unwrap();
+        for i in 0..3 {
+            let a = d1.log_prob(&Value::Int(i)).log();
+            let b = d2.log_prob(&Value::Int(i)).log();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_scores_zero() {
+        let d = Categorical::from_probs(&[0.5, 0.5]).unwrap();
+        assert!(d.log_prob(&Value::Int(2)).is_zero());
+        assert!(d.log_prob(&Value::Int(-1)).is_zero());
+        assert!(d.log_prob(&Value::Real(0.5)).is_zero());
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let d = Categorical::from_probs(&[0.1, 0.6, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng).as_int().unwrap() as usize] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.6).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_mass_outcomes_never_sampled() {
+        let d = Categorical::from_probs(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), Value::Int(1));
+        }
+    }
+}

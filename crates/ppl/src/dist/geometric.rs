@@ -1,0 +1,145 @@
+//! The geometric distribution: trials until the first failure.
+//!
+//! This is the marginal of the paper's Figure 6 program (`while(flip(p))
+//! n++`): the number of successful flips before the first failure.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_positive;
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A geometric distribution over `{0, 1, 2, …}`: the number of successes
+/// (probability `p` each) before the first failure.
+/// `P(X = k) = p^k (1 − p)`.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Geometric;
+/// use ppl::Value;
+/// let d = Geometric::new(0.5).unwrap();
+/// assert!((d.log_prob(&Value::Int(2)).prob() - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with continue-probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Result<Geometric, PplError> {
+        if !(0.0..1.0).contains(&p) || p.is_nan() {
+            return Err(PplError::InvalidDistribution(format!(
+                "geometric continue-probability must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Geometric { p })
+    }
+
+    /// The continue probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples by inversion: `k = ⌊ln U / ln p⌋`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        if self.p == 0.0 {
+            return Value::Int(0);
+        }
+        let u = uniform_positive(rng);
+        Value::Int((u.ln() / self.p.ln()).floor() as i64)
+    }
+
+    /// Log probability `k·ln p + ln(1 − p)`.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.as_int() {
+            // k = 0 is special-cased so p = 0 avoids 0 · ln 0 = NaN.
+            Ok(0) => LogWeight::from_prob(1.0 - self.p),
+            Ok(k) if k > 0 => {
+                LogWeight::from_log(k as f64 * self.p.ln() + (1.0 - self.p).ln())
+            }
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support: all non-negative integers.
+    pub fn support(&self) -> Support {
+        Support::NonNegativeInts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_parameter() {
+        assert!(Geometric::new(0.0).is_ok());
+        assert!(Geometric::new(0.99).is_ok());
+        assert!(Geometric::new(1.0).is_err());
+        assert!(Geometric::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Geometric::new(0.7).unwrap();
+        let total: f64 = (0..500).map(|k| d.log_prob(&Value::Int(k)).prob()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_figure6_program_marginal() {
+        // The while-loop geometric of Fig. 6 with p produces n = X + 1
+        // where X ~ Geometric(p).
+        use crate::handlers::simulate;
+        use crate::{addr, Handler};
+        let p = 0.5;
+        let program = move |h: &mut dyn Handler| {
+            let mut n = 1i64;
+            let mut i = 0i64;
+            while h
+                .sample(addr!["t", i], super::super::Dist::flip(p))?
+                .truthy()?
+            {
+                n += 1;
+                i += 1;
+            }
+            Ok(Value::Int(n))
+        };
+        let d = Geometric::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(81);
+        let n = 100_000;
+        let mut program_counts = std::collections::HashMap::new();
+        let mut dist_counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let t = simulate(&program, &mut rng).unwrap();
+            let v = t.return_value().unwrap().as_int().unwrap();
+            *program_counts.entry(v).or_insert(0usize) += 1;
+            let x = d.sample(&mut rng).as_int().unwrap() + 1;
+            *dist_counts.entry(x).or_insert(0usize) += 1;
+        }
+        for k in 1..8i64 {
+            let a = *program_counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            let b = *dist_counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            assert!((a - b).abs() < 0.01, "k={k}: program {a} vs dist {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p_zero() {
+        let d = Geometric::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(82);
+        assert_eq!(d.sample(&mut rng), Value::Int(0));
+        assert_eq!(d.log_prob(&Value::Int(0)), LogWeight::ONE);
+        assert!(d.log_prob(&Value::Int(1)).is_zero());
+    }
+}

@@ -1,0 +1,163 @@
+//! Two-component normal mixture — the `two_normals` primitive of the robust
+//! regression program (Listing 2).
+
+use rand::RngCore;
+
+use super::normal::Normal;
+use super::support::Support;
+use super::util::uniform_unit;
+use crate::error::PplError;
+use crate::logweight::{log_sum_exp, LogWeight};
+use crate::value::Value;
+
+/// A mixture of two normals with a shared mean: with probability
+/// `p_outlier` the observation is drawn from `N(mean, outlier_std)`,
+/// otherwise from `N(mean, inlier_std)`.
+///
+/// This marginalizes out the per-point outlier indicator of robust Bayesian
+/// regression, exactly like the `two_normals` distribution in the paper's
+/// Listing 2.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::TwoNormals;
+/// use ppl::Value;
+/// let d = TwoNormals::new(0.0, 0.1, 1.0, 10.0).unwrap();
+/// assert!(d.log_prob(&Value::Real(0.0)).log().is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoNormals {
+    mean: f64,
+    p_outlier: f64,
+    inlier: Normal,
+    outlier: Normal,
+}
+
+impl TwoNormals {
+    /// Creates a two-component normal mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless
+    /// `0 <= p_outlier <= 1` and both standard deviations are positive and
+    /// finite.
+    pub fn new(
+        mean: f64,
+        p_outlier: f64,
+        inlier_std: f64,
+        outlier_std: f64,
+    ) -> Result<TwoNormals, PplError> {
+        if !(0.0..=1.0).contains(&p_outlier) || p_outlier.is_nan() {
+            return Err(PplError::InvalidDistribution(format!(
+                "outlier probability must be in [0, 1], got {p_outlier}"
+            )));
+        }
+        Ok(TwoNormals {
+            mean,
+            p_outlier,
+            inlier: Normal::new(mean, inlier_std)?,
+            outlier: Normal::new(mean, outlier_std)?,
+        })
+    }
+
+    /// The shared mean of both components.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The outlier-component probability.
+    pub fn p_outlier(&self) -> f64 {
+        self.p_outlier
+    }
+
+    /// Samples by first picking the component, then the normal draw.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        if uniform_unit(rng) < self.p_outlier {
+            self.outlier.sample(rng)
+        } else {
+            self.inlier.sample(rng)
+        }
+    }
+
+    /// Log density: `log(p·N_out(x) + (1-p)·N_in(x))`, computed stably.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        let in_lp = self.inlier.log_prob(value);
+        let out_lp = self.outlier.log_prob(value);
+        if in_lp.is_zero() && out_lp.is_zero() {
+            return LogWeight::ZERO;
+        }
+        LogWeight::from_log(log_sum_exp(&[
+            (1.0 - self.p_outlier).ln() + in_lp.log(),
+            self.p_outlier.ln() + out_lp.log(),
+        ]))
+    }
+
+    /// The support: the whole real line.
+    pub fn support(&self) -> Support {
+        Support::RealLine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(TwoNormals::new(0.0, 0.5, 1.0, 2.0).is_ok());
+        assert!(TwoNormals::new(0.0, -0.1, 1.0, 2.0).is_err());
+        assert!(TwoNormals::new(0.0, 1.1, 1.0, 2.0).is_err());
+        assert!(TwoNormals::new(0.0, 0.5, 0.0, 2.0).is_err());
+        assert!(TwoNormals::new(0.0, 0.5, 1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_mixture_matches_single_normal() {
+        let mix = TwoNormals::new(1.0, 0.0, 0.5, 10.0).unwrap();
+        let n = Normal::new(1.0, 0.5).unwrap();
+        for x in [-1.0, 0.0, 1.0, 2.5] {
+            let a = mix.log_prob(&Value::Real(x)).log();
+            let b = n.log_prob(&Value::Real(x)).log();
+            assert!((a - b).abs() < 1e-12, "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixture_density_is_convex_combination() {
+        let mix = TwoNormals::new(0.0, 0.3, 1.0, 5.0).unwrap();
+        let n_in = Normal::new(0.0, 1.0).unwrap();
+        let n_out = Normal::new(0.0, 5.0).unwrap();
+        let x = Value::Real(2.0);
+        let expected = 0.7 * n_in.log_prob(&x).prob() + 0.3 * n_out.log_prob(&x).prob();
+        assert!((mix.log_prob(&x).prob() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_tail_dominates_far_out() {
+        // Far from the mean, the outlier component carries essentially all
+        // mass, so the mixture density is ~ p_outlier * N_out.
+        let mix = TwoNormals::new(0.0, 0.1, 0.5, 20.0).unwrap();
+        let n_out = Normal::new(0.0, 20.0).unwrap();
+        let x = Value::Real(30.0);
+        let ratio = mix.log_prob(&x).prob() / (0.1 * n_out.log_prob(&x).prob());
+        assert!((ratio - 1.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_variance_between_components() {
+        let mix = TwoNormals::new(0.0, 0.5, 1.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 200_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = mix.sample(&mut rng).as_real().unwrap();
+            sum_sq += x * x;
+        }
+        // variance = 0.5*1 + 0.5*9 = 5
+        let var = sum_sq / n as f64;
+        assert!((var - 5.0).abs() < 0.1, "var {var}");
+    }
+}

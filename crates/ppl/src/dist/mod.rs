@@ -1,0 +1,417 @@
+//! Primitive distributions of the probabilistic language.
+//!
+//! The paper's core language has `flip` and integer `uniform`
+//! (Section 3); the evaluation programs additionally use `normal`/`gauss`,
+//! log-space categoricals, a continuous uniform, and the `two_normals`
+//! robust-observation mixture (Listings 1–5). Each family lives in its own
+//! module; [`Dist`] is the closed sum used by traces and handlers.
+
+pub mod bernoulli;
+pub mod beta;
+pub mod categorical;
+pub mod exponential;
+pub mod geometric;
+pub mod mixture;
+pub mod normal;
+pub mod poisson;
+pub mod support;
+pub mod uniform_int;
+pub mod uniform_real;
+pub mod util;
+
+pub use bernoulli::Bernoulli;
+pub use beta::Beta;
+pub use categorical::Categorical;
+pub use exponential::Exponential;
+pub use geometric::Geometric;
+pub use mixture::TwoNormals;
+pub use normal::Normal;
+pub use poisson::Poisson;
+pub use support::Support;
+pub use uniform_int::UniformInt;
+pub use uniform_real::UniformReal;
+
+use rand::RngCore;
+
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A primitive distribution: the closed union of all families the language
+/// supports.
+///
+/// `Dist` values are stored inside [`crate::trace::Trace`]s so that any
+/// recorded choice can later be re-scored, re-sampled, or support-checked —
+/// the operations the trace translator of Section 5 needs.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Dist;
+/// use ppl::Value;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let d = Dist::flip(0.5);
+/// let v = d.sample(&mut rng);
+/// assert!(!d.log_prob(&v).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// `flip(p)`.
+    Bernoulli(Bernoulli),
+    /// `uniform(lo, hi)` over integers.
+    UniformInt(UniformInt),
+    /// Categorical over `0..k`.
+    Categorical(Categorical),
+    /// `normal(mean, std)` / `gauss`.
+    Normal(Normal),
+    /// Continuous uniform on `[lo, hi)`.
+    UniformReal(UniformReal),
+    /// Two-component robust observation mixture.
+    TwoNormals(TwoNormals),
+    /// Poisson counts.
+    Poisson(Poisson),
+    /// Geometric trials-before-failure.
+    Geometric(Geometric),
+    /// Beta on the unit interval.
+    Beta(Beta),
+    /// Exponential waiting times.
+    Exponential(Exponential),
+}
+
+impl Dist {
+    /// `flip(p)`; panics on invalid `p`. Use [`Bernoulli::new`] for a
+    /// fallible constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn flip(p: f64) -> Dist {
+        Dist::Bernoulli(Bernoulli::new(p).expect("invalid flip probability"))
+    }
+
+    /// Integer `uniform(lo, hi)` (inclusive); panics on an empty range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_int(lo: i64, hi: i64) -> Dist {
+        Dist::UniformInt(UniformInt::new(lo, hi).expect("invalid uniform range"))
+    }
+
+    /// Categorical from linear weights; panics on invalid weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty, negative, or sum to zero.
+    pub fn categorical(probs: &[f64]) -> Dist {
+        Dist::Categorical(Categorical::from_probs(probs).expect("invalid categorical"))
+    }
+
+    /// Categorical from log weights; panics on invalid weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty or all `-inf`.
+    pub fn categorical_log(log_probs: &[f64]) -> Dist {
+        Dist::Categorical(Categorical::from_log_probs(log_probs).expect("invalid categorical"))
+    }
+
+    /// `normal(mean, std)`; panics on invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `std > 0` and both parameters are finite.
+    pub fn normal(mean: f64, std: f64) -> Dist {
+        Dist::Normal(Normal::new(mean, std).expect("invalid normal"))
+    }
+
+    /// Continuous uniform on `[lo, hi)`; panics on an invalid interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn uniform_real(lo: f64, hi: f64) -> Dist {
+        Dist::UniformReal(UniformReal::new(lo, hi).expect("invalid uniform interval"))
+    }
+
+    /// `two_normals(mean, p_outlier, inlier_std, outlier_std)`; panics on
+    /// invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters rejected by [`TwoNormals::new`].
+    pub fn two_normals(mean: f64, p_outlier: f64, inlier_std: f64, outlier_std: f64) -> Dist {
+        Dist::TwoNormals(
+            TwoNormals::new(mean, p_outlier, inlier_std, outlier_std).expect("invalid mixture"),
+        )
+    }
+
+    /// `poisson(lambda)`; panics on invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0` and finite.
+    pub fn poisson(lambda: f64) -> Dist {
+        Dist::Poisson(Poisson::new(lambda).expect("invalid poisson"))
+    }
+
+    /// `geometric(p)`; panics on invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn geometric(p: f64) -> Dist {
+        Dist::Geometric(Geometric::new(p).expect("invalid geometric"))
+    }
+
+    /// `beta(alpha, beta)`; panics on invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both shapes are positive and finite.
+    pub fn beta(alpha: f64, b: f64) -> Dist {
+        Dist::Beta(Beta::new(alpha, b).expect("invalid beta"))
+    }
+
+    /// `exponential(rate)`; panics on invalid parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate > 0` and finite.
+    pub fn exponential(rate: f64) -> Dist {
+        Dist::Exponential(Exponential::new(rate).expect("invalid exponential"))
+    }
+
+    /// Fallible Poisson.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_poisson(lambda: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Poisson(Poisson::new(lambda)?))
+    }
+
+    /// Fallible geometric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_geometric(p: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Geometric(Geometric::new(p)?))
+    }
+
+    /// Fallible beta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_beta(alpha: f64, b: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Beta(Beta::new(alpha, b)?))
+    }
+
+    /// Fallible exponential.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_exponential(rate: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Exponential(Exponential::new(rate)?))
+    }
+
+    /// Fallible `flip` used by interpreters, where parameters come from
+    /// program expressions and may be invalid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_flip(p: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Bernoulli(Bernoulli::new(p)?))
+    }
+
+    /// Fallible integer uniform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_uniform_int(lo: i64, hi: i64) -> Result<Dist, PplError> {
+        Ok(Dist::UniformInt(UniformInt::new(lo, hi)?))
+    }
+
+    /// Fallible normal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_normal(mean: f64, std: f64) -> Result<Dist, PplError> {
+        Ok(Dist::Normal(Normal::new(mean, std)?))
+    }
+
+    /// Fallible continuous uniform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_uniform_real(lo: f64, hi: f64) -> Result<Dist, PplError> {
+        Ok(Dist::UniformReal(UniformReal::new(lo, hi)?))
+    }
+
+    /// Fallible categorical from linear weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PplError::InvalidDistribution`].
+    pub fn try_categorical(probs: &[f64]) -> Result<Dist, PplError> {
+        Ok(Dist::Categorical(Categorical::from_probs(probs)?))
+    }
+
+    /// Samples a value.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        match self {
+            Dist::Bernoulli(d) => d.sample(rng),
+            Dist::UniformInt(d) => d.sample(rng),
+            Dist::Categorical(d) => d.sample(rng),
+            Dist::Normal(d) => d.sample(rng),
+            Dist::UniformReal(d) => d.sample(rng),
+            Dist::TwoNormals(d) => d.sample(rng),
+            Dist::Poisson(d) => d.sample(rng),
+            Dist::Geometric(d) => d.sample(rng),
+            Dist::Beta(d) => d.sample(rng),
+            Dist::Exponential(d) => d.sample(rng),
+        }
+    }
+
+    /// Log probability (discrete) or log density (continuous) of `value`.
+    ///
+    /// Values outside the support (including ill-typed values) score
+    /// [`LogWeight::ZERO`].
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match self {
+            Dist::Bernoulli(d) => d.log_prob(value),
+            Dist::UniformInt(d) => d.log_prob(value),
+            Dist::Categorical(d) => d.log_prob(value),
+            Dist::Normal(d) => d.log_prob(value),
+            Dist::UniformReal(d) => d.log_prob(value),
+            Dist::TwoNormals(d) => d.log_prob(value),
+            Dist::Poisson(d) => d.log_prob(value),
+            Dist::Geometric(d) => d.log_prob(value),
+            Dist::Beta(d) => d.log_prob(value),
+            Dist::Exponential(d) => d.log_prob(value),
+        }
+    }
+
+    /// The support of the distribution.
+    pub fn support(&self) -> Support {
+        match self {
+            Dist::Bernoulli(d) => d.support(),
+            Dist::UniformInt(d) => d.support(),
+            Dist::Categorical(d) => d.support(),
+            Dist::Normal(d) => d.support(),
+            Dist::UniformReal(d) => d.support(),
+            Dist::TwoNormals(d) => d.support(),
+            Dist::Poisson(d) => d.support(),
+            Dist::Geometric(d) => d.support(),
+            Dist::Beta(d) => d.support(),
+            Dist::Exponential(d) => d.support(),
+        }
+    }
+
+    /// Whether the distribution is discrete.
+    pub fn is_discrete(&self) -> bool {
+        self.support().is_discrete()
+    }
+
+    /// Enumerates the support when finite and discrete (for exact
+    /// enumeration and Gibbs sweeps); `None` for continuous families.
+    pub fn enumerate_support(&self) -> Option<Vec<Value>> {
+        self.support().enumerate()
+    }
+
+    /// Whether two distributions have equal supports — the reuse condition
+    /// of the forward kernel (Section 5.1, case (ii)).
+    pub fn same_support(&self, other: &Dist) -> bool {
+        self.support() == other.support()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_dists() -> Vec<Dist> {
+        vec![
+            Dist::flip(0.3),
+            Dist::uniform_int(1, 6),
+            Dist::categorical(&[0.2, 0.8]),
+            Dist::normal(0.0, 1.0),
+            Dist::uniform_real(0.0, 1.0),
+            Dist::two_normals(0.0, 0.1, 1.0, 5.0),
+        ]
+    }
+
+    #[test]
+    fn samples_score_positively() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for d in all_dists() {
+            for _ in 0..100 {
+                let v = d.sample(&mut rng);
+                assert!(
+                    !d.log_prob(&v).is_zero(),
+                    "sample {v:?} of {d:?} scored zero"
+                );
+                assert!(d.support().contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn discreteness_flags() {
+        assert!(Dist::flip(0.5).is_discrete());
+        assert!(Dist::uniform_int(0, 3).is_discrete());
+        assert!(Dist::categorical(&[1.0]).is_discrete());
+        assert!(!Dist::normal(0.0, 1.0).is_discrete());
+        assert!(!Dist::uniform_real(0.0, 1.0).is_discrete());
+        assert!(!Dist::two_normals(0.0, 0.5, 1.0, 2.0).is_discrete());
+    }
+
+    #[test]
+    fn same_support_is_the_paper_reuse_condition() {
+        // Fig. 5: delta = flip(1/2) and theta = uniform(1,6) must NOT match.
+        assert!(!Dist::flip(0.5).same_support(&Dist::uniform_int(1, 6)));
+        // beta = uniform(0,5) and eta = flip(1/2) must not match either.
+        assert!(!Dist::uniform_int(0, 5).same_support(&Dist::flip(0.5)));
+        // flips with different p still share support — they may be reused.
+        assert!(Dist::flip(0.1).same_support(&Dist::flip(0.9)));
+        // uniform(0,9) from `uniform(0, x)` with x = 9 matches uniform(0,9).
+        assert!(Dist::uniform_int(0, 9).same_support(&Dist::uniform_int(0, 9)));
+        assert!(!Dist::uniform_int(0, 9).same_support(&Dist::uniform_int(0, 8)));
+        // all normals share the real line.
+        assert!(Dist::normal(0.0, 1.0).same_support(&Dist::normal(5.0, 2.0)));
+        assert!(Dist::normal(0.0, 1.0).same_support(&Dist::two_normals(0.0, 0.5, 1.0, 2.0)));
+    }
+
+    #[test]
+    fn enumerate_support_for_discrete_only() {
+        assert_eq!(Dist::flip(0.5).enumerate_support().unwrap().len(), 2);
+        assert_eq!(Dist::uniform_int(1, 6).enumerate_support().unwrap().len(), 6);
+        assert!(Dist::normal(0.0, 1.0).enumerate_support().is_none());
+    }
+
+    #[test]
+    fn try_constructors_propagate_errors() {
+        assert!(Dist::try_flip(2.0).is_err());
+        assert!(Dist::try_uniform_int(3, 2).is_err());
+        assert!(Dist::try_normal(0.0, -1.0).is_err());
+        assert!(Dist::try_uniform_real(1.0, 1.0).is_err());
+        assert!(Dist::try_categorical(&[]).is_err());
+        assert!(Dist::try_flip(0.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn infallible_flip_panics_on_bad_p() {
+        let _ = Dist::flip(1.5);
+    }
+}

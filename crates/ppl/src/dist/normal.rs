@@ -1,0 +1,134 @@
+//! The normal (Gaussian) distribution — PSI's `gauss`, the embedding's
+//! `normal`.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::{standard_normal, standard_normal_log_pdf};
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A normal distribution with mean `mean` and standard deviation `std`.
+///
+/// Continuous choices are scored by density, per the paper's Section 3
+/// "Continuous Distributions" remarks.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Normal;
+/// use ppl::Value;
+/// let d = Normal::new(0.0, 1.0).unwrap();
+/// let peak = d.log_prob(&Value::Real(0.0)).log();
+/// assert!((peak - (-0.5 * (2.0 * std::f64::consts::PI).ln())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless `std > 0` and both
+    /// parameters are finite.
+    pub fn new(mean: f64, std: f64) -> Result<Normal, PplError> {
+        if !mean.is_finite() || !std.is_finite() || std <= 0.0 {
+            return Err(PplError::InvalidDistribution(format!(
+                "normal requires finite mean and positive std, got N({mean}, {std})"
+            )));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Samples a real.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        Value::Real(self.mean + self.std * standard_normal(rng))
+    }
+
+    /// Log density of `value`.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.as_real() {
+            Ok(x) if x.is_finite() => {
+                let z = (x - self.mean) / self.std;
+                LogWeight::from_log(standard_normal_log_pdf(z) - self.std.ln())
+            }
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support: the whole real line.
+    pub fn support(&self) -> Support {
+        Support::RealLine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Normal::new(0.0, 1.0).is_ok());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        // Riemann sum over [-10, 10] with N(1, 2).
+        let d = Normal::new(1.0, 2.0).unwrap();
+        let steps = 20_000;
+        let h = 20.0 / steps as f64;
+        let mut total = 0.0;
+        for i in 0..steps {
+            let x = -10.0 + (i as f64 + 0.5) * h + 1.0;
+            total += d.log_prob(&Value::Real(x)).prob() * h;
+        }
+        assert!((total - 1.0).abs() < 1e-4, "integral {total}");
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Normal::new(3.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng).as_real().unwrap();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn non_numeric_scores_zero() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        assert!(d.log_prob(&Value::array(vec![])).is_zero());
+        assert!(d.log_prob(&Value::Real(f64::INFINITY)).is_zero());
+        // Integers live on the real line after coercion.
+        assert!(!d.log_prob(&Value::Int(0)).is_zero());
+    }
+}

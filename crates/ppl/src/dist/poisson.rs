@@ -1,0 +1,197 @@
+//! The Poisson distribution over non-negative counts.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_unit;
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// A Poisson distribution with rate `lambda`.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::Poisson;
+/// use ppl::Value;
+/// let d = Poisson::new(2.0).unwrap();
+/// // P(X = 0) = e^{-2}
+/// assert!((d.log_prob(&Value::Int(0)).log() + 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless `lambda` is
+    /// positive and finite.
+    pub fn new(lambda: f64) -> Result<Poisson, PplError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(PplError::InvalidDistribution(format!(
+                "poisson rate must be positive and finite, got {lambda}"
+            )));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Samples by inversion (sequential search), numerically stable for
+    /// moderate rates; falls back to a normal approximation above 700
+    /// where `e^{-λ}` underflows.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        if self.lambda > 700.0 {
+            // Normal approximation with continuity correction.
+            let z = super::util::standard_normal(rng);
+            let x = (self.lambda + self.lambda.sqrt() * z).round().max(0.0);
+            return Value::Int(x as i64);
+        }
+        let mut k = 0_i64;
+        let mut p = (-self.lambda).exp();
+        let mut cdf = p;
+        let u = uniform_unit(rng);
+        while u > cdf && k < 10_000_000 {
+            k += 1;
+            p *= self.lambda / k as f64;
+            cdf += p;
+        }
+        Value::Int(k)
+    }
+
+    /// Log probability `k·ln λ − λ − ln k!`.
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        match value.as_int() {
+            Ok(k) if k >= 0 => LogWeight::from_log(
+                k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k as u64),
+            ),
+            _ => LogWeight::ZERO,
+        }
+    }
+
+    /// The support: all non-negative integers.
+    pub fn support(&self) -> Support {
+        Support::NonNegativeInts
+    }
+}
+
+/// `ln k!` via the log-gamma function (Lanczos approximation for large
+/// `k`, exact summation below 20).
+pub(crate) fn ln_factorial(k: u64) -> f64 {
+    if k < 20 {
+        (2..=k).map(|i| (i as f64).ln()).sum()
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+/// Log-gamma by the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 on the positive reals.
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_rate() {
+        assert!(Poisson::new(1.0).is_ok());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(3.5).unwrap();
+        let total: f64 = (0..200).map(|k| d.log_prob(&Value::Int(k)).prob()).sum();
+        assert!((total - 1.0).abs() < 1e-12, "sum {total}");
+    }
+
+    #[test]
+    fn pmf_matches_closed_forms() {
+        let d = Poisson::new(2.0).unwrap();
+        // P(X=2) = λ² e^{-λ} / 2
+        let expected = 4.0 * (-2.0f64).exp() / 2.0;
+        assert!((d.log_prob(&Value::Int(2)).prob() - expected).abs() < 1e-12);
+        assert!(d.log_prob(&Value::Int(-1)).is_zero());
+        assert!(d.log_prob(&Value::Real(1.5)).is_zero());
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Poisson::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(71);
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng).as_int().unwrap() as f64;
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for k in 1..15u64 {
+            let exact: f64 = (2..=k).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_gamma(k as f64 + 1.0) - exact).abs() < 1e-10,
+                "k = {k}"
+            );
+        }
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn large_rate_uses_normal_approximation() {
+        let d = Poisson::new(1000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(72);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| d.sample(&mut rng).as_int().unwrap() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Distribution supports.
+//!
+//! Section 5.1 of the paper permits reusing a corresponding random choice
+//! only when "the support of a random choice `i ∈ F_Q` in `u`" equals "the
+//! support of `f(i)` in `t`". [`Support`] reifies supports so the forward
+//! kernel can perform that check dynamically.
+
+use crate::value::Value;
+
+/// The support of a distribution: the set of values with positive
+/// probability (or density).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Support {
+    /// The two booleans `{false, true}` (equivalently `{0, 1}`).
+    Booleans,
+    /// All non-negative integers `{0, 1, 2, …}` (countably infinite).
+    NonNegativeInts,
+    /// The inclusive integer range `lo..=hi`.
+    IntRange {
+        /// Smallest value in the support.
+        lo: i64,
+        /// Largest value in the support.
+        hi: i64,
+    },
+    /// The whole real line.
+    RealLine,
+    /// The real interval `[lo, hi)`.
+    RealInterval {
+        /// Left endpoint (inclusive).
+        lo: f64,
+        /// Right endpoint (exclusive).
+        hi: f64,
+    },
+}
+
+impl Support {
+    /// Whether this is a discrete (countable) support.
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            Support::Booleans | Support::IntRange { .. } | Support::NonNegativeInts
+        )
+    }
+
+    /// Whether `value` lies inside the support.
+    pub fn contains(&self, value: &Value) -> bool {
+        match self {
+            Support::Booleans => match value {
+                Value::Bool(_) => true,
+                Value::Int(i) => *i == 0 || *i == 1,
+                Value::Real(r) => *r == 0.0 || *r == 1.0,
+                Value::Array(_) => false,
+            },
+            Support::NonNegativeInts => matches!(value.as_int(), Ok(i) if i >= 0),
+            Support::IntRange { lo, hi } => match value.as_int() {
+                Ok(i) => *lo <= i && i <= *hi,
+                Err(_) => false,
+            },
+            Support::RealLine => value.as_real().map(f64::is_finite).unwrap_or(false),
+            Support::RealInterval { lo, hi } => match value.as_real() {
+                Ok(r) => *lo <= r && r < *hi,
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Enumerates the support if it is finite and discrete.
+    ///
+    /// Returns `None` for continuous supports. The enumeration order is
+    /// ascending.
+    pub fn enumerate(&self) -> Option<Vec<Value>> {
+        match self {
+            Support::Booleans => Some(vec![Value::Bool(false), Value::Bool(true)]),
+            Support::IntRange { lo, hi } => {
+                if lo > hi {
+                    return Some(Vec::new());
+                }
+                Some((*lo..=*hi).map(Value::Int).collect())
+            }
+            Support::NonNegativeInts
+            | Support::RealLine
+            | Support::RealInterval { .. } => None,
+        }
+    }
+
+    /// Number of elements for finite discrete supports.
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            Support::Booleans => Some(2),
+            Support::IntRange { lo, hi } => {
+                if lo > hi {
+                    Some(0)
+                } else {
+                    Some((hi - lo) as u64 + 1)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booleans_contain_zero_one() {
+        let s = Support::Booleans;
+        assert!(s.contains(&Value::Bool(true)));
+        assert!(s.contains(&Value::Int(0)));
+        assert!(s.contains(&Value::Real(1.0)));
+        assert!(!s.contains(&Value::Int(2)));
+        assert!(!s.contains(&Value::array(vec![])));
+        assert!(s.is_discrete());
+    }
+
+    #[test]
+    fn int_range_contains() {
+        let s = Support::IntRange { lo: 1, hi: 6 };
+        assert!(s.contains(&Value::Int(1)));
+        assert!(s.contains(&Value::Int(6)));
+        assert!(s.contains(&Value::Real(3.0)));
+        assert!(!s.contains(&Value::Int(0)));
+        assert!(!s.contains(&Value::Real(3.5)));
+        assert_eq!(s.cardinality(), Some(6));
+    }
+
+    #[test]
+    fn enumerate_finite() {
+        assert_eq!(Support::Booleans.enumerate().unwrap().len(), 2);
+        let vals = Support::IntRange { lo: -1, hi: 1 }.enumerate().unwrap();
+        assert_eq!(vals, vec![Value::Int(-1), Value::Int(0), Value::Int(1)]);
+        assert!(Support::RealLine.enumerate().is_none());
+        assert!(Support::IntRange { lo: 2, hi: 1 }.enumerate().unwrap().is_empty());
+    }
+
+    #[test]
+    fn real_supports() {
+        assert!(Support::RealLine.contains(&Value::Real(-1e100)));
+        assert!(!Support::RealLine.contains(&Value::Real(f64::INFINITY)));
+        let s = Support::RealInterval { lo: 0.0, hi: 1.0 };
+        assert!(s.contains(&Value::Real(0.0)));
+        assert!(!s.contains(&Value::Real(1.0)));
+        assert!(!s.is_discrete());
+        assert_eq!(s.cardinality(), None);
+    }
+
+    #[test]
+    fn support_equality_is_structural() {
+        assert_eq!(
+            Support::IntRange { lo: 0, hi: 5 },
+            Support::IntRange { lo: 0, hi: 5 }
+        );
+        assert_ne!(
+            Support::IntRange { lo: 0, hi: 5 },
+            Support::IntRange { lo: 1, hi: 6 }
+        );
+    }
+}

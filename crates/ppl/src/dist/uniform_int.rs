@@ -1,0 +1,124 @@
+//! Uniform distribution over an inclusive integer range — the paper's
+//! `uniform(E1, E2)`.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_below;
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// The uniform distribution on the integers `lo..=hi` — the paper's
+/// `uniform(E1, E2)` which "selects an integer between E1 and E2 uniformly
+/// at random".
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::UniformInt;
+/// use ppl::Value;
+/// let d = UniformInt::new(1, 6).unwrap();
+/// assert!((d.log_prob(&Value::Int(4)).prob() - 1.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformInt {
+    lo: i64,
+    hi: i64,
+}
+
+impl UniformInt {
+    /// Creates the uniform distribution on `lo..=hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Result<UniformInt, PplError> {
+        if lo > hi {
+            return Err(PplError::InvalidDistribution(format!(
+                "uniform integer range is empty: [{lo}, {hi}]"
+            )));
+        }
+        Ok(UniformInt { lo, hi })
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> i64 {
+        self.hi
+    }
+
+    /// Samples an integer uniformly from the range.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        let n = (self.hi - self.lo) as u64 + 1;
+        Value::Int(self.lo + uniform_below(rng, n) as i64)
+    }
+
+    /// Log probability of `value` (zero outside the range).
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        if self.support().contains(value) {
+            let n = (self.hi - self.lo) as f64 + 1.0;
+            LogWeight::from_prob(1.0 / n)
+        } else {
+            LogWeight::ZERO
+        }
+    }
+
+    /// The support `lo..=hi`.
+    pub fn support(&self) -> Support {
+        Support::IntRange {
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_range() {
+        assert!(UniformInt::new(0, 0).is_ok());
+        assert!(UniformInt::new(5, 4).is_err());
+        assert!(UniformInt::new(-5, -2).is_ok());
+    }
+
+    #[test]
+    fn log_prob_is_reciprocal_cardinality() {
+        let d = UniformInt::new(-5, -2).unwrap();
+        assert!((d.log_prob(&Value::Int(-3)).prob() - 0.25).abs() < 1e-12);
+        assert!(d.log_prob(&Value::Int(0)).is_zero());
+        assert!(d.log_prob(&Value::Real(-2.5)).is_zero());
+        // An integral real counts.
+        assert!((d.log_prob(&Value::Real(-2.0)).prob() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_cover_range_uniformly() {
+        let d = UniformInt::new(1, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            let v = d.sample(&mut rng).as_int().unwrap();
+            counts[(v - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_range() {
+        let d = UniformInt::new(7, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(d.sample(&mut rng), Value::Int(7));
+        assert_eq!(d.log_prob(&Value::Int(7)), LogWeight::ONE);
+    }
+}

@@ -1,0 +1,111 @@
+//! Continuous uniform distribution on a half-open real interval.
+
+use rand::RngCore;
+
+use super::support::Support;
+use super::util::uniform_unit;
+use crate::error::PplError;
+use crate::logweight::LogWeight;
+use crate::value::Value;
+
+/// The continuous uniform distribution on `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::dist::UniformReal;
+/// use ppl::Value;
+/// let d = UniformReal::new(0.0, 4.0).unwrap();
+/// assert!((d.log_prob(&Value::Real(1.0)).prob() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformReal {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformReal {
+    /// Creates the uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::InvalidDistribution`] unless `lo < hi` and both
+    /// bounds are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<UniformReal, PplError> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(PplError::InvalidDistribution(format!(
+                "uniform real interval is invalid: [{lo}, {hi})"
+            )));
+        }
+        Ok(UniformReal { lo, hi })
+    }
+
+    /// Left endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Right endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Samples a real uniformly.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Value {
+        Value::Real(self.lo + (self.hi - self.lo) * uniform_unit(rng))
+    }
+
+    /// Log density of `value` (zero outside the interval).
+    pub fn log_prob(&self, value: &Value) -> LogWeight {
+        if self.support().contains(value) {
+            LogWeight::from_log(-(self.hi - self.lo).ln())
+        } else {
+            LogWeight::ZERO
+        }
+    }
+
+    /// The support `[lo, hi)`.
+    pub fn support(&self) -> Support {
+        Support::RealInterval {
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_interval() {
+        assert!(UniformReal::new(0.0, 1.0).is_ok());
+        assert!(UniformReal::new(1.0, 1.0).is_err());
+        assert!(UniformReal::new(2.0, 1.0).is_err());
+        assert!(UniformReal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn density_is_reciprocal_length() {
+        let d = UniformReal::new(-2.0, 2.0).unwrap();
+        assert!((d.log_prob(&Value::Real(0.0)).prob() - 0.25).abs() < 1e-12);
+        assert!(d.log_prob(&Value::Real(2.0)).is_zero());
+        assert!(d.log_prob(&Value::Real(-2.5)).is_zero());
+    }
+
+    #[test]
+    fn samples_stay_in_interval() {
+        let d = UniformReal::new(3.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = d.sample(&mut rng).as_real().unwrap();
+            assert!((3.0..5.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 4.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,123 @@
+//! Low-level sampling utilities over `RngCore`.
+//!
+//! All samplers in this crate take `&mut dyn RngCore` so that handlers can
+//! own heterogeneous RNGs behind trait objects. These helpers implement
+//! unbiased primitives directly on the 64-bit output stream.
+
+use rand::RngCore;
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision.
+pub fn uniform_unit(rng: &mut dyn RngCore) -> f64 {
+    // Take the top 53 bits: the standard way to fill a double's mantissa.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A uniform draw from `[0, 1)` guaranteed to be strictly positive, for use
+/// inside logarithms.
+pub fn uniform_positive(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u = uniform_unit(rng);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// An unbiased uniform draw from `0..n` via rejection of the biased tail.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "uniform_below requires n > 0");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Reject draws from the final partial block of size `u64::MAX % n + 1`.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+/// A standard normal draw via the Box–Muller transform.
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1 = uniform_positive(rng);
+    let u2 = uniform_unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Natural log of the standard normal density at `z`.
+pub fn standard_normal_log_pdf(z: f64) -> f64 {
+    -0.5 * z * z - 0.5 * (std::f64::consts::TAU).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_unit_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = uniform_unit(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_below_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[uniform_below(&mut rng, 5) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow 5% deviation
+            assert!((c as i64 - 10_000).abs() < 500, "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_below_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(uniform_below(&mut rng, 8) < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_below_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        uniform_below(&mut rng, 0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn log_pdf_matches_known_value() {
+        // N(0,1) density at 0 is 1/sqrt(2*pi)
+        let expected = (1.0 / (std::f64::consts::TAU).sqrt()).ln();
+        assert!((standard_normal_log_pdf(0.0) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The effect-handler interface between probabilistic programs and
+//! inference.
+//!
+//! Runtime systems following the lightweight transformational-compilation
+//! design of [Wingate et al. 2011] (which the paper's Section 7.1 embedding
+//! uses) "run the program end-to-end and score each random choice". Here a
+//! program is anything implementing [`Model`], and each way of running it —
+//! prior simulation, trace scoring, constrained replay, forward translation,
+//! MH regeneration, exact enumeration — is a [`Handler`].
+
+use crate::address::Address;
+use crate::dist::Dist;
+use crate::error::PplError;
+use crate::value::Value;
+
+/// The two probabilistic effects a program can perform.
+///
+/// Implementations decide what `sample` returns (a fresh draw, a replayed
+/// value, a translated value, …) and how `observe` is accounted.
+pub trait Handler {
+    /// Requests a value for the random choice at `addr` with distribution
+    /// `dist`.
+    ///
+    /// # Errors
+    ///
+    /// Handlers report address collisions, missing constraints, and similar
+    /// conditions as [`PplError`]s.
+    fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError>;
+
+    /// Records the observation `observe(dist == value)` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Handlers report address collisions as [`PplError`]s.
+    fn observe(&mut self, addr: Address, dist: Dist, value: Value) -> Result<(), PplError>;
+}
+
+/// A probabilistic program: anything that can execute against a handler.
+///
+/// Both the AST interpreter ([`crate::ast::Program`]) and embedded Rust
+/// closures implement this trait, so every inference algorithm in the
+/// workspace works for both program representations.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::{Model, Handler, Value, PplError, addr};
+/// use ppl::dist::Dist;
+/// use ppl::handlers::PriorSampler;
+/// use rand::SeedableRng;
+///
+/// let model = |h: &mut dyn Handler| -> Result<Value, PplError> {
+///     let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+///     Ok(x)
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut sampler = PriorSampler::new(&mut rng);
+/// let value = model.exec(&mut sampler)?;
+/// let trace = sampler.into_trace();
+/// assert_eq!(trace.len(), 1);
+/// assert!(matches!(value, Value::Bool(_)));
+/// # Ok::<(), PplError>(())
+/// ```
+pub trait Model {
+    /// Runs the program, performing its probabilistic effects against
+    /// `handler`, and returns the program's return value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors and evaluation errors.
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError>;
+}
+
+impl<F> Model for F
+where
+    F: Fn(&mut dyn Handler) -> Result<Value, PplError>,
+{
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        self(handler)
+    }
+}
+
+impl Model for Box<dyn Model + Send + Sync> {
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        (**self).exec(handler)
+    }
+}
+
+impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        (**self).exec(handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr;
+    use crate::handlers::PriorSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn coin(h: &mut dyn Handler) -> Result<Value, PplError> {
+        h.sample(addr!["c"], Dist::flip(0.5))
+    }
+
+    #[test]
+    fn closures_are_models() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut handler = PriorSampler::new(&mut rng);
+        let v = coin.exec(&mut handler).unwrap();
+        assert!(matches!(v, Value::Bool(_)));
+    }
+
+    #[test]
+    fn arcs_are_models() {
+        let model = |h: &mut dyn Handler| coin(h);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut handler = PriorSampler::new(&mut rng);
+        let arc: Arc<dyn Model + Send + Sync> = Arc::new(model);
+        arc.exec(&mut handler).unwrap();
+        arc.exec(&mut handler).unwrap_err(); // address collision on reuse
+    }
+
+    #[test]
+    fn boxed_models_work() {
+        let boxed: Box<dyn Model + Send + Sync> =
+            Box::new(|h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(1.0)));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut handler = PriorSampler::new(&mut rng);
+        assert_eq!(boxed.exec(&mut handler).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,364 @@
+//! Generative combinators: address scoping and plates.
+//!
+//! Larger models compose smaller ones. Because inference semantics flow
+//! through the [`Handler`] interface, composition only needs *address
+//! hygiene*: a sub-model invoked twice must record its choices under
+//! distinct prefixes. [`scope`] runs any model under a prefixed handler;
+//! [`Plate`] replicates a component model over an index range (the
+//! "plate" of graphical-model notation), which is how the paper's
+//! evaluation models loop over data points.
+
+use crate::address::Address;
+use crate::dist::Dist;
+use crate::effects::{Handler, Model};
+use crate::error::PplError;
+use crate::value::Value;
+
+/// A handler view that prefixes every address with a fixed scope.
+pub struct ScopedHandler<'a> {
+    inner: &'a mut dyn Handler,
+    prefix: Address,
+}
+
+impl std::fmt::Debug for ScopedHandler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedHandler")
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ScopedHandler<'a> {
+    /// Wraps `inner`, prefixing all addresses with `prefix`.
+    pub fn new(inner: &'a mut dyn Handler, prefix: Address) -> ScopedHandler<'a> {
+        ScopedHandler { inner, prefix }
+    }
+}
+
+impl Handler for ScopedHandler<'_> {
+    fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
+        self.inner.sample(self.prefix.concat(&addr), dist)
+    }
+
+    fn observe(&mut self, addr: Address, dist: Dist, value: Value) -> Result<(), PplError> {
+        self.inner.observe(self.prefix.concat(&addr), dist, value)
+    }
+}
+
+/// Runs `model` against `handler` with all its addresses prefixed by
+/// `prefix`.
+///
+/// # Errors
+///
+/// Propagates the model's errors.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::gen::scope;
+/// use ppl::handlers::simulate;
+/// use ppl::{addr, Handler, PplError, Value};
+/// use ppl::dist::Dist;
+/// use rand::SeedableRng;
+///
+/// let coin = |h: &mut dyn Handler| h.sample(addr!["c"], Dist::flip(0.5));
+/// let pair = move |h: &mut dyn Handler| -> Result<Value, PplError> {
+///     let a = scope(h, addr!["first"], &coin)?;
+///     let b = scope(h, addr!["second"], &coin)?;
+///     Ok(Value::Bool(a.truthy()? && b.truthy()?))
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t = simulate(&pair, &mut rng)?;
+/// assert!(t.has_choice(&addr!["first", "c"]));
+/// assert!(t.has_choice(&addr!["second", "c"]));
+/// # Ok::<(), PplError>(())
+/// ```
+pub fn scope(
+    handler: &mut dyn Handler,
+    prefix: Address,
+    model: &dyn Model,
+) -> Result<Value, PplError> {
+    let mut scoped = ScopedHandler::new(handler, prefix);
+    model.exec(&mut scoped)
+}
+
+/// A plate: `count` independent applications of a component model, each
+/// under the scope `name/i`, returning the array of component results.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::gen::Plate;
+/// use ppl::handlers::simulate;
+/// use ppl::{addr, Handler, Model, PplError};
+/// use ppl::dist::Dist;
+/// use rand::SeedableRng;
+///
+/// let coin = |h: &mut dyn Handler| h.sample(addr!["c"], Dist::flip(0.5));
+/// let plate = Plate::new("flips", 3, coin);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t = simulate(&plate, &mut rng)?;
+/// assert_eq!(t.len(), 3);
+/// assert!(t.has_choice(&addr!["flips", 2, "c"]));
+/// # Ok::<(), PplError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plate<M> {
+    name: String,
+    count: usize,
+    component: M,
+}
+
+impl<M: Model> Plate<M> {
+    /// Creates a plate replicating `component` `count` times under
+    /// `name/i`.
+    pub fn new(name: &str, count: usize, component: M) -> Plate<M> {
+        Plate {
+            name: name.to_string(),
+            count,
+            component,
+        }
+    }
+
+    /// The replication count.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl<M: Model> Model for Plate<M> {
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        let base = Address::from(self.name.as_str());
+        let mut results = Vec::with_capacity(self.count);
+        for i in 0..self.count {
+            let prefix = base.child(i);
+            results.push(scope(handler, prefix, &self.component)?);
+        }
+        Ok(Value::array(results))
+    }
+}
+
+/// Two models run in sequence under distinct scopes, returning the pair
+/// as a two-element array.
+#[derive(Debug, Clone)]
+pub struct Pair<A, B> {
+    first_name: String,
+    first: A,
+    second_name: String,
+    second: B,
+}
+
+impl<A: Model, B: Model> Pair<A, B> {
+    /// Creates the composition.
+    pub fn new(first_name: &str, first: A, second_name: &str, second: B) -> Pair<A, B> {
+        Pair {
+            first_name: first_name.to_string(),
+            first,
+            second_name: second_name.to_string(),
+            second,
+        }
+    }
+}
+
+impl<A: Model, B: Model> Model for Pair<A, B> {
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        let a = scope(handler, Address::from(self.first_name.as_str()), &self.first)?;
+        let b = scope(
+            handler,
+            Address::from(self.second_name.as_str()),
+            &self.second,
+        )?;
+        Ok(Value::array(vec![a, b]))
+    }
+}
+
+/// A Markov combinator: threads a state through `count` applications of
+/// a kernel model, each under the scope `name/i`.
+///
+/// The kernel receives the previous state through a caller-supplied
+/// closure that builds the step model from it, and each step's return
+/// value becomes the next state. The first-order HMM of Listing 3 is
+/// exactly this shape.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::gen::Unfold;
+/// use ppl::handlers::simulate;
+/// use ppl::{addr, Handler, PplError, Value};
+/// use ppl::dist::Dist;
+/// use rand::SeedableRng;
+///
+/// // A random walk on the integers 0..10.
+/// let walk = Unfold::new("step", 5, Value::Int(5), |state: &Value| {
+///     let here = state.as_int().unwrap();
+///     move |h: &mut dyn Handler| {
+///         let up = h.sample(addr!["up"], Dist::flip(0.5))?;
+///         Ok(Value::Int((here + if up.truthy()? { 1 } else { -1 }).clamp(0, 10)))
+///     }
+/// });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t = simulate(&walk, &mut rng)?;
+/// assert_eq!(t.len(), 5);
+/// assert!(t.has_choice(&addr!["step", 4, "up"]));
+/// # Ok::<(), PplError>(())
+/// ```
+pub struct Unfold<F> {
+    name: String,
+    count: usize,
+    initial: Value,
+    kernel: F,
+}
+
+impl<F> std::fmt::Debug for Unfold<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Unfold")
+            .field("name", &self.name)
+            .field("count", &self.count)
+            .field("initial", &self.initial)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F, M> Unfold<F>
+where
+    F: Fn(&Value) -> M,
+    M: Model,
+{
+    /// Creates the combinator: `count` steps named `name/i`, starting
+    /// from `initial`.
+    pub fn new(name: &str, count: usize, initial: Value, kernel: F) -> Unfold<F> {
+        Unfold {
+            name: name.to_string(),
+            count,
+            initial,
+            kernel,
+        }
+    }
+}
+
+impl<F, M> Model for Unfold<F>
+where
+    F: Fn(&Value) -> M,
+    M: Model,
+{
+    fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        let base = Address::from(self.name.as_str());
+        let mut state = self.initial.clone();
+        let mut states = Vec::with_capacity(self.count);
+        for i in 0..self.count {
+            let step = (self.kernel)(&state);
+            state = scope(handler, base.child(i), &step)?;
+            states.push(state.clone());
+        }
+        Ok(Value::array(states))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handlers::{score, simulate};
+    use crate::{addr, Enumeration};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coin(h: &mut dyn Handler) -> Result<Value, PplError> {
+        h.sample(addr!["c"], Dist::flip(0.4))
+    }
+
+    #[test]
+    fn plate_replicates_without_collisions() {
+        let plate = Plate::new("p", 5, coin);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = simulate(&plate, &mut rng).unwrap();
+        assert_eq!(t.len(), 5);
+        for i in 0..5 {
+            assert!(t.has_choice(&addr!["p", i, "c"]));
+        }
+        let arr = t.return_value().unwrap().as_array().unwrap().to_vec();
+        assert_eq!(arr.len(), 5);
+    }
+
+    #[test]
+    fn plate_enumeration_is_product_distribution() {
+        let plate = Plate::new("p", 2, coin);
+        let e = Enumeration::run(&plate).unwrap();
+        assert_eq!(e.traces().len(), 4);
+        let both = e.probability(|t| {
+            t.value(&addr!["p", 0, "c"]).unwrap().truthy().unwrap()
+                && t.value(&addr!["p", 1, "c"]).unwrap().truthy().unwrap()
+        });
+        assert!((both - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_plates_nest_addresses() {
+        let inner = Plate::new("inner", 2, coin);
+        let outer = Plate::new("outer", 2, inner);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = simulate(&outer, &mut rng).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.has_choice(&addr!["outer", 1, "inner", 0, "c"]));
+    }
+
+    #[test]
+    fn pair_scopes_components() {
+        let pair = Pair::new("a", coin, "b", coin);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = simulate(&pair, &mut rng).unwrap();
+        assert!(t.has_choice(&addr!["a", "c"]));
+        assert!(t.has_choice(&addr!["b", "c"]));
+        // Scoped models replay correctly.
+        let rescored = score(&pair, &t.to_choice_map()).unwrap();
+        assert!((rescored.score().log() - t.score().log()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfold_threads_state_and_scopes() {
+        // A two-state Markov chain; the marginal of state 2 is checkable
+        // by enumeration.
+        let chain = Unfold::new("t", 3, Value::Bool(false), |state: &Value| {
+            let prev = state.truthy().unwrap();
+            move |h: &mut dyn Handler| {
+                let p = if prev { 0.8 } else { 0.3 };
+                h.sample(addr!["s"], Dist::flip(p))
+            }
+        });
+        let e = Enumeration::run(&chain).unwrap();
+        assert_eq!(e.traces().len(), 8);
+        // P(s2 = 1) via the chain: forward computation.
+        let p1 = 0.3;
+        let p2 = p1 * 0.8 + (1.0 - p1) * 0.3;
+        let p3 = p2 * 0.8 + (1.0 - p2) * 0.3;
+        let est = e.probability(|t| {
+            t.value(&addr!["t", 2, "s"]).unwrap().truthy().unwrap()
+        });
+        assert!((est - p3).abs() < 1e-12, "{est} vs {p3}");
+        // Replay round-trips.
+        let mut rng = StdRng::seed_from_u64(5);
+        let tr = simulate(&chain, &mut rng).unwrap();
+        let rescored = score(&chain, &tr.to_choice_map()).unwrap();
+        assert!((rescored.score().log() - tr.score().log()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plates_translate_with_site_rules() {
+        // Correspondence site rules operate on the plate name (the head
+        // component), so whole plates correspond at once.
+        use crate::handlers::simulate;
+        let p_plate = Plate::new("data", 4, |h: &mut dyn Handler| {
+            h.sample(addr!["c"], Dist::flip(0.4))
+        });
+        let q_plate = Plate::new("data", 4, |h: &mut dyn Handler| {
+            h.sample(addr!["c"], Dist::flip(0.7))
+        });
+        // Built directly on the public kernel-density oracle through the
+        // incremental crate would be a cycle; instead verify reuse via a
+        // scoring check: same choice map must replay under Q.
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = simulate(&p_plate, &mut rng).unwrap();
+        let under_q = score(&q_plate, &t.to_choice_map()).unwrap();
+        assert_eq!(under_q.len(), t.len());
+    }
+}

@@ -1,0 +1,14 @@
+//! Standard effect handlers: prior simulation, trace scoring, and
+//! constrained (importance-weighted) execution.
+//!
+//! Further handlers live where their algorithms do: the forward-translation
+//! handler in the `incremental` crate, the MH regeneration handler in the
+//! `inference` crate, the graph-building handler in `depgraph`.
+
+mod constrained;
+mod score;
+mod simulate;
+
+pub use constrained::{generate, ConstrainedSampler};
+pub use score::{score, Replayer};
+pub use simulate::{simulate, PriorSampler};

@@ -1,0 +1,135 @@
+//! Prior simulation: run the program, sampling every choice fresh.
+
+use rand::RngCore;
+
+use crate::address::Address;
+use crate::dist::Dist;
+use crate::effects::{Handler, Model};
+use crate::error::PplError;
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// A handler that samples every random choice from its distribution and
+/// records a complete [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use ppl::handlers::simulate;
+/// use ppl::{addr, Handler, PplError, Value};
+/// use ppl::dist::Dist;
+/// use rand::SeedableRng;
+///
+/// let model = |h: &mut dyn Handler| h.sample(addr!["x"], Dist::flip(0.5));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let trace = simulate(&model, &mut rng)?;
+/// assert_eq!(trace.len(), 1);
+/// # Ok::<(), PplError>(())
+/// ```
+pub struct PriorSampler<'a> {
+    rng: &'a mut dyn RngCore,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for PriorSampler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PriorSampler")
+            .field("trace", &self.trace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PriorSampler<'a> {
+    /// Creates a sampler drawing randomness from `rng`.
+    pub fn new(rng: &'a mut dyn RngCore) -> PriorSampler<'a> {
+        PriorSampler {
+            rng,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Consumes the handler, returning the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Borrows the trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl Handler for PriorSampler<'_> {
+    fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
+        let value = dist.sample(self.rng);
+        let log_prob = dist.log_prob(&value);
+        self.trace
+            .record_choice(addr, value.clone(), dist, log_prob)?;
+        Ok(value)
+    }
+
+    fn observe(&mut self, addr: Address, dist: Dist, value: Value) -> Result<(), PplError> {
+        let log_prob = dist.log_prob(&value);
+        self.trace.record_observation(addr, value, dist, log_prob)
+    }
+}
+
+/// Runs `model` once under the prior and returns the recorded trace (with
+/// the return value stored in it).
+///
+/// # Errors
+///
+/// Propagates evaluation errors from the model.
+pub fn simulate(model: &dyn Model, rng: &mut dyn RngCore) -> Result<Trace, PplError> {
+    let mut handler = PriorSampler::new(rng);
+    let value = model.exec(&mut handler)?;
+    let mut trace = handler.into_trace();
+    trace.set_return_value(value);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_flips(h: &mut dyn Handler) -> Result<Value, PplError> {
+        let a = h.sample(addr!["a"], Dist::flip(0.5))?;
+        let b = h.sample(addr!["b"], Dist::flip(0.5))?;
+        h.observe(addr!["o"], Dist::flip(0.9), Value::Bool(true))?;
+        Ok(Value::Bool(a.truthy()? && b.truthy()?))
+    }
+
+    #[test]
+    fn records_choices_and_observations() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let trace = simulate(&two_flips, &mut rng).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.num_observations(), 1);
+        assert!(trace.return_value().is_some());
+        // score = 0.5 * 0.5 * 0.9
+        assert!((trace.score().prob() - 0.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_given_seed() {
+        let t1 = simulate(&two_flips, &mut StdRng::seed_from_u64(42)).unwrap();
+        let t2 = simulate(&two_flips, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn address_collision_is_an_error() {
+        let model = |h: &mut dyn Handler| {
+            h.sample(addr!["x"], Dist::flip(0.5))?;
+            h.sample(addr!["x"], Dist::flip(0.5))
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            simulate(&model, &mut rng),
+            Err(PplError::AddressCollision(_))
+        ));
+    }
+}

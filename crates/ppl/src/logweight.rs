@@ -1,0 +1,275 @@
+//! Log-space weights and probabilities.
+//!
+//! Every score in this workspace — choice probabilities, observation
+//! likelihoods, trace scores, importance weights — is carried in log space so
+//! that the long products of Section 3 ("Probability of a Trace") and the
+//! weight estimate of Eq. (8) become sums and never underflow.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A probability-like quantity stored as its natural logarithm.
+///
+/// `LogWeight` is a thin newtype over `f64`. Multiplication of probabilities
+/// corresponds to [`Add`]; division to [`Sub`]. The zero probability is
+/// [`LogWeight::ZERO`] (`-inf`) and the unit probability is
+/// [`LogWeight::ONE`] (`0.0`).
+///
+/// # Examples
+///
+/// ```
+/// use ppl::LogWeight;
+/// let half = LogWeight::from_prob(0.5);
+/// let quarter = half + half;
+/// assert!((quarter.prob() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogWeight(pub f64);
+
+impl LogWeight {
+    /// The unit weight: probability 1, log value 0.
+    pub const ONE: LogWeight = LogWeight(0.0);
+    /// The zero weight: probability 0, log value `-inf`.
+    pub const ZERO: LogWeight = LogWeight(f64::NEG_INFINITY);
+
+    /// Creates a weight from a linear-space probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or NaN.
+    pub fn from_prob(p: f64) -> LogWeight {
+        assert!(p >= 0.0, "probability must be non-negative, got {p}");
+        LogWeight(p.ln())
+    }
+
+    /// Creates a weight directly from a log-space value.
+    pub fn from_log(log_p: f64) -> LogWeight {
+        LogWeight(log_p)
+    }
+
+    /// Returns the log-space value.
+    pub fn log(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the linear-space probability `exp(self)`.
+    pub fn prob(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Whether this weight represents probability zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Whether the underlying log value is finite (i.e. a positive, finite
+    /// probability).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Whether the log value is NaN (an invalid weight).
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+}
+
+impl Default for LogWeight {
+    /// The default weight is the unit weight (probability 1).
+    fn default() -> Self {
+        LogWeight::ONE
+    }
+}
+
+impl fmt::Display for LogWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exp({})", self.0)
+    }
+}
+
+impl Add for LogWeight {
+    type Output = LogWeight;
+    /// Multiplies the underlying probabilities.
+    fn add(self, rhs: LogWeight) -> LogWeight {
+        // `-inf + inf` would be NaN; a zero probability multiplied by
+        // anything (including an infinite density ratio) stays zero.
+        if self.is_zero() || rhs.is_zero() {
+            return LogWeight::ZERO;
+        }
+        LogWeight(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for LogWeight {
+    fn add_assign(&mut self, rhs: LogWeight) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for LogWeight {
+    type Output = LogWeight;
+    /// Divides the underlying probabilities.
+    fn sub(self, rhs: LogWeight) -> LogWeight {
+        if self.is_zero() {
+            return LogWeight::ZERO;
+        }
+        LogWeight(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for LogWeight {
+    fn sub_assign(&mut self, rhs: LogWeight) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for LogWeight {
+    type Output = LogWeight;
+    /// Inverts the underlying probability (reciprocal).
+    fn neg(self) -> LogWeight {
+        LogWeight(-self.0)
+    }
+}
+
+impl Mul<f64> for LogWeight {
+    type Output = LogWeight;
+    /// Raises the underlying probability to the power `rhs`.
+    fn mul(self, rhs: f64) -> LogWeight {
+        LogWeight(self.0 * rhs)
+    }
+}
+
+impl Sum for LogWeight {
+    /// Product of probabilities (sum in log space).
+    fn sum<I: Iterator<Item = LogWeight>>(iter: I) -> LogWeight {
+        iter.fold(LogWeight::ONE, |acc, w| acc + w)
+    }
+}
+
+impl From<f64> for LogWeight {
+    /// Interprets the value as a *log-space* weight.
+    fn from(log_p: f64) -> Self {
+        LogWeight(log_p)
+    }
+}
+
+/// Computes `log(sum_i exp(x_i))` stably.
+///
+/// Returns `-inf` for an empty slice or a slice of `-inf` values.
+///
+/// # Examples
+///
+/// ```
+/// use ppl::logweight::log_sum_exp;
+/// let lse = log_sum_exp(&[0.0_f64.ln(), 0.0_f64.ln()]);
+/// assert!(lse.is_infinite());
+/// let lse = log_sum_exp(&[0.5_f64.ln(), 0.5_f64.ln()]);
+/// assert!((lse - 1.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Normalizes a slice of log weights into linear-space probabilities that
+/// sum to one. Returns `None` if all weights are zero (or the slice is
+/// empty).
+pub fn normalize_log_weights(log_ws: &[f64]) -> Option<Vec<f64>> {
+    let lse = log_sum_exp(log_ws);
+    if lse == f64::NEG_INFINITY {
+        return None;
+    }
+    Some(log_ws.iter().map(|w| (w - lse).exp()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_zero() {
+        assert_eq!(LogWeight::ONE.prob(), 1.0);
+        assert_eq!(LogWeight::ZERO.prob(), 0.0);
+        assert!(LogWeight::ZERO.is_zero());
+        assert!(!LogWeight::ONE.is_zero());
+        assert_eq!(LogWeight::default(), LogWeight::ONE);
+    }
+
+    #[test]
+    fn add_multiplies() {
+        let a = LogWeight::from_prob(0.2);
+        let b = LogWeight::from_prob(0.5);
+        assert!(((a + b).prob() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_divides() {
+        let a = LogWeight::from_prob(0.1);
+        let b = LogWeight::from_prob(0.5);
+        assert!(((a - b).prob() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_absorbs() {
+        let z = LogWeight::ZERO + LogWeight::from_log(f64::INFINITY);
+        assert!(z.is_zero());
+        let z = LogWeight::from_log(f64::INFINITY) + LogWeight::ZERO;
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn neg_inverts() {
+        let a = LogWeight::from_prob(0.25);
+        assert!(((-a).prob() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_is_product() {
+        let total: LogWeight = [0.5, 0.5, 0.5]
+            .iter()
+            .map(|&p| LogWeight::from_prob(p))
+            .sum();
+        assert!((total.prob() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow_via_mul() {
+        let a = LogWeight::from_prob(0.5) * 3.0;
+        assert!((a.prob() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lse_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn lse_large_values_stable() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        let probs = normalize_log_weights(&[0.0, 0.0]).unwrap();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+        assert!(normalize_log_weights(&[]).is_none());
+        assert!(normalize_log_weights(&[f64::NEG_INFINITY]).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_prob_panics() {
+        let _ = LogWeight::from_prob(-0.1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Lexer for the surface language.
+
+use std::fmt;
+
+use crate::error::PplError;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (used for site annotations).
+    Str(String),
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `@`
+    At,
+    /// `..`
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Real(r) => write!(f, "{r}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Assign => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Bang => write!(f, "!"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Question => write!(f, "?"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::At => write!(f, "@"),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns [`PplError::Other`] describing the position of any unexpected
+/// character or malformed literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, PplError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            tokens.push(Token {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '=' if next == Some('=') => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '!' if next == Some('=') => push!(Tok::NotEq, 2),
+            '!' => push!(Tok::Bang, 1),
+            '<' if next == Some('=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if next == Some('=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '&' if next == Some('&') => push!(Tok::AndAnd, 2),
+            '|' if next == Some('|') => push!(Tok::OrOr, 2),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' => push!(Tok::Percent, 1),
+            '?' => push!(Tok::Question, 1),
+            ':' => push!(Tok::Colon, 1),
+            ';' => push!(Tok::Semi, 1),
+            ',' => push!(Tok::Comma, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            '@' => push!(Tok::At, 1),
+            '.' if next == Some('.') => push!(Tok::DotDot, 2),
+            '"' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '"' {
+                    end += 1;
+                }
+                if end >= chars.len() {
+                    return Err(PplError::Other(format!(
+                        "unterminated string literal at line {line}, column {col}"
+                    )));
+                }
+                let s: String = chars[start..end].iter().collect();
+                let len = end - i + 1;
+                push!(Tok::Str(s), len);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                while end < chars.len() && chars[end].is_ascii_digit() {
+                    end += 1;
+                }
+                // A fractional part — but not the `..` of a range.
+                let mut is_real = false;
+                if end < chars.len()
+                    && chars[end] == '.'
+                    && chars.get(end + 1).map(|c| c.is_ascii_digit()) == Some(true)
+                {
+                    is_real = true;
+                    end += 1;
+                    while end < chars.len() && chars[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < chars.len() && (chars[end] == 'e' || chars[end] == 'E') {
+                    let mut exp_end = end + 1;
+                    if exp_end < chars.len() && (chars[exp_end] == '+' || chars[exp_end] == '-') {
+                        exp_end += 1;
+                    }
+                    if exp_end < chars.len() && chars[exp_end].is_ascii_digit() {
+                        is_real = true;
+                        end = exp_end;
+                        while end < chars.len() && chars[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..end].iter().collect();
+                let len = end - start;
+                if is_real {
+                    let v = text.parse::<f64>().map_err(|_| {
+                        PplError::Other(format!("malformed real literal `{text}` at line {line}"))
+                    })?;
+                    push!(Tok::Real(v), len);
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| {
+                        PplError::Other(format!("malformed int literal `{text}` at line {line}"))
+                    })?;
+                    push!(Tok::Int(v), len);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_')
+                {
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                let len = end - start;
+                push!(Tok::Ident(text), len);
+            }
+            other => {
+                return Err(PplError::Other(format!(
+                    "unexpected character `{other}` at line {line}, column {col}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("x = flip(0.5);"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("flip".into()),
+                Tok::LParen,
+                Tok::Real(0.5),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_eq_and_assign() {
+        assert_eq!(
+            toks("a == b = c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::Assign,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_are_not_reals() {
+        assert_eq!(
+            toks("[0..5)"),
+            vec![
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Int(5),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("x = 1; // set x\ny = 2;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Ident("y".into()),
+                Tok::Assign,
+                Tok::Int(2),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("x = 1;\ny = 2;").unwrap();
+        let y = tokens.iter().find(|t| t.tok == Tok::Ident("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+        assert_eq!(y.col, 1);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e3"), vec![Tok::Real(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Real(0.025), Tok::Eof]);
+    }
+
+    #[test]
+    fn string_site_annotations() {
+        assert_eq!(
+            toks("flip(0.5) @ \"alpha\""),
+            vec![
+                Tok::Ident("flip".into()),
+                Tok::LParen,
+                Tok::Real(0.5),
+                Tok::RParen,
+                Tok::At,
+                Tok::Str("alpha".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("x = #").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn logical_operators() {
+        assert_eq!(
+            toks("a && b || !c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: define two related models, translate posterior samples of
+//! the first into weighted posterior samples of the second, and compare
+//! the estimate against exact enumeration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use incremental_ppl::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), PplError> {
+    // P: a biased coin observed through a noisy channel.
+    let p = |h: &mut dyn Handler| -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let p_obs = if x.truthy()? { 0.8 } else { 0.2 };
+        h.observe(addr!["o"], Dist::flip(p_obs), Value::Bool(true))?;
+        Ok(x)
+    };
+    // Q: the same latent with a much sharper observation channel.
+    let q = |h: &mut dyn Handler| -> Result<Value, PplError> {
+        let x = h.sample(addr!["x"], Dist::flip(0.5))?;
+        let p_obs = if x.truthy()? { 0.95 } else { 0.05 };
+        h.observe(addr!["o"], Dist::flip(p_obs), Value::Bool(true))?;
+        Ok(x)
+    };
+
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Posterior samples of P, here exactly (P is small and discrete).
+    let posterior_p = inference::ExactPosterior::new(&p)?;
+    let particles = ParticleCollection::from_traces(posterior_p.samples(10_000, &mut rng));
+
+    // A trace translator using the identity correspondence on `x`.
+    let translator = CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["x"]));
+
+    // One SMC step (Algorithm 2): translate + reweight.
+    let adapted = infer(
+        &translator,
+        None,
+        &particles,
+        &SmcConfig::translate_only(),
+        &mut rng,
+    )?;
+
+    let x_true = |t: &Trace| t.value(&addr!["x"]).unwrap().truthy().unwrap();
+    let estimate = adapted.probability(x_true)?;
+    let exact = Enumeration::run(&q)?.probability(x_true);
+
+    println!("incremental estimate of Q's posterior P(x = 1): {estimate:.4}");
+    println!("exact (by enumeration):                         {exact:.4}");
+    println!("effective sample size: {:.1} of {}", adapted.ess(), adapted.len());
+    Ok(())
+}

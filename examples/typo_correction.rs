@@ -1,0 +1,75 @@
+//! Typo correction with a higher-order HMM (Section 7.3): translate
+//! exact FFBS samples of a first-order HMM into a second-order HMM and
+//! decode a noisy word.
+//!
+//! Run with: `cargo run --release --example typo_correction`
+
+use std::sync::Arc;
+
+use incremental_ppl::prelude::*;
+use models::data::typo::{indices_to_word, train_models, TypoCorpus};
+use models::hmm_model::{
+    addr_hidden, exact_first_order_traces, hmm_correspondence, per_char_posterior_prob,
+    FirstOrderHmmModel, SecondOrderHmmModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), PplError> {
+    // Train both HMMs on a synthetic corpus of (intended, typed) pairs.
+    let corpus = TypoCorpus::generate(12_000, 0.2, 99);
+    let (first, second) = train_models(&corpus);
+    let (first, second) = (Arc::new(first), Arc::new(second));
+
+    let test = TypoCorpus::generate(5, 0.2, 100);
+    let mut rng = StdRng::seed_from_u64(17);
+
+    for pair in &test.pairs {
+        let p_model = FirstOrderHmmModel {
+            params: Arc::clone(&first),
+            observations: pair.typed.clone(),
+        };
+        let q_model = SecondOrderHmmModel {
+            params: Arc::clone(&second),
+            observations: pair.typed.clone(),
+        };
+        let translator =
+            CorrespondenceTranslator::new(p_model.clone(), q_model, hmm_correspondence());
+
+        // 30 exact FFBS traces of the first-order model, translated.
+        let input = exact_first_order_traces(&p_model, 30, &mut rng)?;
+        let adapted = infer(
+            &translator,
+            None,
+            &input,
+            &SmcConfig::translate_only(),
+            &mut rng,
+        )?;
+
+        // Decode: the per-position posterior mode.
+        let mut decoded = Vec::new();
+        for i in 0..pair.typed.len() {
+            let mut best = (0usize, -1.0);
+            for s in 0..26 {
+                let prob = adapted.probability(|t| {
+                    t.value(&addr_hidden(i))
+                        .map(|v| v.num_eq(&Value::Int(s as i64)))
+                        .unwrap_or(false)
+                })?;
+                if prob > best.1 {
+                    best = (s, prob);
+                }
+            }
+            decoded.push(best.0);
+        }
+        let pc = per_char_posterior_prob(&adapted, &pair.intended)?;
+        println!(
+            "typed {:<12} decoded {:<12} intended {:<12} per-char P(truth) = {:.2}",
+            indices_to_word(&pair.typed),
+            indices_to_word(&decoded),
+            indices_to_word(&pair.intended),
+            pc
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Property-based differential testing of the whole incremental pipeline:
+//! random surface programs, random constant edits, and the invariant that
+//! the Section 6 translator's weight always equals the exact Eq. (2)
+//! oracle for the produced trace pair.
+
+use depgraph::IncrementalTranslator;
+use incremental::{exact_weight_estimate, TraceTranslator};
+use ppl::handlers::simulate;
+use ppl::parse;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generator of small, runtime-safe surface programs: all variables are
+/// pre-initialized, flip probabilities stay in (0, 1), no division.
+fn program_strategy() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        (0usize..3, 1u32..99).prop_map(|(v, p)| format!("v{v} = flip(0.{p:02});")),
+        (0usize..3, 0i64..4, 1i64..5)
+            .prop_map(|(v, lo, k)| format!("v{v} = uniform({lo}, {});", lo + k)),
+        (0usize..3, 0usize..3, 0usize..3).prop_map(|(v, a, b)| {
+            format!("v{v} = va{a} + va{b};")
+        }),
+        (0usize..3, 1u32..99, 0usize..3, 0usize..3).prop_map(|(c, p, a, b)| {
+            format!("if va{c} > 0 {{ va{a} = flip(0.{p:02}); }} else {{ va{b} = 1; }}")
+        }),
+        (1u32..99, 0usize..3).prop_map(|(p, v)| {
+            format!("observe(flip(0.{p:02}) == (va{v} > 0));")
+        }),
+        (0usize..3, 1i64..4, 1u32..99).prop_map(|(v, n, p)| {
+            format!("for i{v} in [0..{n}) {{ va{v} = flip(0.{p:02}); }}")
+        }),
+    ];
+    proptest::collection::vec(stmt, 1..6).prop_map(|stmts| {
+        let mut src = String::from("va0 = 1; va1 = 0; va2 = 1; v0 = 0; v1 = 0; v2 = 0;\n");
+        for s in stmts {
+            src.push_str(&s);
+            src.push('\n');
+        }
+        src.push_str("return va0;");
+        src
+    })
+}
+
+/// Perturbs every `0.XX` constant by a deterministic amount, producing a
+/// semantically different but structurally identical program — the
+/// "hyperparameter edit" shape.
+fn perturb_constants(src: &str, delta: u32) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '0' && chars.peek() == Some(&'.') {
+            chars.next(); // '.'
+            let mut digits = String::new();
+            while chars.peek().map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                digits.push(chars.next().unwrap());
+            }
+            if digits.is_empty() {
+                // Not a real literal — e.g. the `0..` of a range.
+                out.push_str("0.");
+                continue;
+            }
+            let value: u32 = digits.parse().unwrap_or(50);
+            let scale = 10u32.pow(digits.len() as u32);
+            // Stay strictly inside (0, scale).
+            let perturbed = (value + delta) % (scale - 1) + 1;
+            out.push_str(&format!("0.{perturbed:0width$}", width = digits.len()));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any generated program, any constant perturbation, and any
+    /// seed: the incremental translator's weight matches the exact
+    /// oracle, and translating with the identity edit is free.
+    #[test]
+    fn incremental_weights_match_oracle_on_random_edits(
+        src in program_strategy(),
+        delta in 1u32..37,
+        seed in 0u64..200,
+    ) {
+        let p = parse(&src).unwrap();
+        let q_src = perturb_constants(&src, delta);
+        let q = parse(&q_src).unwrap();
+        let translator = IncrementalTranslator::from_edit(p.clone(), q.clone());
+        let corr = translator.edit().correspondence.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = simulate(&p, &mut rng).unwrap();
+        let out = translator.translate(&t, &mut rng).unwrap();
+        let oracle = exact_weight_estimate(&p, &q, &corr, &t, &out.trace).unwrap();
+        prop_assert!(
+            (out.log_weight.log() - oracle.log()).abs() < 1e-9
+                || (out.log_weight.is_zero() && oracle.is_zero()),
+            "src:\n{src}\nq:\n{q_src}\nincremental {} vs oracle {}",
+            out.log_weight.log(),
+            oracle.log()
+        );
+    }
+
+    /// The identity edit is always recognized: zero visits, unit weight.
+    #[test]
+    fn identity_edit_is_always_free(src in program_strategy(), seed in 0u64..100) {
+        let p = parse(&src).unwrap();
+        let q = parse(&src).unwrap();
+        let translator = IncrementalTranslator::from_edit(p.clone(), q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = depgraph::ExecGraph::simulate(&p, &mut rng).unwrap();
+        let result = translator.translate_graph(&graph, &mut rng).unwrap();
+        prop_assert_eq!(result.stats.visited, 0, "src:\n{}", src);
+        prop_assert!(result.log_weight.log().abs() < 1e-12);
+        prop_assert_eq!(
+            result.graph.to_trace().unwrap().to_choice_map(),
+            graph.to_trace().unwrap().to_choice_map()
+        );
+    }
+}
