@@ -8,8 +8,8 @@ use incremental::{McmcKernel, SmcConfig};
 use inference::IndependentMetropolisCycle;
 use models::data::hospital::HospitalData;
 use models::regression::{
-    exact_posterior_traces, regression_correspondence, LinRegModel, NoOutlierParams,
-    OutlierParams, RobustRegModel,
+    exact_posterior_traces, regression_correspondence, LinRegModel, NoOutlierParams, OutlierParams,
+    RobustRegModel,
 };
 use ppl::handlers::simulate;
 use rand::rngs::StdRng;

@@ -126,7 +126,11 @@ pub struct ProposalRow {
 /// # Panics
 ///
 /// Panics on internal errors only.
-pub fn fresh_proposal_ablation(seed: u64, m: usize, replications: usize) -> (f64, Vec<ProposalRow>) {
+pub fn fresh_proposal_ablation(
+    seed: u64,
+    m: usize,
+    replications: usize,
+) -> (f64, Vec<ProposalRow>) {
     use incremental::TraceTranslator;
     let p = obs_model(0.6);
     let q = |h: &mut dyn Handler| -> Result<Value, PplError> {
@@ -134,7 +138,11 @@ pub fn fresh_proposal_ablation(seed: u64, m: usize, replications: usize) -> (f64
         let po = if x.truthy()? { 0.6 } else { 0.4 };
         h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
         let y = h.sample(addr!["y"], Dist::normal(0.0, 5.0))?;
-        h.observe(addr!["oy"], Dist::normal(y.as_real()?, 0.2), Value::Real(3.0))?;
+        h.observe(
+            addr!["oy"],
+            Dist::normal(y.as_real()?, 0.2),
+            Value::Real(3.0),
+        )?;
         Ok(x)
     };
     // Conjugate posterior of y.
@@ -163,7 +171,9 @@ pub fn fresh_proposal_ablation(seed: u64, m: usize, replications: usize) -> (f64
             let particles = ParticleCollection::from_traces(sampler.samples(m, &mut rng));
             let mut adapted = ParticleCollection::new();
             for particle in particles.iter() {
-                let out = translator.translate(&particle.trace, &mut rng).expect("translates");
+                let out = translator
+                    .translate(&particle.trace, &mut rng)
+                    .expect("translates");
                 adapted.push(out.trace, out.log_weight);
             }
             fractions.push(adapted.ess() / m as f64);
@@ -189,7 +199,12 @@ pub fn render_proposals(exact_mean: f64, rows: &[ProposalRow]) -> String {
     );
     for r in rows {
         table.row(&[
-            if r.smart { "conjugate conditional" } else { "prior (paper default)" }.into(),
+            if r.smart {
+                "conjugate conditional"
+            } else {
+                "prior (paper default)"
+            }
+            .into(),
             format!("{:.3}", r.ess_fraction),
             format!("{:.4}", r.avg_error),
             format!("{exact_mean:.4}"),

@@ -12,5 +12,8 @@ fn main() {
     println!("{}", benches::ablation::render_schemes(exact, &schemes));
     let (exact_mean, proposals) =
         benches::ablation::fresh_proposal_ablation(17, m.min(2_000), reps);
-    println!("{}", benches::ablation::render_proposals(exact_mean, &proposals));
+    println!(
+        "{}",
+        benches::ablation::render_proposals(exact_mean, &proposals)
+    );
 }

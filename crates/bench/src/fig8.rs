@@ -12,8 +12,8 @@
 
 use std::time::Duration;
 
-use incremental::{McmcKernel, ParticleCollection, TraceTranslator};
 use incremental::CorrespondenceTranslator;
+use incremental::{McmcKernel, ParticleCollection, TraceTranslator};
 use inference::stats::mean;
 use inference::{GaussianDriftKernel, IndependentMetropolisCycle};
 use models::data::hospital::HospitalData;
@@ -236,9 +236,7 @@ fn estimate_slope(
             rng,
         )
         .expect("translation succeeds");
-        adapted
-            .estimate(slope_of)
-            .unwrap_or(f64::NAN)
+        adapted.estimate(slope_of).unwrap_or(f64::NAN)
     } else {
         let adapted = incremental::infer_without_weights(translator, particles, rng)
             .expect("translation succeeds");

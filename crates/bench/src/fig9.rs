@@ -11,8 +11,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use incremental::{McmcKernel, ParticleCollection};
 use incremental::CorrespondenceTranslator;
+use incremental::{McmcKernel, ParticleCollection};
 use inference::stats::mean;
 use inference::{GibbsKernel, SweepOrder};
 use models::data::typo::{train_models, TypoCorpus};
@@ -128,15 +128,11 @@ pub fn run(config: &Fig9Config) -> Fig9Results {
                     params: Arc::clone(&second),
                     observations: pair.typed.clone(),
                 };
-                let translator = CorrespondenceTranslator::new(
-                    p_model.clone(),
-                    q_model,
-                    hmm_correspondence(),
-                );
+                let translator =
+                    CorrespondenceTranslator::new(p_model.clone(), q_model, hmm_correspondence());
                 let mut rng = StdRng::seed_from_u64(config.seed + 1000 + w as u64);
                 let (particles, elapsed) = timed(|| {
-                    let input =
-                        exact_first_order_traces(&p_model, m, &mut rng).expect("FFBS");
+                    let input = exact_first_order_traces(&p_model, m, &mut rng).expect("FFBS");
                     if weights {
                         incremental::infer(
                             &translator,
@@ -157,8 +153,7 @@ pub fn run(config: &Fig9Config) -> Fig9Results {
                         .expect("non-degenerate"),
                 );
                 per_char.push(
-                    per_char_posterior_prob(&particles, &pair.intended)
-                        .expect("non-degenerate"),
+                    per_char_posterior_prob(&particles, &pair.intended).expect("non-degenerate"),
                 );
             }
             points.push(Fig9Point {
@@ -200,9 +195,8 @@ pub fn run(config: &Fig9Config) -> Fig9Results {
                 ground_truth_log_prob(&particles, &pair.intended, MARGINAL_FLOOR)
                     .expect("non-degenerate"),
             );
-            per_char.push(
-                per_char_posterior_prob(&particles, &pair.intended).expect("non-degenerate"),
-            );
+            per_char
+                .push(per_char_posterior_prob(&particles, &pair.intended).expect("non-degenerate"));
         }
         points.push(Fig9Point {
             method: "gibbs",
@@ -231,8 +225,7 @@ pub fn single_word_demo(seed: u64) -> (String, String, f64) {
         params: Arc::new(second),
         observations: pair.typed.clone(),
     };
-    let translator =
-        CorrespondenceTranslator::new(p_model.clone(), q_model, hmm_correspondence());
+    let translator = CorrespondenceTranslator::new(p_model.clone(), q_model, hmm_correspondence());
     let mut rng = StdRng::seed_from_u64(seed);
     let input = exact_first_order_traces(&p_model, 30, &mut rng).expect("FFBS");
     let particles = incremental::infer(
@@ -282,11 +275,7 @@ mod tests {
     #[test]
     fn quick_run_has_the_paper_shape() {
         let r = run(&Fig9Config::quick());
-        let incr = r
-            .points
-            .iter()
-            .find(|p| p.method == "incremental")
-            .unwrap();
+        let incr = r.points.iter().find(|p| p.method == "incremental").unwrap();
         let gibbs = r.points.iter().find(|p| p.method == "gibbs").unwrap();
         // Incremental is better than a couple of Gibbs sweeps, and much
         // faster.

@@ -21,7 +21,7 @@
 use std::fmt::Write as _;
 
 use depgraph::{ExecGraph, IncrementalTranslator};
-use incremental::{McmcKernel, ParticleCollection, SmcConfig};
+use incremental::{FailurePolicy, McmcKernel, ParticleCollection, SmcConfig};
 use inference::{ExactPosterior, SingleSiteMh};
 use ppl::check::{check, Severity};
 use ppl::handlers::simulate;
@@ -230,19 +230,79 @@ pub fn cmd_sample(source: &str, steps: usize, seed: u64) -> Result<String, PplEr
     Ok(out)
 }
 
-/// Incremental inference across a program edit: derives the
-/// correspondence by diffing, obtains posterior traces of `P` (exactly
-/// when enumerable, otherwise by thinned MH), translates them, and
-/// renders the weighted return-value estimate for `Q` plus diagnostics.
+/// Parses a `--policy` argument: `fail-fast`, `drop:<max_loss>` (e.g.
+/// `drop:0.1`), or `retry:<attempts>[:<seed>]` (e.g. `retry:3` or
+/// `retry:3:42`).
 ///
 /// # Errors
 ///
-/// Returns parse, inference, and translation errors.
+/// Returns an error describing the expected grammar on a malformed spec.
+pub fn parse_policy(spec: &str) -> Result<FailurePolicy, PplError> {
+    let bad = |msg: &str| {
+        PplError::Other(format!(
+            "invalid --policy `{spec}`: {msg} \
+             (expected `fail-fast`, `drop:<max_loss>`, or `retry:<attempts>[:<seed>]`)"
+        ))
+    };
+    let mut parts = spec.split(':');
+    match parts.next() {
+        Some("fail-fast") => match parts.next() {
+            None => Ok(FailurePolicy::FailFast),
+            Some(_) => Err(bad("fail-fast takes no parameter")),
+        },
+        Some("drop") => {
+            let max_loss: f64 = parts
+                .next()
+                .ok_or_else(|| bad("drop needs a loss fraction"))?
+                .parse()
+                .map_err(|_| bad("loss fraction must be a number"))?;
+            if !(0.0..=1.0).contains(&max_loss) {
+                return Err(bad("loss fraction must be in [0, 1]"));
+            }
+            match parts.next() {
+                None => Ok(FailurePolicy::DropAndRenormalize { max_loss }),
+                Some(_) => Err(bad("drop takes one parameter")),
+            }
+        }
+        Some("retry") => {
+            let max_attempts: usize = parts
+                .next()
+                .ok_or_else(|| bad("retry needs an attempt count"))?
+                .parse()
+                .map_err(|_| bad("attempt count must be an integer"))?;
+            if max_attempts == 0 {
+                return Err(bad("attempt count must be at least 1"));
+            }
+            let seed: u64 = match parts.next() {
+                None => 0,
+                Some(s) => s.parse().map_err(|_| bad("seed must be an integer"))?,
+            };
+            match parts.next() {
+                None => Ok(FailurePolicy::Retry { max_attempts, seed }),
+                Some(_) => Err(bad("retry takes at most two parameters")),
+            }
+        }
+        _ => Err(bad("unknown policy")),
+    }
+}
+
+/// Incremental inference across a program edit: derives the
+/// correspondence by diffing, obtains posterior traces of `P` (exactly
+/// when enumerable, otherwise by thinned MH), translates them under the
+/// given [`FailurePolicy`], and renders the weighted return-value
+/// estimate for `Q` plus diagnostics — including the step's health
+/// report (ESS, quarantined/retried particles, collapse events).
+///
+/// # Errors
+///
+/// Returns parse, inference, and translation errors (typed SMC errors
+/// flattened to [`PplError`]).
 pub fn cmd_translate(
     p_source: &str,
     q_source: &str,
     traces: usize,
     seed: u64,
+    policy: &FailurePolicy,
 ) -> Result<String, PplError> {
     let p = parse(p_source)?;
     let q = parse(q_source)?;
@@ -292,19 +352,26 @@ pub fn cmd_translate(
     };
 
     let particles = ParticleCollection::from_traces(input);
-    let adapted = incremental::infer(
+    let (adapted, report) = incremental::infer_with_policy(
         &translator,
         None,
         &particles,
         &SmcConfig::translate_only(),
+        policy,
+        0,
         &mut rng,
-    )?;
+    )
+    .map_err(PplError::from)?;
     let _ = writeln!(
         out,
         "translated {} traces; ESS = {:.1}",
         adapted.len(),
         adapted.ess()
     );
+    let _ = writeln!(out, "health: {report}");
+    for failure in &report.failures {
+        let _ = writeln!(out, "  quarantined: {failure}");
+    }
     let _ = writeln!(out, "weighted posterior over Q's return values:");
     let mut rows: Vec<(Value, f64)> = Vec::new();
     let weights = adapted.normalized_weights()?;
@@ -329,11 +396,7 @@ pub fn cmd_translate(
 /// # Errors
 ///
 /// Returns parse, evaluation, and translation errors.
-pub fn cmd_translate_stats(
-    p_source: &str,
-    q_source: &str,
-    seed: u64,
-) -> Result<String, PplError> {
+pub fn cmd_translate_stats(p_source: &str, q_source: &str, seed: u64) -> Result<String, PplError> {
     let p = parse(p_source)?;
     let q = parse(q_source)?;
     let translator = IncrementalTranslator::from_edit(p.clone(), q);
@@ -362,8 +425,9 @@ pub fn usage() -> String {
        enumerate <file> [--limit N]         exact posterior (finite discrete)\n\
        sample <file> --steps N [--seed N] [--save F --keep K]\n\
                                             single-site MH\n\
-       translate <p> <q> [--traces M] [--seed N] [--stats] [--load F]\n\
-                                            incremental inference across an edit\n"
+       translate <p> <q> [--traces M] [--seed N] [--policy P] [--stats] [--load F]\n\
+                                            incremental inference across an edit\n\
+                                            (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n"
         .to_string()
 }
 
@@ -421,7 +485,8 @@ mod tests {
     #[test]
     fn translate_reports_correspondence_and_estimate() {
         let q = "x = flip(0.3) @ x; observe(flip(x ? 0.99 : 0.01) @ o == 1); return x;";
-        let out = cmd_translate(COIN, q, 20_000, 4).unwrap();
+        let out = cmd_translate(COIN, q, 20_000, 4, &FailurePolicy::FailFast).unwrap();
+        assert!(out.contains("health:"), "{out}");
         assert!(out.contains("x -> x"), "{out}");
         assert!(out.contains("exact (by enumeration)"), "{out}");
         let line = out
@@ -437,7 +502,7 @@ mod tests {
     fn translate_falls_back_to_mh_for_continuous_p() {
         let p = "m = gauss(0.0, 2.0) @ m; observe(gauss(m, 1.0) @ o == 1.5); return m;";
         let q = "m = gauss(0.0, 2.0) @ m; observe(gauss(m, 0.5) @ o == 1.5); return m;";
-        let out = cmd_translate(p, q, 50, 5).unwrap();
+        let out = cmd_translate(p, q, 50, 5, &FailurePolicy::FailFast).unwrap();
         assert!(out.contains("single-site MH"), "{out}");
         assert!(out.contains("ESS"), "{out}");
     }
@@ -472,6 +537,50 @@ mod tests {
         let saved = cmd_run_save(COIN, 11).unwrap();
         let map = ppl::trace_io::parse_choice_map(&saved).unwrap();
         assert_eq!(map.len(), 1); // one latent (the observation is not a choice)
+    }
+
+    #[test]
+    fn parse_policy_accepts_the_documented_grammar() {
+        assert_eq!(parse_policy("fail-fast").unwrap(), FailurePolicy::FailFast);
+        assert_eq!(
+            parse_policy("drop:0.25").unwrap(),
+            FailurePolicy::DropAndRenormalize { max_loss: 0.25 }
+        );
+        assert_eq!(
+            parse_policy("retry:3").unwrap(),
+            FailurePolicy::Retry {
+                max_attempts: 3,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            parse_policy("retry:3:42").unwrap(),
+            FailurePolicy::Retry {
+                max_attempts: 3,
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn parse_policy_rejects_malformed_specs() {
+        for spec in [
+            "",
+            "nonsense",
+            "fail-fast:1",
+            "drop",
+            "drop:2.0",
+            "drop:x",
+            "drop:0.1:0",
+            "retry",
+            "retry:0",
+            "retry:x",
+            "retry:2:y",
+            "retry:2:3:4",
+        ] {
+            let err = parse_policy(spec).unwrap_err().to_string();
+            assert!(err.contains("invalid --policy"), "{spec}: {err}");
+        }
     }
 
     #[test]

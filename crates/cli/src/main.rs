@@ -77,8 +77,7 @@ fn run(args: &[String]) -> Result<String, String> {
                         .get(i + 1)
                         .ok_or_else(|| "--save needs a path".to_string())?;
                     let keep = flag("--keep", 100)? as usize;
-                    let text =
-                        render(ppl_cli::cmd_sample_save(&source, steps, keep, seed))?;
+                    let text = render(ppl_cli::cmd_sample_save(&source, steps, keep, seed))?;
                     std::fs::write(path, text)
                         .map_err(|e| format!("cannot write `{path}`: {e}"))?;
                     Ok(format!("saved samples to {path}\n"))
@@ -96,13 +95,28 @@ fn run(args: &[String]) -> Result<String, String> {
                     .get(i + 1)
                     .ok_or_else(|| "--load needs a path".to_string())?;
                 let saved = read(path)?;
-                render(ppl_cli::cmd_translate_saved(&p, &q, &saved, flag("--seed", 0)?))
+                render(ppl_cli::cmd_translate_saved(
+                    &p,
+                    &q,
+                    &saved,
+                    flag("--seed", 0)?,
+                ))
             } else {
+                let policy = match args.iter().position(|a| a == "--policy") {
+                    None => incremental::FailurePolicy::FailFast,
+                    Some(i) => {
+                        let spec = args
+                            .get(i + 1)
+                            .ok_or_else(|| "--policy needs a value".to_string())?;
+                        ppl_cli::parse_policy(spec).map_err(|e| e.to_string())?
+                    }
+                };
                 render(ppl_cli::cmd_translate(
                     &p,
                     &q,
                     flag("--traces", 1_000)? as usize,
                     flag("--seed", 0)?,
+                    &policy,
                 ))
             }
         }

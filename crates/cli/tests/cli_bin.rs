@@ -38,7 +38,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = ppl().args(["check", "/nonexistent/nope.ppl"]).output().unwrap();
+    let out = ppl()
+        .args(["check", "/nonexistent/nope.ppl"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("cannot read"), "{text}");

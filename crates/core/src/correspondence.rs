@@ -51,7 +51,8 @@ impl Correspondence {
     pub fn identity_on<'a>(sites: impl IntoIterator<Item = &'a str>) -> Correspondence {
         let mut f = Correspondence::new();
         for s in sites {
-            f.add_site_rule(s, s).expect("duplicate site in identity correspondence");
+            f.add_site_rule(s, s)
+                .expect("duplicate site in identity correspondence");
         }
         f
     }
@@ -139,7 +140,11 @@ impl Correspondence {
     /// kernel `ℓ_{Q→P} = k_{Q→P}` of Eq. (7)).
     pub fn inverse(&self) -> Correspondence {
         Correspondence {
-            pairs: self.pairs.iter().map(|(q, p)| (p.clone(), q.clone())).collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(q, p)| (p.clone(), q.clone()))
+                .collect(),
             site_rules: self
                 .site_rules
                 .iter()
@@ -166,7 +171,9 @@ impl Correspondence {
 
     /// Iterates over the site rules as `(Q site, P site)`.
     pub fn site_rules(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.site_rules.iter().map(|(q, p)| (q.as_str(), p.as_str()))
+        self.site_rules
+            .iter()
+            .map(|(q, p)| (q.as_str(), p.as_str()))
     }
 }
 

@@ -9,7 +9,22 @@ use ppl::logweight::log_sum_exp;
 /// Effective sample size `ESS = (Σ_j w_j)² / Σ_j w_j²`, computed stably
 /// from log weights. Ranges from 1 (one particle dominates) to `M` (equal
 /// weights); 0 for an empty or all-zero collection.
+///
+/// Non-finite weights are handled without NaN fallout: any `+∞` weight
+/// dominates all finite mass, so the ESS is the count of `+∞` entries
+/// (they share the mass equally in the limit); a NaN weight makes the
+/// ESS 0, since a collection containing an invalid weight carries no
+/// usable information. The SMC runtime quarantines both cases at the
+/// collection boundary ([`crate::ParticleCollection::push_checked`]), so
+/// these branches only fire on hand-built weight vectors.
 pub fn effective_sample_size(log_weights: &[f64]) -> f64 {
+    if log_weights.iter().any(|w| w.is_nan()) {
+        return 0.0;
+    }
+    let infinite = log_weights.iter().filter(|w| **w == f64::INFINITY).count();
+    if infinite > 0 {
+        return infinite as f64;
+    }
     let lse = log_sum_exp(log_weights);
     if lse == f64::NEG_INFINITY {
         return 0.0;
@@ -92,6 +107,20 @@ mod tests {
     fn ess_empty_and_degenerate() {
         assert_eq!(effective_sample_size(&[]), 0.0);
         assert_eq!(effective_sample_size(&[f64::NEG_INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn ess_non_finite_weights() {
+        // NaN anywhere: no usable information.
+        assert_eq!(effective_sample_size(&[0.0, f64::NAN]), 0.0);
+        // +inf entries dominate; ESS is their count.
+        assert_eq!(effective_sample_size(&[f64::INFINITY, 0.0, -1.0]), 1.0);
+        assert_eq!(
+            effective_sample_size(&[f64::INFINITY, f64::INFINITY, 0.0]),
+            2.0
+        );
+        // A single particle has ESS exactly 1 whatever its finite weight.
+        assert_eq!(effective_sample_size(&[-123.0]), 1.0);
     }
 
     #[test]

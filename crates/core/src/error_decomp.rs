@@ -23,9 +23,9 @@
 
 use std::collections::HashMap;
 
-use ppl::{ChoiceMap, Enumeration, Handler, LogWeight, Model, PplError, Trace, Value};
 use ppl::dist::Dist;
 use ppl::Address;
+use ppl::{ChoiceMap, Enumeration, Handler, LogWeight, Model, PplError, Trace, Value};
 
 use crate::correspondence::Correspondence;
 use crate::forward::kernel_density;
@@ -79,14 +79,8 @@ pub fn translator_error(
     let inverse = correspondence.inverse();
 
     // Posterior tables keyed by canonical choice-map strings.
-    let p_post: Vec<(Trace, f64)> = p_enum
-        .posterior()
-        .map(|(t, pr)| (t.clone(), pr))
-        .collect();
-    let q_post: Vec<(Trace, f64)> = q_enum
-        .posterior()
-        .map(|(u, pr)| (u.clone(), pr))
-        .collect();
+    let p_post: Vec<(Trace, f64)> = p_enum.posterior().map(|(t, pr)| (t.clone(), pr)).collect();
+    let q_post: Vec<(Trace, f64)> = q_enum.posterior().map(|(u, pr)| (u.clone(), pr)).collect();
 
     // η_{P→Q}(u) = Σ_t Pr[t ∼ P] k(u; t): enumerate the forward kernel
     // from every posterior trace of P.
@@ -166,7 +160,10 @@ pub fn translator_error(
         let s = partial_of_q(u, correspondence);
         let s_key = s.to_string();
         *q_f.entry(s_key.clone()).or_insert(0.0) += q_u;
-        q_by_partial.entry(s_key).or_default().push((u.clone(), *q_u));
+        q_by_partial
+            .entry(s_key)
+            .or_default()
+            .push((u.clone(), *q_u));
     }
     // P^(f): same partial (expressed in Q addresses) under P.
     let mut p_f: HashMap<String, f64> = HashMap::new();
@@ -175,7 +172,10 @@ pub fn translator_error(
         let s = partial_of_p(t, &inverse);
         let s_key = s.to_string();
         *p_f.entry(s_key.clone()).or_insert(0.0) += p_t;
-        p_by_partial.entry(s_key).or_default().push((t.clone(), *p_t));
+        p_by_partial
+            .entry(s_key)
+            .or_default()
+            .push((t.clone(), *p_t));
     }
 
     // Term 1: D_KL(Q^(f) ‖ P^(f)).

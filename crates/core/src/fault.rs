@@ -1,0 +1,239 @@
+//! Deterministic fault injection for exercising the SMC failure paths.
+//!
+//! [`FaultyTranslator`] wraps any [`TraceTranslator`] and misbehaves
+//! exactly where a [`FaultPlan`] says to: "particle `j` at step `s`
+//! panics / returns a NaN weight / errors". Because faults key on the
+//! [`TranslateCtx`] position rather than on call order, an injected run
+//! is reproducible across thread counts and retry schedules — which is
+//! what lets the integration tests assert exact recovery behavior.
+
+use rand::RngCore;
+
+use ppl::{LogWeight, PplError, Trace};
+
+use crate::translator::{TraceTranslator, TranslateCtx, Translated};
+
+/// The kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside `translate` (exercises panic isolation).
+    Panic,
+    /// Translate normally but overwrite the weight with a NaN log weight
+    /// (exercises the non-finite-weight quarantine).
+    NanWeight,
+    /// Return a structured [`PplError`] (exercises error handling).
+    Error,
+}
+
+/// One planned fault: particle `particle` at step `step` misbehaves on
+/// attempts `0..fail_attempts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The SMC step at which to inject.
+    pub step: usize,
+    /// The particle index to fault.
+    pub particle: usize,
+    /// What to do.
+    pub kind: FaultKind,
+    /// Number of leading attempts that fail; attempt `fail_attempts` and
+    /// later succeed. `usize::MAX` means the particle never recovers.
+    pub fail_attempts: usize,
+}
+
+impl FaultSpec {
+    /// A fault that fails only the first attempt (so one retry recovers).
+    pub fn once(step: usize, particle: usize, kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            step,
+            particle,
+            kind,
+            fail_attempts: 1,
+        }
+    }
+
+    /// A fault that fails every attempt.
+    pub fn always(step: usize, particle: usize, kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            step,
+            particle,
+            kind,
+            fail_attempts: usize::MAX,
+        }
+    }
+}
+
+/// A set of planned faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the wrapper is transparent).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.faults.push(spec);
+        self
+    }
+
+    /// The fault (if any) scheduled for the given position.
+    pub fn fault_at(&self, ctx: TranslateCtx) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| {
+                f.step == ctx.step && f.particle == ctx.particle && ctx.attempt < f.fail_attempts
+            })
+            .map(|f| f.kind)
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// A [`TraceTranslator`] wrapper that injects the faults of a
+/// [`FaultPlan`] and otherwise delegates to the inner translator.
+#[derive(Debug, Clone)]
+pub struct FaultyTranslator<T> {
+    inner: T,
+    plan: FaultPlan,
+}
+
+impl<T> FaultyTranslator<T> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTranslator<T> {
+        FaultyTranslator { inner, plan }
+    }
+
+    /// The wrapped translator.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: TraceTranslator> TraceTranslator for FaultyTranslator<T> {
+    fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+        // A context-less call is position (0, 0, 0): plans targeting step
+        // 0 / particle 0 still fire so the wrapper is testable standalone.
+        self.translate_at(t, TranslateCtx::default(), rng)
+    }
+
+    fn translate_at(
+        &self,
+        t: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<Translated, PplError> {
+        match self.plan.fault_at(ctx) {
+            Some(FaultKind::Panic) => panic!(
+                "injected panic: step {} particle {} attempt {}",
+                ctx.step, ctx.particle, ctx.attempt
+            ),
+            Some(FaultKind::Error) => Err(PplError::Other(format!(
+                "injected translation error: step {} particle {} attempt {}",
+                ctx.step, ctx.particle, ctx.attempt
+            ))),
+            Some(FaultKind::NanWeight) => {
+                let mut out = self.inner.translate_at(t, ctx, rng)?;
+                out.log_weight = LogWeight::from_log(f64::NAN);
+                Ok(out)
+            }
+            None => self.inner.translate_at(t, ctx, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppl::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Identity;
+
+    impl TraceTranslator for Identity {
+        fn translate(&self, t: &Trace, _rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+            Ok(Translated {
+                trace: t.clone(),
+                log_weight: LogWeight::ONE,
+                output: Value::Int(0),
+            })
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let faulty = FaultyTranslator::new(Identity, FaultPlan::new());
+        assert!(faulty.plan.is_empty());
+        let out = faulty
+            .translate_at(&Trace::new(), TranslateCtx::new(3, 9), &mut rng)
+            .unwrap();
+        assert_eq!(out.log_weight, LogWeight::ONE);
+    }
+
+    #[test]
+    fn error_fault_fires_only_at_its_position() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = FaultPlan::new().with(FaultSpec::always(1, 2, FaultKind::Error));
+        assert_eq!(plan.len(), 1);
+        let faulty = FaultyTranslator::new(Identity, plan);
+        let t = Trace::new();
+        assert!(faulty
+            .translate_at(&t, TranslateCtx::new(1, 2), &mut rng)
+            .is_err());
+        assert!(faulty
+            .translate_at(&t, TranslateCtx::new(1, 3), &mut rng)
+            .is_ok());
+        assert!(faulty
+            .translate_at(&t, TranslateCtx::new(0, 2), &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn once_fault_clears_after_first_attempt() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = FaultPlan::new().with(FaultSpec::once(0, 5, FaultKind::Error));
+        let faulty = FaultyTranslator::new(Identity, plan);
+        let t = Trace::new();
+        let ctx = TranslateCtx::new(0, 5);
+        assert!(faulty.translate_at(&t, ctx, &mut rng).is_err());
+        assert!(faulty
+            .translate_at(&t, ctx.with_attempt(1), &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn nan_fault_poisons_the_weight_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = FaultPlan::new().with(FaultSpec::always(0, 0, FaultKind::NanWeight));
+        let faulty = FaultyTranslator::new(Identity, plan);
+        let out = faulty
+            .translate_at(&Trace::new(), TranslateCtx::new(0, 0), &mut rng)
+            .unwrap();
+        assert!(out.log_weight.is_nan());
+        assert_eq!(out.output, Value::Int(0));
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let plan = FaultPlan::new().with(FaultSpec::always(0, 0, FaultKind::Panic));
+        let faulty = FaultyTranslator::new(Identity, plan);
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            faulty.translate_at(&Trace::new(), TranslateCtx::new(0, 0), &mut rng)
+        });
+        assert!(result.is_err());
+    }
+}

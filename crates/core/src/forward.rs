@@ -21,8 +21,8 @@
 
 use rand::RngCore;
 
-use ppl::{Address, Handler, LogWeight, Model, PplError, Trace, Value};
 use ppl::dist::Dist;
+use ppl::{Address, Handler, LogWeight, Model, PplError, Trace, Value};
 
 use crate::correspondence::Correspondence;
 use crate::translator::{TraceTranslator, Translated};
@@ -615,11 +615,8 @@ mod tests {
             h.observe(addr!["o"], Dist::flip(0.6), Value::Bool(true))?;
             Ok(x)
         };
-        let translator = CorrespondenceTranslator::new(
-            model,
-            model,
-            Correspondence::identity_on(["x", "y"]),
-        );
+        let translator =
+            CorrespondenceTranslator::new(model, model, Correspondence::identity_on(["x", "y"]));
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
             let t = simulate(&model, &mut rng).unwrap();
@@ -651,14 +648,18 @@ mod tests {
             let po = if x.truthy()? { 0.7 } else { 0.3 };
             h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
             let y = h.sample(addr!["y"], Dist::normal(0.0, 5.0))?;
-            h.observe(addr!["oy"], Dist::normal(y.as_real()?, 0.2), Value::Real(3.0))?;
+            h.observe(
+                addr!["oy"],
+                Dist::normal(y.as_real()?, 0.2),
+                Value::Real(3.0),
+            )?;
             Ok(x)
         };
         let corr = || Correspondence::identity_on(["x"]);
         let prior_translator = CorrespondenceTranslator::new(p, q, corr());
         // The conjugate conditional for y given the observation.
-        let smart_translator = CorrespondenceTranslator::new(p, q, corr())
-            .with_fresh_proposal(|addr: &Address, _prior: &Dist, _old: &Trace| {
+        let smart_translator = CorrespondenceTranslator::new(p, q, corr()).with_fresh_proposal(
+            |addr: &Address, _prior: &Dist, _old: &Trace| {
                 if *addr == addr!["y"] {
                     // posterior of y: precision 1/25 + 1/0.04, mean ≈ 2.995
                     let var = 1.0 / (1.0 / 25.0 + 1.0 / 0.04);
@@ -666,7 +667,8 @@ mod tests {
                 } else {
                     None
                 }
-            });
+            },
+        );
         let mut rng = StdRng::seed_from_u64(21);
         let m = 4000;
         let mut run = |translator: &CorrespondenceTranslator<_, _>| {
@@ -681,8 +683,16 @@ mod tests {
         let with_prior = run(&prior_translator);
         let with_smart = run(&smart_translator);
         // Smart proposal: near-perfect ESS; prior proposal: collapsed.
-        assert!(with_smart.ess() > 0.9 * m as f64, "smart ESS {}", with_smart.ess());
-        assert!(with_prior.ess() < 0.2 * m as f64, "prior ESS {}", with_prior.ess());
+        assert!(
+            with_smart.ess() > 0.9 * m as f64,
+            "smart ESS {}",
+            with_smart.ess()
+        );
+        assert!(
+            with_prior.ess() < 0.2 * m as f64,
+            "prior ESS {}",
+            with_prior.ess()
+        );
         // And the smart estimator is accurate: E[y | obs] ≈ 2.995.
         let ey = with_smart
             .estimate(|t| t.value(&addr!["y"]).unwrap().as_real().unwrap())

@@ -15,6 +15,12 @@
 //! - [`ParticleCollection`] — weighted collections and the Eq. (5)
 //!   estimator; [`diagnostics`] — effective-sample-size monitoring.
 //! - [`run_sequence`] — iterated SMC across program sequences.
+//! - [`health`] + [`fault`] — the fault-tolerant runtime:
+//!   [`infer_with_policy`] isolates per-particle panics, quarantines
+//!   NaN/`+∞` weights, and applies a [`FailurePolicy`] (fail fast, drop
+//!   and renormalize, or retry with reseeded RNGs), reporting each step
+//!   in a [`StepReport`]; [`FaultyTranslator`] injects deterministic
+//!   faults for testing.
 //! - [`translator_error`] — the exact error ε(R) of Eq. (4) and its
 //!   Section 5.3 decomposition, by enumeration.
 //!
@@ -67,7 +73,9 @@
 pub mod correspondence;
 pub mod diagnostics;
 pub mod error_decomp;
+pub mod fault;
 pub mod forward;
+pub mod health;
 pub mod mcmc;
 pub mod particles;
 pub mod resample;
@@ -77,12 +85,17 @@ pub mod translator;
 
 pub use correspondence::{Correspondence, CoverageReport};
 pub use error_decomp::{translator_error, TranslatorErrorReport};
-pub use forward::{exact_weight_estimate, CorrespondenceTranslator, FreshProposal, FreshReason,
-                  TranslationStats};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyTranslator};
+pub use forward::{
+    exact_weight_estimate, CorrespondenceTranslator, FreshProposal, FreshReason, TranslationStats,
+};
+pub use health::{retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport};
 pub use mcmc::{IdentityKernel, McmcKernel};
 pub use particles::{Particle, ParticleCollection};
-pub use resample::{resample, ResampleScheme};
-pub use sequence::{run_sequence, SequenceRun, Stage};
-pub use smc::{infer, infer_without_weights, translate_collection, translate_parallel,
-              ResamplePolicy, SmcConfig};
-pub use translator::{TraceTranslator, Translated};
+pub use resample::{resample, ResampleError, ResampleScheme};
+pub use sequence::{run_sequence, run_sequence_with_policy, SequenceRun, Stage};
+pub use smc::{
+    infer, infer_with_policy, infer_without_weights, translate_collection, translate_parallel,
+    translate_parallel_with_policy, ResamplePolicy, SmcConfig,
+};
+pub use translator::{TraceTranslator, TranslateCtx, Translated};

@@ -71,6 +71,33 @@ impl ParticleCollection {
         self.particles.push(Particle { trace, log_weight });
     }
 
+    /// Adds a particle only if its weight is admissible, rejecting NaN
+    /// and `+∞` log weights that would poison `log_sum_exp`-based
+    /// quantities ([`Self::normalized_weights`], [`Self::ess`]) for the
+    /// whole collection. `-∞` (a zero weight) is admissible: it is a
+    /// valid degenerate weight that the estimators handle.
+    ///
+    /// This is the quarantine boundary the fault-tolerant SMC runtime
+    /// uses: a rejected weight becomes a recorded
+    /// [`crate::ParticleFailure`] instead of a silent NaN estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending log weight (and gives back the trace, boxed
+    /// to keep the `Err` path cheap) if the weight is NaN or `+∞`.
+    pub fn push_checked(
+        &mut self,
+        trace: Trace,
+        log_weight: LogWeight,
+    ) -> Result<(), Box<(Trace, f64)>> {
+        let lw = log_weight.log();
+        if lw.is_nan() || lw == f64::INFINITY {
+            return Err(Box::new((trace, lw)));
+        }
+        self.push(trace, log_weight);
+        Ok(())
+    }
+
     /// Number of particles `M`.
     pub fn len(&self) -> usize {
         self.particles.len()
@@ -101,7 +128,9 @@ impl ParticleCollection {
     /// # Errors
     ///
     /// Errors if the collection is empty or all weights are zero (total
-    /// particle degeneracy).
+    /// particle degeneracy), or if the weight total is non-finite — a NaN
+    /// or `+∞` weight slipped past the [`Self::push_checked`] quarantine,
+    /// so no proper normalization exists.
     pub fn normalized_weights(&self) -> Result<Vec<f64>, PplError> {
         let lw = self.log_weights();
         let lse = log_sum_exp(&lw);
@@ -109,6 +138,12 @@ impl ParticleCollection {
             return Err(PplError::Other(
                 "all particle weights are zero; the approximation has collapsed".to_string(),
             ));
+        }
+        if !lse.is_finite() {
+            return Err(PplError::Other(format!(
+                "particle weights have non-finite total (log-sum-exp = {lse}); \
+                 a NaN or infinite weight entered the collection"
+            )));
         }
         Ok(lw.iter().map(|w| (w - lse).exp()).collect())
     }
@@ -213,6 +248,53 @@ mod tests {
     }
 
     #[test]
+    fn push_checked_quarantines_non_finite_weights() {
+        let mut c = ParticleCollection::new();
+        c.push_checked(trace_with("x", true), LogWeight::ONE)
+            .unwrap();
+        c.push_checked(trace_with("x", false), LogWeight::ZERO)
+            .unwrap();
+        let nan = c.push_checked(trace_with("x", true), LogWeight::from_log(f64::NAN));
+        assert!(matches!(nan, Err(b) if b.1.is_nan()));
+        let inf = c.push_checked(trace_with("x", true), LogWeight::from_log(f64::INFINITY));
+        assert!(matches!(inf, Err(b) if b.1 == f64::INFINITY));
+        // Only the admissible particles made it in, so the collection's
+        // diagnostics stay finite.
+        assert_eq!(c.len(), 2);
+        assert!(c.ess().is_finite());
+        assert!(c
+            .normalized_weights()
+            .unwrap()
+            .iter()
+            .all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn normalized_weights_edge_cases() {
+        // Single particle: weight 1 regardless of magnitude.
+        let mut single = ParticleCollection::new();
+        single.push(trace_with("x", true), LogWeight::from_log(-300.0));
+        let ws = single.normalized_weights().unwrap();
+        assert_eq!(ws, vec![1.0]);
+        // All -inf: typed degeneracy error, not NaN output.
+        let mut dead = ParticleCollection::new();
+        dead.push(trace_with("x", true), LogWeight::ZERO);
+        dead.push(trace_with("x", false), LogWeight::ZERO);
+        assert!(dead.normalized_weights().is_err());
+        // A +inf or NaN weight (pushed through the unchecked path) is a
+        // typed error, not NaN-poisoned output.
+        let mut spiked = ParticleCollection::new();
+        spiked.push(trace_with("x", true), LogWeight::from_log(f64::INFINITY));
+        spiked.push(trace_with("x", false), LogWeight::ONE);
+        assert!(spiked.normalized_weights().is_err());
+        assert_eq!(spiked.ess(), 1.0);
+        let mut poisoned = ParticleCollection::new();
+        poisoned.push(trace_with("x", true), LogWeight::from_log(f64::NAN));
+        assert!(poisoned.normalized_weights().is_err());
+        assert_eq!(poisoned.ess(), 0.0);
+    }
+
+    #[test]
     fn ess_of_equal_weights_is_m() {
         let c = ParticleCollection::from_traces((0..10).map(|_| trace_with("x", true)));
         assert!((c.ess() - 10.0).abs() < 1e-9);
@@ -232,7 +314,10 @@ mod tests {
     fn log_mean_weight_of_unit_weights_is_zero() {
         let c = ParticleCollection::from_traces((0..7).map(|_| trace_with("x", true)));
         assert!(c.log_mean_weight().abs() < 1e-12);
-        assert_eq!(ParticleCollection::new().log_mean_weight(), f64::NEG_INFINITY);
+        assert_eq!(
+            ParticleCollection::new().log_mean_weight(),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -6,12 +6,52 @@
 //! that "other resampling schemes besides independent resampling are also
 //! possible"; we provide the standard four.
 
+use std::fmt;
+
 use rand::RngCore;
 
 use ppl::dist::util::uniform_unit;
+use ppl::logweight::log_sum_exp;
 use ppl::{LogWeight, PplError};
 
 use crate::particles::{Particle, ParticleCollection};
+
+/// Why a resampling step could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResampleError {
+    /// The collection has no particles to draw from.
+    Empty,
+    /// Every particle's weight is zero: the approximation has collapsed
+    /// and there is no distribution to resample from.
+    Collapsed,
+    /// The weight total is NaN or `+∞`, so normalized weights do not
+    /// exist (an inadmissible weight bypassed the quarantine).
+    NonFiniteTotal,
+}
+
+impl fmt::Display for ResampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResampleError::Empty => write!(f, "cannot resample an empty particle collection"),
+            ResampleError::Collapsed => write!(
+                f,
+                "cannot resample: all particle weights are zero (total collapse)"
+            ),
+            ResampleError::NonFiniteTotal => write!(
+                f,
+                "cannot resample: particle weights have a non-finite total"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResampleError {}
+
+impl From<ResampleError> for PplError {
+    fn from(e: ResampleError) -> PplError {
+        PplError::Other(e.to_string())
+    }
+}
 
 /// The resampling scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,14 +73,29 @@ pub enum ResampleScheme {
 ///
 /// # Errors
 ///
-/// Errors if the collection is empty or every weight is zero.
+/// Returns [`ResampleError::Empty`] for an empty collection,
+/// [`ResampleError::Collapsed`] when every weight is zero, and
+/// [`ResampleError::NonFiniteTotal`] when the weight total is NaN or
+/// infinite. The error converts into [`PplError`] via `?` at legacy call
+/// sites.
 pub fn resample(
     collection: &ParticleCollection,
     scheme: ResampleScheme,
     rng: &mut dyn RngCore,
-) -> Result<ParticleCollection, PplError> {
+) -> Result<ParticleCollection, ResampleError> {
     let m = collection.len();
-    let weights = collection.normalized_weights()?;
+    if m == 0 {
+        return Err(ResampleError::Empty);
+    }
+    let lw = collection.log_weights();
+    let lse = log_sum_exp(&lw);
+    if lse == f64::NEG_INFINITY {
+        return Err(ResampleError::Collapsed);
+    }
+    if !lse.is_finite() {
+        return Err(ResampleError::NonFiniteTotal);
+    }
+    let weights: Vec<f64> = lw.iter().map(|w| (w - lse).exp()).collect();
     let indices = match scheme {
         ResampleScheme::Multinomial => multinomial_indices(&weights, m, rng),
         ResampleScheme::Systematic => offset_indices(&weights, m, rng, true),
@@ -231,12 +286,27 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_input_errors() {
+    fn degenerate_input_errors_are_typed() {
         let c = weighted_collection(&[0.0, 0.0]);
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(resample(&c, ResampleScheme::Multinomial, &mut rng).is_err());
+        assert!(matches!(
+            resample(&c, ResampleScheme::Multinomial, &mut rng),
+            Err(ResampleError::Collapsed)
+        ));
         let empty = ParticleCollection::new();
-        assert!(resample(&empty, ResampleScheme::Systematic, &mut rng).is_err());
+        assert!(matches!(
+            resample(&empty, ResampleScheme::Systematic, &mut rng),
+            Err(ResampleError::Empty)
+        ));
+        let mut spiked = ParticleCollection::new();
+        spiked.push(labeled_trace(0), LogWeight::from_log(f64::INFINITY));
+        assert!(matches!(
+            resample(&spiked, ResampleScheme::Stratified, &mut rng),
+            Err(ResampleError::NonFiniteTotal)
+        ));
+        // The conversion keeps the message.
+        let e: PplError = ResampleError::Collapsed.into();
+        assert!(e.to_string().contains("collapse"));
     }
 
     #[test]

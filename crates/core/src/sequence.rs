@@ -10,9 +10,10 @@ use rand::RngCore;
 
 use ppl::PplError;
 
+use crate::health::{FailurePolicy, SmcError, StepReport};
 use crate::mcmc::McmcKernel;
 use crate::particles::ParticleCollection;
-use crate::smc::{infer, SmcConfig};
+use crate::smc::{infer_with_policy, SmcConfig};
 use crate::translator::TraceTranslator;
 
 /// One stage of a program sequence: a translator into the stage's program
@@ -33,15 +34,19 @@ impl std::fmt::Debug for Stage<'_> {
 }
 
 /// The trajectory of a program-sequence run: the particle collection after
-/// every stage, plus per-stage ESS for degeneracy monitoring.
+/// every stage, plus per-stage health for degeneracy monitoring.
 #[derive(Debug, Clone)]
 pub struct SequenceRun {
     /// Particle collections after each stage (the input collection is not
     /// included).
     pub collections: Vec<ParticleCollection>,
-    /// ESS measured immediately after reweighting at each stage (before
-    /// any resampling).
+    /// ESS of the collection produced by each stage (after any resampling
+    /// and rejuvenation).
     pub ess_history: Vec<f64>,
+    /// Per-stage health reports: post-reweight ESS, dropped/retried
+    /// particle counts, and collapse events. On a clean run every report
+    /// [`StepReport::is_clean`]s.
+    pub reports: Vec<StepReport>,
 }
 
 impl SequenceRun {
@@ -53,37 +58,74 @@ impl SequenceRun {
     pub fn last(&self) -> &ParticleCollection {
         self.collections.last().expect("empty sequence run")
     }
+
+    /// Whether every stage completed without drops, retries, or collapse
+    /// events.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(StepReport::is_clean)
+    }
 }
 
-/// Runs Algorithm 2 once per stage, threading the collection through the
-/// sequence.
+/// Runs Algorithm 2 once per stage under a [`FailurePolicy`], threading
+/// the collection through the sequence. Stage `s` runs as SMC step `s`,
+/// so fault plans and retry seeds address stages directly.
+///
+/// Weight collapse at any stage is handled by
+/// [`infer_with_policy`]'s recovery contract: tolerant policies keep the
+/// pre-stage collection (flagged in that stage's report) so later stages
+/// still have particles to work with.
 ///
 /// # Errors
 ///
-/// Propagates errors from [`infer`].
-pub fn run_sequence(
+/// Propagates typed errors from [`infer_with_policy`].
+pub fn run_sequence_with_policy(
     stages: &[Stage<'_>],
     initial: &ParticleCollection,
     config: &SmcConfig,
+    policy: &FailurePolicy,
     rng: &mut dyn RngCore,
-) -> Result<SequenceRun, PplError> {
+) -> Result<SequenceRun, SmcError> {
     let mut collections = Vec::with_capacity(stages.len());
     let mut ess_history = Vec::with_capacity(stages.len());
+    let mut reports = Vec::with_capacity(stages.len());
     let mut current = initial.clone();
-    for stage in stages {
-        // Measure degeneracy on a translate-only pass by reusing `infer`
-        // with the caller's config; ESS after reweighting is what the
-        // paper's monitoring uses, so compute it from a translate-only
-        // step when the config would resample.
-        let next = infer(stage.translator, stage.mcmc, &current, config, rng)?;
+    for (step, stage) in stages.iter().enumerate() {
+        let (next, report) = infer_with_policy(
+            stage.translator,
+            stage.mcmc,
+            &current,
+            config,
+            policy,
+            step,
+            rng,
+        )?;
         ess_history.push(next.ess());
+        reports.push(report);
         collections.push(next.clone());
         current = next;
     }
     Ok(SequenceRun {
         collections,
         ess_history,
+        reports,
     })
+}
+
+/// Runs Algorithm 2 once per stage, threading the collection through the
+/// sequence. This is [`run_sequence_with_policy`] under
+/// [`FailurePolicy::FailFast`], with errors flattened to [`PplError`].
+///
+/// # Errors
+///
+/// Propagates errors from [`crate::infer`].
+pub fn run_sequence(
+    stages: &[Stage<'_>],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun, PplError> {
+    run_sequence_with_policy(stages, initial, config, &FailurePolicy::FailFast, rng)
+        .map_err(PplError::from)
 }
 
 #[cfg(test)]
@@ -97,11 +139,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn model_with_obs(p_obs_true: f64) -> impl Fn(&mut dyn Handler) -> Result<Value, ppl::PplError>
-    {
+    fn model_with_obs(
+        p_obs_true: f64,
+    ) -> impl Fn(&mut dyn Handler) -> Result<Value, ppl::PplError> {
         move |h: &mut dyn Handler| {
             let x = h.sample(addr!["x"], Dist::flip(0.5))?;
-            let po = if x.truthy()? { p_obs_true } else { 1.0 - p_obs_true };
+            let po = if x.truthy()? {
+                p_obs_true
+            } else {
+                1.0 - p_obs_true
+            };
             h.observe(addr!["o"], Dist::flip(po), Value::Bool(true))?;
             Ok(x)
         }
@@ -137,6 +184,10 @@ mod tests {
         let run = run_sequence(&stages, &initial, &SmcConfig::translate_only(), &mut rng).unwrap();
         assert_eq!(run.collections.len(), 2);
         assert_eq!(run.ess_history.len(), 2);
+        assert_eq!(run.reports.len(), 2);
+        assert!(run.is_clean());
+        assert_eq!(run.reports[0].step, 0);
+        assert_eq!(run.reports[1].step, 1);
         let estimate = run
             .last()
             .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())

@@ -10,15 +10,27 @@
 //!
 //! Iterating `infer` over a sequence of programs is the "Multiple Steps"
 //! regime of Section 4.2 (see [`crate::sequence`]).
+//!
+//! [`infer_with_policy`] is the fault-tolerant entry point: it isolates
+//! per-particle panics, quarantines non-finite weights, applies a
+//! [`FailurePolicy`] to failures, recovers from total weight collapse,
+//! and reports what happened in a [`StepReport`]. `infer` is the
+//! fail-fast special case of it.
 
-use rand::RngCore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ppl::{PplError, Trace};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
+use ppl::{LogWeight, PplError, Trace};
+
+use crate::health::{
+    retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport,
+};
 use crate::mcmc::McmcKernel;
-use crate::particles::ParticleCollection;
-use crate::resample::{resample, ResampleScheme};
-use crate::translator::TraceTranslator;
+use crate::particles::{Particle, ParticleCollection};
+use crate::resample::{resample, ResampleError, ResampleScheme};
+use crate::translator::{TraceTranslator, TranslateCtx};
 
 /// When to resample within an `infer` step.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -62,13 +74,266 @@ impl SmcConfig {
     }
 }
 
-/// One step of SMC (Algorithm 2): translate, reweight, optionally
-/// resample, optionally run `mcmc_Q`.
+/// Renders a panic payload as a message for [`FailureKind::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one translation attempt with panic isolation and weight
+/// validation: a panic in the translator is caught, and a NaN or `+∞`
+/// combined log weight is rejected before it can enter a collection.
+fn attempt_translate(
+    translator: &dyn TraceTranslator,
+    particle: &Particle,
+    ctx: TranslateCtx,
+    rng: &mut dyn RngCore,
+) -> Result<(Trace, LogWeight), FailureKind> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        translator.translate_at(&particle.trace, ctx, rng)
+    }));
+    match result {
+        Err(payload) => Err(FailureKind::Panic(panic_message(payload))),
+        Ok(Err(e)) => Err(FailureKind::Error(e)),
+        Ok(Ok(out)) => {
+            let weight = particle.log_weight + out.log_weight;
+            let lw = weight.log();
+            if lw.is_nan() || lw == f64::INFINITY {
+                Err(FailureKind::NonFiniteWeight(lw))
+            } else {
+                Ok((out.trace, weight))
+            }
+        }
+    }
+}
+
+/// The outcome of translating one particle under a policy's attempt
+/// budget.
+enum Outcome {
+    Ok {
+        trace: Trace,
+        weight: LogWeight,
+        attempts: usize,
+    },
+    Failed(ParticleFailure),
+}
+
+/// Translates one particle, retrying with deterministically reseeded RNGs
+/// under [`FailurePolicy::Retry`]. The first attempt draws from `rng`
+/// (preserving the caller's stream exactly); retries draw from
+/// `StdRng::seed_from_u64(retry_seed(...))` so their randomness is
+/// independent of call order and thread schedule.
+fn translate_one(
+    translator: &dyn TraceTranslator,
+    particle: &Particle,
+    step: usize,
+    index: usize,
+    policy: &FailurePolicy,
+    rng: &mut dyn RngCore,
+) -> Outcome {
+    let max_attempts = policy.max_attempts();
+    let seed = match policy {
+        FailurePolicy::Retry { seed, .. } => *seed,
+        _ => 0,
+    };
+    let mut attempt = 0;
+    loop {
+        let ctx = TranslateCtx::new(step, index).with_attempt(attempt);
+        let result = if attempt == 0 {
+            attempt_translate(translator, particle, ctx, rng)
+        } else {
+            let mut retry_rng = StdRng::seed_from_u64(retry_seed(seed, step, index, attempt));
+            attempt_translate(translator, particle, ctx, &mut retry_rng)
+        };
+        match result {
+            Ok((trace, weight)) => {
+                return Outcome::Ok {
+                    trace,
+                    weight,
+                    attempts: attempt + 1,
+                }
+            }
+            Err(kind) => {
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return Outcome::Failed(ParticleFailure {
+                        step,
+                        particle: index,
+                        attempts: attempt,
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One step of SMC (Algorithm 2) under a [`FailurePolicy`]: translate
+/// with panic isolation and weight quarantine, reweight, optionally
+/// resample, optionally run `mcmc_Q` — returning the new collection plus
+/// a [`StepReport`] of everything that went wrong and was recovered.
+///
+/// Failure handling:
+///
+/// - a particle whose translation errors, panics, or yields a NaN/`+∞`
+///   weight is handled per `policy` (abort, drop, or retry);
+/// - if after reweighting every surviving weight is zero (`ESS = 0` on a
+///   non-empty input — total collapse), a fail-fast policy surfaces
+///   [`SmcError::Collapse`]; tolerant policies keep the *pre-step*
+///   collection (still properly weighted for the previous program),
+///   skip resampling, apply rejuvenation to it, and flag the event as
+///   `collapse_recovered` in the report.
+///
+/// With [`FailurePolicy::FailFast`] and a healthy model this is
+/// bit-identical to [`infer`]: the first attempt draws from `rng` in the
+/// same order as the legacy path.
 ///
 /// # Errors
 ///
-/// Propagates translation/MCMC errors, and resampling errors if all
-/// weights collapse to zero under a policy that resamples.
+/// [`SmcError::Particle`] under fail-fast (or retry exhaustion),
+/// [`SmcError::TooManyDropped`] when quarantining exceeded the policy's
+/// loss budget, [`SmcError::Collapse`] on unrecoverable weight collapse,
+/// and [`SmcError::Eval`] for evaluation errors outside translation
+/// (resampling an empty collection, MCMC rejuvenation).
+pub fn infer_with_policy(
+    translator: &dyn TraceTranslator,
+    mcmc: Option<&dyn McmcKernel>,
+    particles: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection, StepReport), SmcError> {
+    // 1. Translate and reweight, applying the policy per particle.
+    let mut translated = ParticleCollection::new();
+    let mut failures: Vec<ParticleFailure> = Vec::new();
+    let mut retries = 0;
+    let mut recovered = 0;
+    for (j, particle) in particles.iter().enumerate() {
+        match translate_one(translator, particle, step, j, policy, rng) {
+            Outcome::Ok {
+                trace,
+                weight,
+                attempts,
+            } => {
+                retries += attempts - 1;
+                if attempts > 1 {
+                    recovered += 1;
+                }
+                translated.push(trace, weight);
+            }
+            Outcome::Failed(failure) => match policy {
+                FailurePolicy::DropAndRenormalize { .. } => failures.push(failure),
+                // Fail-fast, and retry budgets exhausted, abort the step.
+                _ => return Err(SmcError::Particle(failure)),
+            },
+        }
+    }
+    let dropped = failures.len();
+    if !policy.loss_allowed(dropped, particles.len()) {
+        let max_loss = match policy {
+            FailurePolicy::DropAndRenormalize { max_loss } => *max_loss,
+            _ => 0.0,
+        };
+        return Err(SmcError::TooManyDropped {
+            step,
+            dropped,
+            total: particles.len(),
+            max_loss,
+            failures,
+        });
+    }
+
+    // 2. Degeneracy diagnosis and optional resampling. Dropping under
+    // DropAndRenormalize needs no explicit renormalization: the
+    // collection's estimators self-normalize over the survivors.
+    let ess = translated.ess();
+    let collapsed = !particles.is_empty() && ess == 0.0;
+    let mut collapse_recovered = false;
+    let (collection, resampled) = if collapsed {
+        if matches!(policy, FailurePolicy::FailFast) {
+            return Err(SmcError::Collapse { step });
+        }
+        // Recovery: the pre-step collection is still a properly weighted
+        // approximation of the *previous* program's posterior — strictly
+        // more useful than an empty or all-zero collection, and the
+        // report makes the substitution visible.
+        collapse_recovered = true;
+        (particles.clone(), false)
+    } else {
+        let should_resample = match config.resample {
+            ResamplePolicy::Never => false,
+            ResamplePolicy::Always => true,
+            ResamplePolicy::EssBelow(fraction) => ess < fraction * translated.len() as f64,
+        };
+        if should_resample {
+            match resample(&translated, config.scheme, rng) {
+                Ok(resampled) => (resampled, true),
+                Err(ResampleError::Collapsed | ResampleError::NonFiniteTotal) => {
+                    // Defensive: the ESS check above should have caught
+                    // this, but treat it as the collapse it is.
+                    if matches!(policy, FailurePolicy::FailFast) {
+                        return Err(SmcError::Collapse { step });
+                    }
+                    collapse_recovered = true;
+                    (particles.clone(), false)
+                }
+                Err(e @ ResampleError::Empty) => return Err(SmcError::Eval(e.into())),
+            }
+        } else {
+            (translated, false)
+        }
+    };
+
+    // 3. Optional MCMC rejuvenation (also applied to a collapse-recovered
+    // collection, per the recovery contract).
+    let final_collection = match (mcmc, config.mcmc_steps) {
+        (Some(kernel), steps) if steps > 0 => {
+            let mut rejuvenated = ParticleCollection::new();
+            for particle in collection.iter() {
+                let trace: Trace = kernel.steps(&particle.trace, steps, rng)?;
+                rejuvenated.push(trace, particle.log_weight);
+            }
+            rejuvenated
+        }
+        _ => collection,
+    };
+
+    let report = StepReport {
+        step,
+        input_particles: particles.len(),
+        output_particles: final_collection.len(),
+        ess,
+        dropped,
+        retries,
+        recovered,
+        failures,
+        resampled,
+        collapse_recovered,
+    };
+    Ok((final_collection, report))
+}
+
+/// One step of SMC (Algorithm 2): translate, reweight, optionally
+/// resample, optionally run `mcmc_Q`.
+///
+/// This is [`infer_with_policy`] under [`FailurePolicy::FailFast`] with
+/// the report discarded: the first particle failure (translation error,
+/// panic, or non-finite weight) aborts the step, and a total weight
+/// collapse after reweighting (`ESS = 0` on a non-empty collection) is
+/// an error rather than a silently degenerate collection. Use
+/// [`infer_with_policy`] to drop or retry failed particles and to
+/// observe per-step health.
+///
+/// # Errors
+///
+/// Propagates translation/MCMC errors (flattened to [`PplError`]), and a
+/// collapse error if every weight is zero after reweighting.
 ///
 /// # Examples
 ///
@@ -98,39 +363,164 @@ pub fn infer(
     config: &SmcConfig,
     rng: &mut dyn RngCore,
 ) -> Result<ParticleCollection, PplError> {
-    // 1. Translate and reweight.
-    let mut translated = ParticleCollection::new();
-    for particle in particles.iter() {
-        let out = translator.translate(&particle.trace, rng)?;
-        translated.push(out.trace, particle.log_weight + out.log_weight);
+    let (collection, _report) = infer_with_policy(
+        translator,
+        mcmc,
+        particles,
+        config,
+        &FailurePolicy::FailFast,
+        0,
+        rng,
+    )
+    .map_err(PplError::from)?;
+    Ok(collection)
+}
+
+/// The per-particle seed of the parallel path's first attempt. Kept
+/// identical to the historical formula so clean parallel runs are
+/// bit-for-bit reproducible across versions.
+fn particle_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9))
+}
+
+/// Parallel translation under a [`FailurePolicy`]: each particle's
+/// `translate` is independent (Algorithm 2's first loop is
+/// embarrassingly parallel), so the collection is chunked across
+/// `threads` workers, with per-particle panic isolation and weight
+/// quarantine.
+///
+/// Determinism: particle `j`'s first attempt uses an RNG seeded from
+/// `base_seed` and `j`, and retry attempt `k` uses
+/// `retry_seed(policy_seed, step, j, k)` — so results, reports, and
+/// (under fail-fast) *which* failure is reported are identical for any
+/// thread count. Fail-fast surfaces the failure of the smallest particle
+/// index, not whichever worker lost the race.
+///
+/// # Errors
+///
+/// As [`infer_with_policy`], plus [`SmcError::Internal`] if the worker
+/// infrastructure itself misbehaves (a panic outside user translation
+/// code, or an unfilled particle slot).
+pub fn translate_parallel_with_policy(
+    translator: &(dyn TraceTranslator + Sync),
+    particles: &ParticleCollection,
+    base_seed: u64,
+    threads: usize,
+    policy: &FailurePolicy,
+    step: usize,
+) -> Result<(ParticleCollection, StepReport), SmcError> {
+    type Slot = Result<(Trace, LogWeight, usize), ParticleFailure>;
+    let threads = threads.max(1);
+    let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
+    let chunk_size = items.len().div_ceil(threads).max(1);
+    let max_attempts = policy.max_attempts();
+    let policy_seed = match policy {
+        FailurePolicy::Retry { seed, .. } => *seed,
+        _ => 0,
+    };
+    let results: Vec<Result<Vec<(usize, Slot)>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, Slot)> = Vec::with_capacity(chunk.len());
+                    for (j, particle) in chunk {
+                        let mut slot: Option<Slot> = None;
+                        for attempt in 0..max_attempts {
+                            let seed = if attempt == 0 {
+                                particle_seed(base_seed, *j)
+                            } else {
+                                retry_seed(policy_seed, step, *j, attempt)
+                            };
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            let ctx = TranslateCtx::new(step, *j).with_attempt(attempt);
+                            match attempt_translate(translator, particle, ctx, &mut rng) {
+                                Ok((trace, weight)) => {
+                                    slot = Some(Ok((trace, weight, attempt + 1)));
+                                    break;
+                                }
+                                Err(kind) => {
+                                    slot = Some(Err(ParticleFailure {
+                                        step,
+                                        particle: *j,
+                                        attempts: attempt + 1,
+                                        kind,
+                                    }));
+                                }
+                            }
+                        }
+                        out.push((*j, slot.expect("at least one attempt ran")));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "translation worker panicked outside user code".to_string())
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<Slot>> = (0..particles.len()).map(|_| None).collect();
+    for chunk in results {
+        for (j, slot) in chunk.map_err(SmcError::Internal)? {
+            slots[j] = Some(slot);
+        }
     }
 
-    // 2. Optional resampling.
-    let should_resample = match config.resample {
-        ResamplePolicy::Never => false,
-        ResamplePolicy::Always => true,
-        ResamplePolicy::EssBelow(fraction) => {
-            translated.ess() < fraction * translated.len() as f64
-        }
-    };
-    let collection = if should_resample {
-        resample(&translated, config.scheme, rng)?
-    } else {
-        translated
-    };
-
-    // 3. Optional MCMC rejuvenation.
-    match (mcmc, config.mcmc_steps) {
-        (Some(kernel), steps) if steps > 0 => {
-            let mut rejuvenated = ParticleCollection::new();
-            for particle in collection.iter() {
-                let trace: Trace = kernel.steps(&particle.trace, steps, rng)?;
-                rejuvenated.push(trace, particle.log_weight);
+    let mut out = ParticleCollection::new();
+    let mut failures: Vec<ParticleFailure> = Vec::new();
+    let mut retries = 0;
+    let mut recovered = 0;
+    for (j, slot) in slots.into_iter().enumerate() {
+        let slot =
+            slot.ok_or_else(|| SmcError::Internal(format!("particle {j} was never translated")))?;
+        match slot {
+            Ok((trace, weight, attempts)) => {
+                retries += attempts - 1;
+                if attempts > 1 {
+                    recovered += 1;
+                }
+                out.push(trace, weight);
             }
-            Ok(rejuvenated)
+            Err(failure) => match policy {
+                FailurePolicy::DropAndRenormalize { .. } => failures.push(failure),
+                // Scanning in index order makes this the minimum failed
+                // index, independent of worker scheduling.
+                _ => return Err(SmcError::Particle(failure)),
+            },
         }
-        _ => Ok(collection),
     }
+    let dropped = failures.len();
+    if !policy.loss_allowed(dropped, particles.len()) {
+        let max_loss = match policy {
+            FailurePolicy::DropAndRenormalize { max_loss } => *max_loss,
+            _ => 0.0,
+        };
+        return Err(SmcError::TooManyDropped {
+            step,
+            dropped,
+            total: particles.len(),
+            max_loss,
+            failures,
+        });
+    }
+    let report = StepReport {
+        step,
+        input_particles: particles.len(),
+        output_particles: out.len(),
+        ess: out.ess(),
+        dropped,
+        retries,
+        recovered,
+        failures,
+        resampled: false,
+        collapse_recovered: false,
+    };
+    Ok((out, report))
 }
 
 /// Parallel translation: each particle's `translate` is independent
@@ -141,61 +531,30 @@ pub fn infer(
 /// `base_seed` and `j`, so the result is identical for any thread count
 /// (and reproducible across runs) — unlike threading one RNG through.
 ///
+/// This is [`translate_parallel_with_policy`] under
+/// [`FailurePolicy::FailFast`]: the smallest-index failure (error,
+/// panic, or non-finite weight) aborts translation with a typed error
+/// flattened to [`PplError`].
+///
 /// # Errors
 ///
-/// Propagates the first translation error encountered.
+/// Propagates the failure of the smallest failing particle index.
 pub fn translate_parallel(
     translator: &(dyn TraceTranslator + Sync),
     particles: &ParticleCollection,
     base_seed: u64,
     threads: usize,
 ) -> Result<ParticleCollection, PplError> {
-    use crate::particles::Particle;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    type ChunkResult = Result<Vec<(usize, Trace, ppl::LogWeight)>, PplError>;
-    let threads = threads.max(1);
-    let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
-    let chunk_size = items.len().div_ceil(threads).max(1);
-    let results: Vec<ChunkResult> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for (j, particle) in chunk {
-                            let mut rng = StdRng::seed_from_u64(
-                                base_seed.wrapping_add((*j as u64).wrapping_mul(0x9E37_79B9)),
-                            );
-                            let translated = translator.translate(&particle.trace, &mut rng)?;
-                            out.push((
-                                *j,
-                                translated.trace,
-                                particle.log_weight + translated.log_weight,
-                            ));
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("translation worker panicked"))
-                .collect()
-        });
-    let mut slots: Vec<Option<(Trace, ppl::LogWeight)>> = vec![None; particles.len()];
-    for chunk in results {
-        for (j, trace, w) in chunk? {
-            slots[j] = Some((trace, w));
-        }
-    }
-    let mut out = ParticleCollection::new();
-    for slot in slots {
-        let (trace, w) = slot.expect("every particle translated");
-        out.push(trace, w);
-    }
-    Ok(out)
+    translate_parallel_with_policy(
+        translator,
+        particles,
+        base_seed,
+        threads,
+        &FailurePolicy::FailFast,
+        0,
+    )
+    .map(|(collection, _report)| collection)
+    .map_err(PplError::from)
 }
 
 /// Translates a collection without resampling or rejuvenation and also
@@ -215,7 +574,10 @@ pub fn translate_collection(
     for particle in particles.iter() {
         let translated = translator.translate(&particle.trace, rng)?;
         increments.push(translated.log_weight.log());
-        out.push(translated.trace, particle.log_weight + translated.log_weight);
+        out.push(
+            translated.trace,
+            particle.log_weight + translated.log_weight,
+        );
     }
     Ok((out, increments))
 }
@@ -246,6 +608,7 @@ pub fn infer_without_weights(
 mod tests {
     use super::*;
     use crate::correspondence::Correspondence;
+    use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultyTranslator};
     use crate::forward::CorrespondenceTranslator;
     use crate::mcmc::IdentityKernel;
     use ppl::dist::Dist;
@@ -285,12 +648,21 @@ mod tests {
         ParticleCollection::from_traces(traces)
     }
 
+    type ModelFn = fn(&mut dyn Handler) -> Result<Value, ppl::PplError>;
+
+    fn pq_translator() -> CorrespondenceTranslator<ModelFn, ModelFn> {
+        CorrespondenceTranslator::new(
+            p_model as ModelFn,
+            q_model as ModelFn,
+            Correspondence::identity_on(["x"]),
+        )
+    }
+
     #[test]
     fn infer_converges_to_q_posterior() {
         let mut rng = StdRng::seed_from_u64(99);
         let particles = posterior_samples_of_p(20_000, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         let out = infer(
             &translator,
             None,
@@ -315,8 +687,7 @@ mod tests {
     fn without_weights_converges_to_wrong_answer() {
         let mut rng = StdRng::seed_from_u64(100);
         let particles = posterior_samples_of_p(20_000, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         let out = infer_without_weights(&translator, &particles, &mut rng).unwrap();
         let estimate = out
             .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
@@ -336,8 +707,7 @@ mod tests {
     fn resampling_policies_work() {
         let mut rng = StdRng::seed_from_u64(101);
         let particles = posterior_samples_of_p(500, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         for policy in [
             ResamplePolicy::Never,
             ResamplePolicy::Always,
@@ -361,8 +731,7 @@ mod tests {
     fn mcmc_rejuvenation_runs() {
         let mut rng = StdRng::seed_from_u64(102);
         let particles = posterior_samples_of_p(50, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         let config = SmcConfig {
             mcmc_steps: 3,
             ..SmcConfig::default()
@@ -376,8 +745,7 @@ mod tests {
     fn parallel_translation_is_deterministic_and_correct() {
         let mut rng = StdRng::seed_from_u64(104);
         let particles = posterior_samples_of_p(2_000, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         let one = translate_parallel(&translator, &particles, 7, 1).unwrap();
         let four = translate_parallel(&translator, &particles, 7, 4).unwrap();
         let nine = translate_parallel(&translator, &particles, 7, 9).unwrap();
@@ -401,8 +769,7 @@ mod tests {
     fn translate_collection_reports_increments() {
         let mut rng = StdRng::seed_from_u64(103);
         let particles = posterior_samples_of_p(10, &mut rng);
-        let translator =
-            CorrespondenceTranslator::new(p_model, q_model, Correspondence::identity_on(["x"]));
+        let translator = pq_translator();
         let (out, increments) = translate_collection(&translator, &particles, &mut rng).unwrap();
         assert_eq!(out.len(), 10);
         assert_eq!(increments.len(), 10);
@@ -413,6 +780,182 @@ mod tests {
                 (w - 0.7 / 0.2).abs() < 1e-9 || (w - 0.1 / 0.8).abs() < 1e-9,
                 "unexpected increment {w}"
             );
+        }
+    }
+
+    #[test]
+    fn clean_policy_run_matches_legacy_infer_exactly() {
+        let mut rng_a = StdRng::seed_from_u64(105);
+        let mut rng_b = StdRng::seed_from_u64(105);
+        let particles_a = posterior_samples_of_p(300, &mut rng_a);
+        let particles_b = posterior_samples_of_p(300, &mut rng_b);
+        let translator = pq_translator();
+        let config = SmcConfig {
+            resample: ResamplePolicy::EssBelow(0.9),
+            ..SmcConfig::default()
+        };
+        let legacy = infer(&translator, None, &particles_a, &config, &mut rng_a).unwrap();
+        let (fresh, report) = infer_with_policy(
+            &translator,
+            None,
+            &particles_b,
+            &config,
+            &FailurePolicy::DropAndRenormalize { max_loss: 0.5 },
+            0,
+            &mut rng_b,
+        )
+        .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(legacy.len(), fresh.len());
+        for (a, b) in legacy.iter().zip(fresh.iter()) {
+            assert_eq!(a.trace.to_choice_map(), b.trace.to_choice_map());
+            assert_eq!(a.log_weight.log().to_bits(), b.log_weight.log().to_bits());
+        }
+    }
+
+    #[test]
+    fn failfast_surfaces_minimum_index_panic_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(106);
+        let particles = posterior_samples_of_p(64, &mut rng);
+        let plan = FaultPlan::new()
+            .with(FaultSpec::always(0, 41, FaultKind::Panic))
+            .with(FaultSpec::always(0, 17, FaultKind::Panic));
+        let faulty = FaultyTranslator::new(pq_translator(), plan);
+        for threads in [1, 3, 8] {
+            let err = translate_parallel_with_policy(
+                &faulty,
+                &particles,
+                7,
+                threads,
+                &FailurePolicy::FailFast,
+                0,
+            )
+            .unwrap_err();
+            match err {
+                SmcError::Particle(failure) => {
+                    assert_eq!(failure.particle, 17, "threads = {threads}");
+                    assert!(matches!(failure.kind, FailureKind::Panic(_)));
+                }
+                other => panic!("expected particle failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_policy_parallel_is_thread_count_invariant_under_faults() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let particles = posterior_samples_of_p(200, &mut rng);
+        let plan = FaultPlan::new()
+            .with(FaultSpec::always(0, 3, FaultKind::Panic))
+            .with(FaultSpec::always(0, 77, FaultKind::NanWeight))
+            .with(FaultSpec::always(0, 150, FaultKind::Error));
+        let faulty = FaultyTranslator::new(pq_translator(), plan);
+        let policy = FailurePolicy::DropAndRenormalize { max_loss: 0.05 };
+        let (first, first_report) =
+            translate_parallel_with_policy(&faulty, &particles, 11, 1, &policy, 0).unwrap();
+        for threads in [2, 5, 16] {
+            let (other, report) =
+                translate_parallel_with_policy(&faulty, &particles, 11, threads, &policy, 0)
+                    .unwrap();
+            // NaN in the NonFiniteWeight record defeats `==` on the whole
+            // report, so compare field by field.
+            assert_eq!(report.ess.to_bits(), first_report.ess.to_bits());
+            assert_eq!(report.dropped, first_report.dropped, "threads = {threads}");
+            assert_eq!(report.retries, first_report.retries);
+            let positions: Vec<_> = report
+                .failures
+                .iter()
+                .map(|f| (f.particle, f.attempts, std::mem::discriminant(&f.kind)))
+                .collect();
+            let first_positions: Vec<_> = first_report
+                .failures
+                .iter()
+                .map(|f| (f.particle, f.attempts, std::mem::discriminant(&f.kind)))
+                .collect();
+            assert_eq!(positions, first_positions, "threads = {threads}");
+            assert_eq!(other.len(), first.len());
+            for (a, b) in first.iter().zip(other.iter()) {
+                assert_eq!(a.trace.to_choice_map(), b.trace.to_choice_map());
+                assert_eq!(a.log_weight.log().to_bits(), b.log_weight.log().to_bits());
+            }
+        }
+        assert_eq!(first_report.dropped, 3);
+        assert_eq!(first.len(), 197);
+        let kinds: Vec<_> = first_report.failures.iter().map(|f| f.particle).collect();
+        assert_eq!(kinds, vec![3, 77, 150]);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults_deterministically() {
+        let mut rng = StdRng::seed_from_u64(108);
+        let particles = posterior_samples_of_p(50, &mut rng);
+        let plan = FaultPlan::new().with(FaultSpec::once(0, 20, FaultKind::Error));
+        let faulty = FaultyTranslator::new(pq_translator(), plan);
+        let policy = FailurePolicy::Retry {
+            max_attempts: 3,
+            seed: 99,
+        };
+        let (a, report_a) =
+            translate_parallel_with_policy(&faulty, &particles, 5, 2, &policy, 0).unwrap();
+        let (b, report_b) =
+            translate_parallel_with_policy(&faulty, &particles, 5, 7, &policy, 0).unwrap();
+        assert_eq!(report_a, report_b);
+        assert_eq!(report_a.retries, 1);
+        assert_eq!(report_a.recovered, 1);
+        assert_eq!(report_a.dropped, 0);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.trace.to_choice_map(), y.trace.to_choice_map());
+        }
+    }
+
+    #[test]
+    fn collapse_recovery_keeps_pre_step_collection() {
+        /// A translator that zeroes every weight: total collapse.
+        struct Zeroing;
+        impl TraceTranslator for Zeroing {
+            fn translate(
+                &self,
+                t: &Trace,
+                _rng: &mut dyn RngCore,
+            ) -> Result<crate::Translated, PplError> {
+                Ok(crate::Translated {
+                    trace: t.clone(),
+                    log_weight: LogWeight::ZERO,
+                    output: Value::Int(0),
+                })
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(109);
+        let particles = posterior_samples_of_p(30, &mut rng);
+        // Fail-fast: typed collapse error.
+        let err = infer_with_policy(
+            &Zeroing,
+            None,
+            &particles,
+            &SmcConfig::translate_only(),
+            &FailurePolicy::FailFast,
+            4,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmcError::Collapse { step: 4 }));
+        // Tolerant policy: pre-step collection survives, flagged.
+        let (recovered, report) = infer_with_policy(
+            &Zeroing,
+            None,
+            &particles,
+            &SmcConfig::with_rejuvenation(0),
+            &FailurePolicy::DropAndRenormalize { max_loss: 0.5 },
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.collapse_recovered);
+        assert!(!report.resampled);
+        assert_eq!(recovered.len(), particles.len());
+        for (a, b) in particles.iter().zip(recovered.iter()) {
+            assert_eq!(a.trace.to_choice_map(), b.trace.to_choice_map());
         }
     }
 }

@@ -17,6 +17,40 @@ use rand::RngCore;
 
 use ppl::{LogWeight, PplError, Trace, Value};
 
+/// The position of one `translate` call inside a larger SMC run: which
+/// sequence step, which particle, and which attempt (0 for the first try,
+/// ≥ 1 for retries under [`crate::FailurePolicy::Retry`]).
+///
+/// The runtime threads this through [`TraceTranslator::translate_at`] so
+/// that wrappers such as [`crate::FaultyTranslator`] can behave
+/// deterministically regardless of thread count or retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TranslateCtx {
+    /// Index of the SMC step (stage in a program sequence).
+    pub step: usize,
+    /// Index of the particle being translated.
+    pub particle: usize,
+    /// Attempt number: 0 for the initial translation, `k` for the `k`-th
+    /// retry.
+    pub attempt: usize,
+}
+
+impl TranslateCtx {
+    /// A context for `particle` at `step`, attempt 0.
+    pub fn new(step: usize, particle: usize) -> TranslateCtx {
+        TranslateCtx {
+            step,
+            particle,
+            attempt: 0,
+        }
+    }
+
+    /// The same position with the attempt counter set to `attempt`.
+    pub fn with_attempt(self, attempt: usize) -> TranslateCtx {
+        TranslateCtx { attempt, ..self }
+    }
+}
+
 /// The result of translating one trace.
 #[derive(Debug, Clone)]
 pub struct Translated {
@@ -44,17 +78,56 @@ pub trait TraceTranslator {
     ///
     /// Propagates evaluation errors from running `Q` (or replaying `P`).
     fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError>;
+
+    /// Translates trace `t` at a known position `ctx` within an SMC run.
+    ///
+    /// The default implementation ignores the context and calls
+    /// [`TraceTranslator::translate`] — translators are position-independent
+    /// unless they opt in (fault injectors, per-particle instrumentation).
+    /// Wrapper impls (`&T`, `Box<T>`) forward the context so injection
+    /// works through trait objects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from running `Q` (or replaying `P`).
+    fn translate_at(
+        &self,
+        t: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<Translated, PplError> {
+        let _ = ctx;
+        self.translate(t, rng)
+    }
 }
 
 impl<T: TraceTranslator + ?Sized> TraceTranslator for &T {
     fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
         (**self).translate(t, rng)
     }
+
+    fn translate_at(
+        &self,
+        t: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<Translated, PplError> {
+        (**self).translate_at(t, ctx, rng)
+    }
 }
 
 impl<T: TraceTranslator + ?Sized> TraceTranslator for Box<T> {
     fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
         (**self).translate(t, rng)
+    }
+
+    fn translate_at(
+        &self,
+        t: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<Translated, PplError> {
+        (**self).translate_at(t, ctx, rng)
     }
 }
 
@@ -86,5 +159,51 @@ mod tests {
         assert_eq!(out.log_weight, LogWeight::ONE);
         let by_ref: &dyn TraceTranslator = &Null;
         by_ref.translate(&t, &mut rng).unwrap();
+    }
+
+    /// A translator whose output encodes the context it was handed, to
+    /// check that wrappers forward `translate_at` rather than falling back
+    /// to the context-blind default.
+    struct CtxEcho;
+
+    impl TraceTranslator for CtxEcho {
+        fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
+            self.translate_at(t, TranslateCtx::default(), rng)
+        }
+
+        fn translate_at(
+            &self,
+            t: &Trace,
+            ctx: TranslateCtx,
+            _rng: &mut dyn RngCore,
+        ) -> Result<Translated, PplError> {
+            Ok(Translated {
+                trace: t.clone(),
+                log_weight: LogWeight::ONE,
+                output: Value::Int((ctx.step * 100 + ctx.particle * 10 + ctx.attempt) as i64),
+            })
+        }
+    }
+
+    #[test]
+    fn wrappers_forward_translate_at() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Trace::new();
+        let ctx = TranslateCtx::new(1, 2).with_attempt(3);
+        let boxed: Box<dyn TraceTranslator> = Box::new(CtxEcho);
+        assert_eq!(
+            boxed.translate_at(&t, ctx, &mut rng).unwrap().output,
+            Value::Int(123)
+        );
+        let by_ref: &dyn TraceTranslator = &CtxEcho;
+        assert_eq!(
+            by_ref.translate_at(&t, ctx, &mut rng).unwrap().output,
+            Value::Int(123)
+        );
+        // The default impl ignores the context.
+        assert_eq!(
+            Null.translate_at(&t, ctx, &mut rng).unwrap().log_weight,
+            LogWeight::ONE
+        );
     }
 }

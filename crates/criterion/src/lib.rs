@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in environments with no crates-registry access,
+//! so the external `criterion` dev-dependency is replaced by this
+//! in-tree harness exposing the same surface the workspace's benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then a fixed
+//! time budget of timed iterations, reporting mean wall-clock time per
+//! iteration. No statistics, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a value computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(100),
+            budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this harness uses a fixed time
+    /// budget rather than a target sample count, so the value is ignored.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Sets the timed-iteration budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, budget: Duration) -> Criterion {
+        self.budget = budget;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness has no command-line
+    /// configuration.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            budget: self.budget,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group, parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// An identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly for the configured budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warmup;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_until {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Run batches sized from the warm-up rate to avoid calling
+        // Instant::now around very fast closures.
+        let batch = (warm_iters / 50).max(1);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+
+    fn print(&self, name: &str) {
+        match self.report {
+            Some((iters, total)) if iters > 0 => {
+                let per = total.as_nanos() as f64 / iters as f64;
+                println!("{name}: {per:.1} ns/iter ({iters} iterations)");
+            }
+            _ => println!("{name}: no measurement"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary from runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

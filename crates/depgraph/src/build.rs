@@ -317,7 +317,11 @@ impl Builder<'_> {
 
 /// Applies a recorded effect list to an environment, marking the written
 /// variables with the given dirtiness.
-pub(crate) fn apply_effects(env: &mut Env, effects: &[Effect], dirty: bool) -> Result<(), PplError> {
+pub(crate) fn apply_effects(
+    env: &mut Env,
+    effects: &[Effect],
+    dirty: bool,
+) -> Result<(), PplError> {
     for effect in effects {
         match effect {
             Effect::Var(name, value) => {
@@ -406,10 +410,7 @@ mod tests {
 
     #[test]
     fn while_graph_matches_interpreter() {
-        let program = parse(
-            "n = 1; while flip(0.6) @ t { n = n + 1; } return n;",
-        )
-        .unwrap();
+        let program = parse("n = 1; while flip(0.6) @ t { n = n + 1; } return n;").unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..20 {
             let reference = simulate(&program, &mut rng).unwrap();

@@ -99,9 +99,7 @@ impl BlockDiff {
     /// Whether the whole block is unchanged.
     pub fn is_unchanged(&self) -> bool {
         self.ops.iter().all(|op| match op {
-            DiffOp::Stmt {
-                p_index, diff, ..
-            } => p_index.is_some() && diff.is_unchanged(),
+            DiffOp::Stmt { p_index, diff, .. } => p_index.is_some() && diff.is_unchanged(),
             DiffOp::RemovedP(_) => false,
         })
     }
@@ -370,9 +368,7 @@ pub fn expr_eq_mod_sites(a: &Expr, b: &Expr) -> bool {
                 && as1.iter().zip(as2).all(|(x, y)| expr_eq_mod_sites(x, y))
         }
         (Expr::Ternary(c1, t1, e1), Expr::Ternary(c2, t2, e2)) => {
-            expr_eq_mod_sites(c1, c2)
-                && expr_eq_mod_sites(t1, t2)
-                && expr_eq_mod_sites(e1, e2)
+            expr_eq_mod_sites(c1, c2) && expr_eq_mod_sites(t1, t2) && expr_eq_mod_sites(e1, e2)
         }
         (Expr::Random(r1), Expr::Random(r2)) => rand_eq_mod_sites(r1, r2),
         _ => false,
@@ -392,8 +388,7 @@ fn rand_eq_mod_sites(a: &RandExpr, b: &RandExpr) -> bool {
             expr_eq_mod_sites(a1, a2) && expr_eq_mod_sites(b1, b2)
         }
         (RandKind::Categorical(w1), RandKind::Categorical(w2)) => {
-            w1.len() == w2.len()
-                && w1.iter().zip(w2).all(|(x, y)| expr_eq_mod_sites(x, y))
+            w1.len() == w2.len() && w1.iter().zip(w2).all(|(x, y)| expr_eq_mod_sites(x, y))
         }
         _ => false,
     }
@@ -499,14 +494,12 @@ mod tests {
             .ops
             .iter()
             .map(|op| match op {
-                DiffOp::Stmt { diff, p_index, .. } => {
-                    p_index.is_some() && diff.is_unchanged()
-                }
+                DiffOp::Stmt { diff, p_index, .. } => p_index.is_some() && diff.is_unchanged(),
                 DiffOp::RemovedP(_) => false,
             })
             .collect();
         assert_eq!(kinds, [false, true]); // a=... edited, b=... unchanged
-        // The flip still corresponds.
+                                          // The flip still corresponds.
         assert!(edit.correspondence.maps(&ppl::addr!["flip#1"]));
     }
 
@@ -561,10 +554,11 @@ mod tests {
         let mut saw_for = false;
         for op in &edit.diff.ops {
             if let DiffOp::Stmt {
-                diff: StmtDiff::ForDiff {
-                    bounds_changed,
-                    body_diff,
-                },
+                diff:
+                    StmtDiff::ForDiff {
+                        bounds_changed,
+                        body_diff,
+                    },
                 ..
             } = op
             {

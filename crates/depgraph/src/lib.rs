@@ -26,9 +26,11 @@ pub mod diff;
 mod eval;
 pub mod propagate;
 pub mod record;
+pub mod sequence;
 pub mod translator;
 
 pub use diff::{diff_programs, BlockDiff, DiffOp, ProgramEdit, StmtDiff};
 pub use propagate::{IncrementalResult, VisitStats};
 pub use record::ExecGraph;
+pub use sequence::{edit_chain, run_edit_sequence};
 pub use translator::IncrementalTranslator;

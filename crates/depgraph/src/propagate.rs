@@ -452,8 +452,7 @@ impl Propagator<'_> {
                             self.stats.visited += 1;
                             let old_iter = old_iter.cloned();
                             self.loops.push(i);
-                            let result =
-                                self.exec_block(body, body_diff, old_iter.as_deref());
+                            let result = self.exec_block(body, body_diff, old_iter.as_deref());
                             self.loops.pop();
                             Rc::new(BlockRecord::finalize(result?))
                         }
@@ -520,9 +519,9 @@ impl Propagator<'_> {
                     if let Some(old_iter) = old_iter {
                         let clean = !cond_changed
                             && body_diff.is_unchanged()
-                            && !old_iter.reads().any(|name| {
-                                self.env.get(name).map(|s| s.dirty).unwrap_or(true)
-                            });
+                            && !old_iter
+                                .reads()
+                                .any(|name| self.env.get(name).map(|s| s.dirty).unwrap_or(true));
                         if clean {
                             if let Some(b) = &old_iter.body {
                                 crate::build::apply_effects(

@@ -145,11 +145,10 @@ impl WhileIter {
 
     /// Reads of the iteration (condition + body), for skip checks.
     pub fn reads(&self) -> impl Iterator<Item = &String> {
-        self.cond.reads.iter().chain(
-            self.body
-                .iter()
-                .flat_map(|b| b.summary.reads.iter()),
-        )
+        self.cond
+            .reads
+            .iter()
+            .chain(self.body.iter().flat_map(|b| b.summary.reads.iter()))
     }
 }
 
@@ -284,7 +283,9 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
     for stmt in &block.stmts {
         if let Some(summary) = stmt.summary() {
             for (addr, data) in &summary.choices {
-                idx.choices.entry(addr.clone()).or_insert_with(|| data.clone());
+                idx.choices
+                    .entry(addr.clone())
+                    .or_insert_with(|| data.clone());
             }
             for (addr, data) in &summary.observations {
                 idx.observations
@@ -302,7 +303,9 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
             StmtRecord::While { iters, .. } => {
                 for iter in iters {
                     for (addr, data) in &iter.cond.choices {
-                        idx.choices.entry(addr.clone()).or_insert_with(|| data.clone());
+                        idx.choices
+                            .entry(addr.clone())
+                            .or_insert_with(|| data.clone());
                     }
                     for (addr, data) in &iter.cond.observations {
                         idx.observations

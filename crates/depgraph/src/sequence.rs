@@ -1,0 +1,162 @@
+//! Policy-aware iterated SMC over a sequence of program edits.
+//!
+//! The "Multiple Steps" regime of Section 4.2 driven by the Section 6
+//! runtime: consecutive programs are diffed into
+//! [`IncrementalTranslator`]s automatically, and the particle collection
+//! is threaded through them by `incremental`'s fault-tolerant SMC step —
+//! so callers get per-stage [`incremental::StepReport`]s (ESS, quarantined
+//! particles, retries, collapse recoveries) for the whole edit history.
+
+use rand::RngCore;
+
+use incremental::{
+    run_sequence_with_policy, FailurePolicy, ParticleCollection, SequenceRun, SmcConfig, SmcError,
+    Stage,
+};
+use ppl::ast::Program;
+
+use crate::translator::IncrementalTranslator;
+
+/// Builds the translator chain for an edit history: one
+/// [`IncrementalTranslator`] per consecutive program pair.
+///
+/// Returns an empty chain for fewer than two programs.
+pub fn edit_chain(programs: &[Program]) -> Vec<IncrementalTranslator> {
+    programs
+        .windows(2)
+        .map(|pair| IncrementalTranslator::from_edit(pair[0].clone(), pair[1].clone()))
+        .collect()
+}
+
+/// Runs Algorithm 2 across the whole edit history `programs[0] → ... →
+/// programs[n]` under a [`FailurePolicy`], starting from `initial`
+/// (posterior traces of `programs[0]`). Stage `s` translates across the
+/// edit `programs[s] → programs[s+1]` and is addressed as SMC step `s`
+/// in failure records and retry seeds.
+///
+/// # Errors
+///
+/// Propagates typed errors from the SMC runtime
+/// ([`incremental::infer_with_policy`]).
+pub fn run_edit_sequence(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun, SmcError> {
+    let chain = edit_chain(programs);
+    let stages: Vec<Stage<'_>> = chain
+        .iter()
+        .map(|translator| Stage {
+            translator,
+            mcmc: None,
+        })
+        .collect();
+    run_sequence_with_policy(&stages, initial, config, policy, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incremental::{FaultKind, FaultPlan, FaultSpec, FaultyTranslator};
+    use ppl::handlers::simulate;
+    use ppl::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn programs() -> Vec<Program> {
+        // An evidence-strengthening edit history over one latent.
+        [("0.5", "0.5"), ("0.7", "0.3"), ("0.9", "0.1")]
+            .iter()
+            .map(|(hi, lo)| {
+                parse(&format!(
+                    "x = flip(0.5) @ x; observe(flip(x ? {hi} : {lo}) @ o == 1); return x;"
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn edit_chain_links_consecutive_programs() {
+        let ps = programs();
+        let chain = edit_chain(&ps);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].source_program(), &ps[0]);
+        assert_eq!(chain[0].target_program(), &ps[1]);
+        assert_eq!(chain[1].source_program(), &ps[1]);
+        assert_eq!(chain[1].target_program(), &ps[2]);
+        assert!(edit_chain(&ps[..1]).is_empty());
+        assert!(edit_chain(&[]).is_empty());
+    }
+
+    #[test]
+    fn clean_edit_sequence_reports_are_clean() {
+        let ps = programs();
+        let mut rng = StdRng::seed_from_u64(21);
+        // The first program's observation is uninformative (flip(0.5)),
+        // so prior simulations are posterior samples of it.
+        let traces: Vec<_> = (0..4_000)
+            .map(|_| simulate(&ps[0], &mut rng).unwrap())
+            .collect();
+        let initial = ParticleCollection::from_traces(traces);
+        let run = run_edit_sequence(
+            &ps,
+            &initial,
+            &SmcConfig::translate_only(),
+            &FailurePolicy::FailFast,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.reports.len(), 2);
+        assert!(run.is_clean());
+        let estimate = run
+            .last()
+            .probability(|t| t.value(&ppl::addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        // Exact posterior of the final program: 0.9 / (0.9 + 0.1) = 0.9.
+        assert!((estimate - 0.9).abs() < 0.03, "estimate {estimate}");
+    }
+
+    #[test]
+    fn faults_in_one_stage_are_quarantined_and_reported() {
+        let ps = programs();
+        let chain = edit_chain(&ps);
+        // Inject failures into stage 1 only, through the same
+        // TranslateCtx plumbing the runtime uses.
+        let plan = FaultPlan::new()
+            .with(FaultSpec::always(1, 5, FaultKind::Error))
+            .with(FaultSpec::always(1, 9, FaultKind::NanWeight));
+        let faulty: Vec<_> = chain
+            .into_iter()
+            .map(|t| FaultyTranslator::new(t, plan.clone()))
+            .collect();
+        let stages: Vec<Stage<'_>> = faulty
+            .iter()
+            .map(|translator| Stage {
+                translator,
+                mcmc: None,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(22);
+        let traces: Vec<_> = (0..200)
+            .map(|_| simulate(&ps[0], &mut rng).unwrap())
+            .collect();
+        let initial = ParticleCollection::from_traces(traces);
+        let run = incremental::run_sequence_with_policy(
+            &stages,
+            &initial,
+            &SmcConfig::translate_only(),
+            &FailurePolicy::DropAndRenormalize { max_loss: 0.1 },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(run.reports[0].is_clean());
+        assert_eq!(run.reports[1].dropped, 2);
+        assert_eq!(run.collections[0].len(), 200);
+        assert_eq!(run.collections[1].len(), 198);
+        let failed: Vec<_> = run.reports[1].failures.iter().map(|f| f.particle).collect();
+        assert_eq!(failed, vec![5, 9]);
+    }
+}

@@ -123,11 +123,8 @@ mod tests {
         let p = models::gmm::gmm_program(10.0, 30, 5);
         let q = models::gmm::gmm_program(20.0, 30, 5);
         let incr = IncrementalTranslator::from_edit(p.clone(), q.clone());
-        let baseline = CorrespondenceTranslator::new(
-            p.clone(),
-            q.clone(),
-            models::gmm::gmm_correspondence(),
-        );
+        let baseline =
+            CorrespondenceTranslator::new(p.clone(), q.clone(), models::gmm::gmm_correspondence());
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..5 {
             let t = simulate(&p, &mut rng).unwrap();
@@ -300,14 +297,10 @@ mod tests {
     /// shrinking removes old ones.
     #[test]
     fn loop_bound_edit() {
-        let p = parse(
-            "xs = array(5, 0); for i in [0..3) { xs[i] = flip(0.5) @ x; } return xs;",
-        )
-        .unwrap();
-        let q = parse(
-            "xs = array(5, 0); for i in [0..5) { xs[i] = flip(0.5) @ x; } return xs;",
-        )
-        .unwrap();
+        let p = parse("xs = array(5, 0); for i in [0..3) { xs[i] = flip(0.5) @ x; } return xs;")
+            .unwrap();
+        let q = parse("xs = array(5, 0); for i in [0..5) { xs[i] = flip(0.5) @ x; } return xs;")
+            .unwrap();
         let translator = IncrementalTranslator::from_edit(p.clone(), q.clone());
         let mut rng = StdRng::seed_from_u64(9);
         let t = simulate(&p, &mut rng).unwrap();
@@ -419,10 +412,7 @@ mod tests {
     #[test]
     fn while_loop_geometric_edit() {
         let p = parse("p = 0.5; n = 1; while flip(p) @ t { n = n + 1; } return n;").unwrap();
-        let q = parse(
-            "p = 1.0 / 3.0; n = 1; while flip(p) @ t { n = n + 1; } return n;",
-        )
-        .unwrap();
+        let q = parse("p = 1.0 / 3.0; n = 1; while flip(p) @ t { n = n + 1; } return n;").unwrap();
         let translator = IncrementalTranslator::from_edit(p.clone(), q.clone());
         let corr = translator.edit().correspondence.clone();
         assert_eq!(corr.lookup(&addr!["t", 3]), Some(addr!["t", 3]));
@@ -536,10 +526,7 @@ mod tests {
         let step1 = t1.translate_graph(&g_p, &mut rng).unwrap();
         let step2 = t2.translate_graph(&step1.graph, &mut rng).unwrap();
         let x = g_p.to_trace().unwrap().value(&addr!["x"]).unwrap().clone();
-        assert_eq!(
-            step2.graph.to_trace().unwrap().value(&addr!["x"]),
-            Some(&x)
-        );
+        assert_eq!(step2.graph.to_trace().unwrap().value(&addr!["x"]), Some(&x));
         // Total weight = N(x; 0,4)/N(x; 0,1) through the chain.
         let x = x.as_real().unwrap();
         let n1 = ppl::dist::Normal::new(0.0, 1.0).unwrap();

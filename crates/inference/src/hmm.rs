@@ -148,7 +148,8 @@ impl Hmm {
     /// `log Pr[x_{1:T} | y_{1:T}]`.
     pub fn sequence_log_posterior(&self, observations: &[usize], states: &[usize]) -> f64 {
         let (_, evidence) = self.forward(observations);
-        let mut joint = self.log_initial[states[0]] + self.log_observation[states[0]][observations[0]];
+        let mut joint =
+            self.log_initial[states[0]] + self.log_observation[states[0]][observations[0]];
         for t in 1..observations.len() {
             joint += self.log_transition[states[t - 1]][states[t]]
                 + self.log_observation[states[t]][observations[t]];
@@ -177,7 +178,11 @@ impl Hmm {
         }
         let mut states = vec![0usize; t_max];
         states[t_max - 1] = (0..k)
-            .max_by(|&a, &b| delta[t_max - 1][a].partial_cmp(&delta[t_max - 1][b]).unwrap())
+            .max_by(|&a, &b| {
+                delta[t_max - 1][a]
+                    .partial_cmp(&delta[t_max - 1][b])
+                    .unwrap()
+            })
             .expect("k > 0");
         for t in (0..t_max - 1).rev() {
             states[t] = back[t + 1][states[t + 1]];

@@ -77,7 +77,9 @@ pub fn rejection_samples(
     rng: &mut dyn RngCore,
     max_attempts: usize,
 ) -> Result<Vec<Trace>, PplError> {
-    (0..m).map(|_| rejection_sample(model, rng, max_attempts)).collect()
+    (0..m)
+        .map(|_| rejection_sample(model, rng, max_attempts))
+        .collect()
 }
 
 #[cfg(test)]

@@ -26,18 +26,18 @@
 pub mod diag;
 pub mod drift;
 pub mod exact;
-pub mod kernels;
 pub mod gibbs;
 pub mod hmm;
 pub mod importance;
+pub mod kernels;
 pub mod linreg;
 pub mod mh;
 pub mod stats;
 
 pub use drift::GaussianDriftKernel;
-pub use kernels::{CycleKernel, MixtureKernel, TrackedKernel};
 pub use exact::ExactPosterior;
 pub use gibbs::{GibbsKernel, SweepOrder};
 pub use hmm::Hmm;
 pub use importance::{likelihood_weighting, rejection_sample, rejection_samples};
+pub use kernels::{CycleKernel, MixtureKernel, TrackedKernel};
 pub use mh::{IndependentMetropolisCycle, SingleSiteMh};

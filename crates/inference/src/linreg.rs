@@ -149,7 +149,11 @@ mod tests {
     fn posterior_concentrates_on_truth_with_clean_data() {
         let (xs, ys) = toy_data();
         let post = posterior(&xs, &ys, 0.1, 10.0).unwrap();
-        assert!((post.mean[0] - 1.0).abs() < 0.05, "intercept {}", post.mean[0]);
+        assert!(
+            (post.mean[0] - 1.0).abs() < 0.05,
+            "intercept {}",
+            post.mean[0]
+        );
         assert!((post.mean[1] - 2.0).abs() < 0.02, "slope {}", post.mean[1]);
     }
 

@@ -134,9 +134,10 @@ pub(crate) fn single_site_update(
         .filter(|(a, _)| *a != site && !reused.contains(*a))
         .map(|(_, c)| c.log_prob)
         .sum();
-    let log_num =
-        new_trace.score() + LogWeight::from_log(-(new_trace.len() as f64).ln()) + log_rev_site
-            + log_stale;
+    let log_num = new_trace.score()
+        + LogWeight::from_log(-(new_trace.len() as f64).ln())
+        + log_rev_site
+        + log_stale;
     let log_den = current.score()
         + LogWeight::from_log(-(current.len() as f64).ln())
         + log_fwd_site

@@ -20,30 +20,245 @@ pub const NUM_LETTERS: usize = 26;
 
 /// A built-in list of common English words (lowercase a–z only).
 pub const WORDS: &[&str] = &[
-    "the", "and", "that", "have", "for", "not", "with", "you", "this", "but", "his", "from",
-    "they", "say", "her", "she", "will", "one", "all", "would", "there", "their", "what", "out",
-    "about", "who", "get", "which", "when", "make", "can", "like", "time", "just", "him", "know",
-    "take", "people", "into", "year", "your", "good", "some", "could", "them", "see", "other",
-    "than", "then", "now", "look", "only", "come", "its", "over", "think", "also", "back",
-    "after", "use", "two", "how", "our", "work", "first", "well", "way", "even", "new", "want",
-    "because", "any", "these", "give", "day", "most", "us", "great", "between", "another",
-    "should", "still", "such", "through", "before", "must", "house", "world", "where", "much",
-    "those", "while", "place", "down", "never", "same", "too", "under", "might", "each", "part",
-    "against", "right", "three", "state", "long", "little", "own", "here", "again", "found",
-    "every", "country", "school", "during", "water", "though", "less", "enough", "almost",
-    "thing", "need", "without", "being", "order", "night", "both", "life", "began", "head",
-    "point", "away", "something", "fact", "hand", "high", "year", "moment", "word", "example",
-    "family", "turn", "group", "until", "always", "number", "course", "company", "system",
-    "question", "government", "different", "around", "however", "small", "large", "program",
-    "problem", "against", "important", "children", "together", "often", "later", "nothing",
-    "within", "along", "change", "young", "national", "story", "since", "power", "himself",
-    "public", "present", "several", "social", "possible", "business", "service", "money",
-    "study", "morning", "already", "themselves", "information", "nature", "certain", "kind",
-    "across", "second", "street", "light", "rather", "early", "toward", "better", "person",
-    "become", "among", "north", "white", "south", "action", "level", "president", "history",
-    "party", "result", "others", "whole", "heard", "field", "water", "member", "pay", "law",
-    "car", "door", "end", "why", "front", "area", "mind", "week", "case", "eye", "face",
-    "room", "war", "force", "office", "city", "body", "side", "home", "land", "experience",
+    "the",
+    "and",
+    "that",
+    "have",
+    "for",
+    "not",
+    "with",
+    "you",
+    "this",
+    "but",
+    "his",
+    "from",
+    "they",
+    "say",
+    "her",
+    "she",
+    "will",
+    "one",
+    "all",
+    "would",
+    "there",
+    "their",
+    "what",
+    "out",
+    "about",
+    "who",
+    "get",
+    "which",
+    "when",
+    "make",
+    "can",
+    "like",
+    "time",
+    "just",
+    "him",
+    "know",
+    "take",
+    "people",
+    "into",
+    "year",
+    "your",
+    "good",
+    "some",
+    "could",
+    "them",
+    "see",
+    "other",
+    "than",
+    "then",
+    "now",
+    "look",
+    "only",
+    "come",
+    "its",
+    "over",
+    "think",
+    "also",
+    "back",
+    "after",
+    "use",
+    "two",
+    "how",
+    "our",
+    "work",
+    "first",
+    "well",
+    "way",
+    "even",
+    "new",
+    "want",
+    "because",
+    "any",
+    "these",
+    "give",
+    "day",
+    "most",
+    "us",
+    "great",
+    "between",
+    "another",
+    "should",
+    "still",
+    "such",
+    "through",
+    "before",
+    "must",
+    "house",
+    "world",
+    "where",
+    "much",
+    "those",
+    "while",
+    "place",
+    "down",
+    "never",
+    "same",
+    "too",
+    "under",
+    "might",
+    "each",
+    "part",
+    "against",
+    "right",
+    "three",
+    "state",
+    "long",
+    "little",
+    "own",
+    "here",
+    "again",
+    "found",
+    "every",
+    "country",
+    "school",
+    "during",
+    "water",
+    "though",
+    "less",
+    "enough",
+    "almost",
+    "thing",
+    "need",
+    "without",
+    "being",
+    "order",
+    "night",
+    "both",
+    "life",
+    "began",
+    "head",
+    "point",
+    "away",
+    "something",
+    "fact",
+    "hand",
+    "high",
+    "year",
+    "moment",
+    "word",
+    "example",
+    "family",
+    "turn",
+    "group",
+    "until",
+    "always",
+    "number",
+    "course",
+    "company",
+    "system",
+    "question",
+    "government",
+    "different",
+    "around",
+    "however",
+    "small",
+    "large",
+    "program",
+    "problem",
+    "against",
+    "important",
+    "children",
+    "together",
+    "often",
+    "later",
+    "nothing",
+    "within",
+    "along",
+    "change",
+    "young",
+    "national",
+    "story",
+    "since",
+    "power",
+    "himself",
+    "public",
+    "present",
+    "several",
+    "social",
+    "possible",
+    "business",
+    "service",
+    "money",
+    "study",
+    "morning",
+    "already",
+    "themselves",
+    "information",
+    "nature",
+    "certain",
+    "kind",
+    "across",
+    "second",
+    "street",
+    "light",
+    "rather",
+    "early",
+    "toward",
+    "better",
+    "person",
+    "become",
+    "among",
+    "north",
+    "white",
+    "south",
+    "action",
+    "level",
+    "president",
+    "history",
+    "party",
+    "result",
+    "others",
+    "whole",
+    "heard",
+    "field",
+    "water",
+    "member",
+    "pay",
+    "law",
+    "car",
+    "door",
+    "end",
+    "why",
+    "front",
+    "area",
+    "mind",
+    "week",
+    "case",
+    "eye",
+    "face",
+    "room",
+    "war",
+    "force",
+    "office",
+    "city",
+    "body",
+    "side",
+    "home",
+    "land",
+    "experience",
 ];
 
 /// QWERTY keyboard neighbors of each letter.
@@ -75,32 +290,32 @@ pub fn qwerty_neighbors(letter: usize) -> &'static [usize] {
     const Y: usize = 24;
     const Z: usize = 25;
     const TABLE: [&[usize]; 26] = [
-        &[Q, W, S, Z],          // a
-        &[V, G, H, N],          // b
-        &[X, D, F, V],          // c
-        &[S, E, R, F, C, X],    // d
-        &[W, S, D, R],          // e
-        &[D, R, T, G, V, C],    // f
-        &[F, T, Y, H, B, V],    // g
-        &[G, Y, U, J, N, B],    // h
-        &[U, J, K, O],          // i
-        &[H, U, I, K, M, N],    // j
-        &[J, I, O, L, M],       // k
-        &[K, O, P],             // l
-        &[N, J, K],             // m
-        &[B, H, J, M],          // n
-        &[I, K, L, P],          // o
-        &[O, L],                // p
-        &[W, A],                // q
-        &[E, D, F, T],          // r
-        &[A, W, E, D, X, Z],    // s
-        &[R, F, G, Y],          // t
-        &[Y, H, J, I],          // u
-        &[C, F, G, B],          // v
-        &[Q, A, S, E],          // w
-        &[Z, S, D, C],          // x
-        &[T, G, H, U],          // y
-        &[A, S, X],             // z
+        &[Q, W, S, Z],       // a
+        &[V, G, H, N],       // b
+        &[X, D, F, V],       // c
+        &[S, E, R, F, C, X], // d
+        &[W, S, D, R],       // e
+        &[D, R, T, G, V, C], // f
+        &[F, T, Y, H, B, V], // g
+        &[G, Y, U, J, N, B], // h
+        &[U, J, K, O],       // i
+        &[H, U, I, K, M, N], // j
+        &[J, I, O, L, M],    // k
+        &[K, O, P],          // l
+        &[N, J, K],          // m
+        &[B, H, J, M],       // n
+        &[I, K, L, P],       // o
+        &[O, L],             // p
+        &[W, A],             // q
+        &[E, D, F, T],       // r
+        &[A, W, E, D, X, Z], // s
+        &[R, F, G, Y],       // t
+        &[Y, H, J, I],       // u
+        &[C, F, G, B],       // v
+        &[Q, A, S, E],       // w
+        &[Z, S, D, C],       // x
+        &[T, G, H, U],       // y
+        &[A, S, X],          // z
     ];
     TABLE[letter]
 }
@@ -210,7 +425,6 @@ pub fn train_models(corpus: &TypoCorpus) -> (FirstOrderParams, SecondOrderParams
         .collect();
     let log_trigram: Vec<Vec<Vec<f64>>> = trigram
         .iter()
-        
         .map(|mid| {
             mid.iter()
                 .enumerate()
@@ -314,7 +528,11 @@ mod tests {
             let argmax = (0..NUM_LETTERS)
                 .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
                 .unwrap();
-            assert_eq!(argmax, c, "letter {} should be typed correctly most often", c);
+            assert_eq!(
+                argmax, c,
+                "letter {} should be typed correctly most often",
+                c
+            );
         }
     }
 

@@ -143,10 +143,7 @@ mod tests {
         // Original takes the then-branch, edited the else-branch.
         let ep = Enumeration::run(&p).unwrap();
         let eq = Enumeration::run(&q).unwrap();
-        assert!(ep
-            .traces()
-            .iter()
-            .all(|t| t.has_choice(&addr!["cthen"])));
+        assert!(ep.traces().iter().all(|t| t.has_choice(&addr!["cthen"])));
         assert!(eq.traces().iter().all(|t| t.has_choice(&addr!["celse"])));
         // b = flip(1/3) vs flip(2/3).
         let pb = ep.probability(|t| t.value(&addr!["b"]).unwrap().truthy().unwrap());
@@ -159,8 +156,7 @@ mod tests {
     fn geometric_translation_reindexes_trials() {
         let p = geometric(0.5);
         let q = geometric(1.0 / 3.0);
-        let translator =
-            CorrespondenceTranslator::new(p.clone(), q, geometric_correspondence());
+        let translator = CorrespondenceTranslator::new(p.clone(), q, geometric_correspondence());
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let t = simulate(&p, &mut rng).unwrap();

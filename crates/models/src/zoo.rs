@@ -54,7 +54,8 @@ pub fn sprinkler_with_hose(h: &mut dyn Handler) -> Result<Value, PplError> {
     let p_sprinkler = if rain.truthy()? { 0.01 } else { 0.4 };
     let sprinkler = h.sample(addr!["sprinkler"], Dist::flip(p_sprinkler))?;
     let hose = h.sample(addr!["hose"], Dist::flip(0.05))?;
-    let causes = u8::from(rain.truthy()?) + u8::from(sprinkler.truthy()?) + u8::from(hose.truthy()?);
+    let causes =
+        u8::from(rain.truthy()?) + u8::from(sprinkler.truthy()?) + u8::from(hose.truthy()?);
     let p_wet = match causes {
         0 => 0.0,
         1 => 0.85,
@@ -158,12 +159,10 @@ mod tests {
         let p_rain_given_wet = e.probability(rains);
         // Conditioning further on the sprinkler being ON lowers the rain
         // probability (explaining away).
-        let p_rain_and_sprinkler = e.probability(|t| {
-            rains(t) && t.value(&addr!["sprinkler"]).unwrap().truthy().unwrap()
-        });
-        let p_sprinkler = e.probability(|t| {
-            t.value(&addr!["sprinkler"]).unwrap().truthy().unwrap()
-        });
+        let p_rain_and_sprinkler =
+            e.probability(|t| rains(t) && t.value(&addr!["sprinkler"]).unwrap().truthy().unwrap());
+        let p_sprinkler =
+            e.probability(|t| t.value(&addr!["sprinkler"]).unwrap().truthy().unwrap());
         let p_rain_given_wet_and_sprinkler = p_rain_and_sprinkler / p_sprinkler;
         assert!(
             p_rain_given_wet_and_sprinkler < p_rain_given_wet,
@@ -180,7 +179,9 @@ mod tests {
             sprinkler_with_hose,
             sprinkler_correspondence(),
         );
-        let exact = Enumeration::run(&sprinkler_with_hose).unwrap().probability(rains);
+        let exact = Enumeration::run(&sprinkler_with_hose)
+            .unwrap()
+            .probability(rains);
         let sampler = ExactPosterior::new(&sprinkler).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let particles =
@@ -261,8 +262,7 @@ mod tests {
         for _ in 0..20 {
             let t = ppl::handlers::simulate(&p, &mut rng).unwrap();
             let out = translator.translate(&t, &mut rng).unwrap();
-            let oracle =
-                incremental::exact_weight_estimate(&p, &q, &corr, &t, &out.trace).unwrap();
+            let oracle = incremental::exact_weight_estimate(&p, &q, &corr, &t, &out.trace).unwrap();
             assert!((out.log_weight.log() - oracle.log()).abs() < 1e-9);
         }
     }
@@ -271,7 +271,9 @@ mod tests {
     fn discrete_mixture_recovers_separation() {
         // Data from a well-separated mixture: mostly-true and
         // mostly-false halves.
-        let data = vec![true, true, true, true, false, false, false, false, true, false];
+        let data = vec![
+            true, true, true, true, false, false, false, false, true, false,
+        ];
         let model = DiscreteMixture { data, levels: 4 };
         let e = Enumeration::run(&model).unwrap();
         // The posterior mean absolute bias separation is positive.

@@ -76,7 +76,8 @@ struct Env {
 
 impl Env {
     fn define(&mut self, name: &str, ty: AbsType) {
-        self.vars.insert(name.to_string(), (Defined::Definitely, ty));
+        self.vars
+            .insert(name.to_string(), (Defined::Definitely, ty));
     }
 
     /// Merge of two branch outcomes: defined only if defined in both.
@@ -128,9 +129,7 @@ pub fn check(program: &Program) -> Vec<Diagnostic> {
 
 /// Convenience: parse-and-check error count is zero.
 pub fn is_clean(program: &Program) -> bool {
-    check(program)
-        .iter()
-        .all(|d| d.severity != Severity::Error)
+    check(program).iter().all(|d| d.severity != Severity::Error)
 }
 
 impl Checker {
@@ -433,10 +432,10 @@ mod tests {
         let warns = warnings("a = flip(0.5); if a { y = 1; } x = y + 1; return x;");
         assert!(warns.iter().any(|m| m.contains("`y`")), "{warns:?}");
         // Defined in both branches: clean.
-        assert!(warnings(
-            "a = flip(0.5); if a { y = 1; } else { y = 2; } x = y + 1; return x;"
-        )
-        .is_empty());
+        assert!(
+            warnings("a = flip(0.5); if a { y = 1; } else { y = 2; } x = y + 1; return x;")
+                .is_empty()
+        );
     }
 
     #[test]
@@ -463,17 +462,27 @@ mod tests {
         let errs = errors("a = array(3, 0); x = a + 1; return x;");
         assert!(errs.iter().any(|m| m.contains("array operand")), "{errs:?}");
         let errs = errors("n = 3; x = n[0]; return x;");
-        assert!(errs.iter().any(|m| m.contains("indexing into a number")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("indexing into a number")),
+            "{errs:?}"
+        );
         let errs = errors("a = array(2, 0); x = flip(a); return x;");
         assert!(errs.iter().any(|m| m.contains("parameter")), "{errs:?}");
         let errs = errors("n = 1; n[0] = 2; return n;");
-        assert!(errs.iter().any(|m| m.contains("indexed like an array")), "{errs:?}");
+        assert!(
+            errs.iter().any(|m| m.contains("indexed like an array")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn element_assignment_before_definition() {
         let errs = errors("xs[0] = 1; return 0;");
-        assert!(errs.iter().any(|m| m.contains("before the array is defined")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|m| m.contains("before the array is defined")),
+            "{errs:?}"
+        );
     }
 
     #[test]

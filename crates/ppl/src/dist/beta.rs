@@ -62,7 +62,8 @@ impl Beta {
     pub fn log_prob(&self, value: &Value) -> LogWeight {
         match value.as_real() {
             Ok(x) if x > 0.0 && x < 1.0 => LogWeight::from_log(
-                (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+                (self.alpha - 1.0) * x.ln()
+                    + (self.beta - 1.0) * (1.0 - x).ln()
                     + ln_gamma(self.alpha + self.beta)
                     - ln_gamma(self.alpha)
                     - ln_gamma(self.beta),

@@ -62,9 +62,7 @@ impl Geometric {
         match value.as_int() {
             // k = 0 is special-cased so p = 0 avoids 0 · ln 0 = NaN.
             Ok(0) => LogWeight::from_prob(1.0 - self.p),
-            Ok(k) if k > 0 => {
-                LogWeight::from_log(k as f64 * self.p.ln() + (1.0 - self.p).ln())
-            }
+            Ok(k) if k > 0 => LogWeight::from_log(k as f64 * self.p.ln() + (1.0 - self.p).ln()),
             _ => LogWeight::ZERO,
         }
     }

@@ -395,7 +395,10 @@ mod tests {
     #[test]
     fn enumerate_support_for_discrete_only() {
         assert_eq!(Dist::flip(0.5).enumerate_support().unwrap().len(), 2);
-        assert_eq!(Dist::uniform_int(1, 6).enumerate_support().unwrap().len(), 6);
+        assert_eq!(
+            Dist::uniform_int(1, 6).enumerate_support().unwrap().len(),
+            6
+        );
         assert!(Dist::normal(0.0, 1.0).enumerate_support().is_none());
     }
 

@@ -174,10 +174,7 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         for k in 1..15u64 {
             let exact: f64 = (2..=k).map(|i| (i as f64).ln()).sum();
-            assert!(
-                (ln_gamma(k as f64 + 1.0) - exact).abs() < 1e-10,
-                "k = {k}"
-            );
+            assert!((ln_gamma(k as f64 + 1.0) - exact).abs() < 1e-10, "k = {k}");
         }
         // Γ(1/2) = √π
         assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);

@@ -77,9 +77,7 @@ impl Support {
                 }
                 Some((*lo..=*hi).map(Value::Int).collect())
             }
-            Support::NonNegativeInts
-            | Support::RealLine
-            | Support::RealInterval { .. } => None,
+            Support::NonNegativeInts | Support::RealLine | Support::RealInterval { .. } => None,
         }
     }
 
@@ -131,7 +129,10 @@ mod tests {
         let vals = Support::IntRange { lo: -1, hi: 1 }.enumerate().unwrap();
         assert_eq!(vals, vec![Value::Int(-1), Value::Int(0), Value::Int(1)]);
         assert!(Support::RealLine.enumerate().is_none());
-        assert!(Support::IntRange { lo: 2, hi: 1 }.enumerate().unwrap().is_empty());
+        assert!(Support::IntRange { lo: 2, hi: 1 }
+            .enumerate()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -78,12 +78,7 @@ impl Enumeration {
             }
             traces.push(trace);
         }
-        let log_z = log_sum_exp(
-            &traces
-                .iter()
-                .map(|t| t.score().log())
-                .collect::<Vec<_>>(),
-        );
+        let log_z = log_sum_exp(&traces.iter().map(|t| t.score().log()).collect::<Vec<_>>());
         Ok(Enumeration { traces, log_z })
     }
 

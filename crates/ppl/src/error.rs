@@ -77,20 +77,29 @@ impl fmt::Display for PplError {
             }
             PplError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
             PplError::AddressCollision(addr) => {
-                write!(f, "address `{addr}` was used more than once in a single execution")
+                write!(
+                    f,
+                    "address `{addr}` was used more than once in a single execution"
+                )
             }
             PplError::MissingChoice(addr) => {
                 write!(f, "trace has no choice at address `{addr}`")
             }
             PplError::OutsideSupport { address, value } => {
-                write!(f, "value {value} at `{address}` lies outside the distribution support")
+                write!(
+                    f,
+                    "value {value} at `{address}` lies outside the distribution support"
+                )
             }
             PplError::DivisionByZero => write!(f, "division by zero"),
             PplError::FuelExhausted { budget } => {
                 write!(f, "execution exceeded the step budget of {budget}")
             }
             PplError::NonEnumerable(addr) => {
-                write!(f, "choice at `{addr}` has non-finite support; exact enumeration impossible")
+                write!(
+                    f,
+                    "choice at `{addr}` has non-finite support; exact enumeration impossible"
+                )
             }
             PplError::Other(msg) => write!(f, "{msg}"),
         }

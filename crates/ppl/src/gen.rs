@@ -162,7 +162,11 @@ impl<A: Model, B: Model> Pair<A, B> {
 
 impl<A: Model, B: Model> Model for Pair<A, B> {
     fn exec(&self, handler: &mut dyn Handler) -> Result<Value, PplError> {
-        let a = scope(handler, Address::from(self.first_name.as_str()), &self.first)?;
+        let a = scope(
+            handler,
+            Address::from(self.first_name.as_str()),
+            &self.first,
+        )?;
         let b = scope(
             handler,
             Address::from(self.second_name.as_str()),
@@ -331,9 +335,7 @@ mod tests {
         let p1 = 0.3;
         let p2 = p1 * 0.8 + (1.0 - p1) * 0.3;
         let p3 = p2 * 0.8 + (1.0 - p2) * 0.3;
-        let est = e.probability(|t| {
-            t.value(&addr!["t", 2, "s"]).unwrap().truthy().unwrap()
-        });
+        let est = e.probability(|t| t.value(&addr!["t", 2, "s"]).unwrap().truthy().unwrap());
         assert!((est - p3).abs() < 1e-12, "{est} vs {p3}");
         // Replay round-trips.
         let mut rng = StdRng::seed_from_u64(5);

@@ -77,7 +77,9 @@ struct State {
 impl State {
     fn tick(&mut self) -> Result<(), PplError> {
         if self.fuel == 0 {
-            return Err(PplError::FuelExhausted { budget: self.budget });
+            return Err(PplError::FuelExhausted {
+                budget: self.budget,
+            });
         }
         self.fuel -= 1;
         Ok(())
@@ -515,10 +517,10 @@ mod tests {
     fn for_loop_uses_loop_variable_in_address() {
         let program = Program::new(
             Block::new(vec![
-                Stmt::Assign("xs".into(), Expr::ArrayInit(
-                    Box::new(Expr::int(3)),
-                    Box::new(Expr::int(0)),
-                )),
+                Stmt::Assign(
+                    "xs".into(),
+                    Expr::ArrayInit(Box::new(Expr::int(3)), Box::new(Expr::int(0))),
+                ),
                 Stmt::For(
                     "i".into(),
                     Expr::int(0),
@@ -559,10 +561,7 @@ mod tests {
         let program = Program::new(
             Block::new(vec![
                 Stmt::Assign("x".into(), Expr::int(7).sub(Expr::int(3))),
-                Stmt::Assign(
-                    "y".into(),
-                    Expr::Call(Builtin::Sqrt, vec![Expr::var("x")]),
-                ),
+                Stmt::Assign("y".into(), Expr::Call(Builtin::Sqrt, vec![Expr::var("x")])),
                 Stmt::Assign(
                     "z".into(),
                     Expr::Call(Builtin::Max, vec![Expr::var("y"), Expr::real(1.5)]),

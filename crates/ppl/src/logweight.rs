@@ -156,7 +156,10 @@ impl From<f64> for LogWeight {
 
 /// Computes `log(sum_i exp(x_i))` stably.
 ///
-/// Returns `-inf` for an empty slice or a slice of `-inf` values.
+/// Returns `-inf` for an empty slice or a slice of `-inf` values, and
+/// `+inf` if any element is `+inf` (an infinite term dominates the sum
+/// rather than producing `inf - inf = NaN` inside the shifted
+/// exponentials). NaN elements propagate to a NaN result.
 ///
 /// # Examples
 ///
@@ -168,9 +171,18 @@ impl From<f64> for LogWeight {
 /// assert!((lse - 1.0_f64.ln()).abs() < 1e-12);
 /// ```
 pub fn log_sum_exp(xs: &[f64]) -> f64 {
-    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut m = f64::NEG_INFINITY;
+    for &x in xs {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(x);
+    }
     if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
+    }
+    if m == f64::INFINITY {
+        return f64::INFINITY;
     }
     let sum: f64 = xs.iter().map(|x| (x - m).exp()).sum();
     m + sum.ln()
@@ -178,10 +190,11 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 
 /// Normalizes a slice of log weights into linear-space probabilities that
 /// sum to one. Returns `None` if all weights are zero (or the slice is
-/// empty).
+/// empty), or if the total is non-finite (a NaN or `+inf` weight), since
+/// no proper normalization exists in either case.
 pub fn normalize_log_weights(log_ws: &[f64]) -> Option<Vec<f64>> {
     let lse = log_sum_exp(log_ws);
-    if lse == f64::NEG_INFINITY {
+    if !lse.is_finite() {
         return None;
     }
     Some(log_ws.iter().map(|w| (w - lse).exp()).collect())
@@ -256,6 +269,38 @@ mod tests {
     fn lse_large_values_stable() {
         let v = log_sum_exp(&[1000.0, 1000.0]);
         assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lse_single_element_is_identity() {
+        assert_eq!(log_sum_exp(&[-3.25]), -3.25);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lse_infinite_element_dominates() {
+        assert_eq!(log_sum_exp(&[f64::INFINITY, 0.0]), f64::INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::INFINITY]),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn lse_nan_propagates() {
+        assert!(log_sum_exp(&[f64::NAN]).is_nan());
+        assert!(log_sum_exp(&[0.0, f64::NAN, -1.0]).is_nan());
+        // NaN wins even against an infinite element.
+        assert!(log_sum_exp(&[f64::NAN, f64::INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn normalize_rejects_non_finite_totals() {
+        // A +inf or NaN total cannot be normalized into probabilities.
+        assert!(normalize_log_weights(&[f64::INFINITY, 0.0]).is_none());
+        assert!(normalize_log_weights(&[f64::NAN]).is_none());
+        // A single finite weight normalizes to exactly 1.
+        assert_eq!(normalize_log_weights(&[-250.0]).unwrap(), vec![1.0]);
     }
 
     #[test]

@@ -355,7 +355,10 @@ mod tests {
     #[test]
     fn tracks_line_numbers() {
         let tokens = lex("x = 1;\ny = 2;").unwrap();
-        let y = tokens.iter().find(|t| t.tok == Tok::Ident("y".into())).unwrap();
+        let y = tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("y".into()))
+            .unwrap();
         assert_eq!(y.line, 2);
         assert_eq!(y.col, 1);
     }

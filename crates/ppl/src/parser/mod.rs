@@ -103,8 +103,17 @@ impl Parser {
     fn is_keyword(name: &str) -> bool {
         matches!(
             name,
-            "skip" | "observe" | "if" | "else" | "while" | "for" | "in" | "return" | "true"
-                | "false" | "array"
+            "skip"
+                | "observe"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "in"
+                | "return"
+                | "true"
+                | "false"
+                | "array"
         )
     }
 

@@ -310,15 +310,12 @@ fn step_expr(expr: &Expr, env: &HashMap<String, Value>) -> Result<ExprStep, PplE
             } else {
                 e.as_ref().clone()
             })),
-            ExprStep::Reduced(c2) => Ok(ExprStep::Reduced(c2.ternary(
-                t.as_ref().clone(),
-                e.as_ref().clone(),
-            ))),
+            ExprStep::Reduced(c2) => Ok(ExprStep::Reduced(
+                c2.ternary(t.as_ref().clone(), e.as_ref().clone()),
+            )),
             ExprStep::Branch(alts) => Ok(ExprStep::Branch(
                 alts.into_iter()
-                    .map(|(c2, v, p)| {
-                        (c2.ternary(t.as_ref().clone(), e.as_ref().clone()), v, p)
-                    })
+                    .map(|(c2, v, p)| (c2.ternary(t.as_ref().clone(), e.as_ref().clone()), v, p))
                     .collect(),
             )),
         },

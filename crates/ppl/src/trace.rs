@@ -225,7 +225,12 @@ impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "trace (score {}):", self.score())?;
         for (addr, c) in &self.choices {
-            writeln!(f, "  {addr} -> {} (log p = {:.6})", c.value, c.log_prob.log())?;
+            writeln!(
+                f,
+                "  {addr} -> {} (log p = {:.6})",
+                c.value,
+                c.log_prob.log()
+            )?;
         }
         for (addr, o) in &self.observations {
             writeln!(

@@ -159,9 +159,7 @@ impl<'a> Cursor<'a> {
                         return Ok(Component::from(sym.as_str()));
                     }
                     Some('\\') => {
-                        let escaped = chars
-                            .next()
-                            .ok_or_else(|| self.error("dangling escape"))?;
+                        let escaped = chars.next().ok_or_else(|| self.error("dangling escape"))?;
                         sym.push(match escaped {
                             'n' => '\n',
                             other => other,
@@ -357,7 +355,10 @@ mod tests {
     #[test]
     fn reals_round_trip_exactly() {
         let mut m = ChoiceMap::new();
-        for (i, r) in [f64::MIN_POSITIVE, 1.0 / 3.0, -1e300, 0.1 + 0.2].iter().enumerate() {
+        for (i, r) in [f64::MIN_POSITIVE, 1.0 / 3.0, -1e300, 0.1 + 0.2]
+            .iter()
+            .enumerate()
+        {
             m.insert(addr!["r", i as i64], Value::Real(*r));
         }
         let parsed = parse_choice_map(&write_choice_map(&m)).unwrap();
@@ -390,7 +391,7 @@ mod tests {
     #[test]
     fn malformed_inputs_error_with_line_numbers() {
         for bad in [
-            "\"x\" i:1",           // missing =
+            "\"x\" i:1",            // missing =
             "\"x\" = q:1",          // bad tag
             "\"x\" = i:1 extra",    // trailing garbage
             "\"unterminated = i:1", // unterminated symbol

@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Value::array(vec![Value::Int(1), Value::Bool(true)]).to_string(), "[1, true]");
+        assert_eq!(
+            Value::array(vec![Value::Int(1), Value::Bool(true)]).to_string(),
+            "[1, true]"
+        );
         assert_eq!(Value::Real(0.5).to_string(), "0.5");
     }
 

@@ -1,0 +1,532 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds in environments with no crates-registry access,
+//! so the external `proptest` dev-dependency is replaced by this in-tree
+//! implementation of the surface the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_recursive`, range and
+//! tuple strategies, a small regex-subset string strategy,
+//! [`collection::vec`]/[`collection::btree_set`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`]/[`prop_oneof!`]
+//! macros.
+//!
+//! Differences from upstream: sampling is purely random (no shrinking,
+//! no regression persistence) and each test case draws from a
+//! deterministic per-case RNG, so failures reproduce exactly across
+//! runs and machines.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<V, F: Fn(Self::Value) -> V>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for the previous depth level and returns the next one; `self`
+        /// is the leaf level. `_desired_size` and `_expected_branch_size`
+        /// are accepted for upstream signature compatibility and ignored
+        /// (depth alone bounds recursion here).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat.clone()).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, V, F: Fn(S::Value) -> V> Strategy for Map<S, F> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A uniform choice among alternative strategies (see
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `arms`; each generation picks one arm
+        /// uniformly.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = super::sample_index(rng, self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(super::sample_below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i64, u64, u32, usize, i32, u16, u8, i8, i16);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + super::unit_f64(rng) * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            self.start + (super::unit_f64(rng) as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String strategies from a small regex subset: literal characters,
+    /// character classes `[a-z0-9_]` (ranges and single characters), and
+    /// repetitions `{n}` / `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            super::string::generate_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeSet`s with cardinality drawn from `size`
+    /// (best effort: duplicates are retried a bounded number of times).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// The result of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = self.size.clone().generate(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < 20 * (n + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+mod string {
+    use rand::rngs::StdRng;
+
+    /// Generates a string from the regex subset documented on the
+    /// `&str` [`Strategy`](crate::strategy::Strategy) impl.
+    pub fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let candidates: Vec<char> = if c == '[' {
+                let mut set = Vec::new();
+                let mut pending: Option<char> = None;
+                while let Some(d) = chars.next() {
+                    if d == ']' {
+                        break;
+                    }
+                    let range_hi = pending
+                        .filter(|_| d == '-')
+                        .and_then(|lo| chars.next_if(|&n| n != ']').map(|hi| (lo, hi)));
+                    if let Some((lo, hi)) = range_hi {
+                        set.pop();
+                        set.extend(lo..=hi);
+                        pending = None;
+                    } else {
+                        set.push(d);
+                        pending = Some(d);
+                    }
+                }
+                set
+            } else {
+                vec![c]
+            };
+            // Optional repetition {n} or {m,n}.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap_or(1), b.trim().parse().unwrap_or(1)),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let n = lo + super::sample_below(rng, (hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = super::sample_index(rng, candidates.len());
+                out.push(candidates[i]);
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration and deterministic per-case seeding.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block (upstream name:
+    /// `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases generated per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// The deterministic RNG for case number `case`.
+    pub fn case_rng(case: u64) -> StdRng {
+        StdRng::seed_from_u64(0xD06F00D_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring
+    //! `proptest::prelude::*`.
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// A uniform draw below `n` (internal helper; slight modulo bias is
+/// irrelevant for test-case generation).
+fn sample_below(rng: &mut StdRng, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    rng.next_u64() % n
+}
+
+fn sample_index(rng: &mut StdRng, len: usize) -> usize {
+    sample_below(rng, len as u64) as usize
+}
+
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// inside the block becomes a standard test that generates
+/// `config.cases` deterministic cases and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::case_rng(case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("proptest case {case} of {}: {msg}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case with a
+/// message instead of panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// A uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::case_rng(0);
+        for _ in 0..200 {
+            let x = (3i64..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let u = (0usize..1).generate(&mut rng);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_runner::case_rng(1);
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "ab[0-9]{2}".generate(&mut rng);
+            assert!(t.starts_with("ab") && t.len() == 4, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_runner::case_rng(2);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0i64..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = crate::collection::btree_set("[a-z]{1,6}", 1..6).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        let mut rng = crate::test_runner::case_rng(3);
+        let leaf = prop_oneof![
+            (0i64..10).prop_map(|i| i.to_string()),
+            (0usize..3).prop_map(|i| format!("v{i}")),
+        ];
+        let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} + {b})"))
+        });
+        for _ in 0..50 {
+            let s = expr.generate(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0i64..100, y in 0i64..100) {
+            prop_assume!(x != 13);
+            prop_assert!(x + y >= x, "monotonic: {} {}", x, y);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -20,7 +20,11 @@ fn main() -> Result<(), PplError> {
     let mut rng = StdRng::seed_from_u64(3);
     let graph = ExecGraph::simulate(&p, &mut rng)?;
     graph.warm_index();
-    println!("trace of P has {} random choices (K={k} centers + 2N={})", graph.num_choices(), 2 * n);
+    println!(
+        "trace of P has {} random choices (K={k} centers + 2N={})",
+        graph.num_choices(),
+        2 * n
+    );
 
     // Section 6: diff the programs, derive the correspondence, propagate.
     let optimized = IncrementalTranslator::from_edit(p.clone(), q.clone());

@@ -18,8 +18,16 @@ fn main() -> Result<(), PplError> {
     let e_p = Enumeration::run(&burglary::original)?;
     let e_q = Enumeration::run(&burglary::refined)?;
     let burgled = |t: &Trace| t.return_value().unwrap().truthy().unwrap();
-    println!("original: prior {:.3}  posterior {:.3}", e_p.prior_probability(burgled), e_p.probability(burgled));
-    println!("refined:  prior {:.3}  posterior {:.3}", e_q.prior_probability(burgled), e_q.probability(burgled));
+    println!(
+        "original: prior {:.3}  posterior {:.3}",
+        e_p.prior_probability(burgled),
+        e_p.probability(burgled)
+    );
+    println!(
+        "refined:  prior {:.3}  posterior {:.3}",
+        e_q.prior_probability(burgled),
+        e_q.probability(burgled)
+    );
 
     // Translate 5,000 exact posterior traces of the original model.
     let sampler = inference::ExactPosterior::new(&burglary::original)?;

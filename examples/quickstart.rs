@@ -48,6 +48,10 @@ fn main() -> Result<(), PplError> {
 
     println!("incremental estimate of Q's posterior P(x = 1): {estimate:.4}");
     println!("exact (by enumeration):                         {exact:.4}");
-    println!("effective sample size: {:.1} of {}", adapted.ess(), adapted.len());
+    println!(
+        "effective sample size: {:.1} of {}",
+        adapted.ess(),
+        adapted.len()
+    );
     Ok(())
 }

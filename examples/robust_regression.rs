@@ -50,7 +50,11 @@ fn main() -> Result<(), PplError> {
     )?;
     let robust_slope = adapted.estimate(|t| t.value(&addr_slope()).unwrap().as_real().unwrap())?;
     println!("incremental robust posterior mean slope:     {robust_slope:.3}");
-    println!("effective sample size: {:.1} of {}", adapted.ess(), adapted.len());
+    println!(
+        "effective sample size: {:.1} of {}",
+        adapted.ess(),
+        adapted.len()
+    );
 
     // A short from-scratch MCMC run for comparison.
     let kernel = inference::IndependentMetropolisCycle::new(q_model.clone());
@@ -60,6 +64,9 @@ fn main() -> Result<(), PplError> {
         chain = kernel.step(&chain, &mut rng)?;
         slopes.push(chain.value(&addr_slope()).unwrap().as_real().unwrap());
     }
-    println!("20 sweeps of from-scratch MCMC give slope:   {:.3}", mean(&slopes));
+    println!(
+        "20 sweeps of from-scratch MCMC give slope:   {:.3}",
+        mean(&slopes)
+    );
     Ok(())
 }

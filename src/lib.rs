@@ -62,6 +62,7 @@ pub mod prelude {
     };
     pub use ppl::dist::Dist;
     pub use ppl::handlers::{generate, score, simulate};
-    pub use ppl::{addr, Address, ChoiceMap, Enumeration, Handler, LogWeight, Model, PplError,
-                  Trace, Value};
+    pub use ppl::{
+        addr, Address, ChoiceMap, Enumeration, Handler, LogWeight, Model, PplError, Trace, Value,
+    };
 }

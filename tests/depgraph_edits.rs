@@ -110,8 +110,7 @@ fn edit_translator_drives_smc_correctly() {
     let translator = IncrementalTranslator::from_edit(p.clone(), q.clone());
     let sampler = inference::ExactPosterior::new(&p).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
-    let particles =
-        incremental::ParticleCollection::from_traces(sampler.samples(40_000, &mut rng));
+    let particles = incremental::ParticleCollection::from_traces(sampler.samples(40_000, &mut rng));
     let adapted = incremental::infer(
         &translator,
         None,
@@ -164,7 +163,12 @@ fn chained_graph_translations() {
     let start = ExecGraph::simulate(first, &mut rng).unwrap();
     let direct_result = direct.translate_graph(&start, &mut rng).unwrap();
     // Same x value ⇒ same weight; compare conditioned on matching x.
-    let chain_x = graph.to_trace().unwrap().value(&addr!["x"]).unwrap().clone();
+    let chain_x = graph
+        .to_trace()
+        .unwrap()
+        .value(&addr!["x"])
+        .unwrap()
+        .clone();
     let direct_x = direct_result
         .graph
         .to_trace()

@@ -11,8 +11,8 @@ use inference::stats::mean;
 use models::data::hospital::HospitalData;
 use models::data::typo::{train_models, TypoCorpus};
 use models::hmm_model::{
-    addr_hidden, exact_first_order_traces, ground_truth_log_prob, hmm_correspondence,
-    to_dp_hmm, FirstOrderHmmModel, SecondOrderHmmModel,
+    addr_hidden, exact_first_order_traces, ground_truth_log_prob, hmm_correspondence, to_dp_hmm,
+    FirstOrderHmmModel, SecondOrderHmmModel,
 };
 use models::regression::{
     addr_slope, exact_posterior_traces, regression_correspondence, LinRegModel, NoOutlierParams,
@@ -167,7 +167,10 @@ fn sequence_with_adaptive_resampling() {
             Ok(x)
         }
     }
-    let models: Vec<_> = [0.55, 0.7, 0.85, 0.95].iter().map(|&q| stage_model(q)).collect();
+    let models: Vec<_> = [0.55, 0.7, 0.85, 0.95]
+        .iter()
+        .map(|&q| stage_model(q))
+        .collect();
     let translators: Vec<_> = models
         .windows(2)
         .map(|w| {
@@ -213,13 +216,21 @@ fn sequence_with_adaptive_resampling() {
 fn ess_detects_infeasible_translation() {
     let p = |h: &mut dyn Handler| {
         let x = h.sample(addr!["x"], Dist::normal(0.0, 1.0))?;
-        h.observe(addr!["o"], Dist::normal(x.as_real()?, 1.0), Value::Real(0.0))?;
+        h.observe(
+            addr!["o"],
+            Dist::normal(x.as_real()?, 1.0),
+            Value::Real(0.0),
+        )?;
         Ok(x)
     };
     // Q observes a wildly different value with a tight likelihood.
     let q = |h: &mut dyn Handler| {
         let x = h.sample(addr!["x"], Dist::normal(0.0, 1.0))?;
-        h.observe(addr!["o"], Dist::normal(x.as_real()?, 0.05), Value::Real(8.0))?;
+        h.observe(
+            addr!["o"],
+            Dist::normal(x.as_real()?, 0.05),
+            Value::Real(8.0),
+        )?;
         Ok(x)
     };
     let translator = CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["x"]));

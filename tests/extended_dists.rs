@@ -2,9 +2,9 @@
 //! full pipeline: surface syntax, inference kernels, and trace
 //! translation.
 
+use incremental::McmcKernel;
 use incremental::{Correspondence, CorrespondenceTranslator, TraceTranslator};
 use inference::{GaussianDriftKernel, SingleSiteMh};
-use incremental::McmcKernel;
 use ppl::dist::Dist;
 use ppl::handlers::simulate;
 use ppl::{addr, parse, Handler, PplError, Value};
@@ -149,8 +149,7 @@ fn geometric_support_discipline() {
     // Translation across a geometric-rate edit reuses the count.
     let p = |h: &mut dyn Handler| h.sample(addr!["g"], Dist::geometric(0.5));
     let q = |h: &mut dyn Handler| h.sample(addr!["g"], Dist::geometric(0.25));
-    let translator =
-        CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["g"]));
+    let translator = CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["g"]));
     let mut rng = StdRng::seed_from_u64(5);
     let t = simulate(&p, &mut rng).unwrap();
     let out = translator.translate(&t, &mut rng).unwrap();

@@ -30,11 +30,13 @@ fn figure1_weight() {
     for (name, p) in [("alpha", 0.02), ("beta", 0.9)] {
         let d = Dist::flip(p);
         let lp = d.log_prob(&Value::Bool(true));
-        t.record_choice(addr![name], Value::Bool(true), d, lp).unwrap();
+        t.record_choice(addr![name], Value::Bool(true), d, lp)
+            .unwrap();
     }
     let d = Dist::flip(0.8);
     let lp = d.log_prob(&Value::Bool(true));
-    t.record_observation(addr!["o"], Value::Bool(true), d, lp).unwrap();
+    t.record_observation(addr!["o"], Value::Bool(true), d, lp)
+        .unwrap();
 
     let translator = CorrespondenceTranslator::new(
         burglary::original,
@@ -131,11 +133,8 @@ fn example3_support_discipline() {
 fn geometric_loop_correspondence() {
     let p = worked_examples::geometric(0.5);
     let q = worked_examples::geometric(0.25);
-    let translator = CorrespondenceTranslator::new(
-        p.clone(),
-        q,
-        worked_examples::geometric_correspondence(),
-    );
+    let translator =
+        CorrespondenceTranslator::new(p.clone(), q, worked_examples::geometric_correspondence());
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..30 {
         let t = ppl::handlers::simulate(&p, &mut rng).unwrap();

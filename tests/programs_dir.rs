@@ -74,6 +74,10 @@ fn shipped_gmm_edit_is_the_figure10_workload() {
     let result = translator.translate_graph(&graph, &mut rng).unwrap();
     // K = 10 centers reused with a weight ratio; everything else skipped.
     assert!(result.log_weight.log().is_finite());
-    assert!(result.stats.visited <= 25, "visited {}", result.stats.visited);
+    assert!(
+        result.stats.visited <= 25,
+        "visited {}",
+        result.stats.visited
+    );
     assert!(graph.to_trace().unwrap().has_choice(&addr!["center", 9]));
 }

@@ -1,8 +1,10 @@
 //! Property-based tests (proptest) of core invariants across the
 //! workspace.
 
-use incremental::{resample, Correspondence, CorrespondenceTranslator, ParticleCollection,
-                  ResampleScheme, TraceTranslator};
+use incremental::{
+    resample, Correspondence, CorrespondenceTranslator, ParticleCollection, ResampleScheme,
+    TraceTranslator,
+};
 use ppl::dist::Dist;
 use ppl::handlers::{score, simulate};
 use ppl::logweight::{log_sum_exp, normalize_log_weights};
@@ -12,7 +14,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A parameterized branching model used across the properties.
-fn branchy(p0: f64, p1: f64, lo: i64, span: i64) -> impl Fn(&mut dyn Handler) -> Result<Value, PplError> + Clone {
+fn branchy(
+    p0: f64,
+    p1: f64,
+    lo: i64,
+    span: i64,
+) -> impl Fn(&mut dyn Handler) -> Result<Value, PplError> + Clone {
     move |h: &mut dyn Handler| {
         let a = h.sample(addr!["a"], Dist::flip(p0))?;
         let b = if a.truthy()? {
@@ -201,14 +208,11 @@ mod parser_round_trip {
     fn stmt_strategy() -> impl Strategy<Value = String> {
         prop_oneof![
             (0usize..3, expr_strategy(2)).prop_map(|(v, e)| format!("v{v} = {e};")),
-            (expr_strategy(1), 0usize..3, 0usize..3).prop_map(|(c, a, b)| {
-                format!("if {c} {{ v{a} = 1; }} else {{ v{b} = 2; }}")
-            }),
-            (1u32..99, 0usize..3)
-                .prop_map(|(p, v)| format!("observe(flip(0.{p:02}) == v{v});")),
-            (0usize..3, 1i64..4, expr_strategy(1)).prop_map(|(v, n, e)| {
-                format!("for i{v} in [0..{n}) {{ v{v} = {e}; }}")
-            }),
+            (expr_strategy(1), 0usize..3, 0usize..3)
+                .prop_map(|(c, a, b)| { format!("if {c} {{ v{a} = 1; }} else {{ v{b} = 2; }}") }),
+            (1u32..99, 0usize..3).prop_map(|(p, v)| format!("observe(flip(0.{p:02}) == v{v});")),
+            (0usize..3, 1i64..4, expr_strategy(1))
+                .prop_map(|(v, n, e)| { format!("for i{v} in [0..{n}) {{ v{v} = {e}; }}") }),
         ]
     }
 

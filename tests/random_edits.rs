@@ -18,15 +18,13 @@ fn program_strategy() -> impl Strategy<Value = String> {
         (0usize..3, 1u32..99).prop_map(|(v, p)| format!("v{v} = flip(0.{p:02});")),
         (0usize..3, 0i64..4, 1i64..5)
             .prop_map(|(v, lo, k)| format!("v{v} = uniform({lo}, {});", lo + k)),
-        (0usize..3, 0usize..3, 0usize..3).prop_map(|(v, a, b)| {
-            format!("v{v} = va{a} + va{b};")
-        }),
+        (0usize..3, 0usize..3, 0usize..3)
+            .prop_map(|(v, a, b)| { format!("v{v} = va{a} + va{b};") }),
         (0usize..3, 1u32..99, 0usize..3, 0usize..3).prop_map(|(c, p, a, b)| {
             format!("if va{c} > 0 {{ va{a} = flip(0.{p:02}); }} else {{ va{b} = 1; }}")
         }),
-        (1u32..99, 0usize..3).prop_map(|(p, v)| {
-            format!("observe(flip(0.{p:02}) == (va{v} > 0));")
-        }),
+        (1u32..99, 0usize..3)
+            .prop_map(|(p, v)| { format!("observe(flip(0.{p:02}) == (va{v} > 0));") }),
         (0usize..3, 1i64..4, 1u32..99).prop_map(|(v, n, p)| {
             format!("for i{v} in [0..{n}) {{ va{v} = flip(0.{p:02}); }}")
         }),

@@ -9,8 +9,7 @@
 //! checks the result against the conjugate closed form.
 
 use incremental::{
-    infer, Correspondence, CorrespondenceTranslator, ParticleCollection, ResamplePolicy,
-    SmcConfig,
+    infer, Correspondence, CorrespondenceTranslator, ParticleCollection, ResamplePolicy, SmcConfig,
 };
 use ppl::dist::Dist;
 use ppl::handlers::simulate;
@@ -20,12 +19,19 @@ use rand::SeedableRng;
 
 /// The model observing the first `n` data points: mu ~ N(0, 3), each
 /// `y_i ~ N(mu, 1)`.
-fn prefix_model(data: &[f64], n: usize) -> impl Fn(&mut dyn Handler) -> Result<Value, PplError> + Clone {
+fn prefix_model(
+    data: &[f64],
+    n: usize,
+) -> impl Fn(&mut dyn Handler) -> Result<Value, PplError> + Clone {
     let data: Vec<f64> = data[..n].to_vec();
     move |h: &mut dyn Handler| {
         let mu = h.sample(addr!["mu"], Dist::normal(0.0, 3.0))?;
         for (i, y) in data.iter().enumerate() {
-            h.observe(addr!["y", i], Dist::normal(mu.as_real()?, 1.0), Value::Real(*y))?;
+            h.observe(
+                addr!["y", i],
+                Dist::normal(mu.as_real()?, 1.0),
+                Value::Real(*y),
+            )?;
         }
         Ok(mu)
     }

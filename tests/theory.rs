@@ -97,9 +97,7 @@ fn lemma2_with_mcmc_rejuvenation() {
         .probability(|t| t.value(&addr!["y"]).unwrap().truthy().unwrap());
     let sampler = ExactPosterior::new(&p_model).unwrap();
     let translator = translator();
-    let kernel = SingleSiteMh::new(
-        q_model as fn(&mut dyn Handler) -> Result<Value, PplError>,
-    );
+    let kernel = SingleSiteMh::new(q_model as fn(&mut dyn Handler) -> Result<Value, PplError>);
     let mut rng = StdRng::seed_from_u64(12);
     let particles = ParticleCollection::from_traces(sampler.samples(60_000, &mut rng));
     let config = SmcConfig {
@@ -148,8 +146,7 @@ fn section53_decomposition_identity() {
 /// choice in Q, then the third term is zero" (Section 5.3).
 #[test]
 fn third_term_zero_when_p_fully_covered() {
-    let report =
-        translator_error(&p_model, &q_model, &Correspondence::identity_on(["x"])).unwrap();
+    let report = translator_error(&p_model, &q_model, &Correspondence::identity_on(["x"])).unwrap();
     assert!(report.backward_sampling_term.abs() < 1e-12);
 }
 
@@ -165,21 +162,26 @@ fn zero_backward_density_gives_zero_weight() {
     let mut t = ppl::Trace::new();
     let d = Dist::flip(0.4);
     let lp = d.log_prob(&Value::Bool(true));
-    t.record_choice(addr!["x"], Value::Bool(true), d, lp).unwrap();
+    t.record_choice(addr!["x"], Value::Bool(true), d, lp)
+        .unwrap();
     let d = Dist::flip(0.7);
     let lp = d.log_prob(&Value::Bool(true));
-    t.record_observation(addr!["o"], Value::Bool(true), d, lp).unwrap();
+    t.record_observation(addr!["o"], Value::Bool(true), d, lp)
+        .unwrap();
     // u disagrees with t on the corresponding choice.
     let mut u = ppl::Trace::new();
     let d = Dist::flip(0.4);
     let lp = d.log_prob(&Value::Bool(false));
-    u.record_choice(addr!["x"], Value::Bool(false), d, lp).unwrap();
+    u.record_choice(addr!["x"], Value::Bool(false), d, lp)
+        .unwrap();
     let d = Dist::flip(0.25);
     let lp = d.log_prob(&Value::Bool(false));
-    u.record_choice(addr!["y"], Value::Bool(false), d, lp).unwrap();
+    u.record_choice(addr!["y"], Value::Bool(false), d, lp)
+        .unwrap();
     let d = Dist::flip(0.1);
     let lp = d.log_prob(&Value::Bool(true));
-    u.record_observation(addr!["o"], Value::Bool(true), d, lp).unwrap();
+    u.record_observation(addr!["o"], Value::Bool(true), d, lp)
+        .unwrap();
     let w = incremental::exact_weight_estimate(&p_model, &q_model, &f, &t, &u).unwrap();
     assert!(w.is_zero(), "weight {w:?} should be zero");
 }
