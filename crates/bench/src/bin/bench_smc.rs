@@ -1,0 +1,59 @@
+//! `bench_smc` — runs the BENCH_smc edit-sequence benchmark and writes
+//! `BENCH_smc.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_smc [--quick] [--label NAME] [--out PATH] [--threads N]
+//!           [--particles N] [--chain-len N] [--steps N] [--repeats N]
+//! ```
+//!
+//! `--quick` selects the tiny CI smoke configuration. The output document
+//! follows the `bench-smc/v1` schema; committed baselines merge one entry
+//! per measured build.
+
+use benches::smc_bench::{run, SmcBenchConfig};
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut config = if quick {
+        SmcBenchConfig::quick()
+    } else {
+        SmcBenchConfig::default()
+    };
+    let label = parse_flag(&args, "--label").unwrap_or_else(|| {
+        if quick {
+            "quick".to_string()
+        } else {
+            "full".to_string()
+        }
+    });
+    let out_path = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_smc.json".to_string());
+    if let Some(v) = parse_flag(&args, "--threads") {
+        config.threads = v.parse().expect("--threads takes a number");
+    }
+    if let Some(v) = parse_flag(&args, "--particles") {
+        config.particles = v.parse().expect("--particles takes a number");
+    }
+    if let Some(v) = parse_flag(&args, "--chain-len") {
+        config.chain_len = v.parse().expect("--chain-len takes a number");
+    }
+    if let Some(v) = parse_flag(&args, "--steps") {
+        config.steps = v.parse().expect("--steps takes a number");
+    }
+    if let Some(v) = parse_flag(&args, "--repeats") {
+        config.repeats = v.parse().expect("--repeats takes a number");
+    }
+
+    let report = run(&config, &label);
+    print!("{}", report.render());
+    std::fs::write(&out_path, report.to_json()).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

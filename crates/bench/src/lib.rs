@@ -27,3 +27,4 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod report;
+pub mod smc_bench;

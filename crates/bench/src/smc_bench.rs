@@ -1,0 +1,352 @@
+//! BENCH_smc: the edit-sequence benchmark gate.
+//!
+//! A fig9-style workload — a chain model with indexed addresses
+//! (`state/i`, `obs/i`), translated across a sequence of observation-model
+//! edits by site-rule correspondences — timed end to end, so the
+//! translate/replay hot path (trace recording, address hashing,
+//! correspondence lookup, backward replay) has a committed baseline and a
+//! regression gate. Results are written to `BENCH_smc.json`; the CI quick
+//! mode re-runs a tiny configuration and validates the file shape so the
+//! harness cannot rot.
+//!
+//! Workloads:
+//!
+//! - `serial_edit_sequence` — [`incremental::run_sequence`] over the whole
+//!   edit chain (the Section 4.2 "Multiple Steps" regime), single
+//!   threaded: a pure measurement of the translate/replay hot path.
+//! - `parallel_edit_sequence` — the same chain stepped with
+//!   [`incremental::translate_parallel`], measuring the parallel
+//!   translation path (thread startup or worker-pool dispatch plus the
+//!   same per-particle hot path).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use incremental::{
+    run_sequence, translate_parallel, Correspondence, CorrespondenceTranslator, ParticleCollection,
+    SmcConfig, Stage,
+};
+use ppl::dist::Dist;
+use ppl::handlers::simulate;
+use ppl::{addr, Handler, PplError, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the BENCH_smc workload.
+#[derive(Debug, Clone)]
+pub struct SmcBenchConfig {
+    /// Number of chained latent sites (`state/0 … state/N-1`).
+    pub chain_len: usize,
+    /// Particles in the collection threaded through the sequence.
+    pub particles: usize,
+    /// Number of edit steps (stages) in the program sequence.
+    pub steps: usize,
+    /// Worker threads for the parallel workload.
+    pub threads: usize,
+    /// Timed repetitions per workload (median reported).
+    pub repeats: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SmcBenchConfig {
+    fn default() -> Self {
+        SmcBenchConfig {
+            chain_len: 48,
+            particles: 1200,
+            steps: 8,
+            threads: 4,
+            repeats: 5,
+            seed: 1729,
+        }
+    }
+}
+
+impl SmcBenchConfig {
+    /// Tiny configuration for CI smoke runs and tests.
+    pub fn quick() -> SmcBenchConfig {
+        SmcBenchConfig {
+            chain_len: 6,
+            particles: 40,
+            steps: 3,
+            threads: 2,
+            repeats: 2,
+            seed: 1729,
+        }
+    }
+}
+
+/// Timings of one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Per-repetition wall times in milliseconds.
+    pub runs_ms: Vec<f64>,
+    /// A checksum of the final collection (total log weight sum), so two
+    /// runs of the same binary can be checked for identical output.
+    pub checksum: f64,
+}
+
+impl WorkloadResult {
+    /// Median of the repetition times.
+    pub fn median_ms(&self) -> f64 {
+        let mut sorted = self.runs_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[sorted.len() / 2]
+    }
+
+    /// Minimum repetition time (least-noise estimate).
+    pub fn min_ms(&self) -> f64 {
+        self.runs_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A full harness run: configuration plus one result per workload.
+#[derive(Debug, Clone)]
+pub struct SmcBenchReport {
+    /// Label identifying the build being measured (e.g. `seed-baseline`).
+    pub label: String,
+    /// The configuration measured.
+    pub config: SmcBenchConfig,
+    /// Per-workload results.
+    pub results: Vec<WorkloadResult>,
+}
+
+/// The chain model family: `state/i ~ flip(p(state/i-1))` with one
+/// observation per site whose strength is the edit knob. Editing
+/// `obs_strength` changes every observation's density but no structure,
+/// so the whole latent chain is reused through the site-rule
+/// correspondence — the translate/replay hot path does all the work.
+fn chain_model(
+    n: usize,
+    obs_strength: f64,
+) -> impl Fn(&mut dyn Handler) -> Result<Value, PplError> + Clone + Send + Sync {
+    move |h: &mut dyn Handler| {
+        let mut prev = true;
+        for i in 0..n {
+            let p = if prev { 0.7 } else { 0.3 };
+            let x = h.sample(addr!["state", i], Dist::flip(p))?.truthy()?;
+            let po = if x { obs_strength } else { 1.0 - obs_strength };
+            h.observe(addr!["obs", i], Dist::flip(po), Value::Bool(true))?;
+            prev = x;
+        }
+        Ok(Value::Bool(prev))
+    }
+}
+
+type ChainModel = Box<dyn Fn(&mut dyn Handler) -> Result<Value, PplError> + Send + Sync>;
+
+/// Observation strength of stage `s` (stage 0 is the uninformative
+/// starting program, so prior simulations are posterior samples of it).
+fn stage_strength(step: usize) -> f64 {
+    0.5 + 0.03 * step as f64
+}
+
+fn build_translators(
+    config: &SmcBenchConfig,
+) -> Vec<CorrespondenceTranslator<ChainModel, ChainModel>> {
+    (0..config.steps)
+        .map(|s| {
+            let p: ChainModel = Box::new(chain_model(config.chain_len, stage_strength(s)));
+            let q: ChainModel = Box::new(chain_model(config.chain_len, stage_strength(s + 1)));
+            CorrespondenceTranslator::new(p, q, Correspondence::identity_on(["state"]))
+        })
+        .collect()
+}
+
+fn initial_particles(config: &SmcBenchConfig) -> ParticleCollection {
+    let model = chain_model(config.chain_len, stage_strength(0));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let traces: Vec<_> = (0..config.particles)
+        .map(|_| simulate(&model, &mut rng).expect("chain model simulates"))
+        .collect();
+    ParticleCollection::from_traces(traces)
+}
+
+fn collection_checksum(collection: &ParticleCollection) -> f64 {
+    collection
+        .iter()
+        .map(|p| p.log_weight.log())
+        .filter(|w| w.is_finite())
+        .sum()
+}
+
+/// Runs the full harness: every workload, `repeats` times each.
+pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
+    let translators = build_translators(config);
+    let initial = initial_particles(config);
+
+    let mut results = Vec::new();
+
+    // Workload 1: serial edit sequence (the translate/replay hot path).
+    {
+        let stages: Vec<Stage<'_>> = translators
+            .iter()
+            .map(|t| Stage {
+                translator: t,
+                mcmc: None,
+            })
+            .collect();
+        let mut runs_ms = Vec::with_capacity(config.repeats);
+        let mut checksum = 0.0;
+        for rep in 0..config.repeats {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e17 ^ rep as u64);
+            let start = Instant::now();
+            let run = run_sequence(&stages, &initial, &SmcConfig::translate_only(), &mut rng)
+                .expect("serial sequence runs");
+            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            checksum = collection_checksum(run.last());
+        }
+        results.push(WorkloadResult {
+            name: "serial_edit_sequence".to_string(),
+            runs_ms,
+            checksum,
+        });
+    }
+
+    // Workload 2: the same sequence stepped through parallel translation.
+    {
+        let mut runs_ms = Vec::with_capacity(config.repeats);
+        let mut checksum = 0.0;
+        for _ in 0..config.repeats {
+            let start = Instant::now();
+            let mut current = initial.clone();
+            for (step, translator) in translators.iter().enumerate() {
+                current = translate_parallel(
+                    translator,
+                    &current,
+                    config.seed.wrapping_add(step as u64),
+                    config.threads,
+                )
+                .expect("parallel translation runs");
+            }
+            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            checksum = collection_checksum(&current);
+        }
+        results.push(WorkloadResult {
+            name: "parallel_edit_sequence".to_string(),
+            runs_ms,
+            checksum,
+        });
+    }
+
+    SmcBenchReport {
+        label: label.to_string(),
+        config: config.clone(),
+        results,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl SmcBenchReport {
+    /// Renders the report as a `BENCH_smc.json` document (schema
+    /// `bench-smc/v1`): one entry per measured build, so baseline and
+    /// post-change runs can live side by side in the committed file.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"bench-smc/v1\",\n");
+        out.push_str(
+            "  \"workload\": \"fig9-style edit-sequence (chain model, site-rule correspondence)\",\n",
+        );
+        out.push_str("  \"entries\": [\n");
+        out.push_str(&self.entry_json("    "));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders just this run's entry object (used when merging several
+    /// runs into one committed file).
+    pub fn entry_json(&self, indent: &str) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{indent}{{\n{indent}  \"label\": \"{}\",\n",
+            json_escape(&self.label)
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"config\": {{\"chain_len\": {}, \"particles\": {}, \"steps\": {}, \"threads\": {}, \"repeats\": {}, \"seed\": {}}},",
+            c.chain_len, c.particles, c.steps, c.threads, c.repeats, c.seed
+        );
+        let _ = writeln!(out, "{indent}  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let runs: Vec<String> = r.runs_ms.iter().map(|t| format!("{t:.3}")).collect();
+            let _ = writeln!(
+                out,
+                "{indent}    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"runs_ms\": [{}], \"checksum\": {:.6}}}{}",
+                json_escape(&r.name),
+                r.median_ms(),
+                r.min_ms(),
+                runs.join(", "),
+                r.checksum,
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(out, "{indent}  ]\n{indent}}}");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== BENCH_smc [{}] chain_len={} particles={} steps={} threads={} ==",
+            self.label,
+            self.config.chain_len,
+            self.config.particles,
+            self.config.steps,
+            self.config.threads
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "  {:>26}  median {:>9.3} ms  min {:>9.3} ms",
+                r.name,
+                r.median_ms(),
+                r.min_ms()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_workloads_and_valid_json() {
+        let report = run(&SmcBenchConfig::quick(), "test");
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert_eq!(r.runs_ms.len(), 2);
+            assert!(r.runs_ms.iter().all(|t| *t >= 0.0));
+            assert!(r.checksum.is_finite());
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"bench-smc/v1\""));
+        assert!(json.contains("serial_edit_sequence"));
+        assert!(json.contains("parallel_edit_sequence"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_build() {
+        let a = run(&SmcBenchConfig::quick(), "a");
+        let b = run(&SmcBenchConfig::quick(), "b");
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            assert_eq!(x.checksum.to_bits(), y.checksum.to_bits(), "{}", x.name);
+        }
+    }
+}

@@ -9,11 +9,19 @@
 //!   while preserving loop-index components — the indexed-family scheme of
 //!   Section 5.4 (e.g. every `hidden/i` of the second-order HMM corresponds
 //!   to `hidden/i` of the first-order HMM).
+//!
+//! Lookups are on the translate/replay hot path (once per random choice,
+//! forward and backward), so pairs are keyed on interned [`AddressId`]s
+//! and site-rule resolutions are memoized per address: after the first
+//! translation of a trace shape, every `lookup_id` is a single fast-hash
+//! probe.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use ppl::address::Component;
-use ppl::{Address, PplError};
+use ppl::fxhash::{FxHashMap, FxHashSet};
+use ppl::{Address, AddressId, PplError};
 
 /// A correspondence `f : F_Q → F_P` from addresses of the *new* program `Q`
 /// to addresses of the *old* program `P`.
@@ -30,10 +38,23 @@ use ppl::{Address, PplError};
 /// assert_eq!(f.lookup(&addr!["hidden", 3]), Some(addr!["hidden", 3]));
 /// assert_eq!(f.lookup(&addr!["other"]), None);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Correspondence {
-    pairs: HashMap<Address, Address>,
+    pairs: FxHashMap<AddressId, AddressId>,
     site_rules: HashMap<String, String>,
+    /// Memoized site-rule resolutions (`q id → f(q) id`, `None` for
+    /// unmapped). Cleared on mutation; never observable in results.
+    cache: RwLock<FxHashMap<AddressId, Option<AddressId>>>,
+}
+
+impl Clone for Correspondence {
+    fn clone(&self) -> Correspondence {
+        Correspondence {
+            pairs: self.pairs.clone(),
+            site_rules: self.site_rules.clone(),
+            cache: RwLock::new(self.cache.read().expect("cache poisoned").clone()),
+        }
+    }
 }
 
 impl Correspondence {
@@ -80,17 +101,20 @@ impl Correspondence {
     /// Returns an error if `q` is already mapped or `p` is already a target
     /// (the correspondence must stay a bijection).
     pub fn add_pair(&mut self, q: Address, p: Address) -> Result<(), PplError> {
-        if self.pairs.contains_key(&q) {
+        let q_id = q.id();
+        let p_id = p.id();
+        if self.pairs.contains_key(&q_id) {
             return Err(PplError::Other(format!(
                 "correspondence already maps Q address `{q}`"
             )));
         }
-        if self.pairs.values().any(|existing| *existing == p) {
+        if self.pairs.values().any(|existing| *existing == p_id) {
             return Err(PplError::Other(format!(
                 "correspondence already targets P address `{p}`"
             )));
         }
-        self.pairs.insert(q, p);
+        self.pairs.insert(q_id, p_id);
+        self.cache.write().expect("cache poisoned").clear();
         Ok(())
     }
 
@@ -114,42 +138,59 @@ impl Correspondence {
         }
         self.site_rules
             .insert(q_site.to_string(), p_site.to_string());
+        self.cache.write().expect("cache poisoned").clear();
         Ok(())
     }
 
     /// Looks up `f(q)`, if `q ∈ F_Q`. Explicit pairs take precedence over
     /// site rules.
     pub fn lookup(&self, q: &Address) -> Option<Address> {
-        if let Some(p) = self.pairs.get(q) {
-            return Some(p.clone());
+        self.lookup_id(q.id()).map(|id| id.resolve().clone())
+    }
+
+    /// Looks up `f(q)` on interned ids — the hot path. Semantics are
+    /// identical to [`Correspondence::lookup`].
+    pub fn lookup_id(&self, q: AddressId) -> Option<AddressId> {
+        if let Some(&p) = self.pairs.get(&q) {
+            return Some(p);
         }
-        if let Some(Component::Sym(head)) = q.components().first() {
-            if let Some(p_site) = self.site_rules.get(head.as_ref()) {
-                return Some(q.with_head_sym(p_site));
-            }
+        if self.site_rules.is_empty() {
+            return None;
         }
-        None
+        if let Some(&hit) = self.cache.read().expect("cache poisoned").get(&q) {
+            return hit;
+        }
+        let q_addr = q.resolve();
+        let result = match q_addr.components().first() {
+            Some(Component::Sym(head)) => self
+                .site_rules
+                .get(head.as_ref())
+                .map(|p_site| q_addr.with_head_sym(p_site).id()),
+            _ => None,
+        };
+        self.cache
+            .write()
+            .expect("cache poisoned")
+            .insert(q, result);
+        result
     }
 
     /// Whether `q ∈ F_Q`.
     pub fn maps(&self, q: &Address) -> bool {
-        self.lookup(q).is_some()
+        self.lookup_id(q.id()).is_some()
     }
 
     /// The inverse correspondence `f⁻¹ : F_P → F_Q` (used by the backward
     /// kernel `ℓ_{Q→P} = k_{Q→P}` of Eq. (7)).
     pub fn inverse(&self) -> Correspondence {
         Correspondence {
-            pairs: self
-                .pairs
-                .iter()
-                .map(|(q, p)| (p.clone(), q.clone()))
-                .collect(),
+            pairs: self.pairs.iter().map(|(&q, &p)| (p, q)).collect(),
             site_rules: self
                 .site_rules
                 .iter()
                 .map(|(q, p)| (p.clone(), q.clone()))
                 .collect(),
+            cache: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -166,7 +207,7 @@ impl Correspondence {
 
     /// Iterates over the explicit pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (&Address, &Address)> {
-        self.pairs.iter()
+        self.pairs.iter().map(|(q, p)| (q.resolve(), p.resolve()))
     }
 
     /// Iterates over the site rules as `(Q site, P site)`.
@@ -218,16 +259,19 @@ impl Correspondence {
     /// which P choices go unconsumed.
     pub fn coverage(&self, p_trace: &ppl::Trace, q_trace: &ppl::Trace) -> CoverageReport {
         let mut report = CoverageReport::default();
-        let mut consumed: std::collections::HashSet<Address> = std::collections::HashSet::new();
-        for (q_addr, q_choice) in q_trace.choices() {
-            match self.lookup(q_addr) {
+        let mut consumed: FxHashSet<AddressId> = FxHashSet::default();
+        for (q_id, q_choice) in q_trace.choices_interned() {
+            let q_addr = q_id.resolve();
+            match self.lookup_id(q_id) {
                 None => report.unmapped_q.push(q_addr.clone()),
-                Some(p_addr) => match p_trace.choice(&p_addr) {
+                Some(p_id) => match p_trace.choice_by_id(p_id) {
                     None => report.missing_in_p.push(q_addr.clone()),
                     Some(p_choice) => {
                         if q_choice.dist.same_support(&p_choice.dist) {
-                            consumed.insert(p_addr.clone());
-                            report.reusable.push((q_addr.clone(), p_addr));
+                            consumed.insert(p_id);
+                            report
+                                .reusable
+                                .push((q_addr.clone(), p_id.resolve().clone()));
                         } else {
                             report.support_mismatch.push(q_addr.clone());
                         }
@@ -236,9 +280,9 @@ impl Correspondence {
             }
         }
         let inverse = self.inverse();
-        for (p_addr, _) in p_trace.choices() {
-            if inverse.maps(p_addr) && !consumed.contains(p_addr) {
-                report.unconsumed_p.push(p_addr.clone());
+        for (p_id, _) in p_trace.choices_interned() {
+            if inverse.lookup_id(p_id).is_some() && !consumed.contains(&p_id) {
+                report.unconsumed_p.push(p_id.resolve().clone());
             }
         }
         report
@@ -296,6 +340,40 @@ mod tests {
         f.add_pair(addr!["x", 0], addr!["y", 9]).unwrap();
         assert_eq!(f.lookup(&addr!["x", 0]), Some(addr!["y", 9]));
         assert_eq!(f.lookup(&addr!["x", 1]), Some(addr!["x", 1]));
+    }
+
+    #[test]
+    fn cached_lookups_survive_mutation() {
+        // The memo cache must be invalidated by add_pair/add_site_rule.
+        let mut f = Correspondence::new();
+        f.add_site_rule("a", "b").unwrap();
+        assert_eq!(f.lookup(&addr!["a", 1]), Some(addr!["b", 1]));
+        assert_eq!(f.lookup(&addr!["q", 1]), None);
+        // Now shadow the site rule with an explicit pair and add a rule
+        // covering the previously-unmapped head.
+        f.add_pair(addr!["a", 1], addr!["z", 0]).unwrap();
+        f.add_site_rule("q", "r").unwrap();
+        assert_eq!(f.lookup(&addr!["a", 1]), Some(addr!["z", 0]));
+        assert_eq!(f.lookup(&addr!["a", 2]), Some(addr!["b", 2]));
+        assert_eq!(f.lookup(&addr!["q", 1]), Some(addr!["r", 1]));
+        // Clones behave identically.
+        let g = f.clone();
+        assert_eq!(g.lookup(&addr!["a", 1]), Some(addr!["z", 0]));
+        assert_eq!(g.lookup(&addr!["q", 7]), Some(addr!["r", 7]));
+    }
+
+    #[test]
+    fn lookup_and_lookup_id_agree() {
+        let f = Correspondence::identity_on(["trial"]);
+        let a = addr!["trial", 3];
+        assert_eq!(
+            f.lookup(&a).map(|p| p.id()),
+            f.lookup_id(a.id()),
+            "lookup and lookup_id disagree"
+        );
+        let unmapped = addr!["nope", 3];
+        assert_eq!(f.lookup(&unmapped), None);
+        assert_eq!(f.lookup_id(unmapped.id()), None);
     }
 
     #[test]

@@ -357,8 +357,8 @@ struct KernelEnumHandler<'a> {
 
 impl Handler for KernelEnumHandler<'_> {
     fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
-        let reusable = match self.corr.lookup(&addr) {
-            Some(src_addr) => match self.source.choice(&src_addr) {
+        let reusable = match self.corr.lookup_id(addr.id()) {
+            Some(src_id) => match self.source.choice_by_id(src_id) {
                 Some(record) if dist.same_support(&record.dist) => Some(record.value.clone()),
                 _ => None,
             },

@@ -111,6 +111,9 @@ pub struct CorrespondenceTranslator<P, Q> {
     p: P,
     q: Q,
     correspondence: Correspondence,
+    /// `f⁻¹`, computed once at construction: the backward replay needs it
+    /// on every translation.
+    inverse: Correspondence,
     proposal: Option<std::sync::Arc<dyn FreshProposal>>,
 }
 
@@ -129,10 +132,12 @@ impl<P: Model, Q: Model> CorrespondenceTranslator<P, Q> {
     /// Creates a translator from `p` to `q` using `correspondence` (a map
     /// from `Q` addresses to `P` addresses).
     pub fn new(p: P, q: Q, correspondence: Correspondence) -> CorrespondenceTranslator<P, Q> {
+        let inverse = correspondence.inverse();
         CorrespondenceTranslator {
             p,
             q,
             correspondence,
+            inverse,
             proposal: None,
         }
     }
@@ -187,8 +192,7 @@ impl<P: Model, Q: Model> CorrespondenceTranslator<P, Q> {
 
         // 2. Backward: replay P pinned to t, reusing from u, to get
         //    log ℓ_{Q→P}(t; u) and a freshly re-scored log P̃r[t ∼ P].
-        let inverse = self.correspondence.inverse();
-        let (log_l, replayed) = kernel_density(&self.p, t, &trace, &inverse)?;
+        let (log_l, replayed) = kernel_density(&self.p, t, &trace, &self.inverse)?;
         let t_score = replayed.score();
         if log_l.is_zero() {
             stats.backward_zero = true;
@@ -226,13 +230,15 @@ struct ForwardHandler<'a> {
 
 impl Handler for ForwardHandler<'_> {
     fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
+        // Intern once; every map touch below is a copyable-id probe.
+        let id = addr.id();
         let mut fresh_reason = None;
-        let reused_value = match self.correspondence.lookup(&addr) {
+        let reused_value = match self.correspondence.lookup_id(id) {
             None => {
                 fresh_reason = Some(FreshReason::NotInCorrespondence);
                 None
             }
-            Some(p_addr) => match self.old.choice(&p_addr) {
+            Some(p_id) => match self.old.choice_by_id(p_id) {
                 None => {
                     fresh_reason = Some(FreshReason::MissingInOld);
                     None
@@ -273,13 +279,13 @@ impl Handler for ForwardHandler<'_> {
                 };
                 self.stats
                     .fresh
-                    .push((addr.clone(), fresh_reason.expect("fresh without reason")));
+                    .push((addr, fresh_reason.expect("fresh without reason")));
                 v
             }
         };
         let log_prob = dist.log_prob(&value);
         self.trace
-            .record_choice(addr, value.clone(), dist, log_prob)?;
+            .record_choice_interned(id, value.clone(), dist, log_prob)?;
         Ok(value)
     }
 
@@ -353,14 +359,15 @@ struct KernelDensityScorer<'a> {
 
 impl Handler for KernelDensityScorer<'_> {
     fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
-        let value = self
-            .pinned
-            .value(&addr)
-            .cloned()
-            .ok_or_else(|| PplError::MissingChoice(addr.clone()))?;
-        let reusable = match self.corr.lookup(&addr) {
-            Some(src_addr) => match self.source.choice(&src_addr) {
-                Some(record) if dist.same_support(&record.dist) => Some(record.value.clone()),
+        let id = addr.id();
+        let value = match self.pinned.value_by_id(id) {
+            Some(v) => v.clone(),
+            None => return Err(PplError::MissingChoice(addr)),
+        };
+        // Borrow the source value: it only feeds the num_eq comparison.
+        let reusable = match self.corr.lookup_id(id) {
+            Some(src_id) => match self.source.choice_by_id(src_id) {
+                Some(record) if dist.same_support(&record.dist) => Some(&record.value),
                 _ => None,
             },
             None => None,
@@ -379,7 +386,7 @@ impl Handler for KernelDensityScorer<'_> {
         }
         let log_prob = dist.log_prob(&value);
         self.replayed
-            .record_choice(addr, value.clone(), dist, log_prob)?;
+            .record_choice_interned(id, value.clone(), dist, log_prob)?;
         Ok(value)
     }
 

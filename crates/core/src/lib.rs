@@ -78,6 +78,7 @@ pub mod forward;
 pub mod health;
 pub mod mcmc;
 pub mod particles;
+pub mod pool;
 pub mod resample;
 pub mod sequence;
 pub mod smc;
@@ -92,10 +93,15 @@ pub use forward::{
 pub use health::{retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport};
 pub use mcmc::{IdentityKernel, McmcKernel};
 pub use particles::{Particle, ParticleCollection};
+pub use pool::WorkerPool;
 pub use resample::{resample, ResampleError, ResampleScheme};
-pub use sequence::{run_sequence, run_sequence_with_policy, SequenceRun, Stage};
+pub use sequence::{
+    run_sequence, run_sequence_parallel, run_sequence_parallel_with_policy,
+    run_sequence_with_policy, ParallelStage, SequenceRun, Stage,
+};
 pub use smc::{
-    infer, infer_with_policy, infer_without_weights, translate_collection, translate_parallel,
-    translate_parallel_with_policy, ResamplePolicy, SmcConfig,
+    infer, infer_parallel_with_policy, infer_with_policy, infer_without_weights,
+    translate_collection, translate_parallel, translate_parallel_with_policy,
+    translate_parallel_with_policy_scoped, ResamplePolicy, SmcConfig,
 };
 pub use translator::{TraceTranslator, TranslateCtx, Translated};

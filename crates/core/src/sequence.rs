@@ -13,7 +13,7 @@ use ppl::PplError;
 use crate::health::{FailurePolicy, SmcError, StepReport};
 use crate::mcmc::McmcKernel;
 use crate::particles::ParticleCollection;
-use crate::smc::{infer_with_policy, SmcConfig};
+use crate::smc::{infer_parallel_with_policy, infer_with_policy, SmcConfig};
 use crate::translator::TraceTranslator;
 
 /// One stage of a program sequence: a translator into the stage's program
@@ -128,6 +128,107 @@ pub fn run_sequence(
         .map_err(PplError::from)
 }
 
+/// A [`Stage`] whose translator can be shared across worker threads
+/// (required by the parallel sequence runner).
+pub struct ParallelStage<'a> {
+    /// Translator from the previous stage's program.
+    pub translator: &'a (dyn TraceTranslator + Sync),
+    /// Optional MCMC kernel with the stage posterior invariant (applied
+    /// serially after the parallel translation phase).
+    pub mcmc: Option<&'a dyn McmcKernel>,
+}
+
+impl std::fmt::Debug for ParallelStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelStage")
+            .field("has_mcmc", &self.mcmc.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The deterministic translation seed of stage `step` in a parallel
+/// sequence run (a golden-ratio stride over `base_seed`).
+fn stage_seed(base_seed: u64, step: usize) -> u64 {
+    base_seed.wrapping_add((step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// [`run_sequence_with_policy`] with pooled parallel translation: every
+/// stage's translate/reweight loop runs on the persistent
+/// [`crate::WorkerPool`], which is spawned once and reused across all
+/// stages (and across runs in the same process). Translation randomness
+/// is derived from `base_seed` per stage, so results are bit-identical
+/// for any `threads` value; `rng` drives only resampling and
+/// rejuvenation, as in the serial runner.
+///
+/// (The Section 6 incremental translator is `Rc`-based and not `Sync`;
+/// edit sequences over execution graphs stay on the serial runner.)
+///
+/// # Errors
+///
+/// Propagates typed errors from [`infer_parallel_with_policy`].
+pub fn run_sequence_parallel_with_policy(
+    stages: &[ParallelStage<'_>],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun, SmcError> {
+    let mut collections = Vec::with_capacity(stages.len());
+    let mut ess_history = Vec::with_capacity(stages.len());
+    let mut reports = Vec::with_capacity(stages.len());
+    let mut current = initial.clone();
+    for (step, stage) in stages.iter().enumerate() {
+        let (next, report) = infer_parallel_with_policy(
+            stage.translator,
+            stage.mcmc,
+            &current,
+            config,
+            policy,
+            step,
+            stage_seed(base_seed, step),
+            threads,
+            rng,
+        )?;
+        ess_history.push(next.ess());
+        reports.push(report);
+        collections.push(next.clone());
+        current = next;
+    }
+    Ok(SequenceRun {
+        collections,
+        ess_history,
+        reports,
+    })
+}
+
+/// [`run_sequence_parallel_with_policy`] under
+/// [`FailurePolicy::FailFast`], with errors flattened to [`PplError`].
+///
+/// # Errors
+///
+/// Propagates errors from [`infer_parallel_with_policy`].
+pub fn run_sequence_parallel(
+    stages: &[ParallelStage<'_>],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun, PplError> {
+    run_sequence_parallel_with_policy(
+        stages,
+        initial,
+        config,
+        &FailurePolicy::FailFast,
+        base_seed,
+        threads,
+        rng,
+    )
+    .map_err(PplError::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +302,72 @@ mod tests {
         );
         // Weights concentrate, so ESS decreases along the sequence.
         assert!(run.ess_history[1] <= run.ess_history[0] * 1.05);
+    }
+
+    #[test]
+    fn parallel_sequence_is_thread_count_invariant_and_correct() {
+        let m0 = model_with_obs(0.5);
+        let m1 = model_with_obs(0.7);
+        let m2 = model_with_obs(0.9);
+        let t01 = CorrespondenceTranslator::new(m0, m1, Correspondence::identity_on(["x"]));
+        let m1b = model_with_obs(0.7);
+        let t12 = CorrespondenceTranslator::new(m1b, m2, Correspondence::identity_on(["x"]));
+        let stages = [
+            ParallelStage {
+                translator: &t01,
+                mcmc: None,
+            },
+            ParallelStage {
+                translator: &t12,
+                mcmc: None,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        let m0_again = model_with_obs(0.5);
+        let traces: Vec<_> = (0..8000)
+            .map(|_| simulate(&m0_again, &mut rng).unwrap())
+            .collect();
+        let initial = ParticleCollection::from_traces(traces);
+        let run_with = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(31);
+            run_sequence_parallel(
+                &stages,
+                &initial,
+                &SmcConfig::translate_only(),
+                777,
+                threads,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let one = run_with(1);
+        assert!(one.is_clean());
+        let estimate = one
+            .last()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap())
+            .unwrap();
+        let exact = Enumeration::run(&model_with_obs(0.9))
+            .unwrap()
+            .probability(|t| t.value(&addr!["x"]).unwrap().truthy().unwrap());
+        assert!(
+            (estimate - exact).abs() < 0.03,
+            "estimate {estimate} vs exact {exact}"
+        );
+        // Bit-identical trajectories for any thread count.
+        for threads in [3, 8] {
+            let other = run_with(threads);
+            for (a, b) in one.collections.iter().zip(other.collections.iter()) {
+                assert_eq!(a.len(), b.len());
+                for (pa, pb) in a.iter().zip(b.iter()) {
+                    assert_eq!(
+                        pa.log_weight.log().to_bits(),
+                        pb.log_weight.log().to_bits(),
+                        "threads={threads}"
+                    );
+                    assert_eq!(pa.trace, pb.trace);
+                }
+            }
+        }
     }
 
     #[test]

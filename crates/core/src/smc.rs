@@ -29,6 +29,7 @@ use crate::health::{
 };
 use crate::mcmc::McmcKernel;
 use crate::particles::{Particle, ParticleCollection};
+use crate::pool::WorkerPool;
 use crate::resample::{resample, ResampleError, ResampleScheme};
 use crate::translator::{TraceTranslator, TranslateCtx};
 
@@ -249,7 +250,46 @@ pub fn infer_with_policy(
         });
     }
 
-    // 2. Degeneracy diagnosis and optional resampling. Dropping under
+    // 2.–3. Degeneracy handling, resampling, and rejuvenation.
+    let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
+
+    let report = StepReport {
+        step,
+        input_particles: particles.len(),
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        dropped,
+        retries,
+        recovered,
+        failures,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+    };
+    Ok((tail.collection, report))
+}
+
+/// Result of the post-translation phases of one SMC step.
+struct StepTail {
+    collection: ParticleCollection,
+    /// Post-reweight ESS (before any resampling).
+    ess: f64,
+    resampled: bool,
+    collapse_recovered: bool,
+}
+
+/// Phases 2–3 of Algorithm 2, shared by the serial and parallel step
+/// entry points: degeneracy diagnosis, optional resampling, collapse
+/// recovery, and optional MCMC rejuvenation.
+fn degeneracy_tail(
+    translated: ParticleCollection,
+    mcmc: Option<&dyn McmcKernel>,
+    particles: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    rng: &mut dyn RngCore,
+) -> Result<StepTail, SmcError> {
+    // Degeneracy diagnosis and optional resampling. Dropping under
     // DropAndRenormalize needs no explicit renormalization: the
     // collection's estimators self-normalize over the survivors.
     let ess = translated.ess();
@@ -290,7 +330,7 @@ pub fn infer_with_policy(
         }
     };
 
-    // 3. Optional MCMC rejuvenation (also applied to a collapse-recovered
+    // Optional MCMC rejuvenation (also applied to a collapse-recovered
     // collection, per the recovery contract).
     let final_collection = match (mcmc, config.mcmc_steps) {
         (Some(kernel), steps) if steps > 0 => {
@@ -304,19 +344,52 @@ pub fn infer_with_policy(
         _ => collection,
     };
 
-    let report = StepReport {
-        step,
-        input_particles: particles.len(),
-        output_particles: final_collection.len(),
+    Ok(StepTail {
+        collection: final_collection,
         ess,
-        dropped,
-        retries,
-        recovered,
-        failures,
         resampled,
         collapse_recovered,
+    })
+}
+
+/// One step of SMC with pooled parallel translation: phase 1 (the
+/// embarrassingly parallel translate/reweight loop) runs on the
+/// persistent [`WorkerPool`] with deterministic per-particle seeds
+/// derived from `base_seed`; phases 2–3 (resampling, rejuvenation) run
+/// serially on `rng`, exactly as in [`infer_with_policy`].
+///
+/// Unlike [`infer_with_policy`], translation randomness comes from
+/// `base_seed` rather than `rng`, so the translated collection is
+/// bit-identical for any `threads` value — see
+/// [`translate_parallel_with_policy`] for the contract.
+///
+/// # Errors
+///
+/// As [`infer_with_policy`], plus [`SmcError::Internal`] for worker
+/// infrastructure failures.
+#[allow(clippy::too_many_arguments)]
+pub fn infer_parallel_with_policy(
+    translator: &(dyn TraceTranslator + Sync),
+    mcmc: Option<&dyn McmcKernel>,
+    particles: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection, StepReport), SmcError> {
+    let (translated, translation_report) =
+        translate_parallel_with_policy(translator, particles, base_seed, threads, policy, step)?;
+    let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
+    let report = StepReport {
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+        ..translation_report
     };
-    Ok((final_collection, report))
+    Ok((tail.collection, report))
 }
 
 /// One step of SMC (Algorithm 2): translate, reweight, optionally
@@ -383,18 +456,66 @@ fn particle_seed(base_seed: u64, index: usize) -> u64 {
     base_seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9))
 }
 
+/// The per-particle outcome slot of the parallel path: translated trace +
+/// combined weight + attempts used, or the particle's failure.
+type Slot = Result<(Trace, LogWeight, usize), ParticleFailure>;
+
+/// Translates one particle for the parallel path, using its deterministic
+/// per-attempt seeds — the unit of work both the pooled and the scoped
+/// implementations dispatch.
+fn translate_slot(
+    translator: &dyn TraceTranslator,
+    particle: &Particle,
+    j: usize,
+    base_seed: u64,
+    policy_seed: u64,
+    max_attempts: usize,
+    step: usize,
+) -> Slot {
+    let mut slot: Option<Slot> = None;
+    for attempt in 0..max_attempts {
+        let seed = if attempt == 0 {
+            particle_seed(base_seed, j)
+        } else {
+            retry_seed(policy_seed, step, j, attempt)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = TranslateCtx::new(step, j).with_attempt(attempt);
+        match attempt_translate(translator, particle, ctx, &mut rng) {
+            Ok((trace, weight)) => {
+                slot = Some(Ok((trace, weight, attempt + 1)));
+                break;
+            }
+            Err(kind) => {
+                slot = Some(Err(ParticleFailure {
+                    step,
+                    particle: j,
+                    attempts: attempt + 1,
+                    kind,
+                }));
+            }
+        }
+    }
+    slot.expect("at least one attempt ran")
+}
+
 /// Parallel translation under a [`FailurePolicy`]: each particle's
 /// `translate` is independent (Algorithm 2's first loop is
-/// embarrassingly parallel), so the collection is chunked across
-/// `threads` workers, with per-particle panic isolation and weight
-/// quarantine.
+/// embarrassingly parallel), so the collection is chunked into `threads`
+/// work items executed on the persistent [`WorkerPool`], with
+/// per-particle panic isolation and weight quarantine. The pool is
+/// created on first use and reused by every subsequent step, so a long
+/// [`crate::run_sequence`] pays thread-spawn cost once, not per step.
 ///
 /// Determinism: particle `j`'s first attempt uses an RNG seeded from
 /// `base_seed` and `j`, and retry attempt `k` uses
 /// `retry_seed(policy_seed, step, j, k)` — so results, reports, and
 /// (under fail-fast) *which* failure is reported are identical for any
-/// thread count. Fail-fast surfaces the failure of the smallest particle
-/// index, not whichever worker lost the race.
+/// thread count and any pool size, and bit-identical to the historical
+/// scoped-thread implementation
+/// ([`translate_parallel_with_policy_scoped`]). Fail-fast surfaces the
+/// failure of the smallest particle index, not whichever worker lost the
+/// race.
 ///
 /// # Errors
 ///
@@ -409,7 +530,68 @@ pub fn translate_parallel_with_policy(
     policy: &FailurePolicy,
     step: usize,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
-    type Slot = Result<(Trace, LogWeight, usize), ParticleFailure>;
+    let threads = threads.max(1);
+    let max_attempts = policy.max_attempts();
+    let policy_seed = match policy {
+        FailurePolicy::Retry { seed, .. } => *seed,
+        _ => 0,
+    };
+    let mut slots: Vec<Option<Slot>> = (0..particles.len()).map(|_| None).collect();
+    if threads == 1 || particles.len() <= 1 {
+        // Serial fast path: no dispatch overhead, same seeds, same result.
+        for (j, particle) in particles.iter().enumerate() {
+            slots[j] = Some(translate_slot(
+                translator,
+                particle,
+                j,
+                base_seed,
+                policy_seed,
+                max_attempts,
+                step,
+            ));
+        }
+    } else {
+        let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
+        let chunk_size = items.len().div_ceil(threads).max(1);
+        // Items are enumerated in order, so chunking items and slots with
+        // the same stride pairs every particle with its own output slot.
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .chunks(chunk_size)
+            .zip(slots.chunks_mut(chunk_size))
+            .map(|(chunk, out)| {
+                Box::new(move || {
+                    for ((j, particle), slot) in chunk.iter().zip(out.iter_mut()) {
+                        *slot = Some(translate_slot(
+                            translator,
+                            particle,
+                            *j,
+                            base_seed,
+                            policy_seed,
+                            max_attempts,
+                            step,
+                        ));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        WorkerPool::global()
+            .run_scoped(tasks)
+            .map_err(SmcError::Internal)?;
+    }
+    assemble_parallel(particles, slots, policy, step)
+}
+
+/// The historical per-call `std::thread::scope` implementation of
+/// [`translate_parallel_with_policy`], kept as the reference the pooled
+/// path is differentially tested against (results must be bit-identical).
+pub fn translate_parallel_with_policy_scoped(
+    translator: &(dyn TraceTranslator + Sync),
+    particles: &ParticleCollection,
+    base_seed: u64,
+    threads: usize,
+    policy: &FailurePolicy,
+    step: usize,
+) -> Result<(ParticleCollection, StepReport), SmcError> {
     let threads = threads.max(1);
     let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
     let chunk_size = items.len().div_ceil(threads).max(1);
@@ -423,35 +605,23 @@ pub fn translate_parallel_with_policy(
             .chunks(chunk_size)
             .map(|chunk| {
                 scope.spawn(move || {
-                    let mut out: Vec<(usize, Slot)> = Vec::with_capacity(chunk.len());
-                    for (j, particle) in chunk {
-                        let mut slot: Option<Slot> = None;
-                        for attempt in 0..max_attempts {
-                            let seed = if attempt == 0 {
-                                particle_seed(base_seed, *j)
-                            } else {
-                                retry_seed(policy_seed, step, *j, attempt)
-                            };
-                            let mut rng = StdRng::seed_from_u64(seed);
-                            let ctx = TranslateCtx::new(step, *j).with_attempt(attempt);
-                            match attempt_translate(translator, particle, ctx, &mut rng) {
-                                Ok((trace, weight)) => {
-                                    slot = Some(Ok((trace, weight, attempt + 1)));
-                                    break;
-                                }
-                                Err(kind) => {
-                                    slot = Some(Err(ParticleFailure {
-                                        step,
-                                        particle: *j,
-                                        attempts: attempt + 1,
-                                        kind,
-                                    }));
-                                }
-                            }
-                        }
-                        out.push((*j, slot.expect("at least one attempt ran")));
-                    }
-                    out
+                    chunk
+                        .iter()
+                        .map(|(j, particle)| {
+                            (
+                                *j,
+                                translate_slot(
+                                    translator,
+                                    particle,
+                                    *j,
+                                    base_seed,
+                                    policy_seed,
+                                    max_attempts,
+                                    step,
+                                ),
+                            )
+                        })
+                        .collect()
                 })
             })
             .collect();
@@ -470,7 +640,17 @@ pub fn translate_parallel_with_policy(
             slots[j] = Some(slot);
         }
     }
+    assemble_parallel(particles, slots, policy, step)
+}
 
+/// Scans the filled slots in index order and builds the output collection
+/// and report — shared tail of the pooled and scoped parallel paths.
+fn assemble_parallel(
+    particles: &ParticleCollection,
+    slots: Vec<Option<Slot>>,
+    policy: &FailurePolicy,
+    step: usize,
+) -> Result<(ParticleCollection, StepReport), SmcError> {
     let mut out = ParticleCollection::new();
     let mut failures: Vec<ParticleFailure> = Vec::new();
     let mut retries = 0;

@@ -390,10 +390,10 @@ mod tests {
         let trace = graph.to_trace().unwrap();
         assert_eq!(trace.len(), 45);
         // Evaluation order: centers first, then pick/point interleaved.
-        let order: Vec<String> = trace.choices().map(|(a, _)| a.to_string()).collect();
-        assert_eq!(order[0], "center/0");
-        assert_eq!(order[5], "pick/0");
-        assert_eq!(order[6], "point/0");
+        let order: Vec<&ppl::Address> = trace.choices().map(|(a, _)| a).collect();
+        assert_eq!(order[0], &ppl::addr!["center", 0]);
+        assert_eq!(order[5], &ppl::addr!["pick", 0]);
+        assert_eq!(order[6], &ppl::addr!["point", 0]);
     }
 
     #[test]

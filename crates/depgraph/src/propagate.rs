@@ -125,8 +125,8 @@ struct ReuseSource<'a, 'b> {
 
 impl ChoiceSource for ReuseSource<'_, '_> {
     fn draw(&mut self, addr: &Address, dist: &Dist) -> Result<Value, PplError> {
-        if let Some(p_addr) = self.correspondence.lookup(addr) {
-            if let Some(old_choice) = self.old.choice(&p_addr) {
+        if let Some(p_id) = self.correspondence.lookup_id(addr.id()) {
+            if let Some(old_choice) = self.old.choice_by_id(p_id) {
                 if dist.same_support(&old_choice.dist) {
                     *self.log_num += dist.log_prob(&old_choice.value);
                     *self.log_den += old_choice.log_prob;

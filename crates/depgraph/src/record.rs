@@ -12,12 +12,12 @@
 //! share unchanged subtrees between `G_t` and `G_u` in O(1) — the key to
 //! the `O(K)` hyperparameter edit of Figure 10.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use ppl::ast::Program;
 use ppl::dist::Dist;
-use ppl::{Address, LogWeight, PplError, Trace, Value};
+use ppl::{Address, AddressId, AddressInterner, FxHashMap, LogWeight, PplError, Trace, Value};
 
 /// The recorded data of one random choice.
 #[derive(Debug, Clone)]
@@ -201,8 +201,8 @@ impl BlockRecord {
 /// lookups against an input graph are O(1).
 #[derive(Debug, Clone, Default)]
 struct Indexes {
-    choices: HashMap<Address, ChoiceData>,
-    observations: HashMap<Address, ObsData>,
+    choices: FxHashMap<AddressId, ChoiceData>,
+    observations: FxHashMap<AddressId, ObsData>,
 }
 
 /// The execution graph of one program run.
@@ -245,12 +245,27 @@ impl ExecGraph {
 
     /// Looks up the choice at `addr` in `t`.
     pub fn choice(&self, addr: &Address) -> Option<&ChoiceData> {
-        self.indexes().choices.get(addr)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.choice_by_id(id))
+    }
+
+    /// Looks up the choice at an interned address id (the hot path:
+    /// change propagation resolves every reuse candidate through here).
+    pub fn choice_by_id(&self, id: AddressId) -> Option<&ChoiceData> {
+        self.indexes().choices.get(&id)
     }
 
     /// Looks up the observation at `addr`.
     pub fn observation(&self, addr: &Address) -> Option<&ObsData> {
-        self.indexes().observations.get(addr)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.observation_by_id(id))
+    }
+
+    /// Looks up the observation at an interned address id.
+    pub fn observation_by_id(&self, id: AddressId) -> Option<&ObsData> {
+        self.indexes().observations.get(&id)
     }
 
     /// Number of recorded choices.
@@ -283,13 +298,11 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
     for stmt in &block.stmts {
         if let Some(summary) = stmt.summary() {
             for (addr, data) in &summary.choices {
-                idx.choices
-                    .entry(addr.clone())
-                    .or_insert_with(|| data.clone());
+                idx.choices.entry(addr.id()).or_insert_with(|| data.clone());
             }
             for (addr, data) in &summary.observations {
                 idx.observations
-                    .entry(addr.clone())
+                    .entry(addr.id())
                     .or_insert_with(|| data.clone());
             }
         }
@@ -303,13 +316,11 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
             StmtRecord::While { iters, .. } => {
                 for iter in iters {
                     for (addr, data) in &iter.cond.choices {
-                        idx.choices
-                            .entry(addr.clone())
-                            .or_insert_with(|| data.clone());
+                        idx.choices.entry(addr.id()).or_insert_with(|| data.clone());
                     }
                     for (addr, data) in &iter.cond.observations {
                         idx.observations
-                            .entry(addr.clone())
+                            .entry(addr.id())
                             .or_insert_with(|| data.clone());
                     }
                     if let Some(body) = &iter.body {

@@ -9,14 +9,12 @@
 //! independent Metropolis updates to each latent variable" used as the
 //! MCMC baseline in Section 7.2.
 
-use std::collections::HashSet;
-
 use rand::RngCore;
 
 use incremental::McmcKernel;
 use ppl::dist::util::{uniform_below, uniform_unit};
 use ppl::dist::Dist;
-use ppl::{Address, Handler, LogWeight, Model, PplError, Trace, Value};
+use ppl::{Address, AddressId, FxHashSet, Handler, LogWeight, Model, PplError, Trace, Value};
 
 /// Re-executes `model`, forcing `forced_addr ↦ forced_value`, reusing all
 /// other choices of `old` whose address and support match, and sampling
@@ -24,22 +22,22 @@ use ppl::{Address, Handler, LogWeight, Model, PplError, Trace, Value};
 ///
 /// Returns the new trace, the log probability of the freshly sampled
 /// choices (under the new trace's distributions), and the set of
-/// deterministically reused addresses.
+/// deterministically reused addresses (as interned ids).
 pub(crate) fn regenerate(
     model: &dyn Model,
     old: &Trace,
     forced_addr: &Address,
     forced_value: &Value,
     rng: &mut dyn RngCore,
-) -> Result<(Trace, LogWeight, HashSet<Address>), PplError> {
+) -> Result<(Trace, LogWeight, FxHashSet<AddressId>), PplError> {
     let mut handler = RegenHandler {
         old,
-        forced_addr,
+        forced_id: forced_addr.id(),
         forced_value,
         rng,
         trace: Trace::new(),
         log_fresh: LogWeight::ONE,
-        reused: HashSet::new(),
+        reused: FxHashSet::default(),
     };
     let value = model.exec(&mut handler)?;
     let RegenHandler {
@@ -54,22 +52,23 @@ pub(crate) fn regenerate(
 
 struct RegenHandler<'a> {
     old: &'a Trace,
-    forced_addr: &'a Address,
+    forced_id: AddressId,
     forced_value: &'a Value,
     rng: &'a mut dyn RngCore,
     trace: Trace,
     log_fresh: LogWeight,
-    reused: HashSet<Address>,
+    reused: FxHashSet<AddressId>,
 }
 
 impl Handler for RegenHandler<'_> {
     fn sample(&mut self, addr: Address, dist: Dist) -> Result<Value, PplError> {
-        let value = if addr == *self.forced_addr {
+        let id = addr.id();
+        let value = if id == self.forced_id {
             self.forced_value.clone()
         } else {
-            match self.old.choice(&addr) {
+            match self.old.choice_by_id(id) {
                 Some(record) if dist.same_support(&record.dist) => {
-                    self.reused.insert(addr.clone());
+                    self.reused.insert(id);
                     record.value.clone()
                 }
                 _ => {
@@ -81,7 +80,7 @@ impl Handler for RegenHandler<'_> {
         };
         let log_prob = dist.log_prob(&value);
         self.trace
-            .record_choice(addr, value.clone(), dist, log_prob)?;
+            .record_choice_interned(id, value.clone(), dist, log_prob)?;
         Ok(value)
     }
 
@@ -129,9 +128,10 @@ pub(crate) fn single_site_update(
     // Stale choices: in the old trace but not deterministically reused
     // (and not the updated site) — the reverse regeneration would sample
     // them fresh.
+    let site_id = site.id();
     let log_stale: LogWeight = current
-        .choices()
-        .filter(|(a, _)| *a != site && !reused.contains(*a))
+        .choices_interned()
+        .filter(|(id, _)| *id != site_id && !reused.contains(id))
         .map(|(_, c)| c.log_prob)
         .sum();
     let log_num = new_trace.score()
@@ -193,9 +193,9 @@ impl<M: Model> McmcKernel for SingleSiteMh<M> {
         let site = trace
             .choices()
             .nth(index)
-            .map(|(a, _)| a.clone())
+            .map(|(a, _)| a)
             .expect("index in range");
-        let (next, _) = single_site_update(&self.model, trace, &site, rng)?;
+        let (next, _) = single_site_update(&self.model, trace, site, rng)?;
         Ok(next)
     }
 }
@@ -220,15 +220,15 @@ impl<M: Model> McmcKernel for IndependentMetropolisCycle<M> {
         let mut current = trace.clone();
         // Sites are re-read from the evolving trace: an update may change
         // which sites exist downstream.
-        let mut visited = HashSet::new();
+        let mut visited: FxHashSet<AddressId> = FxHashSet::default();
         loop {
             let next_site = current
-                .choices()
-                .map(|(a, _)| a.clone())
-                .find(|a| !visited.contains(a));
-            let Some(site) = next_site else { break };
-            visited.insert(site.clone());
-            let (next, _) = single_site_update(&self.model, &current, &site, rng)?;
+                .choices_interned()
+                .map(|(id, _)| id)
+                .find(|id| !visited.contains(id));
+            let Some(site_id) = next_site else { break };
+            visited.insert(site_id);
+            let (next, _) = single_site_update(&self.model, &current, site_id.resolve(), rng)?;
             current = next;
         }
         Ok(current)

@@ -5,9 +5,26 @@
 //! the `i`-th Bernoulli trial of the geometric program of Section 5.4 is
 //! addressed `["flip", i]`, following the naming scheme of
 //! [Wingate et al. 2011] referenced by the paper.
+//!
+//! # Performance representation
+//!
+//! Addresses are constructed, hashed, and compared on every trace
+//! operation, so the representation is tuned for the common case:
+//!
+//! - **Inline storage**: addresses of at most two components (the vast
+//!   majority — `site` and `site/i`) are stored inline with no heap
+//!   allocation; longer addresses spill to a `Vec`.
+//! - **Interning**: the process-wide [`AddressInterner`] maps each
+//!   distinct address to a copyable [`AddressId`] handle. Hot indices
+//!   (trace choice tables, correspondence maps, dependency-graph keys)
+//!   are keyed on ids, so inserts don't clone and lookups don't re-hash
+//!   the component list. Display, ordering, and serialization always go
+//!   through the full [`Address`], so interning is invisible in output.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::fxhash::FxHashMap;
 
 /// One component of an [`Address`].
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,7 +74,25 @@ impl From<usize> for Component {
     }
 }
 
+/// Placeholder stored in unused inline slots (never observed: every read
+/// goes through [`Address::components`], which truncates to the length).
+const FILLER: Component = Component::Idx(0);
+
+/// How many components fit inline before spilling to the heap.
+const INLINE: usize = 2;
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`INLINE`] components stored in place — no heap allocation.
+    Inline { len: u8, slots: [Component; INLINE] },
+    /// Longer addresses: a plain vector.
+    Heap(Vec<Component>),
+}
+
 /// A hierarchical address identifying a random choice or observation.
+///
+/// Equality, ordering, and hashing are all defined on the component
+/// sequence (lexicographic), regardless of storage representation.
 ///
 /// # Examples
 ///
@@ -68,65 +103,167 @@ impl From<usize> for Component {
 /// assert_eq!(b.to_string(), "y/3");
 /// assert!(a != b);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Address(Vec<Component>);
+#[derive(Clone)]
+pub struct Address(Repr);
 
 impl Address {
     /// The empty address (used as a root for extension).
     pub fn root() -> Address {
-        Address(Vec::new())
+        Address(Repr::Inline {
+            len: 0,
+            slots: [FILLER, FILLER],
+        })
     }
 
     /// Creates an address from components.
-    pub fn new(components: Vec<Component>) -> Address {
-        Address(components)
+    pub fn new(mut components: Vec<Component>) -> Address {
+        if components.len() <= INLINE {
+            let mut slots = [FILLER, FILLER];
+            let len = components.len() as u8;
+            for (slot, c) in slots.iter_mut().zip(components.drain(..)) {
+                *slot = c;
+            }
+            Address(Repr::Inline { len, slots })
+        } else {
+            Address(Repr::Heap(components))
+        }
     }
 
-    /// Returns a new address with `component` appended.
+    /// Creates an address from a fixed-size component array, storing short
+    /// addresses inline without any heap allocation. This is what the
+    /// [`addr!`](crate::addr) macro expands to.
+    pub fn from_components<const N: usize>(components: [Component; N]) -> Address {
+        if N <= INLINE {
+            let mut slots = [FILLER, FILLER];
+            for (slot, c) in slots.iter_mut().zip(components) {
+                *slot = c;
+            }
+            Address(Repr::Inline {
+                len: N as u8,
+                slots,
+            })
+        } else {
+            Address(Repr::Heap(components.into()))
+        }
+    }
+
+    /// Creates an address by cloning a component slice.
+    fn from_slice(components: &[Component]) -> Address {
+        if components.len() <= INLINE {
+            let mut slots = [FILLER, FILLER];
+            for (slot, c) in slots.iter_mut().zip(components) {
+                *slot = c.clone();
+            }
+            Address(Repr::Inline {
+                len: components.len() as u8,
+                slots,
+            })
+        } else {
+            Address(Repr::Heap(components.to_vec()))
+        }
+    }
+
+    /// Returns a new address with `component` appended. Stays inline when
+    /// the result fits; otherwise allocates exactly `len + 1` slots.
+    #[must_use]
     pub fn child(&self, component: impl Into<Component>) -> Address {
-        let mut components = self.0.clone();
-        components.push(component.into());
-        Address(components)
+        let comps = self.components();
+        if comps.len() < INLINE {
+            let mut slots = [FILLER, FILLER];
+            for (slot, c) in slots.iter_mut().zip(comps) {
+                *slot = c.clone();
+            }
+            slots[comps.len()] = component.into();
+            Address(Repr::Inline {
+                len: comps.len() as u8 + 1,
+                slots,
+            })
+        } else {
+            let mut components = Vec::with_capacity(comps.len() + 1);
+            components.extend_from_slice(comps);
+            components.push(component.into());
+            Address(Repr::Heap(components))
+        }
     }
 
     /// Appends a component in place.
     pub fn push(&mut self, component: impl Into<Component>) {
-        self.0.push(component.into());
+        let c = component.into();
+        match &mut self.0 {
+            Repr::Inline { len, slots } if (*len as usize) < INLINE => {
+                slots[*len as usize] = c;
+                *len += 1;
+            }
+            Repr::Inline { slots, .. } => {
+                // Spill: move the inline components out and go to the heap.
+                let mut components = Vec::with_capacity(INLINE + 2);
+                for slot in slots.iter_mut() {
+                    components.push(std::mem::replace(slot, FILLER));
+                }
+                components.push(c);
+                self.0 = Repr::Heap(components);
+            }
+            Repr::Heap(components) => components.push(c),
+        }
     }
 
     /// The components of this address.
     pub fn components(&self) -> &[Component] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, slots } => &slots[..*len as usize],
+            Repr::Heap(components) => components,
+        }
     }
 
     /// Number of components.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(components) => components.len(),
+        }
     }
 
     /// Whether the address has no components.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// The first component, if any.
     pub fn head(&self) -> Option<&Component> {
-        self.0.first()
+        self.components().first()
     }
 
     /// Concatenates two addresses: `self`'s components followed by
-    /// `other`'s.
+    /// `other`'s. Allocates exactly `self.len() + other.len()` slots when
+    /// the result doesn't fit inline.
+    #[must_use]
     pub fn concat(&self, other: &Address) -> Address {
-        let mut components = self.0.clone();
-        components.extend(other.0.iter().cloned());
-        Address(components)
+        let a = self.components();
+        let b = other.components();
+        if a.len() + b.len() <= INLINE {
+            let mut slots = [FILLER, FILLER];
+            for (slot, c) in slots.iter_mut().zip(a.iter().chain(b)) {
+                *slot = c.clone();
+            }
+            Address(Repr::Inline {
+                len: (a.len() + b.len()) as u8,
+                slots,
+            })
+        } else {
+            let mut components = Vec::with_capacity(a.len() + b.len());
+            components.extend_from_slice(a);
+            components.extend_from_slice(b);
+            Address(Repr::Heap(components))
+        }
     }
 
     /// The address formed by all components after the first, if the first
     /// equals `prefix`.
     pub fn strip_prefix(&self, prefix: &Address) -> Option<Address> {
-        if self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..] {
-            Some(Address(self.0[prefix.0.len()..].to_vec()))
+        let comps = self.components();
+        let pre = prefix.components();
+        if comps.len() >= pre.len() && comps[..pre.len()] == pre[..] {
+            Some(Address::from_slice(&comps[pre.len()..]))
         } else {
             None
         }
@@ -135,23 +272,76 @@ impl Address {
     /// Returns an address with the head symbol replaced by `sym`, keeping
     /// all index components. Useful for mapping between site labels of two
     /// programs while preserving loop indices (Section 5.4).
+    #[must_use]
     pub fn with_head_sym(&self, sym: &str) -> Address {
-        let mut components = self.0.clone();
-        if let Some(head) = components.first_mut() {
-            *head = Component::from(sym);
-        } else {
-            components.push(Component::from(sym));
+        let mut out = self.clone();
+        match &mut out.0 {
+            Repr::Inline { len, slots } => {
+                slots[0] = Component::from(sym);
+                if *len == 0 {
+                    *len = 1;
+                }
+            }
+            // Heap addresses always have more than INLINE components.
+            Repr::Heap(components) => components[0] = Component::from(sym),
         }
-        Address(components)
+        out
+    }
+
+    /// The interned id of this address in the process-wide
+    /// [`AddressInterner`] (interning it if new). See [`AddressId`].
+    pub fn id(&self) -> AddressId {
+        AddressInterner::global().intern(self)
+    }
+}
+
+impl PartialEq for Address {
+    fn eq(&self, other: &Self) -> bool {
+        self.components() == other.components()
+    }
+}
+
+impl Eq for Address {}
+
+impl PartialOrd for Address {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Address {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.components().cmp(other.components())
+    }
+}
+
+impl std::hash::Hash for Address {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Matches the legacy `Vec<Component>` derive: length prefix, then
+        // each component.
+        self.components().hash(state);
+    }
+}
+
+impl Default for Address {
+    fn default() -> Self {
+        Address::root()
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Address").field(&self.components()).finish()
     }
 }
 
 impl fmt::Display for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_empty() {
+        let comps = self.components();
+        if comps.is_empty() {
             return write!(f, "<root>");
         }
-        for (i, c) in self.0.iter().enumerate() {
+        for (i, c) in comps.iter().enumerate() {
             if i > 0 {
                 write!(f, "/")?;
             }
@@ -163,17 +353,132 @@ impl fmt::Display for Address {
 
 impl From<&str> for Address {
     fn from(s: &str) -> Self {
-        Address(vec![Component::from(s)])
+        Address::from_components([Component::from(s)])
     }
 }
 
 impl From<String> for Address {
     fn from(s: String) -> Self {
-        Address(vec![Component::from(s)])
+        Address::from_components([Component::from(s)])
+    }
+}
+
+/// A copyable handle to an interned [`Address`].
+///
+/// Two ids are equal iff the addresses they intern are equal, so ids can
+/// key hash maps directly (hashing a `u32` instead of a component list).
+/// Ids deliberately do **not** implement `Ord`: interning order is
+/// first-come, unrelated to the lexicographic order of addresses — sort
+/// by the resolved [`Address`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressId(u32);
+
+impl AddressId {
+    /// The dense index of this id in interning order (usable for
+    /// side-table vectors).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The address this id interns.
+    pub fn resolve(self) -> &'static Address {
+        AddressInterner::global().resolve(self)
+    }
+}
+
+impl fmt::Display for AddressId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.resolve().fmt(f)
+    }
+}
+
+struct InternerShard {
+    /// Interned address → id. Keys borrow from the leaked storage below.
+    map: FxHashMap<&'static Address, u32>,
+    /// Id → interned address, in interning order.
+    addrs: Vec<&'static Address>,
+}
+
+/// A thread-safe address interner.
+///
+/// Interned addresses are leaked into `'static` storage — the address
+/// universe of a program is bounded (site labels × loop indices), so this
+/// is a deliberate space-for-time trade. The process-wide instance is
+/// [`AddressInterner::global`]; [`Address::id`] and [`AddressId::resolve`]
+/// go through it.
+pub struct AddressInterner {
+    inner: RwLock<InternerShard>,
+}
+
+impl AddressInterner {
+    fn new() -> AddressInterner {
+        AddressInterner {
+            inner: RwLock::new(InternerShard {
+                map: FxHashMap::default(),
+                addrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// The process-wide interner.
+    pub fn global() -> &'static AddressInterner {
+        static GLOBAL: OnceLock<AddressInterner> = OnceLock::new();
+        GLOBAL.get_or_init(AddressInterner::new)
+    }
+
+    /// Interns `addr`, returning its id (allocating one if unseen).
+    pub fn intern(&self, addr: &Address) -> AddressId {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(addr) {
+            return AddressId(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        // Double-check: another thread may have interned it meanwhile.
+        if let Some(&id) = inner.map.get(addr) {
+            return AddressId(id);
+        }
+        let id = u32::try_from(inner.addrs.len()).expect("address interner overflow");
+        let leaked: &'static Address = Box::leak(Box::new(addr.clone()));
+        inner.addrs.push(leaked);
+        inner.map.insert(leaked, id);
+        AddressId(id)
+    }
+
+    /// The id of `addr` if it has been interned, without interning it.
+    pub fn get(&self, addr: &Address) -> Option<AddressId> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(addr)
+            .map(|&id| AddressId(id))
+    }
+
+    /// The address interned as `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner (impossible for ids
+    /// obtained via [`Address::id`], since the global interner never
+    /// forgets).
+    pub fn resolve(&self, id: AddressId) -> &'static Address {
+        self.inner.read().expect("interner poisoned").addrs[id.0 as usize]
+    }
+
+    /// Number of distinct addresses interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").addrs.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
 /// Builds an [`Address`] from a list of components.
+///
+/// Short addresses (one or two components) are built without heap
+/// allocation; see the module docs.
 ///
 /// # Examples
 ///
@@ -185,7 +490,7 @@ impl From<String> for Address {
 #[macro_export]
 macro_rules! addr {
     ($($c:expr),+ $(,)?) => {
-        $crate::Address::new(vec![$($crate::address::Component::from($c)),+])
+        $crate::Address::from_components([$($crate::address::Component::from($c)),+])
     };
 }
 
@@ -229,5 +534,63 @@ mod tests {
         let a = addr!["hidden", 4];
         assert_eq!(a.with_head_sym("state"), addr!["state", 4]);
         assert_eq!(Address::root().with_head_sym("x"), addr!["x"]);
+        // Heap-backed: more than two components.
+        let deep = addr!["a", 1, "b", 2];
+        assert_eq!(deep.with_head_sym("z"), addr!["z", 1, "b", 2]);
+    }
+
+    #[test]
+    fn inline_heap_boundary_is_invisible() {
+        // Same address built four ways: macro, new, push-spill, child.
+        let via_macro = addr!["s", 1, "t"];
+        let via_new = Address::new(vec![
+            Component::from("s"),
+            Component::from(1_i64),
+            Component::from("t"),
+        ]);
+        let mut via_push = addr!["s", 1];
+        via_push.push("t");
+        let via_child = addr!["s", 1].child("t");
+        for a in [&via_new, &via_push, &via_child] {
+            assert_eq!(&via_macro, a);
+            assert_eq!(via_macro.cmp(a), std::cmp::Ordering::Equal);
+            assert_eq!(via_macro.to_string(), a.to_string());
+        }
+        assert_eq!(via_macro.components().len(), 3);
+    }
+
+    #[test]
+    fn equality_and_hash_cross_representation() {
+        use std::collections::HashSet;
+        // An inline and a heap address that are component-equal must
+        // collide in a hash set.
+        let inline = addr!["x", 2];
+        let heap = addr!["x", 2, "y"].strip_prefix(&Address::root()).unwrap();
+        let mut set = HashSet::new();
+        set.insert(inline.clone());
+        assert!(!set.insert(addr!["x", 2]));
+        assert_ne!(inline, heap);
+    }
+
+    #[test]
+    fn interning_round_trips() {
+        let a = addr!["intern_test", 7, "deep"];
+        let id = a.id();
+        assert_eq!(id, a.id());
+        assert_eq!(id.resolve(), &a);
+        assert_eq!(id.to_string(), a.to_string());
+        let b = addr!["intern_test", 8];
+        assert_ne!(b.id(), id);
+        assert_eq!(AddressInterner::global().get(&a), Some(id));
+    }
+
+    #[test]
+    fn interner_ids_key_maps() {
+        use crate::fxhash::FxHashMap;
+        let mut m: FxHashMap<AddressId, i32> = FxHashMap::default();
+        m.insert(addr!["k", 1].id(), 1);
+        m.insert(addr!["k", 2].id(), 2);
+        assert_eq!(m.get(&addr!["k", 1].id()), Some(&1));
+        assert_eq!(m.len(), 2);
     }
 }

@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher for hot-path indices.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which trace indices don't need: address keys are
+//! program-derived, not attacker-controlled, and every translate/replay
+//! step performs several index probes per random choice. This module
+//! provides an `FxHash`-style multiply-xor hasher (the scheme used by the
+//! Firefox and rustc hash maps) that hashes a word in a couple of cycles,
+//! plus map/set type aliases keyed on it.
+//!
+//! Not for use where collision resistance against adversarial keys
+//! matters — only for internal indices keyed on addresses, interned ids,
+//! and small strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant of the Fx scheme (a 64-bit value derived
+/// from pi with good bit-mixing behavior).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher: each word is folded in with
+/// `rotate-left(5) ⊕ word` followed by a wrapping multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0_u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0_u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab\0" and "ab" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        // Smoke test over short strings: no collisions in a tiny corpus.
+        let corpus: Vec<String> = (0..200)
+            .map(|i| format!("addr_{i}"))
+            .chain((0..200).map(|i| format!("{i}")))
+            .collect();
+        let hashes: FxHashSet<u64> = corpus.iter().map(|s| hash_of(s.as_bytes())).collect();
+        assert_eq!(hashes.len(), corpus.len());
+    }
+
+    #[test]
+    fn prefix_and_length_sensitivity() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        assert_ne!(hash_of(b"12345678"), hash_of(b"123456789"));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(b"state/3"), hash_of(b"state/3"));
+        let mut a = FxHasher::default();
+        a.write_u64(17);
+        let mut b = FxHasher::default();
+        b.write_u64(17);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("x".to_string(), 1);
+        m.insert("y".to_string(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

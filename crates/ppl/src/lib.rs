@@ -48,6 +48,7 @@ pub mod dist;
 pub mod effects;
 pub mod enumerate;
 pub mod error;
+pub mod fxhash;
 pub mod gen;
 pub mod handlers;
 pub mod interp;
@@ -59,10 +60,11 @@ pub mod trace;
 pub mod trace_io;
 pub mod value;
 
-pub use address::Address;
+pub use address::{Address, AddressId, AddressInterner};
 pub use effects::{Handler, Model};
 pub use enumerate::Enumeration;
 pub use error::PplError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interp::Interp;
 pub use logweight::LogWeight;
 pub use parser::parse;

@@ -7,14 +7,23 @@
 //! drawn from and its log probability, so that
 //! `P̃r[t ∼ P] = Π_i Pr[t_i ∼ P | t_{1:i-1}] · Π_i Pr[i ∼ P | t_{1:i-1}]`
 //! is available as [`Trace::score`] without re-execution.
+//!
+//! Internally, traces and choice maps are keyed on interned
+//! [`AddressId`]s rather than full [`Address`] values: recording a choice
+//! interns its address once (no clone), and lookups hash a `u32` handle
+//! instead of the component list. The id-based accessors
+//! ([`Trace::choice_by_id`], [`ChoiceMap::get_id`], …) let hot paths skip
+//! even that single interning step when they already hold an id. Display
+//! and iteration still present full addresses, and [`ChoiceMap`]
+//! iteration remains sorted by address order, so serialized output is
+//! unchanged.
 
-use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::fmt;
 
-use crate::address::Address;
+use crate::address::{Address, AddressId, AddressInterner};
 use crate::dist::Dist;
 use crate::error::PplError;
+use crate::fxhash::FxHashMap;
 use crate::logweight::LogWeight;
 use crate::value::Value;
 
@@ -57,10 +66,10 @@ pub struct ObsRecord {
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
-    choices: Vec<(Address, ChoiceRecord)>,
-    choice_index: HashMap<Address, usize>,
-    observations: Vec<(Address, ObsRecord)>,
-    obs_index: HashMap<Address, usize>,
+    choices: Vec<(AddressId, ChoiceRecord)>,
+    choice_index: FxHashMap<AddressId, usize>,
+    observations: Vec<(AddressId, ObsRecord)>,
+    obs_index: FxHashMap<AddressId, usize>,
     return_value: Option<Value>,
 }
 
@@ -83,12 +92,29 @@ impl Trace {
         dist: Dist,
         log_prob: LogWeight,
     ) -> Result<(), PplError> {
-        if self.choice_index.contains_key(&addr) {
-            return Err(PplError::AddressCollision(addr));
+        self.record_choice_interned(addr.id(), value, dist, log_prob)
+    }
+
+    /// Records a random choice at an already-interned address — the hot
+    /// path used when the caller holds an [`AddressId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::AddressCollision`] if the address was already
+    /// used by a choice in this trace.
+    pub fn record_choice_interned(
+        &mut self,
+        id: AddressId,
+        value: Value,
+        dist: Dist,
+        log_prob: LogWeight,
+    ) -> Result<(), PplError> {
+        if self.choice_index.contains_key(&id) {
+            return Err(PplError::AddressCollision(id.resolve().clone()));
         }
-        self.choice_index.insert(addr.clone(), self.choices.len());
+        self.choice_index.insert(id, self.choices.len());
         self.choices.push((
-            addr,
+            id,
             ChoiceRecord {
                 value,
                 dist,
@@ -111,12 +137,28 @@ impl Trace {
         dist: Dist,
         log_prob: LogWeight,
     ) -> Result<(), PplError> {
-        if self.obs_index.contains_key(&addr) {
-            return Err(PplError::AddressCollision(addr));
+        self.record_observation_interned(addr.id(), value, dist, log_prob)
+    }
+
+    /// Records an observation at an already-interned address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PplError::AddressCollision`] if the address was already
+    /// used by an observation in this trace.
+    pub fn record_observation_interned(
+        &mut self,
+        id: AddressId,
+        value: Value,
+        dist: Dist,
+        log_prob: LogWeight,
+    ) -> Result<(), PplError> {
+        if self.obs_index.contains_key(&id) {
+            return Err(PplError::AddressCollision(id.resolve().clone()));
         }
-        self.obs_index.insert(addr.clone(), self.observations.len());
+        self.obs_index.insert(id, self.observations.len());
         self.observations.push((
-            addr,
+            id,
             ObsRecord {
                 value,
                 dist,
@@ -138,7 +180,14 @@ impl Trace {
 
     /// Looks up the choice recorded at `addr`.
     pub fn choice(&self, addr: &Address) -> Option<&ChoiceRecord> {
-        self.choice_index.get(addr).map(|&i| &self.choices[i].1)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.choice_by_id(id))
+    }
+
+    /// Looks up the choice recorded at an interned address.
+    pub fn choice_by_id(&self, id: AddressId) -> Option<&ChoiceRecord> {
+        self.choice_index.get(&id).map(|&i| &self.choices[i].1)
     }
 
     /// Looks up the value of the choice at `addr`.
@@ -146,24 +195,54 @@ impl Trace {
         self.choice(addr).map(|c| &c.value)
     }
 
+    /// Looks up the value of the choice at an interned address.
+    pub fn value_by_id(&self, id: AddressId) -> Option<&Value> {
+        self.choice_by_id(id).map(|c| &c.value)
+    }
+
     /// Looks up the observation recorded at `addr`.
     pub fn observation(&self, addr: &Address) -> Option<&ObsRecord> {
-        self.obs_index.get(addr).map(|&i| &self.observations[i].1)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.observation_by_id(id))
+    }
+
+    /// Looks up the observation recorded at an interned address.
+    pub fn observation_by_id(&self, id: AddressId) -> Option<&ObsRecord> {
+        self.obs_index.get(&id).map(|&i| &self.observations[i].1)
     }
 
     /// Whether a choice exists at `addr`.
     pub fn has_choice(&self, addr: &Address) -> bool {
-        self.choice_index.contains_key(addr)
+        AddressInterner::global()
+            .get(addr)
+            .is_some_and(|id| self.choice_index.contains_key(&id))
+    }
+
+    /// Whether a choice exists at an interned address.
+    pub fn has_choice_id(&self, id: AddressId) -> bool {
+        self.choice_index.contains_key(&id)
     }
 
     /// Iterates over choices in evaluation order.
     pub fn choices(&self) -> impl Iterator<Item = (&Address, &ChoiceRecord)> {
-        self.choices.iter().map(|(a, c)| (a, c))
+        self.choices.iter().map(|(id, c)| (id.resolve(), c))
+    }
+
+    /// Iterates over choices in evaluation order, yielding interned ids.
+    pub fn choices_interned(&self) -> impl Iterator<Item = (AddressId, &ChoiceRecord)> {
+        self.choices.iter().map(|(id, c)| (*id, c))
     }
 
     /// Iterates over observations in evaluation order.
     pub fn observations(&self) -> impl Iterator<Item = (&Address, &ObsRecord)> {
-        self.observations.iter().map(|(a, o)| (a, o))
+        self.observations.iter().map(|(id, o)| (id.resolve(), o))
+    }
+
+    /// Iterates over observations in evaluation order, yielding interned
+    /// ids.
+    pub fn observations_interned(&self) -> impl Iterator<Item = (AddressId, &ObsRecord)> {
+        self.observations.iter().map(|(id, o)| (*id, o))
     }
 
     /// Number of random choices (`|R_t|`).
@@ -202,8 +281,8 @@ impl Trace {
     /// Extracts the choice values as a [`ChoiceMap`].
     pub fn to_choice_map(&self) -> ChoiceMap {
         let mut map = ChoiceMap::new();
-        for (addr, c) in &self.choices {
-            map.insert(addr.clone(), c.value.clone());
+        for (id, c) in &self.choices {
+            map.insert_id(*id, c.value.clone());
         }
         map
     }
@@ -212,9 +291,9 @@ impl Trace {
     /// form the partial traces `s` of Section 5.3.
     pub fn filter_choices(&self, mut keep: impl FnMut(&Address) -> bool) -> ChoiceMap {
         let mut map = ChoiceMap::new();
-        for (addr, c) in &self.choices {
-            if keep(addr) {
-                map.insert(addr.clone(), c.value.clone());
+        for (id, c) in &self.choices {
+            if keep(id.resolve()) {
+                map.insert_id(*id, c.value.clone());
             }
         }
         map
@@ -224,7 +303,7 @@ impl Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "trace (score {}):", self.score())?;
-        for (addr, c) in &self.choices {
+        for (addr, c) in self.choices() {
             writeln!(
                 f,
                 "  {addr} -> {} (log p = {:.6})",
@@ -232,7 +311,7 @@ impl fmt::Display for Trace {
                 c.log_prob.log()
             )?;
         }
-        for (addr, o) in &self.observations {
+        for (addr, o) in self.observations() {
             writeln!(
                 f,
                 "  observe {addr}: {} (log p = {:.6})",
@@ -250,10 +329,12 @@ impl fmt::Display for Trace {
 /// A flat map from addresses to values: constraints for replay, partial
 /// traces for error analysis, or observation bindings.
 ///
-/// Iteration order is the address order (deterministic).
+/// Iteration order is the address order (deterministic). Storage is an
+/// id-keyed hash map — inserts and lookups are O(1) with no address
+/// clone; [`ChoiceMap::iter`]/[`ChoiceMap::addresses`] sort on demand.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ChoiceMap {
-    map: BTreeMap<Address, Value>,
+    map: FxHashMap<AddressId, Value>,
 }
 
 impl ChoiceMap {
@@ -264,22 +345,36 @@ impl ChoiceMap {
 
     /// Inserts a value, returning the previous value at that address.
     pub fn insert(&mut self, addr: Address, value: Value) -> Option<Value> {
-        self.map.insert(addr, value)
+        self.map.insert(addr.id(), value)
+    }
+
+    /// Inserts a value at an already-interned address.
+    pub fn insert_id(&mut self, id: AddressId, value: Value) -> Option<Value> {
+        self.map.insert(id, value)
     }
 
     /// Looks up a value.
     pub fn get(&self, addr: &Address) -> Option<&Value> {
-        self.map.get(addr)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.map.get(&id))
+    }
+
+    /// Looks up a value by interned address.
+    pub fn get_id(&self, id: AddressId) -> Option<&Value> {
+        self.map.get(&id)
     }
 
     /// Whether the map binds `addr`.
     pub fn contains(&self, addr: &Address) -> bool {
-        self.map.contains_key(addr)
+        self.get(addr).is_some()
     }
 
     /// Removes a binding.
     pub fn remove(&mut self, addr: &Address) -> Option<Value> {
-        self.map.remove(addr)
+        AddressInterner::global()
+            .get(addr)
+            .and_then(|id| self.map.remove(&id))
     }
 
     /// Number of bindings.
@@ -292,35 +387,43 @@ impl ChoiceMap {
         self.map.is_empty()
     }
 
+    /// The bindings sorted by address order (computed on demand).
+    fn sorted(&self) -> Vec<(&'static Address, &Value)> {
+        let mut entries: Vec<(&'static Address, &Value)> =
+            self.map.iter().map(|(id, v)| (id.resolve(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
     /// Iterates over bindings in address order.
     pub fn iter(&self) -> impl Iterator<Item = (&Address, &Value)> {
-        self.map.iter()
+        self.sorted().into_iter()
     }
 
     /// Iterates over the bound addresses in address order.
     pub fn addresses(&self) -> impl Iterator<Item = &Address> {
-        self.map.keys()
+        self.sorted().into_iter().map(|(a, _)| a)
     }
 }
 
 impl FromIterator<(Address, Value)> for ChoiceMap {
     fn from_iter<I: IntoIterator<Item = (Address, Value)>>(iter: I) -> Self {
         ChoiceMap {
-            map: iter.into_iter().collect(),
+            map: iter.into_iter().map(|(a, v)| (a.id(), v)).collect(),
         }
     }
 }
 
 impl Extend<(Address, Value)> for ChoiceMap {
     fn extend<I: IntoIterator<Item = (Address, Value)>>(&mut self, iter: I) {
-        self.map.extend(iter);
+        self.map.extend(iter.into_iter().map(|(a, v)| (a.id(), v)));
     }
 }
 
 impl fmt::Display for ChoiceMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (addr, v)) in self.map.iter().enumerate() {
+        for (i, (addr, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -375,8 +478,9 @@ mod tests {
         flip_record(&mut t, "c", true, 0.5);
         flip_record(&mut t, "a", true, 0.5);
         flip_record(&mut t, "b", true, 0.5);
-        let order: Vec<String> = t.choices().map(|(a, _)| a.to_string()).collect();
-        assert_eq!(order, ["c", "a", "b"]);
+        // Compare addresses directly — no string materialization.
+        let order: Vec<&Address> = t.choices().map(|(a, _)| a).collect();
+        assert_eq!(order, [&addr!["c"], &addr!["a"], &addr!["b"]]);
     }
 
     #[test]
@@ -389,6 +493,18 @@ mod tests {
         assert!(!t.has_choice(&addr!["y"]));
         assert_eq!(t.value(&addr!["x"]), Some(&Value::Bool(true)));
         assert!(t.observation(&addr!["x"]).is_none());
+    }
+
+    #[test]
+    fn interned_lookups_agree_with_address_lookups() {
+        let mut t = Trace::new();
+        flip_record(&mut t, "x", true, 0.25);
+        let id = addr!["x"].id();
+        assert_eq!(t.choice_by_id(id), t.choice(&addr!["x"]));
+        assert_eq!(t.value_by_id(id), t.value(&addr!["x"]));
+        assert!(t.has_choice_id(id));
+        let ids: Vec<AddressId> = t.choices_interned().map(|(i, _)| i).collect();
+        assert_eq!(ids, [id]);
     }
 
     #[test]
@@ -406,7 +522,7 @@ mod tests {
         flip_record(&mut t, "b", false, 0.5);
         let all = t.to_choice_map();
         assert_eq!(all.len(), 2);
-        let only_a = t.filter_choices(|addr| addr.to_string() == "a");
+        let only_a = t.filter_choices(|addr| *addr == addr!["a"]);
         assert_eq!(only_a.len(), 1);
         assert!(only_a.contains(&addr!["a"]));
         assert!(!only_a.contains(&addr!["b"]));
@@ -424,8 +540,10 @@ mod tests {
         let m: ChoiceMap = vec![(addr!["z"], Value::Int(0)), (addr!["a"], Value::Int(1))]
             .into_iter()
             .collect();
-        let keys: Vec<String> = m.addresses().map(|a| a.to_string()).collect();
-        assert_eq!(keys, ["a", "z"]); // address order
+        // Iteration is address order regardless of insertion order —
+        // compared as addresses, rendered only on failure.
+        let keys: Vec<&Address> = m.addresses().collect();
+        assert_eq!(keys, [&addr!["a"], &addr!["z"]]);
     }
 
     #[test]

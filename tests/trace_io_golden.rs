@@ -1,0 +1,74 @@
+//! Golden-file test pinning the `trace_io` serialized format.
+//!
+//! The performance work on addresses (interning, small-vector storage,
+//! fast-hash indices) must not change a single byte of serialized output:
+//! this test renders a deterministic weighted collection with nested,
+//! quoted, and indexed addresses and compares it against a committed
+//! golden file produced by the pre-optimization implementation.
+//!
+//! Regenerate with `BLESS=1 cargo test --test trace_io_golden` after an
+//! *intentional* format change only.
+
+use ppl::trace_io::{parse_weighted_collection, write_weighted_collection};
+use ppl::{addr, ChoiceMap, Value};
+
+const GOLDEN_PATH: &str = "tests/golden/trace_io_collection.txt";
+
+/// A deterministic collection exercising every value tag and address
+/// shape: symbols, indices, nesting depth 1–4, symbols needing quoting,
+/// and the root address.
+fn reference_collection() -> Vec<(ChoiceMap, f64)> {
+    let mut m1 = ChoiceMap::new();
+    m1.insert(addr!["x"], Value::Bool(true));
+    m1.insert(addr!["y", 3], Value::Int(-7));
+    m1.insert(addr!["state", 0, "inner"], Value::Real(0.125));
+    m1.insert(
+        addr!["arr"],
+        Value::Array(vec![Value::Int(1), Value::Bool(false), Value::Real(2.5)].into()),
+    );
+
+    // Note: the root address `<root>` serializes to an empty string the
+    // parser rejects, so it is deliberately absent from this corpus.
+    let mut m2 = ChoiceMap::new();
+    m2.insert(addr![-9, "neg"], Value::Int(42));
+    m2.insert(addr!["needs quoting", 1], Value::Bool(false));
+    m2.insert(addr!["a/slash"], Value::Real(-1.5e-3));
+    m2.insert(addr!["deep", 1, "er", 2], Value::Int(0));
+
+    // Deliberately inserted out of address order: serialization must sort.
+    let mut m3 = ChoiceMap::new();
+    for i in [5_i64, 0, 3, 1, 4, 2] {
+        m3.insert(addr!["flip", i], Value::Bool(i % 2 == 0));
+    }
+
+    vec![(m1, 0.0), (m2, -1.5), (m3, -0.037_109_375)]
+}
+
+#[test]
+fn serialized_output_matches_golden_file() {
+    let rendered = write_weighted_collection(&reference_collection());
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "trace_io output changed; if intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_round_trips() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    let parsed = parse_weighted_collection(&golden).unwrap();
+    let reference = reference_collection();
+    assert_eq!(parsed.len(), reference.len());
+    for ((pm, pw), (rm, rw)) in parsed.iter().zip(reference.iter()) {
+        assert_eq!(pm, rm);
+        assert_eq!(pw.to_bits(), rw.to_bits());
+    }
+}
