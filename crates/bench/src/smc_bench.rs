@@ -18,17 +18,47 @@
 //!   [`incremental::translate_parallel`], measuring the parallel
 //!   translation path (thread startup or worker-pool dispatch plus the
 //!   same per-particle hot path).
+//! - `incremental_flat_edit_sequence` — the same edit history as a
+//!   *parsed* chain program driven through the depgraph runtime's
+//!   flat-trace interop ([`depgraph::run_edit_sequence`]): every stage
+//!   rebuilds each particle's execution graph from its trace and
+//!   flattens it back, O(M·|t|) per stage.
+//! - `incremental_graph_edit_sequence` — the graph-native runner
+//!   ([`depgraph::run_edit_sequence_graph`]): particles *are* execution
+//!   graphs, carried across all stages; each stage propagates the edit
+//!   directly, O(M·K) for an edit touching K records.
+//! - `incremental_graph_pooled_edit_sequence` — the graph-native runner
+//!   on the persistent worker pool
+//!   ([`depgraph::run_edit_sequence_parallel_with_policy`]).
+//!
+//! All three `incremental_*` workloads must produce bit-identical
+//! checksums (the edits reuse every random choice, so no fresh
+//! randomness is drawn and representation/threading cannot change the
+//! weights) — the tests and the CI smoke validation pin this down.
+//!
+//! The harness also runs a *scaling sweep* ([`run_scaling`]): per-step
+//! translation cost as a function of chain length for a **fixed-size
+//! edit** (one trailing observation edited, the latent chain untouched).
+//! Flat-trace interop grows linearly in the chain length; the
+//! graph-native path should stay near-constant — the Figure 9/10
+//! asymptotic claim, committed as numbers.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use incremental::{
-    run_sequence, translate_parallel, Correspondence, CorrespondenceTranslator, ParticleCollection,
-    SmcConfig, Stage,
+use depgraph::{
+    edit_chain_shared, lift_collection, run_edit_sequence, run_edit_sequence_graph,
+    run_edit_sequence_parallel_with_policy, ExecGraph,
 };
+use incremental::{
+    run_sequence, run_state_sequence_with_policy, translate_parallel, Correspondence,
+    CorrespondenceTranslator, FailurePolicy, ParticleCollection, SmcConfig, Stage, StateTranslator,
+};
+use ppl::ast::Program;
 use ppl::dist::Dist;
 use ppl::handlers::simulate;
-use ppl::{addr, Handler, PplError, Value};
+use ppl::{addr, parse, Handler, PplError, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,6 +77,8 @@ pub struct SmcBenchConfig {
     pub repeats: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Chain lengths measured by the fixed-size-edit scaling sweep.
+    pub scaling_sizes: Vec<usize>,
 }
 
 impl Default for SmcBenchConfig {
@@ -58,6 +90,7 @@ impl Default for SmcBenchConfig {
             threads: 4,
             repeats: 5,
             seed: 1729,
+            scaling_sizes: vec![16, 64, 256, 1024],
         }
     }
 }
@@ -72,6 +105,7 @@ impl SmcBenchConfig {
             threads: 2,
             repeats: 2,
             seed: 1729,
+            scaling_sizes: vec![4, 8],
         }
     }
 }
@@ -114,6 +148,8 @@ pub struct SmcBenchReport {
     pub config: SmcBenchConfig,
     /// Per-workload results.
     pub results: Vec<WorkloadResult>,
+    /// The fixed-size-edit scaling sweep ([`run_scaling`]).
+    pub scaling: Vec<ScalingPoint>,
 }
 
 /// The chain model family: `state/i ~ flip(p(state/i-1))` with one
@@ -167,7 +203,56 @@ fn initial_particles(config: &SmcBenchConfig) -> ParticleCollection {
     ParticleCollection::from_traces(traces)
 }
 
-fn collection_checksum(collection: &ParticleCollection) -> f64 {
+/// The same chain family as [`chain_model`], but as *surface syntax*, so
+/// it can drive the depgraph runtime. Editing `strength` rewrites every
+/// observation — the fig9-style whole-chain edit.
+fn chain_source(n: usize, strength: f64) -> String {
+    let lo = 1.0 - strength;
+    format!(
+        "n = {n}; prev = 1;\n\
+         for i in [0..n) {{\n\
+           x = flip(prev ? 0.7 : 0.3) @ x;\n\
+           observe(flip(x ? {strength} : {lo}) @ o == 1);\n\
+           prev = x;\n\
+         }}\n\
+         return prev;"
+    )
+}
+
+/// Chain family for the scaling sweep: the latent chain is identical
+/// across stages and only the strength of the single trailing
+/// observation is edited, so an incremental stage revisits O(1)
+/// statements regardless of `n` while flat-trace interop still pays
+/// O(n) per particle.
+fn chain_source_fixed_edit(n: usize, strength: f64) -> String {
+    let lo = 1.0 - strength;
+    format!(
+        "n = {n}; prev = 1;\n\
+         for i in [0..n) {{ x = flip(prev ? 0.7 : 0.3) @ x; prev = x; }}\n\
+         observe(flip(prev ? {strength} : {lo}) @ o == 1);\n\
+         return prev;"
+    )
+}
+
+/// Parses the edit history `source(len, strength(0)) → ... →
+/// source(len, strength(steps))`.
+fn parsed_chain(source: impl Fn(usize, f64) -> String, len: usize, steps: usize) -> Vec<Program> {
+    (0..=steps)
+        .map(|s| parse(&source(len, stage_strength(s))).expect("chain source parses"))
+        .collect()
+}
+
+/// Prior simulations of `programs[0]` (whose observations are
+/// uninformative at `stage_strength(0)`, so they are posterior samples).
+fn parsed_initial(programs: &[Program], particles: usize, seed: u64) -> ParticleCollection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traces: Vec<_> = (0..particles)
+        .map(|_| simulate(&programs[0], &mut rng).expect("chain program simulates"))
+        .collect();
+    ParticleCollection::from_traces(traces)
+}
+
+fn collection_checksum<S>(collection: &ParticleCollection<S>) -> f64 {
     collection
         .iter()
         .map(|p| p.log_weight.log())
@@ -234,11 +319,180 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
         });
     }
 
+    // Workloads 3–5: the same edit history as a parsed program, driven
+    // through the depgraph runtime — flat-trace interop vs. graph-native
+    // particles (serial and pooled). The edits reuse every random
+    // choice, so all three must produce bit-identical checksums.
+    let programs = parsed_chain(chain_source, config.chain_len, config.steps);
+    let parsed = parsed_initial(&programs, config.particles, config.seed);
+    let smc = SmcConfig::translate_only();
+
+    {
+        let mut runs_ms = Vec::with_capacity(config.repeats);
+        let mut checksum = 0.0;
+        for rep in 0..config.repeats {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
+            let start = Instant::now();
+            let run =
+                run_edit_sequence(&programs, &parsed, &smc, &FailurePolicy::FailFast, &mut rng)
+                    .expect("flat incremental sequence runs");
+            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            checksum = collection_checksum(run.last());
+        }
+        results.push(WorkloadResult {
+            name: "incremental_flat_edit_sequence".to_string(),
+            runs_ms,
+            checksum,
+        });
+    }
+
+    {
+        let mut runs_ms = Vec::with_capacity(config.repeats);
+        let mut checksum = 0.0;
+        for rep in 0..config.repeats {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
+            let start = Instant::now();
+            let run = run_edit_sequence_graph(
+                &programs,
+                &parsed,
+                &smc,
+                &FailurePolicy::FailFast,
+                &mut rng,
+            )
+            .expect("graph-native sequence runs");
+            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            checksum = collection_checksum(run.last());
+        }
+        results.push(WorkloadResult {
+            name: "incremental_graph_edit_sequence".to_string(),
+            runs_ms,
+            checksum,
+        });
+    }
+
+    {
+        let mut runs_ms = Vec::with_capacity(config.repeats);
+        let mut checksum = 0.0;
+        for rep in 0..config.repeats {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
+            let start = Instant::now();
+            let run = run_edit_sequence_parallel_with_policy(
+                &programs,
+                &parsed,
+                &smc,
+                &FailurePolicy::FailFast,
+                config.seed,
+                config.threads,
+                &mut rng,
+            )
+            .expect("pooled graph-native sequence runs");
+            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            checksum = collection_checksum(run.last());
+        }
+        results.push(WorkloadResult {
+            name: "incremental_graph_pooled_edit_sequence".to_string(),
+            runs_ms,
+            checksum,
+        });
+    }
+
     SmcBenchReport {
         label: label.to_string(),
         config: config.clone(),
         results,
+        scaling: run_scaling(config),
     }
+}
+
+/// One point of the fixed-size-edit scaling sweep: per-step translation
+/// cost at chain length [`chain_len`](ScalingPoint::chain_len), for the
+/// flat-trace interop path and the graph-native path (minimum over
+/// `repeats`, graph lift excluded from the timer — it is paid once at
+/// the entry boundary, not per stage).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Number of latent sites in the chain.
+    pub chain_len: usize,
+    /// Per-step cost of [`depgraph::run_edit_sequence`] (flat interop).
+    pub flat_ms_per_step: f64,
+    /// Per-step cost of the graph-native stage loop.
+    pub graph_ms_per_step: f64,
+    /// Final-collection checksum of the flat run.
+    pub checksum_flat: f64,
+    /// Final-collection checksum of the graph run (must equal the flat
+    /// one bit-for-bit).
+    pub checksum_graph: f64,
+}
+
+/// Runs the fixed-size-edit scaling sweep over
+/// [`SmcBenchConfig::scaling_sizes`]: each stage edits only the single
+/// trailing observation, so graph-native per-step cost should stay
+/// near-constant as the chain grows while flat interop grows linearly.
+/// Uses at most 64 particles — the sweep measures per-particle per-step
+/// asymptotics, not throughput.
+pub fn run_scaling(config: &SmcBenchConfig) -> Vec<ScalingPoint> {
+    let particles = config.particles.min(64);
+    let smc = SmcConfig::translate_only();
+    config
+        .scaling_sizes
+        .iter()
+        .map(|&n| {
+            let programs = parsed_chain(chain_source_fixed_edit, n, config.steps);
+            let initial = parsed_initial(&programs, particles, config.seed);
+
+            let mut flat_ms = f64::INFINITY;
+            let mut checksum_flat = 0.0;
+            for rep in 0..config.repeats {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ca1 ^ rep as u64);
+                let start = Instant::now();
+                let run = run_edit_sequence(
+                    &programs,
+                    &initial,
+                    &smc,
+                    &FailurePolicy::FailFast,
+                    &mut rng,
+                )
+                .expect("flat scaling run");
+                flat_ms = flat_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                checksum_flat = collection_checksum(run.last());
+            }
+
+            // Graph-native: lift once outside the timer, then time only
+            // the stage loop.
+            let shared: Vec<Arc<Program>> = programs.iter().cloned().map(Arc::new).collect();
+            let chain = edit_chain_shared(&shared);
+            let lifted = lift_collection(&shared[0], &initial).expect("lift scaling particles");
+            let stages: Vec<&dyn StateTranslator<Arc<ExecGraph>>> = chain
+                .iter()
+                .map(|t| t as &dyn StateTranslator<Arc<ExecGraph>>)
+                .collect();
+            let mut graph_ms = f64::INFINITY;
+            let mut checksum_graph = 0.0;
+            for rep in 0..config.repeats {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ca1 ^ rep as u64);
+                let start = Instant::now();
+                let run = run_state_sequence_with_policy(
+                    &stages,
+                    &lifted,
+                    &smc,
+                    &FailurePolicy::FailFast,
+                    &mut rng,
+                )
+                .expect("graph scaling run");
+                graph_ms = graph_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                checksum_graph = collection_checksum(run.last());
+            }
+
+            let steps = config.steps.max(1) as f64;
+            ScalingPoint {
+                chain_len: n,
+                flat_ms_per_step: flat_ms / steps,
+                graph_ms_per_step: graph_ms / steps,
+                checksum_flat,
+                checksum_graph,
+            }
+        })
+        .collect()
 }
 
 fn json_escape(s: &str) -> String {
@@ -271,10 +525,11 @@ impl SmcBenchReport {
             "{indent}{{\n{indent}  \"label\": \"{}\",\n",
             json_escape(&self.label)
         );
+        let sizes: Vec<String> = c.scaling_sizes.iter().map(|n| n.to_string()).collect();
         let _ = writeln!(
             out,
-            "{indent}  \"config\": {{\"chain_len\": {}, \"particles\": {}, \"steps\": {}, \"threads\": {}, \"repeats\": {}, \"seed\": {}}},",
-            c.chain_len, c.particles, c.steps, c.threads, c.repeats, c.seed
+            "{indent}  \"config\": {{\"chain_len\": {}, \"particles\": {}, \"steps\": {}, \"threads\": {}, \"repeats\": {}, \"seed\": {}, \"scaling_sizes\": [{}]}},",
+            c.chain_len, c.particles, c.steps, c.threads, c.repeats, c.seed, sizes.join(", ")
         );
         let _ = writeln!(out, "{indent}  \"results\": [");
         for (i, r) in self.results.iter().enumerate() {
@@ -288,6 +543,20 @@ impl SmcBenchReport {
                 runs.join(", "),
                 r.checksum,
                 if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "{indent}  ],");
+        let _ = writeln!(out, "{indent}  \"scaling\": [");
+        for (i, s) in self.scaling.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{indent}    {{\"chain_len\": {}, \"flat_ms_per_step\": {:.3}, \"graph_ms_per_step\": {:.3}, \"checksum_flat\": {:.6}, \"checksum_graph\": {:.6}}}{}",
+                s.chain_len,
+                s.flat_ms_per_step,
+                s.graph_ms_per_step,
+                s.checksum_flat,
+                s.checksum_graph,
+                if i + 1 < self.scaling.len() { "," } else { "" }
             );
         }
         let _ = write!(out, "{indent}  ]\n{indent}}}");
@@ -309,11 +578,21 @@ impl SmcBenchReport {
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "  {:>26}  median {:>9.3} ms  min {:>9.3} ms",
+                "  {:>38}  median {:>9.3} ms  min {:>9.3} ms",
                 r.name,
                 r.median_ms(),
                 r.min_ms()
             );
+        }
+        if !self.scaling.is_empty() {
+            let _ = writeln!(out, "  fixed-size-edit scaling (per-step cost):");
+            for s in &self.scaling {
+                let _ = writeln!(
+                    out,
+                    "    chain_len {:>5}  flat {:>9.3} ms/step  graph {:>9.3} ms/step",
+                    s.chain_len, s.flat_ms_per_step, s.graph_ms_per_step
+                );
+            }
         }
         out
     }
@@ -326,7 +605,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_workloads_and_valid_json() {
         let report = run(&SmcBenchConfig::quick(), "test");
-        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.results.len(), 5);
         for r in &report.results {
             assert_eq!(r.runs_ms.len(), 2);
             assert!(r.runs_ms.iter().all(|t| *t >= 0.0));
@@ -336,9 +615,54 @@ mod tests {
         assert!(json.contains("\"schema\": \"bench-smc/v1\""));
         assert!(json.contains("serial_edit_sequence"));
         assert!(json.contains("parallel_edit_sequence"));
+        assert!(json.contains("incremental_flat_edit_sequence"));
+        assert!(json.contains("incremental_graph_edit_sequence"));
+        assert!(json.contains("incremental_graph_pooled_edit_sequence"));
+        assert!(json.contains("\"scaling\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn incremental_workloads_agree_bitwise() {
+        // Flat interop, graph-native, and pooled graph-native are three
+        // routes through the same translation — representation and
+        // threading must not change the weights.
+        let report = run(&SmcBenchConfig::quick(), "test");
+        let checksum = |name: &str| {
+            report
+                .results
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing workload {name}"))
+                .checksum
+        };
+        let flat = checksum("incremental_flat_edit_sequence");
+        assert_eq!(
+            flat.to_bits(),
+            checksum("incremental_graph_edit_sequence").to_bits()
+        );
+        assert_eq!(
+            flat.to_bits(),
+            checksum("incremental_graph_pooled_edit_sequence").to_bits()
+        );
+    }
+
+    #[test]
+    fn scaling_sweep_covers_configured_sizes_with_identical_checksums() {
+        let config = SmcBenchConfig::quick();
+        let points = run_scaling(&config);
+        assert_eq!(points.len(), config.scaling_sizes.len());
+        for (point, &n) in points.iter().zip(&config.scaling_sizes) {
+            assert_eq!(point.chain_len, n);
+            assert!(point.flat_ms_per_step > 0.0);
+            assert!(point.graph_ms_per_step > 0.0);
+            assert_eq!(
+                point.checksum_flat.to_bits(),
+                point.checksum_graph.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! ppl enumerate <file> [--limit N]      # exact posterior (finite discrete)
 //! ppl sample <file> --steps N [--seed]  # single-site MH over the posterior
 //! ppl translate <p> <q> [--traces M]    # incremental inference across an edit
+//! ppl sequence <p0> <p1> [<p2> ...]     # graph-native SMC across an edit history
 //! ```
 //!
 //! All command logic lives here as functions from source text to rendered
@@ -20,9 +21,10 @@
 
 use std::fmt::Write as _;
 
-use depgraph::{ExecGraph, IncrementalTranslator};
+use depgraph::{run_edit_sequence_parallel_with_policy, ExecGraph, IncrementalTranslator};
 use incremental::{FailurePolicy, McmcKernel, ParticleCollection, SmcConfig};
 use inference::{ExactPosterior, SingleSiteMh};
+use ppl::ast::Program;
 use ppl::check::{check, Severity};
 use ppl::handlers::simulate;
 use ppl::{parse, Enumeration, PplError, Trace, Value};
@@ -325,31 +327,7 @@ pub fn cmd_translate(
         let _ = writeln!(out, "  (none)");
     }
 
-    // Posterior samples of P: exact when the program is finite discrete,
-    // otherwise a thinned single-site MH chain.
-    let input: Vec<Trace> = match ExactPosterior::new(&p) {
-        Ok(sampler) => {
-            let _ = writeln!(out, "P posterior: exact (by enumeration)");
-            sampler.samples(traces, &mut rng)
-        }
-        Err(_) => {
-            let _ = writeln!(out, "P posterior: single-site MH (thinned chain)");
-            let kernel = SingleSiteMh::new(p.clone());
-            let mut chain = simulate(&p, &mut rng)?;
-            let thin = 10;
-            for _ in 0..50 * thin {
-                chain = kernel.step(&chain, &mut rng)?; // burn-in
-            }
-            let mut collected = Vec::with_capacity(traces);
-            while collected.len() < traces {
-                for _ in 0..thin {
-                    chain = kernel.step(&chain, &mut rng)?;
-                }
-                collected.push(chain.clone());
-            }
-            collected
-        }
-    };
+    let input = posterior_traces(&p, traces, &mut rng, &mut out)?;
 
     let particles = ParticleCollection::from_traces(input);
     let (adapted, report) = incremental::infer_with_policy(
@@ -372,10 +350,53 @@ pub fn cmd_translate(
     for failure in &report.failures {
         let _ = writeln!(out, "  quarantined: {failure}");
     }
+    render_return_posterior(&mut out, &adapted)?;
+    Ok(out)
+}
+
+/// Draws `traces` posterior samples of `p` — exact when the program is
+/// finite discrete, otherwise a thinned single-site MH chain — noting
+/// which sampler was used in `out`.
+fn posterior_traces(
+    p: &Program,
+    traces: usize,
+    rng: &mut StdRng,
+    out: &mut String,
+) -> Result<Vec<Trace>, PplError> {
+    match ExactPosterior::new(p) {
+        Ok(sampler) => {
+            let _ = writeln!(out, "P posterior: exact (by enumeration)");
+            Ok(sampler.samples(traces, rng))
+        }
+        Err(_) => {
+            let _ = writeln!(out, "P posterior: single-site MH (thinned chain)");
+            let kernel = SingleSiteMh::new(p.clone());
+            let mut chain = simulate(p, rng)?;
+            let thin = 10;
+            for _ in 0..50 * thin {
+                chain = kernel.step(&chain, rng)?; // burn-in
+            }
+            let mut collected = Vec::with_capacity(traces);
+            while collected.len() < traces {
+                for _ in 0..thin {
+                    chain = kernel.step(&chain, rng)?;
+                }
+                collected.push(chain.clone());
+            }
+            Ok(collected)
+        }
+    }
+}
+
+/// Appends the weighted posterior over return values (top 20 rows).
+fn render_return_posterior(
+    out: &mut String,
+    collection: &ParticleCollection,
+) -> Result<(), PplError> {
     let _ = writeln!(out, "weighted posterior over Q's return values:");
     let mut rows: Vec<(Value, f64)> = Vec::new();
-    let weights = adapted.normalized_weights()?;
-    for (particle, w) in adapted.iter().zip(weights) {
+    let weights = collection.normalized_weights()?;
+    for (particle, w) in collection.iter().zip(weights) {
         if let Some(v) = particle.trace.return_value() {
             match rows.iter_mut().find(|(u, _)| u.num_eq(v)) {
                 Some(slot) => slot.1 += w,
@@ -387,6 +408,61 @@ pub fn cmd_translate(
     for (value, prob) in rows.into_iter().take(20) {
         let _ = writeln!(out, "  {value} : {prob:.4}");
     }
+    Ok(())
+}
+
+/// Graph-native SMC across a whole edit history: samples the posterior
+/// of the first program, lifts the particles into execution graphs once,
+/// then propagates the *graphs* through every edit on the persistent
+/// worker pool ([`depgraph::run_edit_sequence_parallel_with_policy`]).
+/// Per-particle randomness derives from `seed`, so the output is
+/// bit-identical for any `threads` value; particles are flattened back
+/// to traces only here, at the output boundary.
+///
+/// # Errors
+///
+/// Returns parse, evaluation, and SMC runtime errors.
+pub fn cmd_sequence(
+    sources: &[String],
+    traces: usize,
+    seed: u64,
+    threads: usize,
+    policy: &FailurePolicy,
+) -> Result<String, PplError> {
+    let programs: Vec<Program> = sources.iter().map(|s| parse(s)).collect::<Result<_, _>>()?;
+    if programs.len() < 2 {
+        return Err(PplError::Other(
+            "sequence needs at least two programs".to_string(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "edit history: {} programs, {} stages",
+        programs.len(),
+        programs.len() - 1
+    );
+    let input = posterior_traces(&programs[0], traces, &mut rng, &mut out)?;
+    let particles = ParticleCollection::from_traces(input);
+    let run = run_edit_sequence_parallel_with_policy(
+        &programs,
+        &particles,
+        &SmcConfig::translate_only(),
+        policy,
+        seed,
+        threads.max(1),
+        &mut rng,
+    )
+    .map_err(PplError::from)?;
+    for (step, (ess, report)) in run.ess_history.iter().zip(&run.reports).enumerate() {
+        let _ = writeln!(out, "stage {step}: ESS = {ess:.1}; health: {report}");
+        for failure in &report.failures {
+            let _ = writeln!(out, "  quarantined: {failure}");
+        }
+    }
+    let flat = run.last().flatten()?;
+    render_return_posterior(&mut out, &flat)?;
     Ok(out)
 }
 
@@ -427,7 +503,10 @@ pub fn usage() -> String {
                                             single-site MH\n\
        translate <p> <q> [--traces M] [--seed N] [--policy P] [--stats] [--load F]\n\
                                             incremental inference across an edit\n\
-                                            (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n"
+                                            (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n\
+       sequence <p0> <p1> [<p2> ...] [--traces M] [--seed N] [--threads T] [--policy P]\n\
+                                            graph-native SMC across an edit history;\n\
+                                            output is identical for any --threads\n"
         .to_string()
 }
 
@@ -514,6 +593,39 @@ mod tests {
         let out = cmd_translate_stats(p, q, 6).unwrap();
         assert!(out.contains("visited"), "{out}");
         assert!(out.contains("log weight"), "{out}");
+    }
+
+    #[test]
+    fn sequence_runs_graph_native_end_to_end() {
+        let mid = "x = flip(0.3) @ x; observe(flip(x ? 0.95 : 0.05) @ o == 1); return x;";
+        let last = "x = flip(0.3) @ x; observe(flip(x ? 0.99 : 0.01) @ o == 1); return x;";
+        let sources = [COIN.to_string(), mid.to_string(), last.to_string()];
+        let out = cmd_sequence(&sources, 20_000, 4, 1, &FailurePolicy::FailFast).unwrap();
+        assert!(out.contains("3 programs, 2 stages"), "{out}");
+        assert!(out.contains("stage 0: ESS"), "{out}");
+        assert!(out.contains("stage 1: ESS"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("true"))
+            .expect("true row");
+        let freq: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        // exact for the final program: 0.3*0.99 / (0.3*0.99 + 0.7*0.01) ≈ 0.977
+        assert!((freq - 0.977).abs() < 0.02, "{out}");
+    }
+
+    #[test]
+    fn sequence_output_is_identical_for_any_thread_count() {
+        let mid = "x = flip(0.3) @ x; observe(flip(x ? 0.95 : 0.05) @ o == 1); return x;";
+        let sources = [COIN.to_string(), mid.to_string()];
+        let serial = cmd_sequence(&sources, 2_000, 7, 1, &FailurePolicy::FailFast).unwrap();
+        let pooled = cmd_sequence(&sources, 2_000, 7, 4, &FailurePolicy::FailFast).unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn sequence_rejects_a_single_program() {
+        let sources = [COIN.to_string()];
+        assert!(cmd_sequence(&sources, 10, 0, 1, &FailurePolicy::FailFast).is_err());
     }
 
     #[test]

@@ -120,6 +120,44 @@ fn run(args: &[String]) -> Result<String, String> {
                 ))
             }
         }
+        "sequence" => {
+            let mut sources = Vec::new();
+            let mut skip_next = false;
+            for arg in args.iter().skip(1) {
+                if skip_next {
+                    skip_next = false;
+                    continue;
+                }
+                if arg.starts_with("--") {
+                    // Every sequence flag takes a value.
+                    skip_next = true;
+                    continue;
+                }
+                sources.push(read(arg)?);
+            }
+            if sources.len() < 2 {
+                return Err(format!(
+                    "sequence needs at least two program files\n{}",
+                    ppl_cli::usage()
+                ));
+            }
+            let policy = match args.iter().position(|a| a == "--policy") {
+                None => incremental::FailurePolicy::FailFast,
+                Some(i) => {
+                    let spec = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--policy needs a value".to_string())?;
+                    ppl_cli::parse_policy(spec).map_err(|e| e.to_string())?
+                }
+            };
+            render(ppl_cli::cmd_sequence(
+                &sources,
+                flag("--traces", 1_000)? as usize,
+                flag("--seed", 0)?,
+                flag("--threads", 1)? as usize,
+                &policy,
+            ))
+        }
         other => Err(format!("unknown command `{other}`\n{}", ppl_cli::usage())),
     }
 }

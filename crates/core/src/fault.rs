@@ -11,7 +11,7 @@ use rand::RngCore;
 
 use ppl::{LogWeight, PplError, Trace};
 
-use crate::translator::{TraceTranslator, TranslateCtx, Translated};
+use crate::translator::{StateTranslator, TraceTranslator, TranslateCtx, Translated};
 
 /// The kind of fault to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +149,31 @@ impl<T: TraceTranslator> TraceTranslator for FaultyTranslator<T> {
                 Ok(out)
             }
             None => self.inner.translate_at(t, ctx, rng),
+        }
+    }
+}
+
+impl<S, T: StateTranslator<S>> StateTranslator<S> for FaultyTranslator<T> {
+    fn translate_state(
+        &self,
+        state: &S,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(S, LogWeight), PplError> {
+        match self.plan.fault_at(ctx) {
+            Some(FaultKind::Panic) => panic!(
+                "injected panic: step {} particle {} attempt {}",
+                ctx.step, ctx.particle, ctx.attempt
+            ),
+            Some(FaultKind::Error) => Err(PplError::Other(format!(
+                "injected translation error: step {} particle {} attempt {}",
+                ctx.step, ctx.particle, ctx.attempt
+            ))),
+            Some(FaultKind::NanWeight) => {
+                let (next, _) = self.inner.translate_state(state, ctx, rng)?;
+                Ok((next, LogWeight::from_log(f64::NAN)))
+            }
+            None => self.inner.translate_state(state, ctx, rng),
         }
     }
 }

@@ -92,16 +92,18 @@ pub use forward::{
 };
 pub use health::{retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport};
 pub use mcmc::{IdentityKernel, McmcKernel};
-pub use particles::{Particle, ParticleCollection};
+pub use particles::{Particle, ParticleCollection, ParticleState};
 pub use pool::WorkerPool;
 pub use resample::{resample, ResampleError, ResampleScheme};
 pub use sequence::{
     run_sequence, run_sequence_parallel, run_sequence_parallel_with_policy,
-    run_sequence_with_policy, ParallelStage, SequenceRun, Stage,
+    run_sequence_with_policy, run_state_sequence_parallel_with_policy,
+    run_state_sequence_with_policy, ParallelStage, SequenceRun, Stage,
 };
 pub use smc::{
-    infer, infer_parallel_with_policy, infer_with_policy, infer_without_weights,
-    translate_collection, translate_parallel, translate_parallel_with_policy,
-    translate_parallel_with_policy_scoped, ResamplePolicy, SmcConfig,
+    infer, infer_parallel_with_policy, infer_states_parallel_with_policy, infer_states_with_policy,
+    infer_with_policy, infer_without_weights, translate_collection, translate_parallel,
+    translate_parallel_with_policy, translate_parallel_with_policy_scoped,
+    translate_states_parallel_with_policy, ResamplePolicy, SmcConfig,
 };
-pub use translator::{TraceTranslator, TranslateCtx, Translated};
+pub use translator::{StateTranslator, TraceTranslator, TranslateCtx, Translated};

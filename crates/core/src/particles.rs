@@ -4,20 +4,60 @@
 //! `Pr[t ∼ P]` by the empirical distribution
 //! `P̂(t) = Σ_j (w_j / Σ_k w_k) δ(t, t_j)` (Section 4.2), and estimates
 //! expectations with the self-normalized estimator of Eq. (5).
+//!
+//! Collections are generic over the particle *state* `S` (default
+//! [`Trace`]): the Section 6 runtime keeps particles as execution graphs
+//! across a whole edit sequence and only flattens them to traces at API
+//! boundaries via [`ParticleState`].
 
 use ppl::logweight::log_sum_exp;
 use ppl::{LogWeight, PplError, Trace};
 
-/// One weighted trace.
+/// A particle state that can be flattened to a plain [`Trace`] at an API
+/// boundary (estimation over trace predicates, reporting, hand-off to
+/// trace-level translators).
+///
+/// A flat [`Trace`] is its own state (flattening is a clone); the
+/// Section 6 runtime implements this for shared execution graphs so
+/// graph-native collections can be inspected without leaving the graph
+/// representation during inference.
+pub trait ParticleState {
+    /// Flattens the state to the trace it represents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representation-specific flattening failures (a
+    /// [`Trace`] never fails).
+    fn to_trace(&self) -> Result<Trace, PplError>;
+}
+
+impl ParticleState for Trace {
+    fn to_trace(&self) -> Result<Trace, PplError> {
+        Ok(self.clone())
+    }
+}
+
+/// Shared states flatten through the reference — this is what lets
+/// copy-on-write `Arc`-backed graph particles satisfy the boundary
+/// contract without a newtype.
+impl<S: ParticleState + ?Sized> ParticleState for std::sync::Arc<S> {
+    fn to_trace(&self) -> Result<Trace, PplError> {
+        (**self).to_trace()
+    }
+}
+
+/// One weighted particle: a state (by default a trace) and its log
+/// weight.
 #[derive(Debug, Clone)]
-pub struct Particle {
-    /// The trace.
-    pub trace: Trace,
+pub struct Particle<S = Trace> {
+    /// The particle state (a [`Trace`] unless the runtime carries a
+    /// richer representation).
+    pub trace: S,
     /// Its log weight.
     pub log_weight: LogWeight,
 }
 
-/// A weighted collection of traces approximating a posterior.
+/// A weighted collection of particle states approximating a posterior.
 ///
 /// # Examples
 ///
@@ -36,38 +76,32 @@ pub struct Particle {
 /// assert!(p > 0.2 && p < 0.8);
 /// # Ok::<(), PplError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct ParticleCollection {
-    particles: Vec<Particle>,
+#[derive(Debug, Clone)]
+pub struct ParticleCollection<S = Trace> {
+    particles: Vec<Particle<S>>,
 }
 
-impl ParticleCollection {
+impl<S> Default for ParticleCollection<S> {
+    fn default() -> ParticleCollection<S> {
+        ParticleCollection {
+            particles: Vec::new(),
+        }
+    }
+}
+
+impl<S> ParticleCollection<S> {
     /// Creates an empty collection.
-    pub fn new() -> ParticleCollection {
+    pub fn new() -> ParticleCollection<S> {
         ParticleCollection::default()
     }
 
-    /// Creates a collection of unit-weight particles from plain traces
-    /// (e.g. exact posterior samples, as in Sections 7.2–7.3).
-    pub fn from_traces(traces: impl IntoIterator<Item = Trace>) -> ParticleCollection {
-        ParticleCollection {
-            particles: traces
-                .into_iter()
-                .map(|trace| Particle {
-                    trace,
-                    log_weight: LogWeight::ONE,
-                })
-                .collect(),
-        }
-    }
-
     /// Creates a collection from explicit particles.
-    pub fn from_particles(particles: Vec<Particle>) -> ParticleCollection {
+    pub fn from_particles(particles: Vec<Particle<S>>) -> ParticleCollection<S> {
         ParticleCollection { particles }
     }
 
     /// Adds a particle.
-    pub fn push(&mut self, trace: Trace, log_weight: LogWeight) {
+    pub fn push(&mut self, trace: S, log_weight: LogWeight) {
         self.particles.push(Particle { trace, log_weight });
     }
 
@@ -83,13 +117,9 @@ impl ParticleCollection {
     ///
     /// # Errors
     ///
-    /// Returns the offending log weight (and gives back the trace, boxed
+    /// Returns the offending log weight (and gives back the state, boxed
     /// to keep the `Err` path cheap) if the weight is NaN or `+∞`.
-    pub fn push_checked(
-        &mut self,
-        trace: Trace,
-        log_weight: LogWeight,
-    ) -> Result<(), Box<(Trace, f64)>> {
+    pub fn push_checked(&mut self, trace: S, log_weight: LogWeight) -> Result<(), Box<(S, f64)>> {
         let lw = log_weight.log();
         if lw.is_nan() || lw == f64::INFINITY {
             return Err(Box::new((trace, lw)));
@@ -109,12 +139,12 @@ impl ParticleCollection {
     }
 
     /// Iterates over the particles.
-    pub fn iter(&self) -> impl Iterator<Item = &Particle> {
+    pub fn iter(&self) -> impl Iterator<Item = &Particle<S>> {
         self.particles.iter()
     }
 
     /// The particles as a slice.
-    pub fn particles(&self) -> &[Particle] {
+    pub fn particles(&self) -> &[Particle<S>] {
         &self.particles
     }
 
@@ -154,7 +184,7 @@ impl ParticleCollection {
     /// # Errors
     ///
     /// Errors on an empty or fully degenerate collection.
-    pub fn estimate(&self, mut phi: impl FnMut(&Trace) -> f64) -> Result<f64, PplError> {
+    pub fn estimate(&self, mut phi: impl FnMut(&S) -> f64) -> Result<f64, PplError> {
         let ws = self.normalized_weights()?;
         Ok(self
             .particles
@@ -170,7 +200,7 @@ impl ParticleCollection {
     /// # Errors
     ///
     /// Errors on an empty or fully degenerate collection.
-    pub fn probability(&self, mut event: impl FnMut(&Trace) -> bool) -> Result<f64, PplError> {
+    pub fn probability(&self, mut event: impl FnMut(&S) -> bool) -> Result<f64, PplError> {
         self.estimate(|t| if event(t) { 1.0 } else { 0.0 })
     }
 
@@ -190,23 +220,56 @@ impl ParticleCollection {
     }
 }
 
-impl FromIterator<Particle> for ParticleCollection {
-    fn from_iter<I: IntoIterator<Item = Particle>>(iter: I) -> Self {
+impl ParticleCollection {
+    /// Creates a collection of unit-weight particles from plain traces
+    /// (e.g. exact posterior samples, as in Sections 7.2–7.3).
+    pub fn from_traces(traces: impl IntoIterator<Item = Trace>) -> ParticleCollection {
+        ParticleCollection {
+            particles: traces
+                .into_iter()
+                .map(|trace| Particle {
+                    trace,
+                    log_weight: LogWeight::ONE,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<S: ParticleState> ParticleCollection<S> {
+    /// Flattens every particle state to its trace, preserving weights —
+    /// the lazy boundary between a graph-native run and trace-level
+    /// consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParticleState::to_trace`] failures.
+    pub fn flatten(&self) -> Result<ParticleCollection, PplError> {
+        let mut out = ParticleCollection::new();
+        for p in self.iter() {
+            out.push(p.trace.to_trace()?, p.log_weight);
+        }
+        Ok(out)
+    }
+}
+
+impl<S> FromIterator<Particle<S>> for ParticleCollection<S> {
+    fn from_iter<I: IntoIterator<Item = Particle<S>>>(iter: I) -> Self {
         ParticleCollection {
             particles: iter.into_iter().collect(),
         }
     }
 }
 
-impl Extend<Particle> for ParticleCollection {
-    fn extend<I: IntoIterator<Item = Particle>>(&mut self, iter: I) {
+impl<S> Extend<Particle<S>> for ParticleCollection<S> {
+    fn extend<I: IntoIterator<Item = Particle<S>>>(&mut self, iter: I) {
         self.particles.extend(iter);
     }
 }
 
-impl IntoIterator for ParticleCollection {
-    type Item = Particle;
-    type IntoIter = std::vec::IntoIter<Particle>;
+impl<S> IntoIterator for ParticleCollection<S> {
+    type Item = Particle<S>;
+    type IntoIter = std::vec::IntoIter<Particle<S>>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.particles.into_iter()
@@ -244,7 +307,9 @@ mod tests {
         let mut c = ParticleCollection::new();
         c.push(trace_with("x", true), LogWeight::ZERO);
         assert!(c.estimate(|_| 1.0).is_err());
-        assert!(ParticleCollection::new().estimate(|_| 1.0).is_err());
+        assert!(ParticleCollection::<Trace>::new()
+            .estimate(|_| 1.0)
+            .is_err());
     }
 
     #[test]
@@ -315,9 +380,22 @@ mod tests {
         let c = ParticleCollection::from_traces((0..7).map(|_| trace_with("x", true)));
         assert!(c.log_mean_weight().abs() < 1e-12);
         assert_eq!(
-            ParticleCollection::new().log_mean_weight(),
+            ParticleCollection::<Trace>::new().log_mean_weight(),
             f64::NEG_INFINITY
         );
+    }
+
+    #[test]
+    fn flatten_of_trace_collection_is_identity() {
+        let mut c = ParticleCollection::new();
+        c.push(trace_with("x", true), LogWeight::from_prob(2.0));
+        c.push(trace_with("x", false), LogWeight::from_prob(1.0));
+        let flat = c.flatten().unwrap();
+        assert_eq!(flat.len(), c.len());
+        for (a, b) in c.iter().zip(flat.iter()) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.log_weight.log().to_bits(), b.log_weight.log().to_bits());
+        }
     }
 
     #[test]

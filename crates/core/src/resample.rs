@@ -71,6 +71,10 @@ pub enum ResampleScheme {
 /// Resamples `M = collection.len()` particles according to `scheme`,
 /// returning a collection of unit-weight particles.
 ///
+/// Works over any particle state: duplicating a particle clones its
+/// state, which for shared-graph states (`Arc`-backed execution graphs)
+/// is a copy-on-write reference bump rather than a deep copy.
+///
 /// # Errors
 ///
 /// Returns [`ResampleError::Empty`] for an empty collection,
@@ -78,11 +82,11 @@ pub enum ResampleScheme {
 /// [`ResampleError::NonFiniteTotal`] when the weight total is NaN or
 /// infinite. The error converts into [`PplError`] via `?` at legacy call
 /// sites.
-pub fn resample(
-    collection: &ParticleCollection,
+pub fn resample<S: Clone>(
+    collection: &ParticleCollection<S>,
     scheme: ResampleScheme,
     rng: &mut dyn RngCore,
-) -> Result<ParticleCollection, ResampleError> {
+) -> Result<ParticleCollection<S>, ResampleError> {
     let m = collection.len();
     if m == 0 {
         return Err(ResampleError::Empty);
@@ -293,7 +297,7 @@ mod tests {
             resample(&c, ResampleScheme::Multinomial, &mut rng),
             Err(ResampleError::Collapsed)
         ));
-        let empty = ParticleCollection::new();
+        let empty: ParticleCollection = ParticleCollection::new();
         assert!(matches!(
             resample(&empty, ResampleScheme::Systematic, &mut rng),
             Err(ResampleError::Empty)

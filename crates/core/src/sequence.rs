@@ -8,13 +8,16 @@
 
 use rand::RngCore;
 
-use ppl::PplError;
+use ppl::{PplError, Trace};
 
 use crate::health::{FailurePolicy, SmcError, StepReport};
 use crate::mcmc::McmcKernel;
-use crate::particles::ParticleCollection;
-use crate::smc::{infer_parallel_with_policy, infer_with_policy, SmcConfig};
-use crate::translator::TraceTranslator;
+use crate::particles::{ParticleCollection, ParticleState};
+use crate::smc::{
+    infer_parallel_with_policy, infer_states_parallel_with_policy, infer_states_with_policy,
+    infer_with_policy, SmcConfig,
+};
+use crate::translator::{StateTranslator, TraceTranslator};
 
 /// One stage of a program sequence: a translator into the stage's program
 /// plus an optional rejuvenation kernel for it.
@@ -35,11 +38,15 @@ impl std::fmt::Debug for Stage<'_> {
 
 /// The trajectory of a program-sequence run: the particle collection after
 /// every stage, plus per-stage health for degeneracy monitoring.
+///
+/// Generic over the particle state `S` (default [`Trace`]); graph-native
+/// runs carry execution graphs end to end and [`SequenceRun::flatten`]
+/// lazily at the API boundary.
 #[derive(Debug, Clone)]
-pub struct SequenceRun {
+pub struct SequenceRun<S = Trace> {
     /// Particle collections after each stage (the input collection is not
     /// included).
-    pub collections: Vec<ParticleCollection>,
+    pub collections: Vec<ParticleCollection<S>>,
     /// ESS of the collection produced by each stage (after any resampling
     /// and rejuvenation).
     pub ess_history: Vec<f64>,
@@ -49,13 +56,13 @@ pub struct SequenceRun {
     pub reports: Vec<StepReport>,
 }
 
-impl SequenceRun {
+impl<S> SequenceRun<S> {
     /// The final collection.
     ///
     /// # Panics
     ///
     /// Panics if the sequence was empty.
-    pub fn last(&self) -> &ParticleCollection {
+    pub fn last(&self) -> &ParticleCollection<S> {
         self.collections.last().expect("empty sequence run")
     }
 
@@ -63,6 +70,27 @@ impl SequenceRun {
     /// events.
     pub fn is_clean(&self) -> bool {
         self.reports.iter().all(StepReport::is_clean)
+    }
+}
+
+impl<S: ParticleState> SequenceRun<S> {
+    /// Flattens every stage's collection to plain traces, preserving
+    /// weights, ESS history, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParticleState::to_trace`] failures.
+    pub fn flatten(&self) -> Result<SequenceRun, PplError> {
+        let collections = self
+            .collections
+            .iter()
+            .map(ParticleCollection::flatten)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SequenceRun {
+            collections,
+            ess_history: self.ess_history.clone(),
+            reports: self.reports.clone(),
+        })
     }
 }
 
@@ -160,8 +188,8 @@ fn stage_seed(base_seed: u64, step: usize) -> u64 {
 /// for any `threads` value; `rng` drives only resampling and
 /// rejuvenation, as in the serial runner.
 ///
-/// (The Section 6 incremental translator is `Rc`-based and not `Sync`;
-/// edit sequences over execution graphs stay on the serial runner.)
+/// (Edit sequences that stay graph-native end to end use
+/// [`run_state_sequence_parallel_with_policy`] instead.)
 ///
 /// # Errors
 ///
@@ -227,6 +255,88 @@ pub fn run_sequence_parallel(
         rng,
     )
     .map_err(PplError::from)
+}
+
+/// [`run_sequence_with_policy`] generalized to any particle state: one
+/// [`StateTranslator`] per stage, the collection threaded through them
+/// serially. Stage `s` runs as SMC step `s`, exactly as in the trace
+/// runner, so fault plans and retry seeds address stages directly. (No
+/// MCMC rejuvenation — that is trace-level machinery.)
+///
+/// # Errors
+///
+/// Propagates typed errors from [`infer_states_with_policy`].
+pub fn run_state_sequence_with_policy<S: Clone>(
+    stages: &[&dyn StateTranslator<S>],
+    initial: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun<S>, SmcError> {
+    let mut collections = Vec::with_capacity(stages.len());
+    let mut ess_history = Vec::with_capacity(stages.len());
+    let mut reports = Vec::with_capacity(stages.len());
+    let mut current = initial.clone();
+    for (step, translator) in stages.iter().enumerate() {
+        let (next, report) =
+            infer_states_with_policy(*translator, &current, config, policy, step, rng)?;
+        ess_history.push(next.ess());
+        reports.push(report);
+        collections.push(next.clone());
+        current = next;
+    }
+    Ok(SequenceRun {
+        collections,
+        ess_history,
+        reports,
+    })
+}
+
+/// [`run_state_sequence_with_policy`] with pooled parallel translation:
+/// every stage's translate/reweight loop runs on the persistent
+/// [`crate::WorkerPool`] with per-particle seeds derived from
+/// `base_seed` via the same stage stride as the trace runner, so results
+/// are bit-identical for any `threads` value; `rng` drives only
+/// resampling.
+///
+/// # Errors
+///
+/// Propagates typed errors from [`infer_states_parallel_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_state_sequence_parallel_with_policy<S: Clone + Send + Sync>(
+    stages: &[&(dyn StateTranslator<S> + Sync)],
+    initial: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun<S>, SmcError> {
+    let mut collections = Vec::with_capacity(stages.len());
+    let mut ess_history = Vec::with_capacity(stages.len());
+    let mut reports = Vec::with_capacity(stages.len());
+    let mut current = initial.clone();
+    for (step, translator) in stages.iter().enumerate() {
+        let (next, report) = infer_states_parallel_with_policy(
+            *translator,
+            &current,
+            config,
+            policy,
+            step,
+            stage_seed(base_seed, step),
+            threads,
+            rng,
+        )?;
+        ess_history.push(next.ess());
+        reports.push(report);
+        collections.push(next.clone());
+        current = next;
+    }
+    Ok(SequenceRun {
+        collections,
+        ess_history,
+        reports,
+    })
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use crate::mcmc::McmcKernel;
 use crate::particles::{Particle, ParticleCollection};
 use crate::pool::WorkerPool;
 use crate::resample::{resample, ResampleError, ResampleScheme};
-use crate::translator::{TraceTranslator, TranslateCtx};
+use crate::translator::{StateTranslator, TraceTranslator, TranslateCtx};
 
 /// When to resample within an `infer` step.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -86,28 +86,49 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Adapts a [`TraceTranslator`] to the [`StateTranslator`]`<Trace>`
+/// runtime interface, so the trace-level entry points share the generic
+/// SMC machinery bit for bit.
+///
+/// (A blanket `impl StateTranslator<Trace> for T: TraceTranslator` would
+/// conflict with wrapper impls such as [`crate::FaultyTranslator`]'s
+/// generic one, so the adaptation is this private newtype instead.)
+struct AsState<'a, T: ?Sized>(&'a T);
+
+impl<T: TraceTranslator + ?Sized> StateTranslator<Trace> for AsState<'_, T> {
+    fn translate_state(
+        &self,
+        state: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(Trace, LogWeight), PplError> {
+        let out = self.0.translate_at(state, ctx, rng)?;
+        Ok((out.trace, out.log_weight))
+    }
+}
+
 /// Runs one translation attempt with panic isolation and weight
 /// validation: a panic in the translator is caught, and a NaN or `+∞`
 /// combined log weight is rejected before it can enter a collection.
-fn attempt_translate(
-    translator: &dyn TraceTranslator,
-    particle: &Particle,
+fn attempt_translate<S>(
+    translator: &dyn StateTranslator<S>,
+    particle: &Particle<S>,
     ctx: TranslateCtx,
     rng: &mut dyn RngCore,
-) -> Result<(Trace, LogWeight), FailureKind> {
+) -> Result<(S, LogWeight), FailureKind> {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        translator.translate_at(&particle.trace, ctx, rng)
+        translator.translate_state(&particle.trace, ctx, rng)
     }));
     match result {
         Err(payload) => Err(FailureKind::Panic(panic_message(payload))),
         Ok(Err(e)) => Err(FailureKind::Error(e)),
-        Ok(Ok(out)) => {
-            let weight = particle.log_weight + out.log_weight;
+        Ok(Ok((state, delta))) => {
+            let weight = particle.log_weight + delta;
             let lw = weight.log();
             if lw.is_nan() || lw == f64::INFINITY {
                 Err(FailureKind::NonFiniteWeight(lw))
             } else {
-                Ok((out.trace, weight))
+                Ok((state, weight))
             }
         }
     }
@@ -115,9 +136,9 @@ fn attempt_translate(
 
 /// The outcome of translating one particle under a policy's attempt
 /// budget.
-enum Outcome {
+enum Outcome<S> {
     Ok {
-        trace: Trace,
+        trace: S,
         weight: LogWeight,
         attempts: usize,
     },
@@ -129,14 +150,14 @@ enum Outcome {
 /// (preserving the caller's stream exactly); retries draw from
 /// `StdRng::seed_from_u64(retry_seed(...))` so their randomness is
 /// independent of call order and thread schedule.
-fn translate_one(
-    translator: &dyn TraceTranslator,
-    particle: &Particle,
+fn translate_one<S>(
+    translator: &dyn StateTranslator<S>,
+    particle: &Particle<S>,
     step: usize,
     index: usize,
     policy: &FailurePolicy,
     rng: &mut dyn RngCore,
-) -> Outcome {
+) -> Outcome<S> {
     let max_attempts = policy.max_attempts();
     let seed = match policy {
         FailurePolicy::Retry { seed, .. } => *seed,
@@ -211,6 +232,78 @@ pub fn infer_with_policy(
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
     // 1. Translate and reweight, applying the policy per particle.
+    let phase = translate_serial_with_policy(&AsState(translator), particles, policy, step, rng)?;
+
+    // 2.–3. Degeneracy handling, resampling, and rejuvenation.
+    let tail = degeneracy_tail(phase.collection, mcmc, particles, config, policy, step, rng)?;
+
+    let report = StepReport {
+        step,
+        input_particles: particles.len(),
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        dropped: phase.failures.len(),
+        retries: phase.retries,
+        recovered: phase.recovered,
+        failures: phase.failures,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+    };
+    Ok((tail.collection, report))
+}
+
+/// One step of SMC over an arbitrary particle state, under a
+/// [`FailurePolicy`]: [`infer_with_policy`] generalized from flat traces
+/// to any [`StateTranslator`] state. MCMC rejuvenation is trace-level
+/// machinery and does not apply here; everything else (panic isolation,
+/// weight quarantine, drop/retry policies, resampling, collapse
+/// recovery, per-step reports) behaves identically.
+///
+/// # Errors
+///
+/// As [`infer_with_policy`].
+pub fn infer_states_with_policy<S: Clone>(
+    translator: &dyn StateTranslator<S>,
+    particles: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
+    let phase = translate_serial_with_policy(translator, particles, policy, step, rng)?;
+    let tail = degeneracy_tail_states(phase.collection, particles, config, policy, step, rng)?;
+    let report = StepReport {
+        step,
+        input_particles: particles.len(),
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        dropped: phase.failures.len(),
+        retries: phase.retries,
+        recovered: phase.recovered,
+        failures: phase.failures,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+    };
+    Ok((tail.collection, report))
+}
+
+/// Result of the serial translate/reweight phase of one SMC step.
+struct TranslatePhase<S> {
+    collection: ParticleCollection<S>,
+    failures: Vec<ParticleFailure>,
+    retries: usize,
+    recovered: usize,
+}
+
+/// Phase 1 of Algorithm 2 (serial): translate and reweight every
+/// particle under `policy`, enforcing the policy's loss budget.
+fn translate_serial_with_policy<S>(
+    translator: &dyn StateTranslator<S>,
+    particles: &ParticleCollection<S>,
+    policy: &FailurePolicy,
+    step: usize,
+    rng: &mut dyn RngCore,
+) -> Result<TranslatePhase<S>, SmcError> {
     let mut translated = ParticleCollection::new();
     let mut failures: Vec<ParticleFailure> = Vec::new();
     let mut retries = 0;
@@ -249,37 +342,25 @@ pub fn infer_with_policy(
             failures,
         });
     }
-
-    // 2.–3. Degeneracy handling, resampling, and rejuvenation.
-    let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
-
-    let report = StepReport {
-        step,
-        input_particles: particles.len(),
-        output_particles: tail.collection.len(),
-        ess: tail.ess,
-        dropped,
+    Ok(TranslatePhase {
+        collection: translated,
+        failures,
         retries,
         recovered,
-        failures,
-        resampled: tail.resampled,
-        collapse_recovered: tail.collapse_recovered,
-    };
-    Ok((tail.collection, report))
+    })
 }
 
 /// Result of the post-translation phases of one SMC step.
-struct StepTail {
-    collection: ParticleCollection,
+struct StepTail<S = Trace> {
+    collection: ParticleCollection<S>,
     /// Post-reweight ESS (before any resampling).
     ess: f64,
     resampled: bool,
     collapse_recovered: bool,
 }
 
-/// Phases 2–3 of Algorithm 2, shared by the serial and parallel step
-/// entry points: degeneracy diagnosis, optional resampling, collapse
-/// recovery, and optional MCMC rejuvenation.
+/// Phases 2–3 of Algorithm 2 for flat traces: the generic degeneracy
+/// tail plus optional MCMC rejuvenation (trace-level machinery).
 fn degeneracy_tail(
     translated: ParticleCollection,
     mcmc: Option<&dyn McmcKernel>,
@@ -289,6 +370,41 @@ fn degeneracy_tail(
     step: usize,
     rng: &mut dyn RngCore,
 ) -> Result<StepTail, SmcError> {
+    let tail = degeneracy_tail_states(translated, particles, config, policy, step, rng)?;
+
+    // Optional MCMC rejuvenation (also applied to a collapse-recovered
+    // collection, per the recovery contract).
+    let final_collection = match (mcmc, config.mcmc_steps) {
+        (Some(kernel), steps) if steps > 0 => {
+            let mut rejuvenated = ParticleCollection::new();
+            for particle in tail.collection.iter() {
+                let trace: Trace = kernel.steps(&particle.trace, steps, rng)?;
+                rejuvenated.push(trace, particle.log_weight);
+            }
+            rejuvenated
+        }
+        _ => tail.collection,
+    };
+
+    Ok(StepTail {
+        collection: final_collection,
+        ess: tail.ess,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+    })
+}
+
+/// Phase 2 of Algorithm 2, shared by every step entry point: degeneracy
+/// diagnosis, optional resampling, and collapse recovery — generic over
+/// the particle state.
+fn degeneracy_tail_states<S: Clone>(
+    translated: ParticleCollection<S>,
+    particles: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    rng: &mut dyn RngCore,
+) -> Result<StepTail<S>, SmcError> {
     // Degeneracy diagnosis and optional resampling. Dropping under
     // DropAndRenormalize needs no explicit renormalization: the
     // collection's estimators self-normalize over the survivors.
@@ -330,22 +446,8 @@ fn degeneracy_tail(
         }
     };
 
-    // Optional MCMC rejuvenation (also applied to a collapse-recovered
-    // collection, per the recovery contract).
-    let final_collection = match (mcmc, config.mcmc_steps) {
-        (Some(kernel), steps) if steps > 0 => {
-            let mut rejuvenated = ParticleCollection::new();
-            for particle in collection.iter() {
-                let trace: Trace = kernel.steps(&particle.trace, steps, rng)?;
-                rejuvenated.push(trace, particle.log_weight);
-            }
-            rejuvenated
-        }
-        _ => collection,
-    };
-
     Ok(StepTail {
-        collection: final_collection,
+        collection,
         ess,
         resampled,
         collapse_recovered,
@@ -382,6 +484,41 @@ pub fn infer_parallel_with_policy(
     let (translated, translation_report) =
         translate_parallel_with_policy(translator, particles, base_seed, threads, policy, step)?;
     let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
+    let report = StepReport {
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+        ..translation_report
+    };
+    Ok((tail.collection, report))
+}
+
+/// One step of SMC over an arbitrary particle state with pooled parallel
+/// translation: [`infer_parallel_with_policy`] generalized from flat
+/// traces to any [`StateTranslator`] state (no MCMC rejuvenation, which
+/// is trace-level machinery). Translation randomness is derived from
+/// `base_seed` per particle, so the result is bit-identical for any
+/// `threads` value; `rng` drives only resampling.
+///
+/// # Errors
+///
+/// As [`infer_parallel_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_states_parallel_with_policy<S: Clone + Send + Sync>(
+    translator: &(dyn StateTranslator<S> + Sync),
+    particles: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    step: usize,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
+    let (translated, translation_report) = translate_states_parallel_with_policy(
+        translator, particles, base_seed, threads, policy, step,
+    )?;
+    let tail = degeneracy_tail_states(translated, particles, config, policy, step, rng)?;
     let report = StepReport {
         output_particles: tail.collection.len(),
         ess: tail.ess,
@@ -456,23 +593,23 @@ fn particle_seed(base_seed: u64, index: usize) -> u64 {
     base_seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9))
 }
 
-/// The per-particle outcome slot of the parallel path: translated trace +
+/// The per-particle outcome slot of the parallel path: translated state +
 /// combined weight + attempts used, or the particle's failure.
-type Slot = Result<(Trace, LogWeight, usize), ParticleFailure>;
+type Slot<S = Trace> = Result<(S, LogWeight, usize), ParticleFailure>;
 
 /// Translates one particle for the parallel path, using its deterministic
 /// per-attempt seeds — the unit of work both the pooled and the scoped
 /// implementations dispatch.
-fn translate_slot(
-    translator: &dyn TraceTranslator,
-    particle: &Particle,
+fn translate_slot<S>(
+    translator: &dyn StateTranslator<S>,
+    particle: &Particle<S>,
     j: usize,
     base_seed: u64,
     policy_seed: u64,
     max_attempts: usize,
     step: usize,
-) -> Slot {
-    let mut slot: Option<Slot> = None;
+) -> Slot<S> {
+    let mut slot: Option<Slot<S>> = None;
     for attempt in 0..max_attempts {
         let seed = if attempt == 0 {
             particle_seed(base_seed, j)
@@ -530,13 +667,34 @@ pub fn translate_parallel_with_policy(
     policy: &FailurePolicy,
     step: usize,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
+    let adapted = AsState(translator);
+    translate_states_parallel_with_policy(&adapted, particles, base_seed, threads, policy, step)
+}
+
+/// [`translate_parallel_with_policy`] generalized to any particle state:
+/// the pooled, deterministic, panic-isolated translate/reweight phase the
+/// graph-native runtime drives with [`StateTranslator`]s. Same seed
+/// formulae, same thread-count-invariance contract, same minimum-index
+/// fail-fast behavior.
+///
+/// # Errors
+///
+/// As [`translate_parallel_with_policy`].
+pub fn translate_states_parallel_with_policy<S: Send + Sync>(
+    translator: &(dyn StateTranslator<S> + Sync),
+    particles: &ParticleCollection<S>,
+    base_seed: u64,
+    threads: usize,
+    policy: &FailurePolicy,
+    step: usize,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
     let threads = threads.max(1);
     let max_attempts = policy.max_attempts();
     let policy_seed = match policy {
         FailurePolicy::Retry { seed, .. } => *seed,
         _ => 0,
     };
-    let mut slots: Vec<Option<Slot>> = (0..particles.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Slot<S>>> = (0..particles.len()).map(|_| None).collect();
     if threads == 1 || particles.len() <= 1 {
         // Serial fast path: no dispatch overhead, same seeds, same result.
         for (j, particle) in particles.iter().enumerate() {
@@ -551,7 +709,7 @@ pub fn translate_parallel_with_policy(
             ));
         }
     } else {
-        let items: Vec<(usize, &Particle)> = particles.iter().enumerate().collect();
+        let items: Vec<(usize, &Particle<S>)> = particles.iter().enumerate().collect();
         let chunk_size = items.len().div_ceil(threads).max(1);
         // Items are enumerated in order, so chunking items and slots with
         // the same stride pairs every particle with its own output slot.
@@ -600,10 +758,12 @@ pub fn translate_parallel_with_policy_scoped(
         FailurePolicy::Retry { seed, .. } => *seed,
         _ => 0,
     };
+    let adapted = AsState(translator);
     let results: Vec<Result<Vec<(usize, Slot)>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
             .map(|chunk| {
+                let adapted = &adapted;
                 scope.spawn(move || {
                     chunk
                         .iter()
@@ -611,7 +771,7 @@ pub fn translate_parallel_with_policy_scoped(
                             (
                                 *j,
                                 translate_slot(
-                                    translator,
+                                    adapted,
                                     particle,
                                     *j,
                                     base_seed,
@@ -645,12 +805,12 @@ pub fn translate_parallel_with_policy_scoped(
 
 /// Scans the filled slots in index order and builds the output collection
 /// and report — shared tail of the pooled and scoped parallel paths.
-fn assemble_parallel(
-    particles: &ParticleCollection,
-    slots: Vec<Option<Slot>>,
+fn assemble_parallel<S>(
+    particles: &ParticleCollection<S>,
+    slots: Vec<Option<Slot<S>>>,
     policy: &FailurePolicy,
     step: usize,
-) -> Result<(ParticleCollection, StepReport), SmcError> {
+) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
     let mut out = ParticleCollection::new();
     let mut failures: Vec<ParticleFailure> = Vec::new();
     let mut retries = 0;

@@ -131,6 +131,51 @@ impl<T: TraceTranslator + ?Sized> TraceTranslator for Box<T> {
     }
 }
 
+/// A translator over an arbitrary particle state `S`.
+///
+/// [`TraceTranslator`] is Algorithm 1's interface over flat traces;
+/// `StateTranslator` generalizes the *runtime* contract so SMC can thread
+/// richer particle states (the Section 6 execution graphs) through a
+/// whole program sequence without flattening between stages. The returned
+/// [`LogWeight`] is the weight increment `log ŵ`, exactly as
+/// [`Translated::log_weight`].
+pub trait StateTranslator<S> {
+    /// Translates `state` at a known position `ctx` within an SMC run,
+    /// returning the successor state and the log weight increment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from running the target program.
+    fn translate_state(
+        &self,
+        state: &S,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(S, LogWeight), PplError>;
+}
+
+impl<S, T: StateTranslator<S> + ?Sized> StateTranslator<S> for &T {
+    fn translate_state(
+        &self,
+        state: &S,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(S, LogWeight), PplError> {
+        (**self).translate_state(state, ctx, rng)
+    }
+}
+
+impl<S, T: StateTranslator<S> + ?Sized> StateTranslator<S> for Box<T> {
+    fn translate_state(
+        &self,
+        state: &S,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(S, LogWeight), PplError> {
+        (**self).translate_state(state, ctx, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

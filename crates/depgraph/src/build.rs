@@ -2,7 +2,7 @@
 //! statement instance, its dependencies, and its effects.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::RngCore;
 
@@ -45,6 +45,20 @@ impl ExecGraph {
     ///
     /// Propagates evaluation errors.
     pub fn simulate(program: &Program, rng: &mut dyn RngCore) -> Result<ExecGraph, PplError> {
+        Self::simulate_shared(&Arc::new(program.clone()), rng)
+    }
+
+    /// [`ExecGraph::simulate`] with a shared program handle: the graph
+    /// aliases `program` instead of cloning it, so translator validation
+    /// can succeed on `Arc` identity alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn simulate_shared(
+        program: &Arc<Program>,
+        rng: &mut dyn RngCore,
+    ) -> Result<ExecGraph, PplError> {
         let mut source = PriorSource { rng };
         build(program, &mut source)
     }
@@ -57,7 +71,7 @@ impl ExecGraph {
     /// the map lacks, plus any evaluation errors.
     pub fn replay(program: &Program, choices: &ChoiceMap) -> Result<ExecGraph, PplError> {
         let mut source = ReplaySource { choices };
-        build(program, &mut source)
+        build(&Arc::new(program.clone()), &mut source)
     }
 
     /// Builds a graph from an existing trace of the program.
@@ -68,9 +82,20 @@ impl ExecGraph {
     pub fn from_trace(program: &Program, trace: &Trace) -> Result<ExecGraph, PplError> {
         Self::replay(program, &trace.to_choice_map())
     }
+
+    /// [`ExecGraph::from_trace`] with a shared program handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecGraph::replay`].
+    pub fn from_trace_shared(program: &Arc<Program>, trace: &Trace) -> Result<ExecGraph, PplError> {
+        let choices = trace.to_choice_map();
+        let mut source = ReplaySource { choices: &choices };
+        build(program, &mut source)
+    }
 }
 
-fn build(program: &Program, source: &mut dyn ChoiceSource) -> Result<ExecGraph, PplError> {
+fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGraph, PplError> {
     let mut env: Env = Env::new();
     let mut loops: Vec<i64> = Vec::new();
     let mut builder = Builder {
@@ -93,7 +118,7 @@ fn build(program: &Program, source: &mut dyn ChoiceSource) -> Result<ExecGraph, 
                 ev.eval(e, &mut ret_summary)?
             };
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
-                stmts.push(Rc::new(StmtRecord::Leaf {
+                stmts.push(Arc::new(StmtRecord::Leaf {
                     summary: ret_summary,
                 }));
             }
@@ -101,8 +126,8 @@ fn build(program: &Program, source: &mut dyn ChoiceSource) -> Result<ExecGraph, 
         }
         None => Value::Int(0),
     };
-    let root = Rc::new(BlockRecord::finalize(stmts));
-    Ok(ExecGraph::assemble(program.clone(), root, return_value))
+    let root = Arc::new(BlockRecord::finalize(stmts));
+    Ok(ExecGraph::assemble(Arc::clone(program), root, return_value))
 }
 
 struct Builder<'a> {
@@ -121,10 +146,10 @@ impl Builder<'_> {
         ev.eval(expr, sum)
     }
 
-    fn exec_block(&mut self, block: &Block) -> Result<Vec<Rc<StmtRecord>>, PplError> {
+    fn exec_block(&mut self, block: &Block) -> Result<Vec<Arc<StmtRecord>>, PplError> {
         let mut records = Vec::with_capacity(block.stmts().len());
         for stmt in block.stmts() {
-            records.push(Rc::new(self.exec_stmt(stmt)?));
+            records.push(Arc::new(self.exec_stmt(stmt)?));
         }
         Ok(records)
     }
@@ -202,7 +227,7 @@ impl Builder<'_> {
                 let mut summary = Summary::default();
                 let took_then = self.eval(cond, &mut summary)?.truthy()?;
                 let branch = if took_then { then_b } else { else_b };
-                let body = Rc::new(BlockRecord::finalize(self.exec_block(branch)?));
+                let body = Arc::new(BlockRecord::finalize(self.exec_block(branch)?));
                 summary.reads.extend(body.summary.reads.iter().cloned());
                 summary.effects.extend(body.summary.effects.iter().cloned());
                 summary.obs_score += body.summary.obs_score;
@@ -230,8 +255,16 @@ impl Builder<'_> {
                     self.loops.push(i);
                     let iter_result = self.exec_block(body);
                     self.loops.pop();
-                    let iter = Rc::new(BlockRecord::finalize(iter_result?));
-                    summary.reads.extend(iter.summary.reads.iter().cloned());
+                    let iter = Arc::new(BlockRecord::finalize(iter_result?));
+                    // Def-before-use across iterations: a read satisfied
+                    // by an earlier iteration's write is loop-internal.
+                    summary.reads.extend(
+                        iter.summary
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += iter.summary.obs_score;
                     for effect in &iter.summary.effects {
                         written.insert(effect.var_name().to_string());
@@ -273,7 +306,13 @@ impl Builder<'_> {
                             return Err(e);
                         }
                     };
-                    summary.reads.extend(cond_sum.reads.iter().cloned());
+                    summary.reads.extend(
+                        cond_sum
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
                         self.loops.pop();
@@ -286,8 +325,15 @@ impl Builder<'_> {
                     }
                     let body_result = self.exec_block(body);
                     self.loops.pop();
-                    let body_rec = Rc::new(BlockRecord::finalize(body_result?));
-                    summary.reads.extend(body_rec.summary.reads.iter().cloned());
+                    let body_rec = Arc::new(BlockRecord::finalize(body_result?));
+                    summary.reads.extend(
+                        body_rec
+                            .summary
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
                         written.insert(effect.var_name().to_string());

@@ -31,6 +31,9 @@ pub mod translator;
 
 pub use diff::{diff_programs, BlockDiff, DiffOp, ProgramEdit, StmtDiff};
 pub use propagate::{IncrementalResult, VisitStats};
-pub use record::ExecGraph;
-pub use sequence::{edit_chain, run_edit_sequence};
+pub use record::{program_fingerprint, ExecGraph};
+pub use sequence::{
+    edit_chain, edit_chain_shared, lift_collection, run_edit_sequence, run_edit_sequence_graph,
+    run_edit_sequence_parallel, run_edit_sequence_parallel_with_policy,
+};
 pub use translator::IncrementalTranslator;

@@ -5,7 +5,7 @@
 //! `G_u` and the weight estimate `ŵ_{P→Q}(u; t)` by re-executing only the
 //! statements affected by the edit — "propagating changes from these
 //! nodes throughout the dependency graph in topological order". Unchanged
-//! subtrees are shared (`Rc`) between `G_t` and `G_u`.
+//! subtrees are shared (`Arc`) between `G_t` and `G_u`.
 //!
 //! Weight accounting follows the paper's efficient scheme exactly:
 //!
@@ -19,7 +19,7 @@
 //! - everything else cancels and is never touched.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::RngCore;
 
@@ -60,7 +60,7 @@ pub struct IncrementalResult {
 ///
 /// Propagates evaluation errors from re-executing the affected slice.
 pub fn translate_graph(
-    q: &Program,
+    q: &Arc<Program>,
     edit: &ProgramEdit,
     old: &ExecGraph,
     rng: &mut dyn RngCore,
@@ -83,7 +83,7 @@ pub fn translate_graph(
         Some(e) => {
             let v = propagator.eval(e, &mut ret_summary)?;
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
-                stmts.push(Rc::new(StmtRecord::Leaf {
+                stmts.push(Arc::new(StmtRecord::Leaf {
                     summary: ret_summary,
                 }));
             }
@@ -91,8 +91,8 @@ pub fn translate_graph(
         }
         None => Value::Int(0),
     };
-    let root = Rc::new(BlockRecord::finalize(stmts));
-    let graph = ExecGraph::assemble(q.clone(), root, return_value);
+    let root = Arc::new(BlockRecord::finalize(stmts));
+    let graph = ExecGraph::assemble(Arc::clone(q), root, return_value);
     Ok(IncrementalResult {
         graph,
         log_weight: propagator.log_num - propagator.log_den,
@@ -232,15 +232,14 @@ impl Propagator<'_> {
         block: &Block,
         diff: &BlockDiff,
         old: Option<&BlockRecord>,
-    ) -> Result<Vec<Rc<StmtRecord>>, PplError> {
+    ) -> Result<Vec<Arc<StmtRecord>>, PplError> {
         let mut records = Vec::with_capacity(block.stmts().len());
         for op in &diff.ops {
             match op {
                 DiffOp::RemovedP(p_index) => {
                     if let Some(old_block) = old {
                         if let Some(summary) = old_block.stmts[*p_index].summary() {
-                            let summary = summary.clone();
-                            self.remove_record(&summary);
+                            self.remove_record(summary);
                         }
                     }
                 }
@@ -250,8 +249,8 @@ impl Propagator<'_> {
                     diff: stmt_diff,
                 } => {
                     let stmt = &block.stmts()[*q_index];
-                    let old_rec: Option<Rc<StmtRecord>> = match (old, p_index) {
-                        (Some(old_block), Some(i)) => Some(Rc::clone(&old_block.stmts[*i])),
+                    let old_rec: Option<Arc<StmtRecord>> = match (old, p_index) {
+                        (Some(old_block), Some(i)) => Some(Arc::clone(&old_block.stmts[*i])),
                         _ => None,
                     };
                     // Skip when nothing changed and no dirty inputs.
@@ -262,13 +261,13 @@ impl Propagator<'_> {
                         };
                         if stmt_diff.is_unchanged() && clean {
                             self.skip_record(rec)?;
-                            records.push(Rc::clone(rec));
+                            records.push(Arc::clone(rec));
                             continue;
                         }
                     }
                     self.stats.visited += 1;
                     let record = self.visit_stmt(stmt, stmt_diff, old_rec.as_deref())?;
-                    records.push(Rc::new(record));
+                    records.push(Arc::new(record));
                 }
             }
         }
@@ -377,21 +376,19 @@ impl Propagator<'_> {
                         // record: the old executed branch is removed and
                         // the new branch runs fresh.
                         if let Some(StmtRecord::If { body, .. }) = old_rec {
-                            let removed = body.summary.clone();
-                            self.remove_record(&removed);
+                            self.remove_record(&body.summary);
                         }
                         branch_diff_owned = fresh_block_diff(branch);
                         (&branch_diff_owned, None)
                     }
                 };
                 let body_records = self.exec_block(branch, branch_diff, old_body)?;
-                let body = Rc::new(BlockRecord::finalize(body_records));
+                let body = Arc::new(BlockRecord::finalize(body_records));
                 summary.reads.extend(body.summary.reads.iter().cloned());
                 summary.effects.extend(body.summary.effects.iter().cloned());
                 summary.obs_score += body.summary.obs_score;
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
-                    let old_summary = old_summary.clone();
-                    self.reconcile_writes(&old_summary);
+                    self.reconcile_writes(old_summary);
                 }
                 Ok(StmtRecord::If {
                     took_then,
@@ -411,7 +408,7 @@ impl Propagator<'_> {
                         &fresh_body
                     }
                 };
-                let old_for = match old_rec {
+                let old_for: Option<(i64, i64, &Vec<Arc<BlockRecord>>)> = match old_rec {
                     Some(StmtRecord::For { lo, hi, iters, .. }) => Some((*lo, *hi, iters)),
                     _ => None,
                 };
@@ -426,7 +423,7 @@ impl Propagator<'_> {
                             dirty: false,
                         },
                     );
-                    let old_iter: Option<&Rc<BlockRecord>> =
+                    let old_iter: Option<&Arc<BlockRecord>> =
                         old_for.as_ref().and_then(|(old_lo, old_hi, old_iters)| {
                             if *old_lo <= i && i < *old_hi {
                                 old_iters.get((i - old_lo) as usize)
@@ -446,7 +443,7 @@ impl Propagator<'_> {
                                 false,
                             )?;
                             self.stats.skipped += 1;
-                            Rc::clone(old_iter)
+                            Arc::clone(old_iter)
                         }
                         _ => {
                             self.stats.visited += 1;
@@ -454,10 +451,19 @@ impl Propagator<'_> {
                             self.loops.push(i);
                             let result = self.exec_block(body, body_diff, old_iter.as_deref());
                             self.loops.pop();
-                            Rc::new(BlockRecord::finalize(result?))
+                            Arc::new(BlockRecord::finalize(result?))
                         }
                     };
-                    summary.reads.extend(iter_rc.summary.reads.iter().cloned());
+                    // Def-before-use across iterations: a read satisfied
+                    // by an earlier iteration's write is loop-internal.
+                    summary.reads.extend(
+                        iter_rc
+                            .summary
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += iter_rc.summary.obs_score;
                     for effect in &iter_rc.summary.effects {
                         written.insert(effect.var_name().to_string());
@@ -468,8 +474,7 @@ impl Propagator<'_> {
                 if let Some((old_lo, old_hi, old_iters)) = old_for {
                     for i in old_lo..old_hi {
                         if i < lo || i >= hi {
-                            let removed = old_iters[(i - old_lo) as usize].summary.clone();
-                            self.remove_record(&removed);
+                            self.remove_record(&old_iters[(i - old_lo) as usize].summary);
                         }
                     }
                 }
@@ -482,8 +487,7 @@ impl Propagator<'_> {
                 }
                 summary.reads.remove(var);
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
-                    let old_summary = old_summary.clone();
-                    self.reconcile_writes(&old_summary);
+                    self.reconcile_writes(old_summary);
                 }
                 Ok(StmtRecord::For {
                     lo,
@@ -531,7 +535,9 @@ impl Propagator<'_> {
                                 )?;
                             }
                             self.stats.skipped += 1;
-                            summary.reads.extend(old_iter.reads().cloned());
+                            summary.reads.extend(
+                                old_iter.reads().filter(|r| !written.contains(*r)).cloned(),
+                            );
                             summary.obs_score += old_iter.obs_score();
                             for effect in
                                 old_iter.body.iter().flat_map(|b| b.summary.effects.iter())
@@ -561,7 +567,13 @@ impl Propagator<'_> {
                             return Err(e);
                         }
                     };
-                    summary.reads.extend(cond_sum.reads.iter().cloned());
+                    summary.reads.extend(
+                        cond_sum
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
                         self.loops.pop();
@@ -574,8 +586,7 @@ impl Propagator<'_> {
                         // body that no longer runs.
                         if let Some(old_iter) = old_iter {
                             if let Some(b) = &old_iter.body {
-                                let removed = b.summary.clone();
-                                self.remove_record(&removed);
+                                self.remove_record(&b.summary);
                             }
                         }
                         break;
@@ -583,8 +594,15 @@ impl Propagator<'_> {
                     let old_body = old_iter.and_then(|it| it.body.clone());
                     let body_result = self.exec_block(body, body_diff, old_body.as_deref());
                     self.loops.pop();
-                    let body_rec = Rc::new(BlockRecord::finalize(body_result?));
-                    summary.reads.extend(body_rec.summary.reads.iter().cloned());
+                    let body_rec = Arc::new(BlockRecord::finalize(body_result?));
+                    summary.reads.extend(
+                        body_rec
+                            .summary
+                            .reads
+                            .iter()
+                            .filter(|r| !written.contains(*r))
+                            .cloned(),
+                    );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
                         written.insert(effect.var_name().to_string());
@@ -605,8 +623,7 @@ impl Propagator<'_> {
                     for old_iter in old_iters.iter().skip(iters.len()) {
                         self.log_den += old_iter.obs_score();
                         if let Some(b) = &old_iter.body {
-                            let removed = b.summary.clone();
-                            self.reconcile_writes(&removed);
+                            self.reconcile_writes(&b.summary);
                         }
                     }
                 }
@@ -618,8 +635,7 @@ impl Propagator<'_> {
                     }
                 }
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
-                    let old_summary = old_summary.clone();
-                    self.reconcile_writes(&old_summary);
+                    self.reconcile_writes(old_summary);
                 }
                 Ok(StmtRecord::While { iters, summary })
             }

@@ -8,12 +8,15 @@
 //! tracked through variable read/write *summaries* on each record rather
 //! than explicit edges (the summaries are what change propagation needs).
 //!
-//! Records are reference-counted so that the incremental translator can
-//! share unchanged subtrees between `G_t` and `G_u` in O(1) — the key to
-//! the `O(K)` hyperparameter edit of Figure 10.
+//! Records are reference-counted (`Arc`, so graphs are `Send + Sync` and
+//! particles can carry them across worker threads) so that the
+//! incremental translator can share unchanged subtrees between `G_t` and
+//! `G_u` in O(1) — the key to the `O(K)` hyperparameter edit of
+//! Figure 10.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::hash::Hasher as _;
+use std::sync::{Arc, OnceLock};
 
 use ppl::ast::Program;
 use ppl::dist::Dist;
@@ -94,7 +97,7 @@ pub enum StmtRecord {
         /// Whether the then-branch was taken.
         took_then: bool,
         /// The executed branch's records.
-        body: Rc<BlockRecord>,
+        body: Arc<BlockRecord>,
         /// Summary covering the condition and the executed branch.
         summary: Summary,
     },
@@ -105,7 +108,7 @@ pub enum StmtRecord {
         /// Evaluated upper bound (exclusive).
         hi: i64,
         /// Per-iteration records, indexed `0 ↦ lo`, `1 ↦ lo+1`, ….
-        iters: Vec<Rc<BlockRecord>>,
+        iters: Vec<Arc<BlockRecord>>,
         /// Summary with compressed (snapshot) effects.
         summary: Summary,
     },
@@ -129,7 +132,7 @@ pub struct WhileIter {
     /// Whether the condition evaluated to true (and the body ran).
     pub continued: bool,
     /// The body records (present iff `continued`).
-    pub body: Option<Rc<BlockRecord>>,
+    pub body: Option<Arc<BlockRecord>>,
 }
 
 impl WhileIter {
@@ -169,26 +172,36 @@ impl StmtRecord {
 #[derive(Debug, Clone, Default)]
 pub struct BlockRecord {
     /// One record per executed statement, in order.
-    pub stmts: Vec<Rc<StmtRecord>>,
+    pub stmts: Vec<Arc<StmtRecord>>,
     /// Aggregate summary of the whole block.
     pub summary: Summary,
 }
 
 impl BlockRecord {
     /// Builds the aggregate summary from the statement records.
-    pub fn finalize(stmts: Vec<Rc<StmtRecord>>) -> BlockRecord {
+    ///
+    /// Reads are filtered def-before-use: a variable read by a statement
+    /// does not become a *block* read if an earlier statement of the
+    /// block already wrote it — only genuinely external dependencies
+    /// surface. (An element write counts as a definition because the
+    /// writing statement records its own read of the array, so the
+    /// array's external dependency — if any — is already surfaced.)
+    /// This is what lets change propagation skip an entire unchanged
+    /// loop whose body wires its iterations together through variables
+    /// defined inside the loop.
+    pub fn finalize(stmts: Vec<Arc<StmtRecord>>) -> BlockRecord {
         let mut summary = Summary::default();
+        let mut written: BTreeSet<String> = BTreeSet::new();
         for stmt in &stmts {
             if let Some(s) = stmt.summary() {
-                summary.reads.extend(s.reads.iter().cloned());
+                summary
+                    .reads
+                    .extend(s.reads.iter().filter(|r| !written.contains(*r)).cloned());
                 summary.effects.extend(s.effects.iter().cloned());
                 summary.obs_score += s.obs_score;
+                written.extend(s.effects.iter().map(|e| e.var_name().to_string()));
             }
         }
-        // A block's own reads exclude variables it defined *before* the
-        // read — but tracking that precisely requires def-before-use
-        // analysis; the conservative superset only costs extra visits,
-        // never wrong results.
         BlockRecord { stmts, summary }
     }
 }
@@ -208,26 +221,50 @@ struct Indexes {
 /// The execution graph of one program run.
 #[derive(Debug, Clone)]
 pub struct ExecGraph {
-    /// The program this graph was built from.
-    pub program: Program,
+    /// The program this graph was built from (shared, so graphs produced
+    /// by a chain of translations alias one allocation per program and
+    /// validation can compare `Arc` identity).
+    pub program: Arc<Program>,
     /// The root block record.
-    pub root: Rc<BlockRecord>,
+    pub root: Arc<BlockRecord>,
     /// The return value of the execution.
     pub return_value: Value,
-    indexes: std::cell::OnceCell<Indexes>,
+    indexes: OnceLock<Indexes>,
+    fingerprint: OnceLock<u64>,
+}
+
+/// A cheap structural fingerprint of a program (FxHash of its debug
+/// form). Used to validate graph/translator pairing without deep
+/// `Program` equality on every translation.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut hasher = ppl::FxHasher::default();
+    hasher.write(format!("{program:?}").as_bytes());
+    hasher.finish()
 }
 
 impl ExecGraph {
     /// Assembles a graph. The address indices are built lazily; duplicate
     /// addresses (which only well-formed programs avoid) surface as
     /// [`PplError::AddressCollision`] from [`ExecGraph::to_trace`].
-    pub fn assemble(program: Program, root: Rc<BlockRecord>, return_value: Value) -> ExecGraph {
+    pub fn assemble(
+        program: Arc<Program>,
+        root: Arc<BlockRecord>,
+        return_value: Value,
+    ) -> ExecGraph {
         ExecGraph {
             program,
             root,
             return_value,
-            indexes: std::cell::OnceCell::new(),
+            indexes: OnceLock::new(),
+            fingerprint: OnceLock::new(),
         }
+    }
+
+    /// The fingerprint of this graph's program, computed once per graph.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| program_fingerprint(&self.program))
     }
 
     fn indexes(&self) -> &Indexes {

@@ -7,24 +7,38 @@
 //! so callers get per-stage [`incremental::StepReport`]s (ESS, quarantined
 //! particles, retries, collapse recoveries) for the whole edit history.
 
+use std::sync::Arc;
+
 use rand::RngCore;
 
 use incremental::{
-    run_sequence_with_policy, FailurePolicy, ParticleCollection, SequenceRun, SmcConfig, SmcError,
-    Stage,
+    run_sequence_with_policy, run_state_sequence_parallel_with_policy,
+    run_state_sequence_with_policy, FailurePolicy, ParticleCollection, SequenceRun, SmcConfig,
+    SmcError, Stage, StateTranslator,
 };
 use ppl::ast::Program;
+use ppl::PplError;
 
+use crate::record::ExecGraph;
 use crate::translator::IncrementalTranslator;
 
 /// Builds the translator chain for an edit history: one
-/// [`IncrementalTranslator`] per consecutive program pair.
+/// [`IncrementalTranslator`] per consecutive program pair. Each program
+/// is wrapped in an `Arc` once and shared by both translators that
+/// reference it (no per-window deep clones), so consecutive links
+/// validate chained graphs by pointer identity.
 ///
 /// Returns an empty chain for fewer than two programs.
 pub fn edit_chain(programs: &[Program]) -> Vec<IncrementalTranslator> {
+    let shared: Vec<Arc<Program>> = programs.iter().cloned().map(Arc::new).collect();
+    edit_chain_shared(&shared)
+}
+
+/// [`edit_chain`] over pre-shared program handles.
+pub fn edit_chain_shared(programs: &[Arc<Program>]) -> Vec<IncrementalTranslator> {
     programs
         .windows(2)
-        .map(|pair| IncrementalTranslator::from_edit(pair[0].clone(), pair[1].clone()))
+        .map(|pair| IncrementalTranslator::from_shared(Arc::clone(&pair[0]), Arc::clone(&pair[1])))
         .collect()
 }
 
@@ -54,6 +68,125 @@ pub fn run_edit_sequence(
         })
         .collect();
     run_sequence_with_policy(&stages, initial, config, policy, rng)
+}
+
+/// Lifts a flat collection of `program` traces into graph-native
+/// particles: each trace is replayed once into an [`ExecGraph`] sharing
+/// the given program handle (so the first edit-chain translator validates
+/// it by pointer identity), preserving weights.
+///
+/// This is the one O(M·|t|) conversion a graph-native run pays — at the
+/// entry boundary, not once per particle per stage.
+///
+/// # Errors
+///
+/// Propagates replay failures (a trace inconsistent with `program`).
+pub fn lift_collection(
+    program: &Arc<Program>,
+    initial: &ParticleCollection,
+) -> Result<ParticleCollection<Arc<ExecGraph>>, PplError> {
+    let mut lifted = ParticleCollection::new();
+    for particle in initial.iter() {
+        let graph = ExecGraph::from_trace_shared(program, &particle.trace)?;
+        lifted.push(Arc::new(graph), particle.log_weight);
+    }
+    Ok(lifted)
+}
+
+/// Graph-native [`run_edit_sequence`]: lifts `initial` into execution
+/// graphs once, then threads the *graphs* through every stage — each
+/// stage's [`IncrementalTranslator`] propagates the edit directly on the
+/// previous stage's graph, never flattening to a trace between stages.
+/// Flatten the returned run lazily with
+/// [`SequenceRun::flatten`](incremental::SequenceRun::flatten) at the API
+/// boundary.
+///
+/// For workloads whose edits reuse all random choices, the resulting
+/// weights are bit-identical to [`run_edit_sequence`] — the differential
+/// tests pin this down — while per-stage cost drops from O(M·|t|) to
+/// O(M·K) for an edit touching K records.
+///
+/// # Errors
+///
+/// Lift failures surface as [`SmcError::Eval`]; stage errors as in
+/// [`run_edit_sequence`].
+pub fn run_edit_sequence_graph(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun<Arc<ExecGraph>>, SmcError> {
+    let shared: Vec<Arc<Program>> = programs.iter().cloned().map(Arc::new).collect();
+    let chain = edit_chain_shared(&shared);
+    let lifted = match shared.first() {
+        Some(first) => lift_collection(first, initial).map_err(SmcError::Eval)?,
+        None => ParticleCollection::new(),
+    };
+    let stages: Vec<&dyn StateTranslator<Arc<ExecGraph>>> = chain
+        .iter()
+        .map(|t| t as &dyn StateTranslator<Arc<ExecGraph>>)
+        .collect();
+    run_state_sequence_with_policy(&stages, &lifted, config, policy, rng)
+}
+
+/// [`run_edit_sequence_graph`] with pooled parallel translation: every
+/// stage's translate/reweight loop runs on the persistent
+/// [`incremental::WorkerPool`], with per-particle randomness derived from
+/// `base_seed` so results are bit-identical for any `threads` value.
+/// `rng` drives only resampling, as in the serial runner.
+///
+/// # Errors
+///
+/// As [`run_edit_sequence_graph`].
+pub fn run_edit_sequence_parallel_with_policy(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun<Arc<ExecGraph>>, SmcError> {
+    let shared: Vec<Arc<Program>> = programs.iter().cloned().map(Arc::new).collect();
+    let chain = edit_chain_shared(&shared);
+    let lifted = match shared.first() {
+        Some(first) => lift_collection(first, initial).map_err(SmcError::Eval)?,
+        None => ParticleCollection::new(),
+    };
+    let stages: Vec<&(dyn StateTranslator<Arc<ExecGraph>> + Sync)> = chain
+        .iter()
+        .map(|t| t as &(dyn StateTranslator<Arc<ExecGraph>> + Sync))
+        .collect();
+    run_state_sequence_parallel_with_policy(
+        &stages, &lifted, config, policy, base_seed, threads, rng,
+    )
+}
+
+/// [`run_edit_sequence_parallel_with_policy`] under
+/// [`FailurePolicy::FailFast`], with errors flattened to [`PplError`].
+///
+/// # Errors
+///
+/// Propagates errors from [`run_edit_sequence_parallel_with_policy`].
+pub fn run_edit_sequence_parallel(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    config: &SmcConfig,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SequenceRun<Arc<ExecGraph>>, PplError> {
+    run_edit_sequence_parallel_with_policy(
+        programs,
+        initial,
+        config,
+        &FailurePolicy::FailFast,
+        base_seed,
+        threads,
+        rng,
+    )
+    .map_err(PplError::from)
 }
 
 #[cfg(test)]
@@ -117,6 +250,62 @@ mod tests {
             .unwrap();
         // Exact posterior of the final program: 0.9 / (0.9 + 0.1) = 0.9.
         assert!((estimate - 0.9).abs() < 0.03, "estimate {estimate}");
+    }
+
+    #[test]
+    fn graph_native_sequence_matches_flat_sequence_bitwise() {
+        let ps = programs();
+        let mut rng = StdRng::seed_from_u64(23);
+        let traces: Vec<_> = (0..500)
+            .map(|_| simulate(&ps[0], &mut rng).unwrap())
+            .collect();
+        let initial = ParticleCollection::from_traces(traces);
+        let config = SmcConfig::translate_only();
+        let mut rng_flat = StdRng::seed_from_u64(31);
+        let flat = run_edit_sequence(
+            &ps,
+            &initial,
+            &config,
+            &FailurePolicy::FailFast,
+            &mut rng_flat,
+        )
+        .unwrap();
+        let mut rng_graph = StdRng::seed_from_u64(31);
+        let graph = run_edit_sequence_graph(
+            &ps,
+            &initial,
+            &config,
+            &FailurePolicy::FailFast,
+            &mut rng_graph,
+        )
+        .unwrap();
+        assert_eq!(graph.collections.len(), flat.collections.len());
+        let flattened = graph.flatten().unwrap();
+        for (a, b) in flat.collections.iter().zip(flattened.collections.iter()) {
+            assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                assert_eq!(pa.log_weight.log().to_bits(), pb.log_weight.log().to_bits());
+                assert_eq!(pa.trace.to_choice_map(), pb.trace.to_choice_map());
+            }
+        }
+        // Parallel graph-native runs are thread-count invariant.
+        let run_with = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(57);
+            run_edit_sequence_parallel(&ps, &initial, &config, 777, threads, &mut rng).unwrap()
+        };
+        let one = run_with(1);
+        for threads in [3, 8] {
+            let other = run_with(threads);
+            for (a, b) in one.collections.iter().zip(other.collections.iter()) {
+                for (pa, pb) in a.iter().zip(b.iter()) {
+                    assert_eq!(
+                        pa.log_weight.log().to_bits(),
+                        pb.log_weight.log().to_bits(),
+                        "threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The optimized incremental trace translator (Section 6).
 
+use std::sync::Arc;
+
 use rand::RngCore;
 
-use incremental::{TraceTranslator, Translated};
+use incremental::{ParticleState, StateTranslator, TraceTranslator, TranslateCtx, Translated};
 use ppl::ast::Program;
-use ppl::{PplError, Trace};
+use ppl::{LogWeight, PplError, Trace};
 
 use crate::diff::{diff_programs, ProgramEdit};
 use crate::propagate::{translate_graph, IncrementalResult};
-use crate::record::ExecGraph;
+use crate::record::{program_fingerprint, ExecGraph};
 
 /// A trace translator between two programs related by an edit, running on
 /// the dependency-tracking runtime: only the program slice affected by
@@ -37,8 +39,11 @@ use crate::record::ExecGraph;
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalTranslator {
-    p: Program,
-    q: Program,
+    p: Arc<Program>,
+    q: Arc<Program>,
+    /// Fingerprint of `p`, precomputed so per-particle graph validation
+    /// never re-hashes (let alone deep-compares) the program.
+    p_fingerprint: u64,
     edit: ProgramEdit,
 }
 
@@ -46,8 +51,22 @@ impl IncrementalTranslator {
     /// Creates a translator for the edit `p → q`, deriving the diff and
     /// correspondence.
     pub fn from_edit(p: Program, q: Program) -> IncrementalTranslator {
+        Self::from_shared(Arc::new(p), Arc::new(q))
+    }
+
+    /// [`IncrementalTranslator::from_edit`] over shared program handles:
+    /// graphs built with the same `Arc` (e.g. by the previous link of an
+    /// edit chain) validate by pointer identity, and the chain shares one
+    /// allocation per program instead of deep-cloning each window.
+    pub fn from_shared(p: Arc<Program>, q: Arc<Program>) -> IncrementalTranslator {
         let edit = diff_programs(&p, &q);
-        IncrementalTranslator { p, q, edit }
+        let p_fingerprint = program_fingerprint(&p);
+        IncrementalTranslator {
+            p,
+            q,
+            p_fingerprint,
+            edit,
+        }
     }
 
     /// The derived edit (diff + correspondence).
@@ -65,8 +84,34 @@ impl IncrementalTranslator {
         &self.q
     }
 
+    /// The shared handle to the source program `P`.
+    pub fn source_program_shared(&self) -> &Arc<Program> {
+        &self.p
+    }
+
+    /// The shared handle to the target program `Q`.
+    pub fn target_program_shared(&self) -> &Arc<Program> {
+        &self.q
+    }
+
+    /// Checks that `graph` was built from this translator's `P`: `Arc`
+    /// identity first (free along a shared edit chain), cached
+    /// fingerprints otherwise — never a deep `Program` comparison.
+    fn validate_source(&self, graph: &ExecGraph) -> Result<(), PplError> {
+        if Arc::ptr_eq(&graph.program, &self.p) || graph.fingerprint() == self.p_fingerprint {
+            Ok(())
+        } else {
+            Err(PplError::Other(
+                "execution graph was built from a different program than this translator's P"
+                    .to_string(),
+            ))
+        }
+    }
+
     /// Translates an execution graph of `P` into a graph of `Q` with the
-    /// weight estimate, re-executing only the affected slice.
+    /// weight estimate, re-executing only the affected slice. The output
+    /// graph shares this translator's `Q` handle, so the next chained
+    /// translator validates it by pointer identity.
     ///
     /// # Errors
     ///
@@ -77,12 +122,7 @@ impl IncrementalTranslator {
         graph: &ExecGraph,
         rng: &mut dyn RngCore,
     ) -> Result<IncrementalResult, PplError> {
-        if graph.program != self.p {
-            return Err(PplError::Other(
-                "execution graph was built from a different program than this translator's P"
-                    .to_string(),
-            ));
-        }
+        self.validate_source(graph)?;
         translate_graph(&self.q, &self.edit, graph, rng)
     }
 }
@@ -91,10 +131,11 @@ impl TraceTranslator for IncrementalTranslator {
     /// Interop path: builds the graph from the flat trace, translates
     /// incrementally, and flattens back. The graph construction costs
     /// O(|t|); callers holding graphs should use
-    /// [`IncrementalTranslator::translate_graph`] directly to get the
+    /// [`IncrementalTranslator::translate_graph`] directly (or run the
+    /// SMC machinery over `Arc<ExecGraph>` particle states) to get the
     /// Section 6 asymptotics.
     fn translate(&self, t: &Trace, rng: &mut dyn RngCore) -> Result<Translated, PplError> {
-        let graph = ExecGraph::from_trace(&self.p, t)?;
+        let graph = ExecGraph::from_trace_shared(&self.p, t)?;
         let result = self.translate_graph(&graph, rng)?;
         let trace = result.graph.to_trace()?;
         let output = result.graph.return_value.clone();
@@ -103,6 +144,36 @@ impl TraceTranslator for IncrementalTranslator {
             log_weight: result.log_weight,
             output,
         })
+    }
+}
+
+/// The graph-native runtime interface: SMC particles *are* execution
+/// graphs, carried across the whole edit sequence. Each stage calls
+/// [`IncrementalTranslator::translate_graph`] directly on the previous
+/// stage's graph — no per-particle `ExecGraph::from_trace` rebuild and no
+/// flattening between stages, so a fixed-size edit costs O(K) per
+/// particle regardless of trace size. The output graph shares this
+/// translator's `Q` handle, so the next chained translator validates it
+/// by pointer identity.
+impl StateTranslator<Arc<ExecGraph>> for IncrementalTranslator {
+    fn translate_state(
+        &self,
+        state: &Arc<ExecGraph>,
+        _ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(Arc<ExecGraph>, LogWeight), PplError> {
+        let result = self.translate_graph(state, rng)?;
+        Ok((Arc::new(result.graph), result.log_weight))
+    }
+}
+
+/// Flattening an execution graph walks its records once —
+/// [`ExecGraph::to_trace`] — which the SMC runtime only does lazily at
+/// API boundaries (estimation, reporting). `Arc<ExecGraph>` particles
+/// flatten through `incremental`'s blanket `Arc` forwarding impl.
+impl ParticleState for ExecGraph {
+    fn to_trace(&self) -> Result<Trace, PplError> {
+        ExecGraph::to_trace(self)
     }
 }
 

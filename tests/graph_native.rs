@@ -1,0 +1,298 @@
+//! Differential tests for graph-native particle SMC.
+//!
+//! The graph-native edit-sequence runner ([`run_edit_sequence_graph`] and
+//! its pooled variant) must be *bit-identical* to the flat-trace
+//! reference ([`run_edit_sequence`]) whenever the edits reuse every
+//! random choice: the representation (traces vs. persistent execution
+//! graphs) and the threading (serial vs. worker pool) are implementation
+//! details that may never change the weights. These tests pin that
+//! contract down across failure policies, resampling schemes, thread
+//! counts, and fault injection with quarantine and retry.
+
+use std::sync::Arc;
+
+use depgraph::{
+    edit_chain, edit_chain_shared, lift_collection, run_edit_sequence, run_edit_sequence_graph,
+    run_edit_sequence_parallel_with_policy, ExecGraph,
+};
+use incremental::{
+    run_sequence_with_policy, run_state_sequence_with_policy, FailurePolicy, FaultKind, FaultPlan,
+    FaultSpec, FaultyTranslator, ParticleCollection, ResamplePolicy, ResampleScheme, SequenceRun,
+    SmcConfig, Stage, StateTranslator,
+};
+use ppl::ast::Program;
+use ppl::handlers::simulate;
+use ppl::parse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PARTICLES: usize = 300;
+
+/// A loop-structured edit history: whole-chain observation-strength
+/// edits over a small latent chain, so translation exercises indexed
+/// (per-iteration) addresses. Stage 0 is uninformative, so prior
+/// simulations are posterior samples of it.
+fn programs() -> Vec<Program> {
+    [0.5_f64, 0.6, 0.8, 0.9]
+        .iter()
+        .map(|hi| {
+            let lo = 1.0 - hi;
+            parse(&format!(
+                "n = 4; prev = 1;\n\
+                 for i in [0..n) {{\n\
+                   x = flip(prev ? 0.7 : 0.3) @ x;\n\
+                   observe(flip(x ? {hi} : {lo}) @ o == 1);\n\
+                   prev = x;\n\
+                 }}\n\
+                 return prev;"
+            ))
+            .expect("chain program parses")
+        })
+        .collect()
+}
+
+fn initial(ps: &[Program]) -> ParticleCollection {
+    let mut rng = StdRng::seed_from_u64(11);
+    let traces: Vec<_> = (0..PARTICLES)
+        .map(|_| simulate(&ps[0], &mut rng).expect("prior simulation"))
+        .collect();
+    ParticleCollection::from_traces(traces)
+}
+
+/// Asserts two flat sequence runs are bit-identical: same per-stage log
+/// weights (to the bit), same choice maps, same health reports.
+fn assert_bit_identical(reference: &SequenceRun, candidate: &SequenceRun, context: &str) {
+    assert_eq!(
+        reference.collections.len(),
+        candidate.collections.len(),
+        "{context}: stage count"
+    );
+    for (stage, (a, b)) in reference
+        .collections
+        .iter()
+        .zip(&candidate.collections)
+        .enumerate()
+    {
+        assert_eq!(a.len(), b.len(), "{context}: stage {stage} size");
+        for (j, (pa, pb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                pa.log_weight.log().to_bits(),
+                pb.log_weight.log().to_bits(),
+                "{context}: stage {stage} particle {j} weight"
+            );
+            assert_eq!(
+                pa.trace.to_choice_map(),
+                pb.trace.to_choice_map(),
+                "{context}: stage {stage} particle {j} choices"
+            );
+        }
+    }
+    for (a, b) in reference.reports.iter().zip(&candidate.reports) {
+        assert_eq!(a.ess.to_bits(), b.ess.to_bits(), "{context}: report ess");
+        assert_eq!(a.dropped, b.dropped, "{context}: report dropped");
+        assert_eq!(a.retries, b.retries, "{context}: report retries");
+        assert_eq!(a.recovered, b.recovered, "{context}: report recovered");
+    }
+}
+
+#[test]
+fn graph_native_matches_flat_across_failure_policies() {
+    let ps = programs();
+    let init = initial(&ps);
+    let config = SmcConfig::translate_only();
+    for policy in [
+        FailurePolicy::FailFast,
+        FailurePolicy::DropAndRenormalize { max_loss: 1.0 },
+        FailurePolicy::Retry {
+            max_attempts: 3,
+            seed: 5,
+        },
+    ] {
+        let mut rng_flat = StdRng::seed_from_u64(41);
+        let flat = run_edit_sequence(&ps, &init, &config, &policy, &mut rng_flat).unwrap();
+        let mut rng_graph = StdRng::seed_from_u64(41);
+        let graph = run_edit_sequence_graph(&ps, &init, &config, &policy, &mut rng_graph)
+            .unwrap()
+            .flatten()
+            .unwrap();
+        assert_bit_identical(&flat, &graph, &format!("{policy:?}"));
+    }
+}
+
+#[test]
+fn graph_native_matches_flat_across_resampling_schemes() {
+    let ps = programs();
+    let init = initial(&ps);
+    for scheme in [
+        ResampleScheme::Multinomial,
+        ResampleScheme::Systematic,
+        ResampleScheme::Stratified,
+        ResampleScheme::Residual,
+    ] {
+        let config = SmcConfig {
+            resample: ResamplePolicy::Always,
+            scheme,
+            mcmc_steps: 0,
+        };
+        let mut rng_flat = StdRng::seed_from_u64(43);
+        let flat = run_edit_sequence(&ps, &init, &config, &FailurePolicy::FailFast, &mut rng_flat)
+            .unwrap();
+        let mut rng_graph = StdRng::seed_from_u64(43);
+        let graph = run_edit_sequence_graph(
+            &ps,
+            &init,
+            &config,
+            &FailurePolicy::FailFast,
+            &mut rng_graph,
+        )
+        .unwrap()
+        .flatten()
+        .unwrap();
+        assert_bit_identical(&flat, &graph, &format!("{scheme:?}"));
+    }
+}
+
+#[test]
+fn pooled_runs_are_thread_count_invariant() {
+    let ps = programs();
+    let init = initial(&ps);
+    let config = SmcConfig::translate_only();
+    for policy in [
+        FailurePolicy::FailFast,
+        FailurePolicy::Retry {
+            max_attempts: 2,
+            seed: 7,
+        },
+    ] {
+        let run_with = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(47);
+            run_edit_sequence_parallel_with_policy(
+                &ps, &init, &config, &policy, 909, threads, &mut rng,
+            )
+            .unwrap()
+            .flatten()
+            .unwrap()
+        };
+        let reference = run_with(1);
+        for threads in [3, 8] {
+            let candidate = run_with(threads);
+            assert_bit_identical(
+                &reference,
+                &candidate,
+                &format!("{policy:?} threads={threads}"),
+            );
+        }
+    }
+}
+
+/// Injects the same fault plan into the flat reference and the
+/// graph-native runner; both must quarantine the same particles and
+/// produce bit-identical survivors.
+#[test]
+fn fault_quarantine_is_identical_in_flat_and_graph_runs() {
+    let ps = programs();
+    let init = initial(&ps);
+    let config = SmcConfig::translate_only();
+    let policy = FailurePolicy::DropAndRenormalize { max_loss: 0.5 };
+    let plan = FaultPlan::new()
+        .with(FaultSpec::always(1, 3, FaultKind::Error))
+        .with(FaultSpec::always(2, 7, FaultKind::NanWeight));
+
+    let flat_chain = edit_chain(&ps);
+    let flat_faulty: Vec<_> = flat_chain
+        .into_iter()
+        .map(|t| FaultyTranslator::new(t, plan.clone()))
+        .collect();
+    let stages: Vec<Stage<'_>> = flat_faulty
+        .iter()
+        .map(|translator| Stage {
+            translator,
+            mcmc: None,
+        })
+        .collect();
+    let mut rng_flat = StdRng::seed_from_u64(53);
+    let flat = run_sequence_with_policy(&stages, &init, &config, &policy, &mut rng_flat).unwrap();
+
+    let shared: Vec<Arc<Program>> = ps.iter().cloned().map(Arc::new).collect();
+    let graph_faulty: Vec<_> = edit_chain_shared(&shared)
+        .into_iter()
+        .map(|t| FaultyTranslator::new(t, plan.clone()))
+        .collect();
+    let graph_stages: Vec<&dyn StateTranslator<Arc<ExecGraph>>> = graph_faulty
+        .iter()
+        .map(|t| t as &dyn StateTranslator<Arc<ExecGraph>>)
+        .collect();
+    let lifted = lift_collection(&shared[0], &init).unwrap();
+    let mut rng_graph = StdRng::seed_from_u64(53);
+    let graph =
+        run_state_sequence_with_policy(&graph_stages, &lifted, &config, &policy, &mut rng_graph)
+            .unwrap()
+            .flatten()
+            .unwrap();
+
+    assert_eq!(flat.reports[1].dropped, 1);
+    assert_eq!(flat.reports[2].dropped, 1);
+    let flat_failed: Vec<_> = flat.reports[1]
+        .failures
+        .iter()
+        .map(|f| f.particle)
+        .collect();
+    let graph_failed: Vec<_> = graph.reports[1]
+        .failures
+        .iter()
+        .map(|f| f.particle)
+        .collect();
+    assert_eq!(flat_failed, vec![3]);
+    assert_eq!(flat_failed, graph_failed);
+    assert_bit_identical(&flat, &graph, "quarantine");
+}
+
+/// A transient panic cleared by one retry: both runners must recover the
+/// same particle deterministically and agree bit-for-bit.
+#[test]
+fn fault_retry_recovers_identically_in_flat_and_graph_runs() {
+    let ps = programs();
+    let init = initial(&ps);
+    let config = SmcConfig::translate_only();
+    let policy = FailurePolicy::Retry {
+        max_attempts: 2,
+        seed: 9,
+    };
+    let plan = FaultPlan::new().with(FaultSpec::once(1, 4, FaultKind::Panic));
+
+    let flat_faulty: Vec<_> = edit_chain(&ps)
+        .into_iter()
+        .map(|t| FaultyTranslator::new(t, plan.clone()))
+        .collect();
+    let stages: Vec<Stage<'_>> = flat_faulty
+        .iter()
+        .map(|translator| Stage {
+            translator,
+            mcmc: None,
+        })
+        .collect();
+    let mut rng_flat = StdRng::seed_from_u64(59);
+    let flat = run_sequence_with_policy(&stages, &init, &config, &policy, &mut rng_flat).unwrap();
+
+    let shared: Vec<Arc<Program>> = ps.iter().cloned().map(Arc::new).collect();
+    let graph_faulty: Vec<_> = edit_chain_shared(&shared)
+        .into_iter()
+        .map(|t| FaultyTranslator::new(t, plan.clone()))
+        .collect();
+    let graph_stages: Vec<&dyn StateTranslator<Arc<ExecGraph>>> = graph_faulty
+        .iter()
+        .map(|t| t as &dyn StateTranslator<Arc<ExecGraph>>)
+        .collect();
+    let lifted = lift_collection(&shared[0], &init).unwrap();
+    let mut rng_graph = StdRng::seed_from_u64(59);
+    let graph =
+        run_state_sequence_with_policy(&graph_stages, &lifted, &config, &policy, &mut rng_graph)
+            .unwrap()
+            .flatten()
+            .unwrap();
+
+    assert_eq!(flat.reports[1].recovered, 1);
+    assert_eq!(flat.reports[1].retries, 1);
+    assert_eq!(flat.reports[1].dropped, 0);
+    assert_bit_identical(&flat, &graph, "retry");
+}
