@@ -20,9 +20,18 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
-use depgraph::{run_edit_sequence_parallel_with_policy, ExecGraph, IncrementalTranslator};
-use incremental::{FailurePolicy, McmcKernel, ParticleCollection, SmcConfig};
+use depgraph::{
+    program_fingerprint, resume_collection, run_edit_sequence_parallel_with_policy,
+    run_edit_sequence_supervised, ExecGraph, IncrementalTranslator,
+};
+use incremental::{
+    collection_checksum, Checkpoint, CheckpointError, FailurePolicy, McmcKernel,
+    ParticleCollection, SmcConfig, SmcError, StageObserver, StagePolicy, StageSnapshot,
+};
 use inference::{ExactPosterior, SingleSiteMh};
 use ppl::ast::Program;
 use ppl::check::{check, Severity};
@@ -466,6 +475,293 @@ pub fn cmd_sequence(
     Ok(out)
 }
 
+/// A CLI-level error: a rendered message plus the process exit code it
+/// maps to, so callers (and scripts around the `ppl` binary) can tell
+/// inference failures from I/O problems.
+///
+/// Exit codes: `1` usage/parse/evaluation errors, `2` inference failures
+/// (particle collapse, fail-fast particle errors, excessive drop loss),
+/// `3` I/O and checkpoint errors.
+#[derive(Debug)]
+pub struct CliError {
+    /// The message printed to stderr.
+    pub message: String,
+    /// The process exit code (1, 2, or 3).
+    pub code: u8,
+}
+
+impl CliError {
+    /// A usage / parse / evaluation error (exit code 1).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// An I/O error (exit code 3).
+    pub fn io(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 3,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::usage(message)
+    }
+}
+
+impl From<PplError> for CliError {
+    fn from(e: PplError) -> CliError {
+        CliError::usage(e.to_string())
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> CliError {
+        CliError::io(e.to_string())
+    }
+}
+
+impl From<SmcError> for CliError {
+    fn from(e: SmcError) -> CliError {
+        let code = match &e {
+            SmcError::Particle(_) | SmcError::TooManyDropped { .. } | SmcError::Collapse { .. } => {
+                2
+            }
+            _ => 1,
+        };
+        CliError {
+            message: e.to_string(),
+            code,
+        }
+    }
+}
+
+/// Options for [`cmd_sequence_supervised`] beyond the program sources.
+#[derive(Debug, Clone)]
+pub struct SequenceOpts {
+    /// Number of posterior traces of the first program to start from.
+    pub traces: usize,
+    /// Base seed; all per-stage randomness derives from it.
+    pub seed: u64,
+    /// Worker-pool width (1 = serial).
+    pub threads: usize,
+    /// Per-particle failure policy.
+    pub policy: FailurePolicy,
+    /// Watchdog deadline per translation batch, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Directory for durable checkpoints (`--checkpoint`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every N completed stages (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// Resume from the latest checkpoint in `checkpoint_dir` (`--resume`).
+    pub resume: bool,
+}
+
+impl Default for SequenceOpts {
+    fn default() -> SequenceOpts {
+        SequenceOpts {
+            traces: 1_000,
+            seed: 0,
+            threads: 1,
+            policy: FailurePolicy::FailFast,
+            deadline_ms: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+        }
+    }
+}
+
+/// Appends one `stage N: ...` line (plus quarantine details) per report.
+fn render_stage_reports(out: &mut String, ess: &[f64], reports: &[incremental::StepReport]) {
+    for (step, (ess, report)) in ess.iter().zip(reports).enumerate() {
+        let _ = writeln!(out, "stage {step}: ESS = {ess:.1}; health: {report}");
+        for failure in &report.failures {
+            let _ = writeln!(out, "  quarantined: {failure}");
+        }
+    }
+}
+
+/// Flattens a trace collection to the weighted choice-map entries used by
+/// both the checkpoint format and [`collection_checksum`].
+fn collection_entries(collection: &ParticleCollection) -> Vec<(ppl::ChoiceMap, f64)> {
+    collection
+        .iter()
+        .map(|p| (p.trace.to_choice_map(), p.log_weight.log()))
+        .collect()
+}
+
+/// Crash-safe variant of [`cmd_sequence`]: graph-native SMC across an
+/// edit history with optional durable checkpoints, watchdog deadlines,
+/// and resume-from-checkpoint.
+///
+/// With `--checkpoint <dir>`, every `checkpoint_every`-th stage boundary
+/// (and the final one) is written atomically to `dir`; with `resume`,
+/// the run restarts from the latest checkpoint found there — validating
+/// its checksum and program fingerprint — and continues bit-identically
+/// to an uninterrupted run. The final line reports a checksum of the
+/// flattened output collection so interrupted-and-resumed runs can be
+/// compared against uninterrupted references.
+///
+/// # Errors
+///
+/// [`CliError`] carrying the exit code: parse/eval errors (1), inference
+/// failures (2), checkpoint/I/O errors (3).
+pub fn cmd_sequence_supervised(
+    sources: &[String],
+    opts: &SequenceOpts,
+) -> Result<String, CliError> {
+    let programs: Vec<Program> = sources
+        .iter()
+        .map(|s| parse(s))
+        .collect::<Result<_, _>>()
+        .map_err(CliError::from)?;
+    if programs.len() < 2 {
+        return Err(CliError::usage("sequence needs at least two programs"));
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err(CliError::usage("--resume needs --checkpoint <dir>"));
+    }
+    let n_stages = programs.len() - 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "edit history: {} programs, {n_stages} stages",
+        programs.len()
+    );
+
+    let resumed = match (&opts.checkpoint_dir, opts.resume) {
+        (Some(dir), true) => Checkpoint::latest_in(dir)?,
+        _ => None,
+    };
+    let (collection, base_seed, start_step, prior_ess, prior_reports) = match &resumed {
+        Some((path, ck)) => {
+            let _ = writeln!(
+                out,
+                "resumed from {} ({} of {n_stages} stages complete)",
+                path.display(),
+                ck.step
+            );
+            let collection = resume_collection(&programs, ck)?;
+            (
+                collection,
+                ck.base_seed,
+                ck.step,
+                ck.ess_history.clone(),
+                ck.reports.clone(),
+            )
+        }
+        None => {
+            if opts.resume {
+                let _ = writeln!(out, "no checkpoint found; starting from stage 0");
+            }
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let input = posterior_traces(&programs[0], opts.traces, &mut rng, &mut out)
+                .map_err(CliError::from)?;
+            (
+                ParticleCollection::from_traces(input),
+                opts.seed,
+                0,
+                Vec::new(),
+                Vec::new(),
+            )
+        }
+    };
+
+    if start_step >= n_stages {
+        // The checkpoint already covers the whole sequence.
+        render_stage_reports(&mut out, &prior_ess, &prior_reports);
+        let _ = writeln!(out, "all {n_stages} stages already complete");
+        render_return_posterior(&mut out, &collection).map_err(CliError::from)?;
+        let entries = collection_entries(&collection);
+        let _ = writeln!(
+            out,
+            "final collection checksum: {:016x}",
+            collection_checksum(&entries)
+        );
+        return Ok(out);
+    }
+
+    let mut stage_policy = StagePolicy::checkpoint_every(if opts.checkpoint_dir.is_some() {
+        opts.checkpoint_every.max(1)
+    } else {
+        0
+    });
+    if let Some(ms) = opts.deadline_ms {
+        stage_policy = stage_policy.with_deadline(Duration::from_millis(ms));
+    }
+
+    let fingerprints: Vec<u64> = programs.iter().map(program_fingerprint).collect();
+    let mut ck_err: Option<CheckpointError> = None;
+    let run_result = {
+        let mut saver;
+        let observer: Option<&mut StageObserver<'_, Arc<ExecGraph>>> = match &opts.checkpoint_dir {
+            Some(dir) => {
+                saver = |snap: &StageSnapshot<'_, Arc<ExecGraph>>| -> Result<(), SmcError> {
+                    let ck = Checkpoint::from_snapshot(snap, base_seed, fingerprints[snap.step])
+                        .map_err(SmcError::Eval)?;
+                    if let Err(e) = ck.save(dir) {
+                        let msg = e.to_string();
+                        ck_err = Some(e);
+                        return Err(SmcError::Internal(format!(
+                            "checkpoint write failed: {msg}"
+                        )));
+                    }
+                    Ok(())
+                };
+                Some(&mut saver)
+            }
+            None => None,
+        };
+        run_edit_sequence_supervised(
+            &programs,
+            &collection,
+            start_step,
+            &prior_ess,
+            &prior_reports,
+            &SmcConfig::translate_only(),
+            &opts.policy,
+            &stage_policy,
+            base_seed,
+            opts.threads.max(1),
+            observer,
+        )
+    };
+    let run = match run_result {
+        Ok(run) => run,
+        Err(e) => {
+            // A checkpoint-write failure surfaces as an I/O error (exit 3),
+            // not as the Internal error it rode through the runner on.
+            if let Some(ck) = ck_err {
+                return Err(CliError::from(ck));
+            }
+            return Err(CliError::from(e));
+        }
+    };
+
+    render_stage_reports(&mut out, &run.ess_history, &run.reports);
+    let flat = run.last().flatten().map_err(CliError::from)?;
+    render_return_posterior(&mut out, &flat).map_err(CliError::from)?;
+    let entries = collection_entries(&flat);
+    let _ = writeln!(
+        out,
+        "final collection checksum: {:016x}",
+        collection_checksum(&entries)
+    );
+    Ok(out)
+}
+
 /// Builds and translates through the dependency graph, reporting the
 /// visit statistics — the `--stats` mode of `translate`.
 ///
@@ -505,8 +801,13 @@ pub fn usage() -> String {
                                             incremental inference across an edit\n\
                                             (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n\
        sequence <p0> <p1> [<p2> ...] [--traces M] [--seed N] [--threads T] [--policy P]\n\
+                [--checkpoint DIR] [--checkpoint-every N] [--deadline-ms N] [--resume]\n\
                                             graph-native SMC across an edit history;\n\
-                                            output is identical for any --threads\n"
+                                            output is identical for any --threads.\n\
+                                            --checkpoint writes durable stage snapshots,\n\
+                                            --resume restarts from the latest one,\n\
+                                            --deadline-ms supervises hung translations\n\
+     exit codes: 0 ok, 1 usage/parse/eval error, 2 inference failure, 3 I/O error\n"
         .to_string()
 }
 

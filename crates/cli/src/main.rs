@@ -1,6 +1,9 @@
 //! The `ppl` binary: thin argument/file plumbing over [`ppl_cli`].
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+use ppl_cli::CliError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -9,17 +12,18 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("{message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let command = args.first().map(String::as_str).unwrap_or("help");
-    let read = |path: &str| -> Result<String, String> {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    let read = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::io(format!("cannot read `{path}`: {e}")))
     };
     let flag = |name: &str, default: u64| -> Result<u64, String> {
         match args.iter().position(|a| a == name) {
@@ -38,7 +42,7 @@ fn run(args: &[String]) -> Result<String, String> {
             .nth(n)
             .ok_or_else(|| format!("missing argument; see `ppl help`\n{}", ppl_cli::usage()))
     };
-    let render = |r: Result<String, ppl::PplError>| r.map_err(|e| e.to_string());
+    let render = |r: Result<String, ppl::PplError>| r.map_err(CliError::from);
 
     match command {
         "help" | "--help" | "-h" => Ok(ppl_cli::usage()),
@@ -54,7 +58,7 @@ fn run(args: &[String]) -> Result<String, String> {
                         .ok_or_else(|| "--save needs a path".to_string())?;
                     let text = render(ppl_cli::cmd_run_save(&source, seed))?;
                     std::fs::write(path, text)
-                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                        .map_err(|e| CliError::io(format!("cannot write `{path}`: {e}")))?;
                     Ok(format!("saved trace to {path}\n"))
                 }
                 None => render(ppl_cli::cmd_run(&source, seed)),
@@ -79,7 +83,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     let keep = flag("--keep", 100)? as usize;
                     let text = render(ppl_cli::cmd_sample_save(&source, steps, keep, seed))?;
                     std::fs::write(path, text)
-                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                        .map_err(|e| CliError::io(format!("cannot write `{path}`: {e}")))?;
                     Ok(format!("saved samples to {path}\n"))
                 }
                 None => render(ppl_cli::cmd_sample(&source, steps, seed)),
@@ -128,18 +132,22 @@ fn run(args: &[String]) -> Result<String, String> {
                     skip_next = false;
                     continue;
                 }
+                if arg == "--resume" {
+                    // The one boolean sequence flag: takes no value.
+                    continue;
+                }
                 if arg.starts_with("--") {
-                    // Every sequence flag takes a value.
+                    // Every other sequence flag takes a value.
                     skip_next = true;
                     continue;
                 }
                 sources.push(read(arg)?);
             }
             if sources.len() < 2 {
-                return Err(format!(
+                return Err(CliError::usage(format!(
                     "sequence needs at least two program files\n{}",
                     ppl_cli::usage()
-                ));
+                )));
             }
             let policy = match args.iter().position(|a| a == "--policy") {
                 None => incremental::FailurePolicy::FailFast,
@@ -150,14 +158,32 @@ fn run(args: &[String]) -> Result<String, String> {
                     ppl_cli::parse_policy(spec).map_err(|e| e.to_string())?
                 }
             };
-            render(ppl_cli::cmd_sequence(
-                &sources,
-                flag("--traces", 1_000)? as usize,
-                flag("--seed", 0)?,
-                flag("--threads", 1)? as usize,
-                &policy,
-            ))
+            let checkpoint_dir = match args.iter().position(|a| a == "--checkpoint") {
+                None => None,
+                Some(i) => Some(PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| "--checkpoint needs a path".to_string())?,
+                )),
+            };
+            let deadline_ms = match args.iter().position(|a| a == "--deadline-ms") {
+                None => None,
+                Some(_) => Some(flag("--deadline-ms", 0)?),
+            };
+            let opts = ppl_cli::SequenceOpts {
+                traces: flag("--traces", 1_000)? as usize,
+                seed: flag("--seed", 0)?,
+                threads: flag("--threads", 1)? as usize,
+                policy,
+                deadline_ms,
+                checkpoint_dir,
+                checkpoint_every: flag("--checkpoint-every", 1)? as usize,
+                resume: args.iter().any(|a| a == "--resume"),
+            };
+            ppl_cli::cmd_sequence_supervised(&sources, &opts)
         }
-        other => Err(format!("unknown command `{other}`\n{}", ppl_cli::usage())),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{}",
+            ppl_cli::usage()
+        ))),
     }
 }

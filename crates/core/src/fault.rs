@@ -23,6 +23,11 @@ pub enum FaultKind {
     NanWeight,
     /// Return a structured [`PplError`] (exercises error handling).
     Error,
+    /// Sleep for the plan's hang duration before delegating to the inner
+    /// translator, simulating a wedged translation (exercises the
+    /// watchdog's deadline detection; see
+    /// [`FaultPlan::with_hang_duration`]).
+    Hang,
 }
 
 /// One planned fault: particle `particle` at step `step` misbehaves on
@@ -63,9 +68,20 @@ impl FaultSpec {
 }
 
 /// A set of planned faults.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FaultPlan {
     faults: Vec<FaultSpec>,
+    /// How long a [`FaultKind::Hang`] fault sleeps before completing.
+    hang: std::time::Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            faults: Vec::new(),
+            hang: std::time::Duration::from_millis(500),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -78,6 +94,20 @@ impl FaultPlan {
     pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
         self.faults.push(spec);
         self
+    }
+
+    /// Sets how long [`FaultKind::Hang`] faults sleep (default 500 ms —
+    /// long enough to trip any realistic test deadline, short enough to
+    /// keep test wall-clock bounded).
+    #[must_use]
+    pub fn with_hang_duration(mut self, hang: std::time::Duration) -> FaultPlan {
+        self.hang = hang;
+        self
+    }
+
+    /// The configured hang duration.
+    pub fn hang_duration(&self) -> std::time::Duration {
+        self.hang
     }
 
     /// The fault (if any) scheduled for the given position.
@@ -148,6 +178,10 @@ impl<T: TraceTranslator> TraceTranslator for FaultyTranslator<T> {
                 out.log_weight = LogWeight::from_log(f64::NAN);
                 Ok(out)
             }
+            Some(FaultKind::Hang) => {
+                std::thread::sleep(self.plan.hang);
+                self.inner.translate_at(t, ctx, rng)
+            }
             None => self.inner.translate_at(t, ctx, rng),
         }
     }
@@ -172,6 +206,10 @@ impl<S, T: StateTranslator<S>> StateTranslator<S> for FaultyTranslator<T> {
             Some(FaultKind::NanWeight) => {
                 let (next, _) = self.inner.translate_state(state, ctx, rng)?;
                 Ok((next, LogWeight::from_log(f64::NAN)))
+            }
+            Some(FaultKind::Hang) => {
+                std::thread::sleep(self.plan.hang);
+                self.inner.translate_state(state, ctx, rng)
             }
             None => self.inner.translate_state(state, ctx, rng),
         }
@@ -249,6 +287,22 @@ mod tests {
             .unwrap();
         assert!(out.log_weight.is_nan());
         assert_eq!(out.output, Value::Int(0));
+    }
+
+    #[test]
+    fn hang_fault_delays_then_succeeds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = FaultPlan::new()
+            .with(FaultSpec::once(0, 0, FaultKind::Hang))
+            .with_hang_duration(std::time::Duration::from_millis(30));
+        assert_eq!(plan.hang_duration(), std::time::Duration::from_millis(30));
+        let faulty = FaultyTranslator::new(Identity, plan);
+        let start = std::time::Instant::now();
+        let out = faulty
+            .translate_at(&Trace::new(), TranslateCtx::new(0, 0), &mut rng)
+            .unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        assert_eq!(out.log_weight, LogWeight::ONE);
     }
 
     #[test]

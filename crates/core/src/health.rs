@@ -37,6 +37,13 @@ pub enum FailureKind {
     /// offending log-weight is carried for diagnosis (`-∞` — a zero
     /// weight — is *not* a failure; it is a valid degenerate weight).
     NonFiniteWeight(f64),
+    /// The translation did not complete within the watchdog deadline
+    /// (see [`StagePolicy::deadline`]); the particle is presumed hung.
+    /// `waited_ms` is how long the supervisor waited before giving up.
+    Timeout {
+        /// Milliseconds waited before declaring the translation hung.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for FailureKind {
@@ -46,6 +53,9 @@ impl fmt::Display for FailureKind {
             FailureKind::Panic(msg) => write!(f, "translation panicked: {msg}"),
             FailureKind::NonFiniteWeight(w) => {
                 write!(f, "non-finite log weight {w} from translation")
+            }
+            FailureKind::Timeout { waited_ms } => {
+                write!(f, "translation timed out after {waited_ms} ms")
             }
         }
     }
@@ -149,6 +159,98 @@ pub fn retry_seed(seed: u64, step: usize, particle: usize, attempt: usize) -> u6
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Exponential backoff schedule for retry rounds under deadline
+/// supervision: attempt `n` (1-based, counting retries only) waits
+/// `base * factor^(n-1)`, capped at `max`.
+///
+/// Backoff applies between *rounds* of the watchdog loop, not between
+/// individual particles — all pending retries of a round share one
+/// delay, keeping wall-clock bounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry round.
+    pub base: std::time::Duration,
+    /// Multiplier applied per additional retry round (≥ 1 in practice).
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub max: std::time::Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            base: std::time::Duration::from_millis(50),
+            factor: 2.0,
+            max: std::time::Duration::from_secs(2),
+        }
+    }
+}
+
+impl Backoff {
+    /// A schedule waiting `base * factor^(n-1)` before retry round `n`,
+    /// capped at `max`.
+    pub fn new(base: std::time::Duration, factor: f64, max: std::time::Duration) -> Backoff {
+        Backoff { base, factor, max }
+    }
+
+    /// The delay before retry round `attempt` (1 = first retry). Returns
+    /// zero for `attempt == 0` (the initial dispatch never waits).
+    pub fn delay(&self, attempt: usize) -> std::time::Duration {
+        if attempt == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let scale = self.factor.powi(attempt as i32 - 1);
+        let ms = self.base.as_secs_f64() * 1000.0 * scale;
+        if !ms.is_finite() || ms >= self.max.as_secs_f64() * 1000.0 {
+            return self.max;
+        }
+        std::time::Duration::from_secs_f64(ms / 1000.0).min(self.max)
+    }
+}
+
+/// Stage-level supervision policy for a sequence run: how often to
+/// checkpoint, how long a translation batch may run before the watchdog
+/// declares it hung, and how retries back off.
+///
+/// Orthogonal to [`FailurePolicy`], which decides what happens to a
+/// particle once it *has* failed (including by
+/// [`FailureKind::Timeout`]): retry, drop, or abort.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StagePolicy {
+    /// Checkpoint every `n` completed stages (`0` = never). The final
+    /// stage is always checkpointed when checkpointing is enabled.
+    pub checkpoint_every: usize,
+    /// Per-batch translation deadline. `None` disables the watchdog and
+    /// uses plain (blocking) pooled translation.
+    pub deadline: Option<std::time::Duration>,
+    /// Backoff schedule between watchdog retry rounds.
+    pub backoff: Backoff,
+}
+
+impl StagePolicy {
+    /// A policy that checkpoints every `n` stages with no watchdog.
+    pub fn checkpoint_every(n: usize) -> StagePolicy {
+        StagePolicy {
+            checkpoint_every: n,
+            ..StagePolicy::default()
+        }
+    }
+
+    /// Sets the watchdog deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> StagePolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry backoff schedule.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> StagePolicy {
+        self.backoff = backoff;
+        self
+    }
 }
 
 /// Typed errors from a policy-aware SMC step.
@@ -324,6 +426,38 @@ mod tests {
         };
         let msg = failure.to_string();
         assert!(msg.contains("particle 7") && msg.contains("step 2") && msg.contains("3 attempt"));
+    }
+
+    #[test]
+    fn timeout_kind_displays_wait() {
+        let t = FailureKind::Timeout { waited_ms: 250 };
+        assert!(t.to_string().contains("250 ms"));
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_cap() {
+        let b = Backoff {
+            base: std::time::Duration::from_millis(10),
+            factor: 2.0,
+            max: std::time::Duration::from_millis(35),
+        };
+        assert_eq!(b.delay(0), std::time::Duration::ZERO);
+        assert_eq!(b.delay(1), std::time::Duration::from_millis(10));
+        assert_eq!(b.delay(2), std::time::Duration::from_millis(20));
+        assert_eq!(b.delay(3), std::time::Duration::from_millis(35));
+        assert_eq!(b.delay(50), std::time::Duration::from_millis(35));
+    }
+
+    #[test]
+    fn stage_policy_builders() {
+        let p =
+            StagePolicy::checkpoint_every(4).with_deadline(std::time::Duration::from_millis(200));
+        assert_eq!(p.checkpoint_every, 4);
+        assert_eq!(p.deadline, Some(std::time::Duration::from_millis(200)));
+        assert_eq!(p.backoff, Backoff::default());
+        let q = StagePolicy::default();
+        assert_eq!(q.checkpoint_every, 0);
+        assert!(q.deadline.is_none());
     }
 
     #[test]

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
+pub mod checkpoint;
 pub mod correspondence;
 pub mod diagnostics;
 pub mod error_decomp;
@@ -84,26 +85,35 @@ pub mod sequence;
 pub mod smc;
 pub mod translator;
 
+pub use checkpoint::{collection_checksum, Checkpoint, CheckpointError};
 pub use correspondence::{Correspondence, CoverageReport};
 pub use error_decomp::{translator_error, TranslatorErrorReport};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyTranslator};
 pub use forward::{
     exact_weight_estimate, CorrespondenceTranslator, FreshProposal, FreshReason, TranslationStats,
 };
-pub use health::{retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport};
+pub use health::{
+    retry_seed, Backoff, FailureKind, FailurePolicy, ParticleFailure, SmcError, StagePolicy,
+    StepReport,
+};
 pub use mcmc::{IdentityKernel, McmcKernel};
 pub use particles::{Particle, ParticleCollection, ParticleState};
 pub use pool::WorkerPool;
 pub use resample::{resample, ResampleError, ResampleScheme};
 pub use sequence::{
-    run_sequence, run_sequence_parallel, run_sequence_parallel_with_policy,
+    resample_seed, run_sequence, run_sequence_parallel, run_sequence_parallel_with_policy,
     run_sequence_with_policy, run_state_sequence_parallel_with_policy,
-    run_state_sequence_with_policy, ParallelStage, SequenceRun, Stage,
+    run_state_sequence_supervised, run_state_sequence_with_policy, stage_seed, ParallelStage,
+    SequenceRun, Stage, StageObserver, StageSnapshot,
 };
 pub use smc::{
-    infer, infer_parallel_with_policy, infer_states_parallel_with_policy, infer_states_with_policy,
-    infer_with_policy, infer_without_weights, translate_collection, translate_parallel,
+    infer, infer_parallel_with_policy, infer_states_parallel_with_policy,
+    infer_states_supervised_with_policy, infer_states_with_policy, infer_with_policy,
+    infer_without_weights, translate_collection, translate_parallel,
     translate_parallel_with_policy, translate_parallel_with_policy_scoped,
-    translate_states_parallel_with_policy, ResamplePolicy, SmcConfig,
+    translate_states_deadline_with_policy, translate_states_parallel_with_policy, ResamplePolicy,
+    SmcConfig,
 };
-pub use translator::{StateTranslator, TraceTranslator, TranslateCtx, Translated};
+pub use translator::{
+    StateTranslator, TraceStateAdapter, TraceTranslator, TranslateCtx, Translated,
+};

@@ -6,16 +6,19 @@
 //! iteratively transform the weighted collection of traces from one
 //! program to the next."
 
-use rand::RngCore;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use ppl::{PplError, Trace};
 
-use crate::health::{FailurePolicy, SmcError, StepReport};
+use crate::health::{FailurePolicy, SmcError, StagePolicy, StepReport};
 use crate::mcmc::McmcKernel;
 use crate::particles::{ParticleCollection, ParticleState};
 use crate::smc::{
-    infer_parallel_with_policy, infer_states_parallel_with_policy, infer_states_with_policy,
-    infer_with_policy, SmcConfig,
+    infer_parallel_with_policy, infer_states_parallel_with_policy,
+    infer_states_supervised_with_policy, infer_states_with_policy, infer_with_policy, SmcConfig,
 };
 use crate::translator::{StateTranslator, TraceTranslator};
 
@@ -176,8 +179,29 @@ impl std::fmt::Debug for ParallelStage<'_> {
 
 /// The deterministic translation seed of stage `step` in a parallel
 /// sequence run (a golden-ratio stride over `base_seed`).
-fn stage_seed(base_seed: u64, step: usize) -> u64 {
+///
+/// Public because checkpoint/resume must re-derive the exact same seed
+/// for stage `step` of a resumed run as the uninterrupted run used.
+pub fn stage_seed(base_seed: u64, step: usize) -> u64 {
     base_seed.wrapping_add((step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Salt separating the resampling seed stream from the translation seed
+/// stream ([`stage_seed`]); an arbitrary odd constant.
+const RESAMPLE_SALT: u64 = 0x5EED_5A17_C0FF_EE00;
+
+/// The deterministic *resampling* seed of stage `step` in a supervised
+/// sequence run.
+///
+/// The legacy runners thread one caller RNG through every stage's
+/// resampling step, which makes a stage's randomness depend on how many
+/// draws earlier stages consumed — impossible to reproduce when resuming
+/// from a checkpoint without replaying the whole prefix. The supervised
+/// runner instead seeds each stage's resampler from `base_seed` and the
+/// absolute stage index alone, so stage `s` of a resumed run is
+/// bit-identical to stage `s` of an uninterrupted one.
+pub fn resample_seed(base_seed: u64, step: usize) -> u64 {
+    stage_seed(base_seed ^ RESAMPLE_SALT, step)
 }
 
 /// [`run_sequence_with_policy`] with pooled parallel translation: every
@@ -331,6 +355,120 @@ pub fn run_state_sequence_parallel_with_policy<S: Clone + Send + Sync>(
         reports.push(report);
         collections.push(next.clone());
         current = next;
+    }
+    Ok(SequenceRun {
+        collections,
+        ess_history,
+        reports,
+    })
+}
+
+/// The state of a supervised sequence run at a stage boundary, handed to
+/// the [`StageObserver`] for checkpointing.
+///
+/// `step` counts *completed* stages — equivalently, the index of the
+/// program the particles currently target — so a snapshot with
+/// `step == n` resumes by running stages `n..` of the same sequence.
+#[derive(Debug)]
+pub struct StageSnapshot<'a, S> {
+    /// Number of completed stages (absolute, counting pre-resume ones).
+    pub step: usize,
+    /// The collection after stage `step - 1`.
+    pub collection: &'a ParticleCollection<S>,
+    /// ESS after every completed stage, from stage 0.
+    pub ess_history: &'a [f64],
+    /// Health reports of every completed stage, from stage 0.
+    pub reports: &'a [StepReport],
+}
+
+/// Callback fired at checkpoint boundaries of a supervised sequence run.
+/// Returning an error aborts the run with [`SmcError::Internal`]-style
+/// propagation (the error is returned as-is).
+pub type StageObserver<'a, S> = dyn FnMut(&StageSnapshot<'_, S>) -> Result<(), SmcError> + 'a;
+
+/// The crash-safe sequence runner: pooled (optionally deadline-watched)
+/// translation per stage, per-stage deterministic resampling seeds, and
+/// an observer fired at checkpoint boundaries.
+///
+/// Differences from [`run_state_sequence_parallel_with_policy`]:
+///
+/// - **Resume support.** `start_step` offsets every stage index:
+///   `stages[i]` runs as absolute SMC step `start_step + i`, with
+///   translation seeded by [`stage_seed`]`(base_seed, step)` and
+///   resampling by [`resample_seed`]`(base_seed, step)`. Because all
+///   per-stage randomness derives from `base_seed` and the absolute
+///   index (there is no threaded RNG), running stages `k..n` on a
+///   checkpointed collection reproduces the uninterrupted run's stages
+///   `k..n` bit for bit.
+/// - **History splicing.** `prior_ess` / `prior_reports` (from the
+///   checkpoint) are prepended to the returned run's histories, so
+///   observers always see the full sequence history. `collections` only
+///   contains post-resume collections.
+/// - **Watchdog.** When [`StagePolicy::deadline`] is set, translation is
+///   deadline-supervised ([`crate::translate_states_deadline_with_policy`]):
+///   hung particles become [`crate::FailureKind::Timeout`] failures
+///   under `policy`, and a wedged worker pool is replaced instead of
+///   blocking the run forever.
+/// - **Observer.** After stage `i` completes, if its absolute completed
+///   count hits a [`StagePolicy::checkpoint_every`] boundary (or it is
+///   the final stage), `observer` is called with a [`StageSnapshot`].
+///
+/// # Errors
+///
+/// Propagates typed errors from the supervised step and any error the
+/// observer returns.
+#[allow(clippy::too_many_arguments)]
+pub fn run_state_sequence_supervised<S>(
+    stages: &[Arc<dyn StateTranslator<S> + Send + Sync>],
+    initial: &ParticleCollection<S>,
+    start_step: usize,
+    prior_ess: &[f64],
+    prior_reports: &[StepReport],
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    stage_policy: &StagePolicy,
+    base_seed: u64,
+    threads: usize,
+    mut observer: Option<&mut StageObserver<'_, S>>,
+) -> Result<SequenceRun<S>, SmcError>
+where
+    S: Clone + Send + Sync + 'static,
+{
+    let mut collections = Vec::with_capacity(stages.len());
+    let mut ess_history: Vec<f64> = prior_ess.to_vec();
+    let mut reports: Vec<StepReport> = prior_reports.to_vec();
+    let mut current = initial.clone();
+    for (i, translator) in stages.iter().enumerate() {
+        let step = start_step + i;
+        let mut resample_rng = StdRng::seed_from_u64(resample_seed(base_seed, step));
+        let (next, report) = infer_states_supervised_with_policy(
+            translator,
+            &current,
+            config,
+            policy,
+            stage_policy,
+            step,
+            stage_seed(base_seed, step),
+            threads,
+            &mut resample_rng,
+        )?;
+        ess_history.push(next.ess());
+        reports.push(report);
+        collections.push(next.clone());
+        current = next;
+        if let Some(observer) = observer.as_deref_mut() {
+            let completed = step + 1;
+            let is_last = i + 1 == stages.len();
+            let every = stage_policy.checkpoint_every;
+            if every > 0 && (completed.is_multiple_of(every) || is_last) {
+                observer(&StageSnapshot {
+                    step: completed,
+                    collection: &current,
+                    ess_history: &ess_history,
+                    reports: &reports,
+                })?;
+            }
+        }
     }
     Ok(SequenceRun {
         collections,

@@ -18,14 +18,17 @@
 //! fail-fast special case of it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use ppl::{LogWeight, PplError, Trace};
+use ppl::{FxHashSet, LogWeight, PplError, Trace};
 
 use crate::health::{
-    retry_seed, FailureKind, FailurePolicy, ParticleFailure, SmcError, StepReport,
+    retry_seed, Backoff, FailureKind, FailurePolicy, ParticleFailure, SmcError, StagePolicy,
+    StepReport,
 };
 use crate::mcmc::McmcKernel;
 use crate::particles::{Particle, ParticleCollection};
@@ -737,6 +740,262 @@ pub fn translate_states_parallel_with_policy<S: Send + Sync>(
             .map_err(SmcError::Internal)?;
     }
     assemble_parallel(particles, slots, policy, step)
+}
+
+/// A worker's progress messages for one supervised round: `Started`
+/// right before user translation code runs, `Done` with the result
+/// after. The gap between the two is what the watchdog can blame on the
+/// translation itself rather than on queueing.
+enum RoundMsg<S> {
+    Started,
+    Done(Result<(S, LogWeight), FailureKind>),
+}
+
+/// Deadline-supervised parallel translation: the watchdog half of the
+/// crash-safety layer. Each particle is dispatched to the global
+/// [`WorkerPool`] as an *owned* task ([`WorkerPool::spawn_owned`]) that
+/// reports through a per-round channel, so — unlike the scoped path,
+/// which must block until every borrowing task returns — the supervisor
+/// can give up on a slot that misses `deadline`:
+///
+/// - a task that *started* but produced no result by the deadline is
+///   presumed hung: it becomes [`FailureKind::Timeout`] and flows
+///   through `policy` exactly like any other failure (retry with
+///   backoff, drop, or fail fast);
+/// - a task still *queued* behind a hung worker at the deadline is
+///   rolled into the next round uncharged — on a small pool (even one
+///   worker) innocent particles are never blamed for a neighbor's hang,
+///   so supervision semantics are independent of pool size;
+/// - a round that expires with hung tasks retires the global pool
+///   ([`WorkerPool::retire_global`]): a worker wedged in user code can
+///   never be reclaimed, so the next round (and the next caller) gets a
+///   fresh pool while the wedged one drains and leaks only its hung
+///   thread;
+/// - after the `n`-th expired round, redispatch waits
+///   `backoff.delay(n)`.
+///
+/// Determinism: seeds are the parallel path's
+/// (`particle_seed(base_seed, j)` first, `retry_seed(...)` after a
+/// particle's own failure), so a run with no timeouts is bit-identical
+/// to [`translate_states_parallel_with_policy`] for any pool size; and
+/// `waited_ms` in a timeout failure is the configured deadline, not the
+/// measured wall-clock, so reports are reproducible too.
+///
+/// # Errors
+///
+/// As [`translate_states_parallel_with_policy`]; timed-out particles
+/// surface as [`FailureKind::Timeout`] under the policy's usual rules.
+pub fn translate_states_deadline_with_policy<S>(
+    translator: &Arc<dyn StateTranslator<S> + Send + Sync>,
+    particles: &ParticleCollection<S>,
+    base_seed: u64,
+    policy: &FailurePolicy,
+    step: usize,
+    deadline: Duration,
+    backoff: &Backoff,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError>
+where
+    S: Clone + Send + Sync + 'static,
+{
+    let max_attempts = policy.max_attempts();
+    let policy_seed = match policy {
+        FailurePolicy::Retry { seed, .. } => *seed,
+        _ => 0,
+    };
+    let waited_ms = deadline.as_millis() as u64;
+    let mut slots: Vec<Option<Slot<S>>> = (0..particles.len()).map(|_| None).collect();
+    // Attempts already charged to each particle (timeouts and failures;
+    // queue time is never charged).
+    let mut attempts: Vec<usize> = vec![0; particles.len()];
+    let mut pending: Vec<usize> = (0..particles.len()).collect();
+    let mut expired_rounds = 0_usize;
+    // Each round either drains `pending` or charges at least one hung
+    // particle an attempt, so this bound is unreachable in practice; it
+    // exists so pathological scheduling (a pool monopolized by another
+    // caller, say) degrades into timeouts rather than an infinite loop.
+    let max_rounds = max_attempts + particles.len();
+    for _round in 0..max_rounds {
+        if pending.is_empty() {
+            break;
+        }
+        if expired_rounds > 0 {
+            std::thread::sleep(backoff.delay(expired_rounds));
+        }
+        let pool = WorkerPool::global();
+        // A fresh channel per round: a hung task from an earlier round
+        // that eventually completes sends into a closed channel and is
+        // ignored, so stale results can never corrupt a later round.
+        let (tx, rx) = mpsc::channel::<(usize, RoundMsg<S>)>();
+        for &j in &pending {
+            let tx = tx.clone();
+            let translator = Arc::clone(translator);
+            let particle = Particle {
+                trace: particles.particles()[j].trace.clone(),
+                log_weight: particles.particles()[j].log_weight,
+            };
+            let attempt = attempts[j];
+            let seed = if attempt == 0 {
+                particle_seed(base_seed, j)
+            } else {
+                retry_seed(policy_seed, step, j, attempt)
+            };
+            pool.spawn_owned(Box::new(move || {
+                let _ = tx.send((j, RoundMsg::Started));
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ctx = TranslateCtx::new(step, j).with_attempt(attempt);
+                let t: &dyn StateTranslator<S> = &*translator;
+                let result = attempt_translate(t, &particle, ctx, &mut rng);
+                let _ = tx.send((j, RoundMsg::Done(result)));
+            }))
+            .map_err(SmcError::Internal)?;
+        }
+        drop(tx);
+        let expiry = Instant::now() + deadline;
+        let mut outstanding: FxHashSet<usize> = pending.iter().copied().collect();
+        let mut started: FxHashSet<usize> = FxHashSet::default();
+        let mut next_pending: Vec<usize> = Vec::new();
+        let mut handle = |j: usize,
+                          msg: RoundMsg<S>,
+                          outstanding: &mut FxHashSet<usize>,
+                          started: &mut FxHashSet<usize>,
+                          next_pending: &mut Vec<usize>| {
+            match msg {
+                RoundMsg::Started => {
+                    started.insert(j);
+                }
+                RoundMsg::Done(Ok((state, weight))) => {
+                    outstanding.remove(&j);
+                    started.remove(&j);
+                    slots[j] = Some(Ok((state, weight, attempts[j] + 1)));
+                }
+                RoundMsg::Done(Err(kind)) => {
+                    outstanding.remove(&j);
+                    started.remove(&j);
+                    attempts[j] += 1;
+                    if attempts[j] >= max_attempts {
+                        slots[j] = Some(Err(ParticleFailure {
+                            step,
+                            particle: j,
+                            attempts: attempts[j],
+                            kind,
+                        }));
+                    } else {
+                        next_pending.push(j);
+                    }
+                }
+            }
+        };
+        while !outstanding.is_empty() {
+            let now = Instant::now();
+            if now >= expiry {
+                break;
+            }
+            match rx.recv_timeout(expiry - now) {
+                Ok((j, msg)) => handle(j, msg, &mut outstanding, &mut started, &mut next_pending),
+                // Timeout: the round expired. Disconnected: every task
+                // finished or died without reporting (an infrastructure
+                // panic); either way the stragglers are classified below.
+                Err(_) => break,
+            }
+        }
+        // Drain messages that were sent before the deadline but not yet
+        // read, so a translation that finished in time is never blamed.
+        while let Ok((j, msg)) = rx.try_recv() {
+            handle(j, msg, &mut outstanding, &mut started, &mut next_pending);
+        }
+        if !outstanding.is_empty() {
+            expired_rounds += 1;
+            let mut stragglers: Vec<usize> = outstanding.into_iter().collect();
+            stragglers.sort_unstable();
+            let any_hung = stragglers.iter().any(|j| started.contains(j));
+            if any_hung {
+                // A worker wedged in user code never comes back: replace
+                // the pool for the next round and all future callers.
+                WorkerPool::retire_global(&pool);
+            }
+            for j in stragglers {
+                if started.contains(&j) {
+                    // Started and missed the deadline: presumed hung.
+                    attempts[j] += 1;
+                    if attempts[j] >= max_attempts {
+                        slots[j] = Some(Err(ParticleFailure {
+                            step,
+                            particle: j,
+                            attempts: attempts[j],
+                            kind: FailureKind::Timeout { waited_ms },
+                        }));
+                    } else {
+                        next_pending.push(j);
+                    }
+                } else {
+                    // Never ran — stuck in the queue behind a hung
+                    // worker. Re-dispatch without charging an attempt.
+                    next_pending.push(j);
+                }
+            }
+        }
+        next_pending.sort_unstable();
+        pending = next_pending;
+    }
+    // Round-bound exhaustion (see `max_rounds`): time the leftovers out.
+    for j in pending {
+        slots[j] = Some(Err(ParticleFailure {
+            step,
+            particle: j,
+            attempts: attempts[j] + 1,
+            kind: FailureKind::Timeout { waited_ms },
+        }));
+    }
+    assemble_parallel(particles, slots, policy, step)
+}
+
+/// One supervised SMC step: deadline-watched translation (when
+/// [`StagePolicy::deadline`] is set; plain pooled translation otherwise)
+/// followed by the standard degeneracy tail. This is the step primitive
+/// [`crate::run_state_sequence_supervised`] drives.
+///
+/// # Errors
+///
+/// As [`infer_states_parallel_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_states_supervised_with_policy<S>(
+    translator: &Arc<dyn StateTranslator<S> + Send + Sync>,
+    particles: &ParticleCollection<S>,
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    stage_policy: &StagePolicy,
+    step: usize,
+    base_seed: u64,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError>
+where
+    S: Clone + Send + Sync + 'static,
+{
+    let (translated, translation_report) = match stage_policy.deadline {
+        Some(deadline) => translate_states_deadline_with_policy(
+            translator,
+            particles,
+            base_seed,
+            policy,
+            step,
+            deadline,
+            &stage_policy.backoff,
+        )?,
+        None => {
+            let t: &(dyn StateTranslator<S> + Sync) = &**translator;
+            translate_states_parallel_with_policy(t, particles, base_seed, threads, policy, step)?
+        }
+    };
+    let tail = degeneracy_tail_states(translated, particles, config, policy, step, rng)?;
+    let report = StepReport {
+        output_particles: tail.collection.len(),
+        ess: tail.ess,
+        resampled: tail.resampled,
+        collapse_recovered: tail.collapse_recovered,
+        ..translation_report
+    };
+    Ok((tail.collection, report))
 }
 
 /// The historical per-call `std::thread::scope` implementation of

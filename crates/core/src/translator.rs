@@ -176,6 +176,30 @@ impl<S, T: StateTranslator<S> + ?Sized> StateTranslator<S> for Box<T> {
     }
 }
 
+/// Adapts an owned [`TraceTranslator`] to the
+/// [`StateTranslator`]`<Trace>` runtime interface (forwarding the call
+/// context), so flat-trace stages can be driven by the state-generic
+/// machinery — in particular the `Arc<dyn StateTranslator<_>>` stages of
+/// the supervised sequence runner.
+///
+/// (A blanket `impl StateTranslator<Trace> for T: TraceTranslator` would
+/// conflict with wrapper impls such as [`crate::FaultyTranslator`]'s
+/// generic one, hence the explicit newtype.)
+#[derive(Debug, Clone)]
+pub struct TraceStateAdapter<T>(pub T);
+
+impl<T: TraceTranslator> StateTranslator<Trace> for TraceStateAdapter<T> {
+    fn translate_state(
+        &self,
+        state: &Trace,
+        ctx: TranslateCtx,
+        rng: &mut dyn RngCore,
+    ) -> Result<(Trace, LogWeight), PplError> {
+        let out = self.0.translate_at(state, ctx, rng)?;
+        Ok((out.trace, out.log_weight))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

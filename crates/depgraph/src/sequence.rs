@@ -13,13 +13,14 @@ use rand::RngCore;
 
 use incremental::{
     run_sequence_with_policy, run_state_sequence_parallel_with_policy,
-    run_state_sequence_with_policy, FailurePolicy, ParticleCollection, SequenceRun, SmcConfig,
-    SmcError, Stage, StateTranslator,
+    run_state_sequence_supervised, run_state_sequence_with_policy, Checkpoint, CheckpointError,
+    FailurePolicy, ParticleCollection, SequenceRun, SmcConfig, SmcError, Stage, StageObserver,
+    StagePolicy, StateTranslator, StepReport, TraceStateAdapter,
 };
 use ppl::ast::Program;
-use ppl::PplError;
+use ppl::{LogWeight, PplError};
 
-use crate::record::ExecGraph;
+use crate::record::{program_fingerprint, ExecGraph};
 use crate::translator::IncrementalTranslator;
 
 /// Builds the translator chain for an edit history: one
@@ -187,6 +188,152 @@ pub fn run_edit_sequence_parallel(
         rng,
     )
     .map_err(PplError::from)
+}
+
+/// Rebuilds the particle collection of a checkpoint against the program
+/// sequence it will resume into: validates the checkpoint's step index
+/// and program fingerprint, then re-scores every checkpointed choice map
+/// under `programs[ck.step]` (the program the particles target).
+///
+/// Scoring recomputes each trace's densities from the exactly
+/// round-tripped choice values with the same pure evaluator the original
+/// run used, so the rebuilt collection is bit-identical to the one that
+/// was checkpointed — the foundation of the kill-and-resume determinism
+/// contract.
+///
+/// # Errors
+///
+/// [`CheckpointError::StepOutOfRange`] when the checkpoint indexes past
+/// the sequence, [`CheckpointError::FingerprintMismatch`] when the
+/// target program was edited since the checkpoint was written, and
+/// [`CheckpointError::Corrupt`] when a choice map does not score under
+/// the target program.
+pub fn resume_collection(
+    programs: &[Program],
+    ck: &Checkpoint,
+) -> Result<ParticleCollection, CheckpointError> {
+    if ck.step >= programs.len() {
+        return Err(CheckpointError::StepOutOfRange {
+            step: ck.step,
+            programs: programs.len(),
+        });
+    }
+    let target = &programs[ck.step];
+    ck.validate_fingerprint(program_fingerprint(target))?;
+    let mut collection = ParticleCollection::new();
+    for (j, (choices, log_weight)) in ck.particles.iter().enumerate() {
+        let trace =
+            ppl::handlers::score(target, choices).map_err(|e| CheckpointError::Corrupt {
+                reason: format!("particle {j} does not score under the checkpointed program: {e}"),
+            })?;
+        collection.push(trace, LogWeight::from_log(*log_weight));
+    }
+    Ok(collection)
+}
+
+/// Graph-native crash-safe sequence runner: the supervised analogue of
+/// [`run_edit_sequence_parallel_with_policy`], with resume support.
+///
+/// `initial` must hold posterior traces of `programs[start_step]` (for a
+/// fresh run `start_step == 0`; for a resume, the collection rebuilt by
+/// [`resume_collection`]). Stage `i` of the remaining chain runs as
+/// absolute SMC step `start_step + i`, with all per-stage randomness
+/// derived from `base_seed` and the absolute index
+/// ([`incremental::stage_seed`] / [`incremental::resample_seed`]) — so a
+/// resumed run continues bit-identically to an uninterrupted one.
+///
+/// `observer` fires at [`StagePolicy::checkpoint_every`] boundaries with
+/// the graph-native collection; checkpoint writers flatten it via
+/// [`Checkpoint::from_snapshot`].
+///
+/// # Errors
+///
+/// As [`run_edit_sequence_parallel_with_policy`], plus any error the
+/// observer returns.
+#[allow(clippy::too_many_arguments)]
+pub fn run_edit_sequence_supervised(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    start_step: usize,
+    prior_ess: &[f64],
+    prior_reports: &[StepReport],
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    stage_policy: &StagePolicy,
+    base_seed: u64,
+    threads: usize,
+    observer: Option<&mut StageObserver<'_, Arc<ExecGraph>>>,
+) -> Result<SequenceRun<Arc<ExecGraph>>, SmcError> {
+    let shared: Vec<Arc<Program>> = programs.iter().cloned().map(Arc::new).collect();
+    let chain = edit_chain_shared(&shared);
+    let remaining = chain.into_iter().skip(start_step);
+    let stages: Vec<Arc<dyn StateTranslator<Arc<ExecGraph>> + Send + Sync>> = remaining
+        .map(|t| Arc::new(t) as Arc<dyn StateTranslator<Arc<ExecGraph>> + Send + Sync>)
+        .collect();
+    let lifted = match shared.get(start_step) {
+        Some(target) => lift_collection(target, initial).map_err(SmcError::Eval)?,
+        None => ParticleCollection::new(),
+    };
+    run_state_sequence_supervised(
+        &stages,
+        &lifted,
+        start_step,
+        prior_ess,
+        prior_reports,
+        config,
+        policy,
+        stage_policy,
+        base_seed,
+        threads,
+        observer,
+    )
+}
+
+/// Flat-trace crash-safe sequence runner: [`run_edit_sequence_supervised`]
+/// with the particles carried as plain traces (each stage's
+/// [`IncrementalTranslator`] adapted via
+/// [`TraceStateAdapter`]). Same seeds, same absolute
+/// step indexing, same observer contract — the differential tests prove
+/// its resumed trajectories bitwise-equal to the graph-native runner's.
+///
+/// # Errors
+///
+/// As [`run_edit_sequence_supervised`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_edit_sequence_flat_supervised(
+    programs: &[Program],
+    initial: &ParticleCollection,
+    start_step: usize,
+    prior_ess: &[f64],
+    prior_reports: &[StepReport],
+    config: &SmcConfig,
+    policy: &FailurePolicy,
+    stage_policy: &StagePolicy,
+    base_seed: u64,
+    threads: usize,
+    observer: Option<&mut StageObserver<'_, ppl::Trace>>,
+) -> Result<SequenceRun, SmcError> {
+    let chain = edit_chain(programs);
+    let stages: Vec<Arc<dyn StateTranslator<ppl::Trace> + Send + Sync>> = chain
+        .into_iter()
+        .skip(start_step)
+        .map(|t| {
+            Arc::new(TraceStateAdapter(t)) as Arc<dyn StateTranslator<ppl::Trace> + Send + Sync>
+        })
+        .collect();
+    run_state_sequence_supervised(
+        &stages,
+        initial,
+        start_step,
+        prior_ess,
+        prior_reports,
+        config,
+        policy,
+        stage_policy,
+        base_seed,
+        threads,
+        observer,
+    )
 }
 
 #[cfg(test)]
