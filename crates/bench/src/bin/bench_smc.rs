@@ -6,6 +6,7 @@
 //! ```text
 //! bench_smc [--quick] [--label NAME] [--out PATH] [--threads N]
 //!           [--particles N] [--chain-len N] [--steps N] [--repeats N]
+//!           [--scaling-sizes N,N,...]
 //! ```
 //!
 //! `--quick` selects the tiny CI smoke configuration. The output document
@@ -50,6 +51,12 @@ fn main() {
     }
     if let Some(v) = parse_flag(&args, "--repeats") {
         config.repeats = v.parse().expect("--repeats takes a number");
+    }
+    if let Some(v) = parse_flag(&args, "--scaling-sizes") {
+        config.scaling_sizes = v
+            .split(',')
+            .map(|s| s.trim().parse().expect("--scaling-sizes takes N,N,..."))
+            .collect();
     }
 
     let report = run(&config, &label);

@@ -53,7 +53,8 @@ use depgraph::{
 };
 use incremental::{
     run_sequence, run_state_sequence_with_policy, translate_parallel, Correspondence,
-    CorrespondenceTranslator, FailurePolicy, ParticleCollection, SmcConfig, Stage, StateTranslator,
+    CorrespondenceTranslator, FailurePolicy, MetricsRecorder, ParticleCollection, SmcConfig, Stage,
+    StateTranslator,
 };
 use ppl::ast::Program;
 use ppl::dist::Dist;
@@ -422,6 +423,17 @@ pub struct ScalingPoint {
     /// Final-collection checksum of the graph run (must equal the flat
     /// one bit-for-bit).
     pub checksum_graph: f64,
+    /// Statement records visited per stage by the graph-native run
+    /// (propagation counters from an untimed metrics-enabled run).
+    /// Constant across chain lengths for a fixed-size edit — the
+    /// Figure 9/10 claim as an integer, not a wall time.
+    pub nodes_visited_per_step: u64,
+    /// Statement records skipped per stage by the graph-native run.
+    /// Grows with the chain: skipping is how the run stays O(K).
+    pub nodes_skipped_per_step: u64,
+    /// Whole `for`/`while` records skipped per stage without entering
+    /// the body (subset of the skips).
+    pub loop_skips_per_step: u64,
 }
 
 /// Runs the fixed-size-edit scaling sweep over
@@ -483,13 +495,36 @@ pub fn run_scaling(config: &SmcBenchConfig) -> Vec<ScalingPoint> {
                 checksum_graph = collection_checksum(run.last());
             }
 
+            // One extra untimed graph-native run with metrics enabled:
+            // the propagation counters land in the committed report, so
+            // the O(1) fixed-size-edit claim is checkable as exact
+            // integers, not just as noisy wall times.
+            let recorder = Arc::new(MetricsRecorder::new());
+            let counters = {
+                let _guard = incremental::metrics::install(Arc::clone(&recorder) as _);
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ca1);
+                run_state_sequence_with_policy(
+                    &stages,
+                    &lifted,
+                    &smc,
+                    &FailurePolicy::FailFast,
+                    &mut rng,
+                )
+                .expect("metrics scaling run");
+                recorder.report("scaling").total_propagation()
+            };
+
             let steps = config.steps.max(1) as f64;
+            let steps_u = config.steps.max(1) as u64;
             ScalingPoint {
                 chain_len: n,
                 flat_ms_per_step: flat_ms / steps,
                 graph_ms_per_step: graph_ms / steps,
                 checksum_flat,
                 checksum_graph,
+                nodes_visited_per_step: counters.nodes_visited / steps_u,
+                nodes_skipped_per_step: counters.nodes_skipped / steps_u,
+                loop_skips_per_step: counters.loop_skips / steps_u,
             }
         })
         .collect()
@@ -550,12 +585,15 @@ impl SmcBenchReport {
         for (i, s) in self.scaling.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{indent}    {{\"chain_len\": {}, \"flat_ms_per_step\": {:.3}, \"graph_ms_per_step\": {:.3}, \"checksum_flat\": {:.6}, \"checksum_graph\": {:.6}}}{}",
+                "{indent}    {{\"chain_len\": {}, \"flat_ms_per_step\": {:.3}, \"graph_ms_per_step\": {:.3}, \"checksum_flat\": {:.6}, \"checksum_graph\": {:.6}, \"nodes_visited_per_step\": {}, \"nodes_skipped_per_step\": {}, \"loop_skips_per_step\": {}}}{}",
                 s.chain_len,
                 s.flat_ms_per_step,
                 s.graph_ms_per_step,
                 s.checksum_flat,
                 s.checksum_graph,
+                s.nodes_visited_per_step,
+                s.nodes_skipped_per_step,
+                s.loop_skips_per_step,
                 if i + 1 < self.scaling.len() { "," } else { "" }
             );
         }
@@ -589,8 +627,12 @@ impl SmcBenchReport {
             for s in &self.scaling {
                 let _ = writeln!(
                     out,
-                    "    chain_len {:>5}  flat {:>9.3} ms/step  graph {:>9.3} ms/step",
-                    s.chain_len, s.flat_ms_per_step, s.graph_ms_per_step
+                    "    chain_len {:>5}  flat {:>9.3} ms/step  graph {:>9.3} ms/step  visited {:>6}/step  skipped {:>8}/step",
+                    s.chain_len,
+                    s.flat_ms_per_step,
+                    s.graph_ms_per_step,
+                    s.nodes_visited_per_step,
+                    s.nodes_skipped_per_step
                 );
             }
         }
@@ -663,6 +705,17 @@ mod tests {
                 point.checksum_graph.to_bits()
             );
         }
+        // The O(1) fixed-size-edit claim as integers: the latent chain is
+        // skipped as one whole-loop record, so the visit count is the
+        // same at every chain length.
+        assert!(points.iter().all(|p| p.nodes_visited_per_step > 0));
+        assert!(points.iter().all(|p| p.loop_skips_per_step > 0));
+        assert!(
+            points
+                .windows(2)
+                .all(|w| w[0].nodes_visited_per_step == w[1].nodes_visited_per_step),
+            "nodes_visited_per_step should not depend on chain_len: {points:?}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use depgraph::{
     run_edit_sequence_supervised, ExecGraph, IncrementalTranslator,
 };
 use incremental::{
-    collection_checksum, Checkpoint, CheckpointError, FailurePolicy, McmcKernel,
+    collection_checksum, Checkpoint, CheckpointError, FailurePolicy, McmcKernel, MetricsRecorder,
     ParticleCollection, SmcConfig, SmcError, StageObserver, StagePolicy, StageSnapshot,
 };
 use inference::{ExactPosterior, SingleSiteMh};
@@ -566,6 +566,8 @@ pub struct SequenceOpts {
     pub checkpoint_every: usize,
     /// Resume from the latest checkpoint in `checkpoint_dir` (`--resume`).
     pub resume: bool,
+    /// Write a `metrics/v1` JSON report here (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for SequenceOpts {
@@ -579,6 +581,7 @@ impl Default for SequenceOpts {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            metrics_out: None,
         }
     }
 }
@@ -591,6 +594,23 @@ fn render_stage_reports(out: &mut String, ess: &[f64], reports: &[incremental::S
             let _ = writeln!(out, "  quarantined: {failure}");
         }
     }
+}
+
+/// Writes the `metrics/v1` JSON report to `path` and appends the human
+/// summary table to `out`.
+fn emit_metrics(
+    path: &std::path::Path,
+    recorder: &MetricsRecorder,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let report = recorder.report("sequence");
+    std::fs::write(path, report.to_json()).map_err(|e| CliError {
+        message: format!("cannot write metrics to {}: {e}", path.display()),
+        code: 3,
+    })?;
+    out.push_str(&report.render());
+    let _ = writeln!(out, "metrics written to {}", path.display());
+    Ok(())
 }
 
 /// Flattens a trace collection to the weighted choice-map entries used by
@@ -634,6 +654,14 @@ pub fn cmd_sequence_supervised(
         return Err(CliError::usage("--resume needs --checkpoint <dir>"));
     }
     let n_stages = programs.len() - 1;
+    // Install before any work so the recorder sees every stage; the guard
+    // keeps collection enabled (and other metrics runs excluded) until
+    // this command returns.
+    let metrics = opts.metrics_out.as_ref().map(|path| {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let guard = incremental::metrics::install(Arc::clone(&recorder) as _);
+        (path, recorder, guard)
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -690,6 +718,9 @@ pub fn cmd_sequence_supervised(
             "final collection checksum: {:016x}",
             collection_checksum(&entries)
         );
+        if let Some((path, recorder, _guard)) = &metrics {
+            emit_metrics(path, recorder, &mut out)?;
+        }
         return Ok(out);
     }
 
@@ -759,6 +790,9 @@ pub fn cmd_sequence_supervised(
         "final collection checksum: {:016x}",
         collection_checksum(&entries)
     );
+    if let Some((path, recorder, _guard)) = &metrics {
+        emit_metrics(path, recorder, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -802,11 +836,14 @@ pub fn usage() -> String {
                                             (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n\
        sequence <p0> <p1> [<p2> ...] [--traces M] [--seed N] [--threads T] [--policy P]\n\
                 [--checkpoint DIR] [--checkpoint-every N] [--deadline-ms N] [--resume]\n\
+                [--metrics-out FILE]\n\
                                             graph-native SMC across an edit history;\n\
                                             output is identical for any --threads.\n\
                                             --checkpoint writes durable stage snapshots,\n\
                                             --resume restarts from the latest one,\n\
-                                            --deadline-ms supervises hung translations\n\
+                                            --deadline-ms supervises hung translations,\n\
+                                            --metrics-out writes a metrics/v1 JSON report\n\
+                                            (propagation counters, stage timings, pool stats)\n\
      exit codes: 0 ok, 1 usage/parse/eval error, 2 inference failure, 3 I/O error\n"
         .to_string()
 }
@@ -927,6 +964,30 @@ mod tests {
     fn sequence_rejects_a_single_program() {
         let sources = [COIN.to_string()];
         assert!(cmd_sequence(&sources, 10, 0, 1, &FailurePolicy::FailFast).is_err());
+    }
+
+    #[test]
+    fn sequence_metrics_out_writes_versioned_json() {
+        let mid = "x = flip(0.3) @ x; observe(flip(x ? 0.95 : 0.05) @ o == 1); return x;";
+        let sources = [COIN.to_string(), mid.to_string()];
+        let path =
+            std::env::temp_dir().join(format!("ppl-metrics-test-{}.json", std::process::id()));
+        let opts = SequenceOpts {
+            traces: 500,
+            seed: 5,
+            threads: 2,
+            metrics_out: Some(path.clone()),
+            ..SequenceOpts::default()
+        };
+        let out = cmd_sequence_supervised(&sources, &opts).unwrap();
+        assert!(out.contains("metrics for `sequence`"), "{out}");
+        assert!(out.contains("metrics written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"schema\": \"metrics/v1\""), "{json}");
+        assert!(json.contains("\"nodes_visited\": "), "{json}");
+        assert!(json.contains("\"translate_ms\": "), "{json}");
+        assert!(json.contains("\"pool\": "), "{json}");
     }
 
     #[test]

@@ -169,6 +169,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 None => None,
                 Some(_) => Some(flag("--deadline-ms", 0)?),
             };
+            let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+                None => None,
+                Some(i) => Some(PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| "--metrics-out needs a path".to_string())?,
+                )),
+            };
             let opts = ppl_cli::SequenceOpts {
                 traces: flag("--traces", 1_000)? as usize,
                 seed: flag("--seed", 0)?,
@@ -178,6 +185,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 checkpoint_dir,
                 checkpoint_every: flag("--checkpoint-every", 1)? as usize,
                 resume: args.iter().any(|a| a == "--resume"),
+                metrics_out,
             };
             ppl_cli::cmd_sequence_supervised(&sources, &opts)
         }

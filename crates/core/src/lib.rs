@@ -78,6 +78,7 @@ pub mod fault;
 pub mod forward;
 pub mod health;
 pub mod mcmc;
+pub mod metrics;
 pub mod particles;
 pub mod pool;
 pub mod resample;
@@ -97,6 +98,10 @@ pub use health::{
     StepReport,
 };
 pub use mcmc::{IdentityKernel, McmcKernel};
+pub use metrics::{
+    MetricsGuard, MetricsRecorder, MetricsReport, MetricsSink, NoopSink, PoolTelemetry,
+    PropagationCounters, StageMetrics,
+};
 pub use particles::{Particle, ParticleCollection, ParticleState};
 pub use pool::WorkerPool;
 pub use resample::{resample, ResampleError, ResampleScheme};

@@ -38,6 +38,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::metrics;
+
 /// The error message reported when worker infrastructure panics outside
 /// user translation code (user panics are caught per-particle upstream).
 pub(crate) const POOL_PANIC: &str = "translation worker panicked outside user code";
@@ -228,6 +230,7 @@ impl WorkerPool {
     /// retired pool drain normally — the work channel stays open until
     /// the last handle drops.
     pub fn retire_global(pool: &Arc<WorkerPool>) {
+        metrics::note_pool_retirement();
         pool.mark_wedged();
         let mut slot = GLOBAL
             .lock()
@@ -264,6 +267,7 @@ impl WorkerPool {
     pub fn respawn_dead(&self) {
         let mut workers = self.lock_workers();
         workers.retain(|h| !h.is_finished());
+        metrics::note_pool_respawn((self.size - workers.len()) as u64);
         while workers.len() < self.size {
             workers.push(self.spawn_worker());
         }
@@ -305,6 +309,7 @@ impl WorkerPool {
             .sender
             .as_ref()
             .expect("pool sender present until drop");
+        metrics::note_pool_enqueue(1);
         sender
             .send(Work::Owned(task))
             .map_err(|_| "worker pool is shut down".to_string())
@@ -327,13 +332,20 @@ impl WorkerPool {
     ) -> Result<(), String> {
         if tasks.len() <= 1 {
             for task in tasks {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                // Inline tasks count toward pool telemetry too, so task
+                // totals don't depend on batch size.
+                metrics::note_pool_enqueue(1);
+                let start = metrics::clock();
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                metrics::note_pool_task(start);
+                if outcome.is_err() {
                     return Err(POOL_PANIC.to_string());
                 }
             }
             return Ok(());
         }
         self.respawn_dead();
+        metrics::note_pool_enqueue(tasks.len() as u64);
         let latch = Arc::new(Latch::new());
         // Block until the batch drains before returning — on the normal
         // path and if anything below unwinds — so scoped borrows held by
@@ -407,13 +419,17 @@ fn worker_loop(rx: &Mutex<Receiver<Work>>) {
         };
         match work {
             Ok(Work::Scoped(Job { task, latch })) => {
+                let start = metrics::clock();
                 let panicked = catch_unwind(AssertUnwindSafe(task)).is_err();
+                metrics::note_pool_task(start);
                 latch.complete(panicked);
             }
             Ok(Work::Owned(task)) => {
                 // An owned task that panics simply never reports a
                 // result; its supervisor times the slot out.
+                let start = metrics::clock();
                 let _ = catch_unwind(AssertUnwindSafe(task));
+                metrics::note_pool_task(start);
             }
             Ok(Work::Die) => return,
             Err(_) => return, // channel closed: pool dropped

@@ -15,6 +15,7 @@ use ppl::{PplError, Trace};
 
 use crate::health::{FailurePolicy, SmcError, StagePolicy, StepReport};
 use crate::mcmc::McmcKernel;
+use crate::metrics;
 use crate::particles::{ParticleCollection, ParticleState};
 use crate::smc::{
     infer_parallel_with_policy, infer_states_parallel_with_policy,
@@ -130,6 +131,7 @@ pub fn run_sequence_with_policy(
             step,
             rng,
         )?;
+        metrics::stage_complete(&report);
         ess_history.push(next.ess());
         reports.push(report);
         collections.push(next.clone());
@@ -243,6 +245,7 @@ pub fn run_sequence_parallel_with_policy(
             threads,
             rng,
         )?;
+        metrics::stage_complete(&report);
         ess_history.push(next.ess());
         reports.push(report);
         collections.push(next.clone());
@@ -304,6 +307,7 @@ pub fn run_state_sequence_with_policy<S: Clone>(
     for (step, translator) in stages.iter().enumerate() {
         let (next, report) =
             infer_states_with_policy(*translator, &current, config, policy, step, rng)?;
+        metrics::stage_complete(&report);
         ess_history.push(next.ess());
         reports.push(report);
         collections.push(next.clone());
@@ -351,6 +355,7 @@ pub fn run_state_sequence_parallel_with_policy<S: Clone + Send + Sync>(
             threads,
             rng,
         )?;
+        metrics::stage_complete(&report);
         ess_history.push(next.ess());
         reports.push(report);
         collections.push(next.clone());
@@ -461,14 +466,18 @@ where
             let is_last = i + 1 == stages.len();
             let every = stage_policy.checkpoint_every;
             if every > 0 && (completed.is_multiple_of(every) || is_last) {
+                let ck_start = metrics::clock();
                 observer(&StageSnapshot {
                     step: completed,
                     collection: &current,
                     ess_history: &ess_history,
                     reports: &reports,
                 })?;
+                metrics::note_checkpoint(ck_start);
             }
         }
+        // After the observer, so checkpoint time lands in this stage.
+        metrics::stage_complete(reports.last().expect("stage just pushed"));
     }
     Ok(SequenceRun {
         collections,

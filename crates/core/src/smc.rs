@@ -31,6 +31,7 @@ use crate::health::{
     StepReport,
 };
 use crate::mcmc::McmcKernel;
+use crate::metrics;
 use crate::particles::{Particle, ParticleCollection};
 use crate::pool::WorkerPool;
 use crate::resample::{resample, ResampleError, ResampleScheme};
@@ -235,10 +236,14 @@ pub fn infer_with_policy(
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
     // 1. Translate and reweight, applying the policy per particle.
+    let t_translate = metrics::clock();
     let phase = translate_serial_with_policy(&AsState(translator), particles, policy, step, rng)?;
+    metrics::note_translate(t_translate);
 
     // 2.–3. Degeneracy handling, resampling, and rejuvenation.
+    let t_resample = metrics::clock();
     let tail = degeneracy_tail(phase.collection, mcmc, particles, config, policy, step, rng)?;
+    metrics::note_resample(t_resample);
 
     let report = StepReport {
         step,
@@ -273,8 +278,12 @@ pub fn infer_states_with_policy<S: Clone>(
     step: usize,
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
+    let t_translate = metrics::clock();
     let phase = translate_serial_with_policy(translator, particles, policy, step, rng)?;
+    metrics::note_translate(t_translate);
+    let t_resample = metrics::clock();
     let tail = degeneracy_tail_states(phase.collection, particles, config, policy, step, rng)?;
+    metrics::note_resample(t_resample);
     let report = StepReport {
         step,
         input_particles: particles.len(),
@@ -484,9 +493,13 @@ pub fn infer_parallel_with_policy(
     threads: usize,
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
+    let t_translate = metrics::clock();
     let (translated, translation_report) =
         translate_parallel_with_policy(translator, particles, base_seed, threads, policy, step)?;
+    metrics::note_translate(t_translate);
+    let t_resample = metrics::clock();
     let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
+    metrics::note_resample(t_resample);
     let report = StepReport {
         output_particles: tail.collection.len(),
         ess: tail.ess,
@@ -518,10 +531,14 @@ pub fn infer_states_parallel_with_policy<S: Clone + Send + Sync>(
     threads: usize,
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
+    let t_translate = metrics::clock();
     let (translated, translation_report) = translate_states_parallel_with_policy(
         translator, particles, base_seed, threads, policy, step,
     )?;
+    metrics::note_translate(t_translate);
+    let t_resample = metrics::clock();
     let tail = degeneracy_tail_states(translated, particles, config, policy, step, rng)?;
+    metrics::note_resample(t_resample);
     let report = StepReport {
         output_particles: tail.collection.len(),
         ess: tail.ess,
@@ -972,6 +989,7 @@ pub fn infer_states_supervised_with_policy<S>(
 where
     S: Clone + Send + Sync + 'static,
 {
+    let t_translate = metrics::clock();
     let (translated, translation_report) = match stage_policy.deadline {
         Some(deadline) => translate_states_deadline_with_policy(
             translator,
@@ -987,7 +1005,10 @@ where
             translate_states_parallel_with_policy(t, particles, base_seed, threads, policy, step)?
         }
     };
+    metrics::note_translate(t_translate);
+    let t_resample = metrics::clock();
     let tail = degeneracy_tail_states(translated, particles, config, policy, step, rng)?;
+    metrics::note_resample(t_resample);
     let report = StepReport {
         output_particles: tail.collection.len(),
         ess: tail.ess,

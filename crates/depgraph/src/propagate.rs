@@ -33,6 +33,13 @@ use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
 use crate::record::{BlockRecord, Effect, ExecGraph, ObsData, StmtRecord, Summary};
 
 /// How much work a translation did — the quantity Figure 10 plots.
+///
+/// `visited`/`skipped` keep their original meaning (the Figure 10
+/// series); the remaining fields break the same work down for the
+/// observability layer (`incremental::metrics`). Whole-loop skips are the
+/// counter form of the O(1) fixed-size-edit claim: a `for`/`while` whose
+/// diff is unchanged and whose inputs are clean skips as *one* record,
+/// regardless of how many iterations it recorded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VisitStats {
     /// Statement instances re-executed.
@@ -40,6 +47,19 @@ pub struct VisitStats {
     /// Statement instances (or whole loop iterations / loops) skipped by
     /// reusing their records.
     pub skipped: usize,
+    /// Whole `for`/`while` records skipped without entering the body
+    /// (subset of `skipped`).
+    pub loop_skips: usize,
+    /// Individual iterations skipped inside loops that *were* entered
+    /// (subset of `skipped`).
+    pub iter_skips: usize,
+    /// Random choices reused from the old graph through the
+    /// correspondence (with their Eq. (8) factors accumulated).
+    pub choices_reused: usize,
+    /// Random choices sampled fresh during visited statements.
+    pub choices_fresh: usize,
+    /// Observation statements re-scored during visited statements.
+    pub observes_rescored: usize,
 }
 
 /// The result of one incremental translation.
@@ -121,6 +141,7 @@ struct ReuseSource<'a, 'b> {
     rng: &'b mut dyn RngCore,
     log_num: &'b mut LogWeight,
     log_den: &'b mut LogWeight,
+    stats: &'b mut VisitStats,
 }
 
 impl ChoiceSource for ReuseSource<'_, '_> {
@@ -130,10 +151,12 @@ impl ChoiceSource for ReuseSource<'_, '_> {
                 if dist.same_support(&old_choice.dist) {
                     *self.log_num += dist.log_prob(&old_choice.value);
                     *self.log_den += old_choice.log_prob;
+                    self.stats.choices_reused += 1;
                     return Ok(old_choice.value.clone());
                 }
             }
         }
+        self.stats.choices_fresh += 1;
         Ok(dist.sample(self.rng))
     }
 }
@@ -146,6 +169,7 @@ impl Propagator<'_> {
             rng: self.rng,
             log_num: &mut self.log_num,
             log_den: &mut self.log_den,
+            stats: &mut self.stats,
         };
         let mut ev = ExprEval {
             env: &mut self.env,
@@ -166,6 +190,7 @@ impl Propagator<'_> {
             rng: self.rng,
             log_num: &mut self.log_num,
             log_den: &mut self.log_den,
+            stats: &mut self.stats,
         };
         let mut ev = ExprEval {
             env: &mut self.env,
@@ -196,6 +221,10 @@ impl Propagator<'_> {
             crate::build::apply_effects(&mut self.env, &summary.effects, false)?;
         }
         self.stats.skipped += 1;
+        if matches!(record, StmtRecord::For { .. } | StmtRecord::While { .. }) {
+            // An entire loop skipped as one record — the O(1) claim.
+            self.stats.loop_skips += 1;
+        }
         Ok(())
     }
 
@@ -328,6 +357,7 @@ impl Propagator<'_> {
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::Observe(rand, value_expr) => {
+                self.stats.observes_rescored += 1;
                 let mut summary = Summary::default();
                 let dist = self.build_dist(&rand.kind, &mut summary)?;
                 let value = self.eval(value_expr, &mut summary)?;
@@ -443,6 +473,7 @@ impl Propagator<'_> {
                                 false,
                             )?;
                             self.stats.skipped += 1;
+                            self.stats.iter_skips += 1;
                             Arc::clone(old_iter)
                         }
                         _ => {
@@ -535,6 +566,7 @@ impl Propagator<'_> {
                                 )?;
                             }
                             self.stats.skipped += 1;
+                            self.stats.iter_skips += 1;
                             summary.reads.extend(
                                 old_iter.reads().filter(|r| !written.contains(*r)).cloned(),
                             );

@@ -123,8 +123,24 @@ impl IncrementalTranslator {
         rng: &mut dyn RngCore,
     ) -> Result<IncrementalResult, PplError> {
         self.validate_source(graph)?;
-        translate_graph(&self.q, &self.edit, graph, rng)
+        let result = translate_graph(&self.q, &self.edit, graph, rng)?;
+        record_propagation(&result.stats);
+        Ok(result)
     }
+}
+
+/// Feeds a propagation pass's [`VisitStats`] into the metrics layer.
+/// Single atomic-flag check when metrics are disabled.
+fn record_propagation(stats: &crate::VisitStats) {
+    incremental::metrics::record_propagation(&incremental::PropagationCounters {
+        nodes_visited: stats.visited as u64,
+        nodes_skipped: stats.skipped as u64,
+        loop_skips: stats.loop_skips as u64,
+        iter_skips: stats.iter_skips as u64,
+        choices_reused: stats.choices_reused as u64,
+        choices_fresh: stats.choices_fresh as u64,
+        observes_rescored: stats.observes_rescored as u64,
+    });
 }
 
 impl TraceTranslator for IncrementalTranslator {
