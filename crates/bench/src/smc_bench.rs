@@ -116,7 +116,12 @@ impl SmcBenchConfig {
 pub struct WorkloadResult {
     /// Workload name.
     pub name: String,
-    /// Per-repetition wall times in milliseconds.
+    /// Wall time of the untimed warm-up iteration run before the
+    /// repetitions. The warm-up populates process-wide caches (address
+    /// interner, arena capacity pools, worker-pool threads), so the timed
+    /// repetitions measure steady state rather than cold start.
+    pub warmup_ms: f64,
+    /// Per-repetition wall times in milliseconds (excludes the warm-up).
     pub runs_ms: Vec<f64>,
     /// A checksum of the final collection (total log weight sum), so two
     /// runs of the same binary can be checked for identical output.
@@ -261,6 +266,22 @@ fn collection_checksum<S>(collection: &ParticleCollection<S>) -> f64 {
         .sum()
 }
 
+/// Runs `body` once as a warm-up (timed separately, not counted as a
+/// repetition), then `repeats` timed repetitions. `body(rep)` returns the
+/// final-collection checksum; the last repetition's checksum is reported.
+fn measure(repeats: usize, mut body: impl FnMut(usize) -> f64) -> (f64, Vec<f64>, f64) {
+    let start = Instant::now();
+    let mut checksum = body(0);
+    let warmup_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut runs_ms = Vec::with_capacity(repeats);
+    for rep in 0..repeats {
+        let start = Instant::now();
+        checksum = body(rep);
+        runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (warmup_ms, runs_ms, checksum)
+}
+
 /// Runs the full harness: every workload, `repeats` times each.
 pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
     let translators = build_translators(config);
@@ -277,18 +298,15 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
                 mcmc: None,
             })
             .collect();
-        let mut runs_ms = Vec::with_capacity(config.repeats);
-        let mut checksum = 0.0;
-        for rep in 0..config.repeats {
+        let (warmup_ms, runs_ms, checksum) = measure(config.repeats, |rep| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e17 ^ rep as u64);
-            let start = Instant::now();
             let run = run_sequence(&stages, &initial, &SmcConfig::translate_only(), &mut rng)
                 .expect("serial sequence runs");
-            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            checksum = collection_checksum(run.last());
-        }
+            collection_checksum(run.last())
+        });
         results.push(WorkloadResult {
             name: "serial_edit_sequence".to_string(),
+            warmup_ms,
             runs_ms,
             checksum,
         });
@@ -296,10 +314,7 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
 
     // Workload 2: the same sequence stepped through parallel translation.
     {
-        let mut runs_ms = Vec::with_capacity(config.repeats);
-        let mut checksum = 0.0;
-        for _ in 0..config.repeats {
-            let start = Instant::now();
+        let (warmup_ms, runs_ms, checksum) = measure(config.repeats, |_rep| {
             let mut current = initial.clone();
             for (step, translator) in translators.iter().enumerate() {
                 current = translate_parallel(
@@ -310,11 +325,11 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
                 )
                 .expect("parallel translation runs");
             }
-            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            checksum = collection_checksum(&current);
-        }
+            collection_checksum(&current)
+        });
         results.push(WorkloadResult {
             name: "parallel_edit_sequence".to_string(),
+            warmup_ms,
             runs_ms,
             checksum,
         });
@@ -329,30 +344,24 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
     let smc = SmcConfig::translate_only();
 
     {
-        let mut runs_ms = Vec::with_capacity(config.repeats);
-        let mut checksum = 0.0;
-        for rep in 0..config.repeats {
+        let (warmup_ms, runs_ms, checksum) = measure(config.repeats, |rep| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
-            let start = Instant::now();
             let run =
                 run_edit_sequence(&programs, &parsed, &smc, &FailurePolicy::FailFast, &mut rng)
                     .expect("flat incremental sequence runs");
-            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            checksum = collection_checksum(run.last());
-        }
+            collection_checksum(run.last())
+        });
         results.push(WorkloadResult {
             name: "incremental_flat_edit_sequence".to_string(),
+            warmup_ms,
             runs_ms,
             checksum,
         });
     }
 
     {
-        let mut runs_ms = Vec::with_capacity(config.repeats);
-        let mut checksum = 0.0;
-        for rep in 0..config.repeats {
+        let (warmup_ms, runs_ms, checksum) = measure(config.repeats, |rep| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
-            let start = Instant::now();
             let run = run_edit_sequence_graph(
                 &programs,
                 &parsed,
@@ -361,22 +370,19 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
                 &mut rng,
             )
             .expect("graph-native sequence runs");
-            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            checksum = collection_checksum(run.last());
-        }
+            collection_checksum(run.last())
+        });
         results.push(WorkloadResult {
             name: "incremental_graph_edit_sequence".to_string(),
+            warmup_ms,
             runs_ms,
             checksum,
         });
     }
 
     {
-        let mut runs_ms = Vec::with_capacity(config.repeats);
-        let mut checksum = 0.0;
-        for rep in 0..config.repeats {
+        let (warmup_ms, runs_ms, checksum) = measure(config.repeats, |rep| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x11a7 ^ rep as u64);
-            let start = Instant::now();
             let run = run_edit_sequence_parallel_with_policy(
                 &programs,
                 &parsed,
@@ -387,11 +393,11 @@ pub fn run(config: &SmcBenchConfig, label: &str) -> SmcBenchReport {
                 &mut rng,
             )
             .expect("pooled graph-native sequence runs");
-            runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            checksum = collection_checksum(run.last());
-        }
+            collection_checksum(run.last())
+        });
         results.push(WorkloadResult {
             name: "incremental_graph_pooled_edit_sequence".to_string(),
+            warmup_ms,
             runs_ms,
             checksum,
         });
@@ -571,10 +577,11 @@ impl SmcBenchReport {
             let runs: Vec<String> = r.runs_ms.iter().map(|t| format!("{t:.3}")).collect();
             let _ = writeln!(
                 out,
-                "{indent}    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"runs_ms\": [{}], \"checksum\": {:.6}}}{}",
+                "{indent}    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"warmup_ms\": {:.3}, \"runs_ms\": [{}], \"checksum\": {:.6}}}{}",
                 json_escape(&r.name),
                 r.median_ms(),
                 r.min_ms(),
+                r.warmup_ms,
                 runs.join(", "),
                 r.checksum,
                 if i + 1 < self.results.len() { "," } else { "" }
@@ -616,10 +623,11 @@ impl SmcBenchReport {
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "  {:>38}  median {:>9.3} ms  min {:>9.3} ms",
+                "  {:>38}  median {:>9.3} ms  min {:>9.3} ms  warmup {:>9.3} ms",
                 r.name,
                 r.median_ms(),
-                r.min_ms()
+                r.min_ms(),
+                r.warmup_ms
             );
         }
         if !self.scaling.is_empty() {
@@ -651,8 +659,10 @@ mod tests {
         for r in &report.results {
             assert_eq!(r.runs_ms.len(), 2);
             assert!(r.runs_ms.iter().all(|t| *t >= 0.0));
+            assert!(r.warmup_ms >= 0.0);
             assert!(r.checksum.is_finite());
         }
+        assert!(report.to_json().contains("\"warmup_ms\""));
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"bench-smc/v1\""));
         assert!(json.contains("serial_edit_sequence"));

@@ -568,6 +568,9 @@ pub struct SequenceOpts {
     pub resume: bool,
     /// Write a `metrics/v1` JSON report here (`--metrics-out`).
     pub metrics_out: Option<PathBuf>,
+    /// Particles per worker task (`--chunk-size`; `None` = automatic).
+    /// Output is identical for every value.
+    pub chunk_size: Option<usize>,
 }
 
 impl Default for SequenceOpts {
@@ -582,6 +585,7 @@ impl Default for SequenceOpts {
             checkpoint_every: 1,
             resume: false,
             metrics_out: None,
+            chunk_size: None,
         }
     }
 }
@@ -761,7 +765,7 @@ pub fn cmd_sequence_supervised(
             start_step,
             &prior_ess,
             &prior_reports,
-            &SmcConfig::translate_only(),
+            &SmcConfig::translate_only().with_chunk_size(opts.chunk_size),
             &opts.policy,
             &stage_policy,
             base_seed,
@@ -836,9 +840,11 @@ pub fn usage() -> String {
                                             (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n\
        sequence <p0> <p1> [<p2> ...] [--traces M] [--seed N] [--threads T] [--policy P]\n\
                 [--checkpoint DIR] [--checkpoint-every N] [--deadline-ms N] [--resume]\n\
-                [--metrics-out FILE]\n\
+                [--metrics-out FILE] [--chunk-size K]\n\
                                             graph-native SMC across an edit history;\n\
-                                            output is identical for any --threads.\n\
+                                            output is identical for any --threads\n\
+                                            and any --chunk-size (particles per\n\
+                                            worker task; default: auto).\n\
                                             --checkpoint writes durable stage snapshots,\n\
                                             --resume restarts from the latest one,\n\
                                             --deadline-ms supervises hung translations,\n\

@@ -169,6 +169,16 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 None => None,
                 Some(_) => Some(flag("--deadline-ms", 0)?),
             };
+            let chunk_size = match args.iter().position(|a| a == "--chunk-size") {
+                None => None,
+                Some(_) => {
+                    let k = flag("--chunk-size", 0)? as usize;
+                    if k == 0 {
+                        return Err(CliError::usage("--chunk-size must be at least 1"));
+                    }
+                    Some(k)
+                }
+            };
             let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
                 None => None,
                 Some(i) => Some(PathBuf::from(
@@ -186,6 +196,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 checkpoint_every: flag("--checkpoint-every", 1)? as usize,
                 resume: args.iter().any(|a| a == "--resume"),
                 metrics_out,
+                chunk_size,
             };
             ppl_cli::cmd_sequence_supervised(&sources, &opts)
         }

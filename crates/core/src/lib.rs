@@ -99,8 +99,8 @@ pub use health::{
 };
 pub use mcmc::{IdentityKernel, McmcKernel};
 pub use metrics::{
-    MetricsGuard, MetricsRecorder, MetricsReport, MetricsSink, NoopSink, PoolTelemetry,
-    PropagationCounters, StageMetrics,
+    ArenaTelemetry, MetricsGuard, MetricsRecorder, MetricsReport, MetricsSink, NoopSink,
+    PoolTelemetry, PropagationCounters, StageMetrics,
 };
 pub use particles::{Particle, ParticleCollection, ParticleState};
 pub use pool::WorkerPool;
@@ -112,10 +112,11 @@ pub use sequence::{
     SequenceRun, Stage, StageObserver, StageSnapshot,
 };
 pub use smc::{
-    infer, infer_parallel_with_policy, infer_states_parallel_with_policy,
+    auto_chunk_size, infer, infer_parallel_with_policy, infer_states_parallel_with_policy,
     infer_states_supervised_with_policy, infer_states_with_policy, infer_with_policy,
     infer_without_weights, translate_collection, translate_parallel,
     translate_parallel_with_policy, translate_parallel_with_policy_scoped,
+    translate_states_chunked_with_policy, translate_states_deadline_chunked_with_policy,
     translate_states_deadline_with_policy, translate_states_parallel_with_policy, ResamplePolicy,
     SmcConfig,
 };

@@ -116,6 +116,13 @@ pub struct StageMetrics {
     pub resample_ms: f64,
     /// Wall time spent in the checkpoint observer, milliseconds.
     pub checkpoint_ms: f64,
+    /// Worker tasks dispatched for this stage's translate phase (0 on
+    /// the serial fast path). Schedule-shaped (depends on thread count
+    /// and chunk size), so not part of the deterministic subset.
+    pub pool_tasks: u64,
+    /// Particles per task used by this stage's translate dispatch (the
+    /// high-water value across the stage's rounds; 0 when serial).
+    pub chunk_size: u64,
     /// Propagation counters summed over every particle of the stage.
     pub propagation: PropagationCounters,
 }
@@ -155,6 +162,29 @@ impl Default for PoolTelemetry {
     }
 }
 
+/// Arena-allocator telemetry accumulated over a metrics-enabled run:
+/// how many execution-graph nodes live in arena segments, and how much
+/// segment capacity was recycled instead of re-allocated.
+///
+/// Node totals are value-deterministic, but frees (and therefore
+/// occupancy and the high-water mark) happen when particle graphs drop —
+/// a schedule-dependent instant under parallel translation — so the
+/// whole struct stays out of the deterministic counter subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaTelemetry {
+    /// Graph nodes allocated into arena segments.
+    pub nodes_allocated: u64,
+    /// Graph nodes released when their segment dropped.
+    pub nodes_freed: u64,
+    /// Nodes currently live (`allocated - freed`, saturating).
+    pub occupancy: u64,
+    /// High-water mark of live nodes.
+    pub high_water: u64,
+    /// Segment buffers reused from the capacity pool instead of being
+    /// freshly allocated.
+    pub recycled_buffers: u64,
+}
+
 /// Consumer of per-stage metrics. Implementations must be cheap and
 /// non-blocking-ish: `record_stage` is called once per stage from the
 /// sequence-runner thread, never from workers.
@@ -191,6 +221,7 @@ impl MetricsRecorder {
             label: label.to_string(),
             stages: lock(&self.stages).clone(),
             pool: pool_telemetry(),
+            arena: arena_telemetry(),
         }
     }
 }
@@ -211,6 +242,8 @@ pub struct MetricsReport {
     pub stages: Vec<StageMetrics>,
     /// Pool telemetry accumulated over the run.
     pub pool: PoolTelemetry,
+    /// Arena telemetry accumulated over the run.
+    pub arena: ArenaTelemetry,
 }
 
 impl MetricsReport {
@@ -235,6 +268,10 @@ impl MetricsReport {
             let sep = if i + 1 == self.stages.len() { "" } else { "," };
             out.push_str("    {\n");
             out.push_str(&stage_counter_fields(s, "      "));
+            out.push_str(&format!(
+                "      \"pool_tasks\": {},\n      \"chunk_size\": {},\n",
+                s.pool_tasks, s.chunk_size
+            ));
             out.push_str(&format!(
                 "      \"translate_ms\": {:.3},\n      \"resample_ms\": {:.3},\n      \"checkpoint_ms\": {:.3}\n",
                 s.translate_ms, s.resample_ms, s.checkpoint_ms
@@ -262,6 +299,25 @@ impl MetricsReport {
         out.push_str(&format!(
             "    \"latency_us_log2_buckets\": [{}]\n",
             buckets.join(", ")
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"arena\": {\n");
+        out.push_str(&format!(
+            "    \"nodes_allocated\": {},\n",
+            self.arena.nodes_allocated
+        ));
+        out.push_str(&format!(
+            "    \"nodes_freed\": {},\n",
+            self.arena.nodes_freed
+        ));
+        out.push_str(&format!("    \"occupancy\": {},\n", self.arena.occupancy));
+        out.push_str(&format!(
+            "    \"high_water\": {},\n",
+            self.arena.high_water
+        ));
+        out.push_str(&format!(
+            "    \"recycled_buffers\": {}\n",
+            self.arena.recycled_buffers
         ));
         out.push_str("  }\n");
         out.push_str("}\n");
@@ -299,17 +355,19 @@ impl MetricsReport {
         out.push_str(&format!("metrics for `{}`:\n", self.label));
         out.push_str(
             "  stage    visited    skipped  loop-skip     reused      fresh  \
-             translate   resample  checkpoint\n",
+             tasks  chunk  translate   resample  checkpoint\n",
         );
         for s in &self.stages {
             out.push_str(&format!(
-                "  {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9.2}ms {:>8.2}ms {:>9.2}ms\n",
+                "  {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6} {:>9.2}ms {:>8.2}ms {:>9.2}ms\n",
                 s.step,
                 s.propagation.nodes_visited,
                 s.propagation.nodes_skipped,
                 s.propagation.loop_skips,
                 s.propagation.choices_reused,
                 s.propagation.choices_fresh,
+                s.pool_tasks,
+                s.chunk_size,
                 s.translate_ms,
                 s.resample_ms,
                 s.checkpoint_ms,
@@ -329,6 +387,13 @@ impl MetricsReport {
         out.push_str(&format!(
             "  pool: {} tasks, queue depth high-water {}, {} respawns, {} retirements\n",
             self.pool.tasks, self.pool.queue_depth_hwm, self.pool.respawns, self.pool.retirements,
+        ));
+        out.push_str(&format!(
+            "  arena: {} nodes allocated, {} live (high-water {}), {} buffers recycled\n",
+            self.arena.nodes_allocated,
+            self.arena.occupancy,
+            self.arena.high_water,
+            self.arena.recycled_buffers,
         ));
         out
     }
@@ -412,6 +477,16 @@ static T_TRANSLATE_NS: AtomicU64 = AtomicU64::new(0);
 static T_RESAMPLE_NS: AtomicU64 = AtomicU64::new(0);
 static T_CHECKPOINT_NS: AtomicU64 = AtomicU64::new(0);
 
+// Stage-dispatch gauges (drained per stage).
+static D_TASKS: AtomicU64 = AtomicU64::new(0);
+static D_CHUNK: AtomicU64 = AtomicU64::new(0);
+
+// Arena telemetry (accumulated per run, read at report time).
+static ARENA_ALLOC: AtomicU64 = AtomicU64::new(0);
+static ARENA_FREED: AtomicU64 = AtomicU64::new(0);
+static ARENA_HWM: AtomicU64 = AtomicU64::new(0);
+static ARENA_RECYCLED: AtomicU64 = AtomicU64::new(0);
+
 // Pool telemetry (accumulated per run, read at report time).
 static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
 static POOL_DEPTH: AtomicU64 = AtomicU64::new(0);
@@ -459,6 +534,12 @@ pub fn install(sink: std::sync::Arc<dyn MetricsSink>) -> MetricsGuard {
         &T_TRANSLATE_NS,
         &T_RESAMPLE_NS,
         &T_CHECKPOINT_NS,
+        &D_TASKS,
+        &D_CHUNK,
+        &ARENA_ALLOC,
+        &ARENA_FREED,
+        &ARENA_HWM,
+        &ARENA_RECYCLED,
         &POOL_TASKS,
         &POOL_DEPTH,
         &POOL_DEPTH_HWM,
@@ -570,10 +651,67 @@ pub fn stage_complete(report: &StepReport) {
         translate_ms: to_ms(drain(&T_TRANSLATE_NS)),
         resample_ms: to_ms(drain(&T_RESAMPLE_NS)),
         checkpoint_ms: to_ms(drain(&T_CHECKPOINT_NS)),
+        pool_tasks: drain(&D_TASKS),
+        chunk_size: drain(&D_CHUNK),
         propagation,
     };
     if let Some(sink) = lock(&SINK).clone() {
         sink.record_stage(&stage);
+    }
+}
+
+/// Records one translate-phase dispatch of `tasks` worker tasks at
+/// `chunk` particles per task. Tasks accumulate across a stage's rounds
+/// (the deadline path re-dispatches stragglers); the chunk gauge keeps
+/// the round high-water value.
+#[inline]
+pub fn note_stage_dispatch(tasks: u64, chunk: u64) {
+    if !enabled() {
+        return;
+    }
+    D_TASKS.fetch_add(tasks, Ordering::Relaxed);
+    D_CHUNK.fetch_max(chunk, Ordering::Relaxed);
+}
+
+/// Records `n` execution-graph nodes allocated into an arena segment,
+/// updating the live-node high-water mark.
+#[inline]
+pub fn note_arena_alloc(n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    let allocated = ARENA_ALLOC.fetch_add(n, Ordering::Relaxed) + n;
+    let live = allocated.saturating_sub(ARENA_FREED.load(Ordering::Relaxed));
+    ARENA_HWM.fetch_max(live, Ordering::Relaxed);
+}
+
+/// Records `n` execution-graph nodes released by a dropped arena
+/// segment.
+#[inline]
+pub fn note_arena_free(n: u64) {
+    if enabled() && n > 0 {
+        ARENA_FREED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records a segment buffer reused from the arena capacity pool.
+#[inline]
+pub fn note_arena_recycle() {
+    if enabled() {
+        ARENA_RECYCLED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of the arena telemetry accumulated since [`install`].
+pub fn arena_telemetry() -> ArenaTelemetry {
+    let nodes_allocated = ARENA_ALLOC.load(Ordering::Relaxed);
+    let nodes_freed = ARENA_FREED.load(Ordering::Relaxed);
+    ArenaTelemetry {
+        nodes_allocated,
+        nodes_freed,
+        occupancy: nodes_allocated.saturating_sub(nodes_freed),
+        high_water: ARENA_HWM.load(Ordering::Relaxed),
+        recycled_buffers: ARENA_RECYCLED.load(Ordering::Relaxed),
     }
 }
 
@@ -756,6 +894,7 @@ mod tests {
             label: "a\"b\\c".to_string(),
             stages: vec![],
             pool: PoolTelemetry::default(),
+            arena: ArenaTelemetry::default(),
         };
         assert!(rep.to_json().contains("a\\\"b\\\\c"));
     }

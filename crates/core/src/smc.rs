@@ -60,6 +60,10 @@ pub struct SmcConfig {
     /// Number of MCMC transitions applied per particle (0 disables
     /// rejuvenation even if a kernel is supplied).
     pub mcmc_steps: usize,
+    /// Particles per worker task in the parallel translate phase; `None`
+    /// picks [`auto_chunk_size`]. Results are bit-identical for every
+    /// value — this only tunes dispatch granularity.
+    pub chunk_size: Option<usize>,
 }
 
 impl SmcConfig {
@@ -75,8 +79,26 @@ impl SmcConfig {
             resample: ResamplePolicy::Always,
             scheme: ResampleScheme::default(),
             mcmc_steps: n,
+            chunk_size: None,
         }
     }
+
+    /// Sets an explicit particles-per-task chunk size for parallel
+    /// translation (`None` restores the automatic choice).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: Option<usize>) -> SmcConfig {
+        self.chunk_size = chunk_size;
+        self
+    }
+}
+
+/// The automatic particles-per-task chunk size: one contiguous chunk per
+/// worker, so a stage of `n` particles costs `threads` dispatches rather
+/// than `n`. Chunk size never changes results (per-particle seeds depend
+/// only on `(base_seed, step, particle, attempt)`); it only trades
+/// dispatch overhead against load-balancing granularity.
+pub fn auto_chunk_size(particles: usize, threads: usize) -> usize {
+    particles.div_ceil(threads.max(1)).max(1)
 }
 
 /// Renders a panic payload as a message for [`FailureKind::Panic`].
@@ -494,8 +516,16 @@ pub fn infer_parallel_with_policy(
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection, StepReport), SmcError> {
     let t_translate = metrics::clock();
-    let (translated, translation_report) =
-        translate_parallel_with_policy(translator, particles, base_seed, threads, policy, step)?;
+    let adapted = AsState(translator);
+    let (translated, translation_report) = translate_states_chunked_with_policy(
+        &adapted,
+        particles,
+        base_seed,
+        threads,
+        policy,
+        step,
+        config.chunk_size,
+    )?;
     metrics::note_translate(t_translate);
     let t_resample = metrics::clock();
     let tail = degeneracy_tail(translated, mcmc, particles, config, policy, step, rng)?;
@@ -532,8 +562,14 @@ pub fn infer_states_parallel_with_policy<S: Clone + Send + Sync>(
     rng: &mut dyn RngCore,
 ) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
     let t_translate = metrics::clock();
-    let (translated, translation_report) = translate_states_parallel_with_policy(
-        translator, particles, base_seed, threads, policy, step,
+    let (translated, translation_report) = translate_states_chunked_with_policy(
+        translator,
+        particles,
+        base_seed,
+        threads,
+        policy,
+        step,
+        config.chunk_size,
     )?;
     metrics::note_translate(t_translate);
     let t_resample = metrics::clock();
@@ -708,6 +744,30 @@ pub fn translate_states_parallel_with_policy<S: Send + Sync>(
     policy: &FailurePolicy,
     step: usize,
 ) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
+    translate_states_chunked_with_policy(translator, particles, base_seed, threads, policy, step, None)
+}
+
+/// [`translate_states_parallel_with_policy`] with an explicit
+/// particles-per-task chunk size (`None` = [`auto_chunk_size`]).
+///
+/// Chunk size is pure dispatch granularity: every particle keeps its own
+/// `(base_seed, step, particle, attempt)` seed derivation, its own
+/// `catch_unwind` isolation, and its own output slot, so results,
+/// reports, and fail-fast failure selection are bit-identical for any
+/// chunk size and any thread count.
+///
+/// # Errors
+///
+/// As [`translate_states_parallel_with_policy`].
+pub fn translate_states_chunked_with_policy<S: Send + Sync>(
+    translator: &(dyn StateTranslator<S> + Sync),
+    particles: &ParticleCollection<S>,
+    base_seed: u64,
+    threads: usize,
+    policy: &FailurePolicy,
+    step: usize,
+    chunk_size: Option<usize>,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
     let threads = threads.max(1);
     let max_attempts = policy.max_attempts();
     let policy_seed = match policy {
@@ -730,12 +790,14 @@ pub fn translate_states_parallel_with_policy<S: Send + Sync>(
         }
     } else {
         let items: Vec<(usize, &Particle<S>)> = particles.iter().enumerate().collect();
-        let chunk_size = items.len().div_ceil(threads).max(1);
+        let chunk = chunk_size
+            .unwrap_or_else(|| auto_chunk_size(items.len(), threads))
+            .clamp(1, items.len());
         // Items are enumerated in order, so chunking items and slots with
         // the same stride pairs every particle with its own output slot.
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
-            .chunks(chunk_size)
-            .zip(slots.chunks_mut(chunk_size))
+            .chunks(chunk)
+            .zip(slots.chunks_mut(chunk))
             .map(|(chunk, out)| {
                 Box::new(move || {
                     for ((j, particle), slot) in chunk.iter().zip(out.iter_mut()) {
@@ -752,6 +814,7 @@ pub fn translate_states_parallel_with_policy<S: Send + Sync>(
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
+        metrics::note_stage_dispatch(tasks.len() as u64, chunk as u64);
         WorkerPool::global()
             .run_scoped(tasks)
             .map_err(SmcError::Internal)?;
@@ -814,6 +877,37 @@ pub fn translate_states_deadline_with_policy<S>(
 where
     S: Clone + Send + Sync + 'static,
 {
+    translate_states_deadline_chunked_with_policy(
+        translator, particles, base_seed, policy, step, deadline, backoff, None,
+    )
+}
+
+/// [`translate_states_deadline_with_policy`] with an explicit
+/// particles-per-task chunk size (`None` = [`auto_chunk_size`] over the
+/// global pool's width). A chunk is one owned task that translates its
+/// particles in index order, still announcing `Started`/`Done` per
+/// particle — so the watchdog's blame rules are unchanged: a particle
+/// that started and missed the deadline is charged a timeout, and one
+/// queued behind a hung neighbor (whether in another task or earlier in
+/// its own chunk) rolls over uncharged.
+///
+/// # Errors
+///
+/// As [`translate_states_deadline_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn translate_states_deadline_chunked_with_policy<S>(
+    translator: &Arc<dyn StateTranslator<S> + Send + Sync>,
+    particles: &ParticleCollection<S>,
+    base_seed: u64,
+    policy: &FailurePolicy,
+    step: usize,
+    deadline: Duration,
+    backoff: &Backoff,
+    chunk_size: Option<usize>,
+) -> Result<(ParticleCollection<S>, StepReport), SmcError>
+where
+    S: Clone + Send + Sync + 'static,
+{
     let max_attempts = policy.max_attempts();
     let policy_seed = match policy {
         FailurePolicy::Retry { seed, .. } => *seed,
@@ -839,30 +933,44 @@ where
             std::thread::sleep(backoff.delay(expired_rounds));
         }
         let pool = WorkerPool::global();
+        let chunk = chunk_size
+            .unwrap_or_else(|| auto_chunk_size(pending.len(), pool.size()))
+            .clamp(1, pending.len());
         // A fresh channel per round: a hung task from an earlier round
         // that eventually completes sends into a closed channel and is
         // ignored, so stale results can never corrupt a later round.
         let (tx, rx) = mpsc::channel::<(usize, RoundMsg<S>)>();
-        for &j in &pending {
+        metrics::note_stage_dispatch(pending.len().div_ceil(chunk) as u64, chunk as u64);
+        for chunk_js in pending.chunks(chunk) {
             let tx = tx.clone();
             let translator = Arc::clone(translator);
-            let particle = Particle {
-                trace: particles.particles()[j].trace.clone(),
-                log_weight: particles.particles()[j].log_weight,
-            };
-            let attempt = attempts[j];
-            let seed = if attempt == 0 {
-                particle_seed(base_seed, j)
-            } else {
-                retry_seed(policy_seed, step, j, attempt)
-            };
+            // Each work item is fully precomputed so the worker does no
+            // bookkeeping between particles beyond the Started/Done sends.
+            let work: Vec<(usize, Particle<S>, usize, u64)> = chunk_js
+                .iter()
+                .map(|&j| {
+                    let particle = Particle {
+                        trace: particles.particles()[j].trace.clone(),
+                        log_weight: particles.particles()[j].log_weight,
+                    };
+                    let attempt = attempts[j];
+                    let seed = if attempt == 0 {
+                        particle_seed(base_seed, j)
+                    } else {
+                        retry_seed(policy_seed, step, j, attempt)
+                    };
+                    (j, particle, attempt, seed)
+                })
+                .collect();
             pool.spawn_owned(Box::new(move || {
-                let _ = tx.send((j, RoundMsg::Started));
-                let mut rng = StdRng::seed_from_u64(seed);
-                let ctx = TranslateCtx::new(step, j).with_attempt(attempt);
-                let t: &dyn StateTranslator<S> = &*translator;
-                let result = attempt_translate(t, &particle, ctx, &mut rng);
-                let _ = tx.send((j, RoundMsg::Done(result)));
+                for (j, particle, attempt, seed) in work {
+                    let _ = tx.send((j, RoundMsg::Started));
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let ctx = TranslateCtx::new(step, j).with_attempt(attempt);
+                    let t: &dyn StateTranslator<S> = &*translator;
+                    let result = attempt_translate(t, &particle, ctx, &mut rng);
+                    let _ = tx.send((j, RoundMsg::Done(result)));
+                }
             }))
             .map_err(SmcError::Internal)?;
         }
@@ -991,7 +1099,7 @@ where
 {
     let t_translate = metrics::clock();
     let (translated, translation_report) = match stage_policy.deadline {
-        Some(deadline) => translate_states_deadline_with_policy(
+        Some(deadline) => translate_states_deadline_chunked_with_policy(
             translator,
             particles,
             base_seed,
@@ -999,10 +1107,19 @@ where
             step,
             deadline,
             &stage_policy.backoff,
+            config.chunk_size,
         )?,
         None => {
             let t: &(dyn StateTranslator<S> + Sync) = &**translator;
-            translate_states_parallel_with_policy(t, particles, base_seed, threads, policy, step)?
+            translate_states_chunked_with_policy(
+                t,
+                particles,
+                base_seed,
+                threads,
+                policy,
+                step,
+                config.chunk_size,
+            )?
         }
     };
     metrics::note_translate(t_translate);

@@ -11,7 +11,9 @@ use ppl::dist::Dist;
 use ppl::{Address, ChoiceMap, PplError, Trace, Value};
 
 use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
-use crate::record::{BlockRecord, Effect, ExecGraph, ObsData, StmtRecord, Summary};
+use crate::record::{
+    intern_name, BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord, StoreBuilder, Summary,
+};
 
 /// Samples every choice from its prior.
 struct PriorSource<'a> {
@@ -98,10 +100,12 @@ impl ExecGraph {
 fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGraph, PplError> {
     let mut env: Env = Env::new();
     let mut loops: Vec<i64> = Vec::new();
+    let mut store = StoreBuilder::new();
     let mut builder = Builder {
         env: &mut env,
         loops: &mut loops,
         source,
+        store: &mut store,
     };
     let mut stmts = builder.exec_block(&program.body)?;
     // The return expression is recorded as a trailing pseudo-leaf so that
@@ -118,7 +122,7 @@ fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGr
                 ev.eval(e, &mut ret_summary)?
             };
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
-                stmts.push(Arc::new(StmtRecord::Leaf {
+                stmts.push(builder.store.push_stmt(StmtRecord::Leaf {
                     summary: ret_summary,
                 }));
             }
@@ -126,14 +130,21 @@ fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGr
         }
         None => Value::Int(0),
     };
-    let root = Arc::new(BlockRecord::finalize(stmts));
-    Ok(ExecGraph::assemble(Arc::clone(program), root, return_value))
+    let root_block = BlockRecord::finalize(&store, stmts);
+    let root = store.push_block(root_block);
+    Ok(ExecGraph::assemble(
+        Arc::clone(program),
+        store.finish(),
+        root,
+        return_value,
+    ))
 }
 
 struct Builder<'a> {
     env: &'a mut Env,
     loops: &'a mut Vec<i64>,
     source: &'a mut dyn ChoiceSource,
+    store: &'a mut StoreBuilder,
 }
 
 impl Builder<'_> {
@@ -146,13 +157,15 @@ impl Builder<'_> {
         ev.eval(expr, sum)
     }
 
-    fn exec_block(&mut self, block: &Block) -> Result<Vec<Arc<StmtRecord>>, PplError> {
+    fn exec_block(&mut self, block: &Block) -> Result<Vec<StmtId>, PplError> {
         let mut records = Vec::with_capacity(block.stmts().len());
         for stmt in block.stmts() {
-            records.push(Arc::new(self.exec_stmt(stmt)?));
+            let record = self.exec_stmt(stmt)?;
+            records.push(self.store.push_stmt(record));
         }
         Ok(records)
     }
+
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<StmtRecord, PplError> {
         match stmt {
@@ -160,14 +173,15 @@ impl Builder<'_> {
             Stmt::Assign(name, expr) => {
                 let mut summary = Summary::default();
                 let value = self.eval(expr, &mut summary)?;
+                let name = intern_name(name);
                 self.env.insert(
-                    name.clone(),
+                    name,
                     Slot {
                         value: value.clone(),
                         dirty: false,
                     },
                 );
-                summary.effects.push(Effect::Var(name.clone(), value));
+                summary.effects.push(Effect::Var(name, value));
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::AssignIndex(name, idx, expr) => {
@@ -176,10 +190,10 @@ impl Builder<'_> {
                 let value = self.eval(expr, &mut summary)?;
                 // Element assignment reads the array (it preserves the
                 // other elements).
-                summary.reads.insert(name.clone());
+                summary.reads.insert(intern_name(name));
                 let slot = self
                     .env
-                    .get_mut(name)
+                    .get_mut(name.as_str())
                     .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
                 let items = slot.value.as_array_mut()?;
                 if i < 0 || i as usize >= items.len() {
@@ -189,7 +203,7 @@ impl Builder<'_> {
                     });
                 }
                 items[i as usize] = value.clone();
-                summary.effects.push(Effect::Elem(name.clone(), i, value));
+                summary.effects.push(Effect::Elem(intern_name(name), i, value));
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::Observe(rand, value_expr) => {
@@ -227,10 +241,12 @@ impl Builder<'_> {
                 let mut summary = Summary::default();
                 let took_then = self.eval(cond, &mut summary)?.truthy()?;
                 let branch = if took_then { then_b } else { else_b };
-                let body = Arc::new(BlockRecord::finalize(self.exec_block(branch)?));
-                summary.reads.extend(body.summary.reads.iter().cloned());
-                summary.effects.extend(body.summary.effects.iter().cloned());
-                summary.obs_score += body.summary.obs_score;
+                let stmts = self.exec_block(branch)?;
+                let body_block = BlockRecord::finalize(self.store, stmts);
+                summary.reads.extend(body_block.summary.reads.iter().cloned());
+                summary.effects.extend(body_block.summary.effects.iter().cloned());
+                summary.obs_score += body_block.summary.obs_score;
+                let body = self.store.push_block(body_block);
                 Ok(StmtRecord::If {
                     took_then,
                     body,
@@ -242,11 +258,12 @@ impl Builder<'_> {
                 let lo = self.eval(lo_e, &mut summary)?.as_int()?;
                 let hi = self.eval(hi_e, &mut summary)?.as_int()?;
                 let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
-                let mut written: BTreeSet<String> = BTreeSet::new();
-                written.insert(var.clone());
+                let mut written: BTreeSet<&'static str> = BTreeSet::new();
+                let var_name = intern_name(var);
+                written.insert(var_name);
                 for i in lo..hi {
                     self.env.insert(
-                        var.clone(),
+                        var_name,
                         Slot {
                             value: Value::Int(i),
                             dirty: false,
@@ -255,7 +272,7 @@ impl Builder<'_> {
                     self.loops.push(i);
                     let iter_result = self.exec_block(body);
                     self.loops.pop();
-                    let iter = Arc::new(BlockRecord::finalize(iter_result?));
+                    let iter = BlockRecord::finalize(self.store, iter_result?);
                     // Def-before-use across iterations: a read satisfied
                     // by an earlier iteration's write is loop-internal.
                     summary.reads.extend(
@@ -263,26 +280,26 @@ impl Builder<'_> {
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
                     summary.obs_score += iter.summary.obs_score;
                     for effect in &iter.summary.effects {
-                        written.insert(effect.var_name().to_string());
+                        written.insert(intern_name(effect.var_name()));
                     }
-                    iters.push(iter);
+                    iters.push(self.store.push_block(iter));
                 }
                 // Compress effects into one final snapshot per written
                 // variable (O(1) each thanks to Arc-backed arrays).
                 for name in &written {
-                    if let Some(slot) = self.env.get(name) {
+                    if let Some(slot) = self.env.get(*name) {
                         summary
                             .effects
-                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                            .push(Effect::Var(*name, slot.value.clone()));
                     }
                 }
                 // The loop variable itself is loop-internal; reading it
                 // within the body does not create an external dependency.
-                summary.reads.remove(var);
+                summary.reads.remove(var.as_str());
                 Ok(StmtRecord::For {
                     lo,
                     hi,
@@ -293,7 +310,7 @@ impl Builder<'_> {
             Stmt::While(cond_e, body) => {
                 let mut summary = Summary::default();
                 let mut iters = Vec::new();
-                let mut written: BTreeSet<String> = BTreeSet::new();
+                let mut written: BTreeSet<&'static str> = BTreeSet::new();
                 let mut i = 0_i64;
                 loop {
                     self.loops.push(i);
@@ -311,7 +328,7 @@ impl Builder<'_> {
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
@@ -325,23 +342,23 @@ impl Builder<'_> {
                     }
                     let body_result = self.exec_block(body);
                     self.loops.pop();
-                    let body_rec = Arc::new(BlockRecord::finalize(body_result?));
+                    let body_rec = BlockRecord::finalize(self.store, body_result?);
                     summary.reads.extend(
                         body_rec
                             .summary
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
-                        written.insert(effect.var_name().to_string());
+                        written.insert(intern_name(effect.var_name()));
                     }
                     iters.push(crate::record::WhileIter {
                         cond: cond_sum,
                         continued: true,
-                        body: Some(body_rec),
+                        body: Some(self.store.push_block(body_rec)),
                     });
                     i += 1;
                     if i > 10_000_000 {
@@ -349,10 +366,10 @@ impl Builder<'_> {
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(name) {
+                    if let Some(slot) = self.env.get(*name) {
                         summary
                             .effects
-                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                            .push(Effect::Var(*name, slot.value.clone()));
                     }
                 }
                 Ok(StmtRecord::While { iters, summary })
@@ -372,7 +389,7 @@ pub(crate) fn apply_effects(
         match effect {
             Effect::Var(name, value) => {
                 env.insert(
-                    name.clone(),
+                    name,
                     Slot {
                         value: value.clone(),
                         dirty,
@@ -382,7 +399,7 @@ pub(crate) fn apply_effects(
             Effect::Elem(name, i, value) => {
                 let slot = env
                     .get_mut(name)
-                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
+                    .ok_or_else(|| PplError::UnboundVariable((*name).to_string()))?;
                 let items = slot.value.as_array_mut()?;
                 if *i < 0 || *i as usize >= items.len() {
                     return Err(PplError::IndexOutOfBounds {

@@ -23,7 +23,7 @@ pub(crate) struct Slot {
 }
 
 /// Variable environment.
-pub(crate) type Env = HashMap<String, Slot>;
+pub(crate) type Env = HashMap<&'static str, Slot>;
 
 /// Where choice values come from: prior sampling (graph building), replay
 /// (rebuilding a graph from a trace), or correspondence reuse (change
@@ -42,7 +42,9 @@ pub(crate) struct ExprEval<'a> {
 
 impl ExprEval<'_> {
     pub fn address_for(&self, rand: &RandExpr) -> Address {
-        let mut addr = Address::from(rand.site.as_str());
+        // Reuse the site's existing `Arc<str>` (refcount bump) instead of
+        // allocating a fresh one per visit.
+        let mut addr = Address::from_components([std::sync::Arc::clone(&rand.site.0).into()]);
         for &i in self.loops.iter() {
             addr.push(i);
         }
@@ -53,9 +55,9 @@ impl ExprEval<'_> {
         match expr {
             Expr::Const(v) => Ok(v.clone()),
             Expr::Var(name) => {
-                sum.reads.insert(name.clone());
+                sum.reads.insert(crate::record::intern_name(name));
                 self.env
-                    .get(name)
+                    .get(name.as_str())
                     .map(|slot| slot.value.clone())
                     .ok_or_else(|| PplError::UnboundVariable(name.clone()))
             }

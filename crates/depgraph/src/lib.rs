@@ -24,12 +24,14 @@
 mod build;
 pub mod diff;
 mod eval;
+pub mod plan;
 pub mod propagate;
 pub mod record;
 pub mod sequence;
 pub mod translator;
 
 pub use diff::{diff_programs, BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+pub use plan::StagePlan;
 pub use propagate::{IncrementalResult, VisitStats};
 pub use record::{program_fingerprint, ExecGraph};
 pub use sequence::{

@@ -1,0 +1,358 @@
+//! Stage-shared translation plans.
+//!
+//! A [`StagePlan`] hoists everything about one edit `p → q` that is
+//! invariant across particles out of the per-particle propagation loop:
+//!
+//! - every `StmtDiff::is_unchanged()` / `BlockDiff::is_unchanged()`
+//!   decision, which the propagator would otherwise recompute (a full
+//!   subtree walk) once per statement per particle per skip check;
+//! - the fresh-execution sub-plans that [`crate::propagate`] used to
+//!   allocate per particle per fresh subtree (`fresh_block_diff`);
+//! - the interned base addresses of every random site in `q`, with the
+//!   [`Correspondence`](incremental::Correspondence) memo cache pre-warmed
+//!   so the per-particle `lookup_id` calls take the shared read path.
+//!
+//! The plan is built once per stage by
+//! [`IncrementalTranslator::from_shared`](crate::IncrementalTranslator::from_shared)
+//! and shared immutably (`Arc`) by every particle task. Walking a plan is
+//! semantically identical to walking the diff — the propagator's output
+//! (graph, weight, and RNG consumption) is bit-for-bit the same.
+
+use std::sync::Arc;
+
+use ppl::ast::{Block, Expr, Program, RandKind, Stmt};
+use ppl::Address;
+
+use crate::diff::{BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+
+/// Per-stage immutable translation plan; see the module docs.
+#[derive(Debug)]
+pub struct StagePlan {
+    root: PlanBlock,
+    /// Interned depth-0 addresses of `q`'s random sites (loop-indexed
+    /// instances extend these and are memoized on first use).
+    sites: Vec<Address>,
+}
+
+/// Plan for one block: mirrors [`BlockDiff`] with the per-op decisions
+/// precomputed.
+#[derive(Debug)]
+pub(crate) struct PlanBlock {
+    pub(crate) ops: Vec<PlanOp>,
+}
+
+/// Plan for one diff op.
+#[derive(Debug)]
+pub(crate) enum PlanOp {
+    /// An old statement removed by the edit (its observations enter the
+    /// weight denominator).
+    RemovedP(usize),
+    /// A statement of `q`.
+    Stmt {
+        /// Index into the block's statements.
+        q_index: usize,
+        /// Matching old statement index, if any.
+        p_index: Option<usize>,
+        /// Precomputed `StmtDiff::is_unchanged()` — the skip-eligibility
+        /// half of the propagator's per-statement check.
+        unchanged: bool,
+        /// Control-structure sub-plans.
+        detail: PlanStmt,
+    },
+}
+
+/// Statement-shape-specific sub-plans.
+#[derive(Debug)]
+pub(crate) enum PlanStmt {
+    /// `skip` / assignment / observe: no sub-blocks.
+    Opaque,
+    /// `if`: matched branch plans when the diff aligned the statement
+    /// with an old `if` (`IfDiff`), plus the fresh plans used when the
+    /// taken branch flips or there is no old record.
+    If {
+        /// `(then, else)` plans from the `IfDiff`, when present.
+        matched: Option<(PlanBlock, PlanBlock)>,
+        fresh_then: PlanBlock,
+        fresh_else: PlanBlock,
+    },
+    /// `for`: body plan plus the hoisted per-iteration skip eligibility.
+    For {
+        body: PlanBlock,
+        /// Precomputed `body_diff.is_unchanged()`; `false` on the fresh
+        /// path (fresh diffs are never unchanged).
+        body_unchanged: bool,
+    },
+    /// `while`: body plan plus the hoisted per-iteration skip
+    /// eligibility.
+    While {
+        body: PlanBlock,
+        /// Precomputed `!cond_changed && body_diff.is_unchanged()`;
+        /// `false` on the fresh path.
+        iter_skippable: bool,
+    },
+}
+
+impl StagePlan {
+    /// Builds the plan for the edit underlying `edit` against the target
+    /// program `q`, and pre-warms the correspondence memo cache with the
+    /// interned base address of every random site in `q`.
+    pub fn new(q: &Program, edit: &ProgramEdit) -> StagePlan {
+        let root = plan_block(&q.body, &edit.diff);
+        let mut names: Vec<Arc<str>> = Vec::new();
+        collect_block_sites(&q.body, &mut names);
+        if let Some(ret) = &q.ret {
+            collect_expr_sites(ret, &mut names);
+        }
+        names.sort_unstable();
+        names.dedup();
+        let sites: Vec<Address> = names
+            .into_iter()
+            .map(|name| Address::from_components([name.into()]))
+            .collect();
+        for addr in &sites {
+            // Interns the address and memoizes the (possibly negative)
+            // correspondence lookup; per-particle lookups then take the
+            // shared read path.
+            let _ = edit.correspondence.lookup_id(addr.id());
+        }
+        StagePlan { root, sites }
+    }
+
+    /// The root block plan (what the propagator walks).
+    pub(crate) fn root(&self) -> &PlanBlock {
+        &self.root
+    }
+
+    /// Number of distinct random sites in `q` (interned at plan build).
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+/// Mirrors the propagator's `(stmt, diff)` dispatch: matched sub-plans
+/// are derived only where the old runtime would have used the matched
+/// diff, and fresh sub-plans replace `fresh_block_diff` allocations.
+fn plan_block(block: &Block, diff: &BlockDiff) -> PlanBlock {
+    let ops = diff
+        .ops
+        .iter()
+        .map(|op| match op {
+            DiffOp::RemovedP(p_index) => PlanOp::RemovedP(*p_index),
+            DiffOp::Stmt {
+                q_index,
+                p_index,
+                diff,
+            } => PlanOp::Stmt {
+                q_index: *q_index,
+                p_index: *p_index,
+                unchanged: diff.is_unchanged(),
+                detail: plan_stmt(&block.stmts()[*q_index], diff),
+            },
+        })
+        .collect();
+    PlanBlock { ops }
+}
+
+fn plan_stmt(stmt: &Stmt, diff: &StmtDiff) -> PlanStmt {
+    match stmt {
+        Stmt::If(_, then_b, else_b) => {
+            let matched = match diff {
+                StmtDiff::IfDiff {
+                    then_diff,
+                    else_diff,
+                    ..
+                } => Some((plan_block(then_b, then_diff), plan_block(else_b, else_diff))),
+                _ => None,
+            };
+            PlanStmt::If {
+                matched,
+                fresh_then: fresh_block(then_b),
+                fresh_else: fresh_block(else_b),
+            }
+        }
+        Stmt::For(_, _, _, body) => match diff {
+            StmtDiff::ForDiff { body_diff, .. } => PlanStmt::For {
+                body: plan_block(body, body_diff),
+                body_unchanged: body_diff.is_unchanged(),
+            },
+            _ => PlanStmt::For {
+                body: fresh_block(body),
+                body_unchanged: false,
+            },
+        },
+        Stmt::While(_, body) => match diff {
+            StmtDiff::WhileDiff {
+                cond_changed,
+                body_diff,
+            } => PlanStmt::While {
+                body: plan_block(body, body_diff),
+                iter_skippable: !cond_changed && body_diff.is_unchanged(),
+            },
+            _ => PlanStmt::While {
+                body: fresh_block(body),
+                iter_skippable: false,
+            },
+        },
+        _ => PlanStmt::Opaque,
+    }
+}
+
+/// Plan for executing `block` fresh (no old records, nothing skippable) —
+/// the plan-level analogue of the propagator's old `fresh_block_diff`.
+fn fresh_block(block: &Block) -> PlanBlock {
+    let ops = block
+        .stmts()
+        .iter()
+        .enumerate()
+        .map(|(j, stmt)| PlanOp::Stmt {
+            q_index: j,
+            p_index: None,
+            unchanged: false,
+            detail: fresh_stmt(stmt),
+        })
+        .collect();
+    PlanBlock { ops }
+}
+
+fn fresh_stmt(stmt: &Stmt) -> PlanStmt {
+    match stmt {
+        Stmt::If(_, t, e) => PlanStmt::If {
+            matched: None,
+            fresh_then: fresh_block(t),
+            fresh_else: fresh_block(e),
+        },
+        Stmt::For(_, _, _, b) => PlanStmt::For {
+            body: fresh_block(b),
+            body_unchanged: false,
+        },
+        Stmt::While(_, b) => PlanStmt::While {
+            body: fresh_block(b),
+            iter_skippable: false,
+        },
+        _ => PlanStmt::Opaque,
+    }
+}
+
+fn collect_block_sites(block: &Block, out: &mut Vec<Arc<str>>) {
+    for stmt in block.stmts() {
+        match stmt {
+            Stmt::Skip => {}
+            Stmt::Assign(_, e) => collect_expr_sites(e, out),
+            Stmt::AssignIndex(_, i, e) => {
+                collect_expr_sites(i, out);
+                collect_expr_sites(e, out);
+            }
+            Stmt::Observe(rand, e) => {
+                out.push(Arc::clone(&rand.site.0));
+                collect_rand_sites(&rand.kind, out);
+                collect_expr_sites(e, out);
+            }
+            Stmt::If(c, t, e) => {
+                collect_expr_sites(c, out);
+                collect_block_sites(t, out);
+                collect_block_sites(e, out);
+            }
+            Stmt::For(_, lo, hi, b) => {
+                collect_expr_sites(lo, out);
+                collect_expr_sites(hi, out);
+                collect_block_sites(b, out);
+            }
+            Stmt::While(c, b) => {
+                collect_expr_sites(c, out);
+                collect_block_sites(b, out);
+            }
+        }
+    }
+}
+
+fn collect_expr_sites(expr: &Expr, out: &mut Vec<Arc<str>>) {
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Unary(_, e) => collect_expr_sites(e, out),
+        Expr::Binary(_, a, b) | Expr::Index(a, b) | Expr::ArrayInit(a, b) => {
+            collect_expr_sites(a, out);
+            collect_expr_sites(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_expr_sites(a, out);
+            }
+        }
+        Expr::Ternary(c, t, e) => {
+            collect_expr_sites(c, out);
+            collect_expr_sites(t, out);
+            collect_expr_sites(e, out);
+        }
+        Expr::Random(rand) => {
+            out.push(Arc::clone(&rand.site.0));
+            collect_rand_sites(&rand.kind, out);
+        }
+    }
+}
+
+fn collect_rand_sites(kind: &RandKind, out: &mut Vec<Arc<str>>) {
+    match kind {
+        RandKind::Flip(a)
+        | RandKind::Poisson(a)
+        | RandKind::GeometricDist(a)
+        | RandKind::Exponential(a) => collect_expr_sites(a, out),
+        RandKind::UniformInt(a, b)
+        | RandKind::UniformReal(a, b)
+        | RandKind::Gauss(a, b)
+        | RandKind::Beta(a, b) => {
+            collect_expr_sites(a, out);
+            collect_expr_sites(b, out);
+        }
+        RandKind::Categorical(ws) => {
+            for w in ws {
+                collect_expr_sites(w, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_programs;
+    use ppl::parse;
+
+    #[test]
+    fn plan_mirrors_diff_shape() {
+        let p = parse("x = flip(0.5); if x { y = gauss(0.0, 1.0); } else { y = 0.0; } return y;")
+            .unwrap();
+        let q = parse("x = flip(0.6); if x { y = gauss(0.0, 1.0); } else { y = 0.0; } return y;")
+            .unwrap();
+        let edit = diff_programs(&p, &q);
+        let plan = StagePlan::new(&q, &edit);
+        assert_eq!(plan.root().ops.len(), edit.diff.ops.len());
+        // Both random sites of q are interned and pre-warmed.
+        assert_eq!(plan.site_count(), 2);
+        for (op, diff_op) in plan.root().ops.iter().zip(&edit.diff.ops) {
+            if let (PlanOp::Stmt { unchanged, .. }, DiffOp::Stmt { diff, .. }) = (op, diff_op) {
+                assert_eq!(*unchanged, diff.is_unchanged());
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_plans_are_never_skippable() {
+        let q = parse(
+            "n = 3; s = 0.0; for i in [0..n) { s = s + gauss(0.0, 1.0); } \
+             while s > 10.0 { s = s - 1.0; } return s;",
+        )
+        .unwrap();
+        let fresh = fresh_block(&q.body);
+        for op in &fresh.ops {
+            match op {
+                PlanOp::Stmt {
+                    p_index, unchanged, ..
+                } => {
+                    assert!(p_index.is_none());
+                    assert!(!unchanged);
+                }
+                PlanOp::RemovedP(_) => panic!("fresh plan cannot remove"),
+            }
+        }
+    }
+}

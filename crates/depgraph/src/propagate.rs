@@ -4,8 +4,10 @@
 //! the diff-derived correspondence, this constructs the translated graph
 //! `G_u` and the weight estimate `ŵ_{P→Q}(u; t)` by re-executing only the
 //! statements affected by the edit — "propagating changes from these
-//! nodes throughout the dependency graph in topological order". Unchanged
-//! subtrees are shared (`Arc`) between `G_t` and `G_u`.
+//! nodes throughout the dependency graph in topological order". The new
+//! graph's arena *extends* the old one's ([`StoreBuilder::extending`]),
+//! so an unchanged subtree is shared between `G_t` and `G_u` by copying
+//! its 4-byte node id.
 //!
 //! Weight accounting follows the paper's efficient scheme exactly:
 //!
@@ -28,9 +30,13 @@ use ppl::ast::{Block, Program, Stmt};
 use ppl::dist::Dist;
 use ppl::{Address, LogWeight, PplError, Value};
 
-use crate::diff::{BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+use crate::diff::ProgramEdit;
 use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
-use crate::record::{BlockRecord, Effect, ExecGraph, ObsData, StmtRecord, Summary};
+use crate::plan::{PlanBlock, PlanOp, PlanStmt, StagePlan};
+use crate::record::{
+    intern_name, BlockId, BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord,
+    StoreBuilder, Summary,
+};
 
 /// How much work a translation did — the quantity Figure 10 plots.
 ///
@@ -85,8 +91,30 @@ pub fn translate_graph(
     old: &ExecGraph,
     rng: &mut dyn RngCore,
 ) -> Result<IncrementalResult, PplError> {
+    let plan = StagePlan::new(q, edit);
+    translate_graph_with_plan(q, edit, &plan, old, rng)
+}
+
+/// [`translate_graph`] against a precomputed [`StagePlan`] — the
+/// per-particle entry point used by
+/// [`IncrementalTranslator`](crate::IncrementalTranslator), which builds
+/// the plan once per stage and shares it across all particle tasks.
+/// Output is bit-identical to [`translate_graph`].
+///
+/// # Errors
+///
+/// Propagates evaluation errors from re-executing the affected slice, or
+/// reports a shape mismatch if `plan` was built for a different edit.
+pub fn translate_graph_with_plan(
+    q: &Arc<Program>,
+    edit: &ProgramEdit,
+    plan: &StagePlan,
+    old: &ExecGraph,
+    rng: &mut dyn RngCore,
+) -> Result<IncrementalResult, PplError> {
     let mut propagator = Propagator {
         old,
+        builder: StoreBuilder::extending(old.store()),
         rng,
         correspondence: &edit.correspondence,
         env: Env::new(),
@@ -95,7 +123,7 @@ pub fn translate_graph(
         log_den: LogWeight::ONE,
         stats: VisitStats::default(),
     };
-    let mut stmts = propagator.exec_block(&q.body, &edit.diff, Some(&old.root))?;
+    let mut stmts = propagator.exec_block(&q.body, plan.root(), Some(old.root()))?;
     // Return expression: always evaluated (cheap), recorded like build.rs
     // does so flattening yields a complete trace.
     let mut ret_summary = Summary::default();
@@ -103,7 +131,7 @@ pub fn translate_graph(
         Some(e) => {
             let v = propagator.eval(e, &mut ret_summary)?;
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
-                stmts.push(Arc::new(StmtRecord::Leaf {
+                stmts.push(propagator.builder.push_stmt(StmtRecord::Leaf {
                     summary: ret_summary,
                 }));
             }
@@ -111,17 +139,28 @@ pub fn translate_graph(
         }
         None => Value::Int(0),
     };
-    let root = Arc::new(BlockRecord::finalize(stmts));
-    let graph = ExecGraph::assemble(Arc::clone(q), root, return_value);
+    let Propagator {
+        mut builder,
+        log_num,
+        log_den,
+        stats,
+        ..
+    } = propagator;
+    let root_block = BlockRecord::finalize(&builder, stmts);
+    let root = builder.push_block(root_block);
+    let graph = ExecGraph::assemble(Arc::clone(q), builder.finish(), root, return_value);
     Ok(IncrementalResult {
         graph,
-        log_weight: propagator.log_num - propagator.log_den,
-        stats: propagator.stats,
+        log_weight: log_num - log_den,
+        stats,
     })
 }
 
 struct Propagator<'a> {
     old: &'a ExecGraph,
+    /// Output arena, extending the old graph's store — so old node ids
+    /// remain valid and a skipped subtree is shared by pushing its id.
+    builder: StoreBuilder,
     rng: &'a mut dyn RngCore,
     correspondence: &'a Correspondence,
     env: Env,
@@ -161,7 +200,19 @@ impl ChoiceSource for ReuseSource<'_, '_> {
     }
 }
 
-impl Propagator<'_> {
+impl<'a> Propagator<'a> {
+    /// Resolves an old-graph statement id. The returned reference borrows
+    /// the *input graph* (lifetime `'a`), not the propagator, so it stays
+    /// usable across subsequent `&mut self` calls.
+    fn old_stmt(&self, id: StmtId) -> &'a StmtRecord {
+        self.old.store().stmt(id)
+    }
+
+    /// Resolves an old-graph block id (see [`Propagator::old_stmt`]).
+    fn old_block(&self, id: BlockId) -> &'a BlockRecord {
+        self.old.store().block(id)
+    }
+
     fn eval(&mut self, expr: &ppl::ast::Expr, sum: &mut Summary) -> Result<Value, PplError> {
         let mut source = ReuseSource {
             old: self.old,
@@ -201,17 +252,19 @@ impl Propagator<'_> {
     }
 
     fn address_for(&self, rand: &ppl::ast::RandExpr) -> Address {
-        let mut addr = Address::from(rand.site.as_str());
+        // Reuse the site's existing `Arc<str>` (refcount bump) instead of
+        // allocating a fresh one per visit.
+        let mut addr = Address::from_components([Arc::clone(&rand.site.0).into()]);
         for &i in &self.loops {
             addr.push(i);
         }
         addr
     }
 
-    fn any_dirty(&self, reads: &BTreeSet<String>) -> bool {
+    fn any_dirty(&self, reads: &BTreeSet<&'static str>) -> bool {
         reads
             .iter()
-            .any(|name| self.env.get(name).map(|s| s.dirty).unwrap_or(true))
+            .any(|name| self.env.get(*name).map(|s| s.dirty).unwrap_or(true))
     }
 
     /// Applies a skipped record's effects (clean: identical to the old
@@ -243,6 +296,7 @@ impl Propagator<'_> {
             match effect {
                 Effect::Var(name, old_value) => {
                     if let Some(slot) = self.env.get_mut(name) {
+
                         slot.dirty = !slot.value.num_eq(old_value);
                     }
                 }
@@ -259,44 +313,52 @@ impl Propagator<'_> {
     fn exec_block(
         &mut self,
         block: &Block,
-        diff: &BlockDiff,
-        old: Option<&BlockRecord>,
-    ) -> Result<Vec<Arc<StmtRecord>>, PplError> {
+        plan: &PlanBlock,
+        old: Option<BlockId>,
+    ) -> Result<Vec<StmtId>, PplError> {
+        let old_blk: Option<&'a BlockRecord> = old.map(|b| self.old_block(b));
         let mut records = Vec::with_capacity(block.stmts().len());
-        for op in &diff.ops {
+        for op in &plan.ops {
             match op {
-                DiffOp::RemovedP(p_index) => {
-                    if let Some(old_block) = old {
-                        if let Some(summary) = old_block.stmts[*p_index].summary() {
+                PlanOp::RemovedP(p_index) => {
+                    if let Some(old_block) = old_blk {
+                        let removed = self.old_stmt(old_block.stmts[*p_index]);
+                        if let Some(summary) = removed.summary() {
                             self.remove_record(summary);
                         }
                     }
                 }
-                DiffOp::Stmt {
+                PlanOp::Stmt {
                     q_index,
                     p_index,
-                    diff: stmt_diff,
+                    unchanged,
+                    detail,
                 } => {
                     let stmt = &block.stmts()[*q_index];
-                    let old_rec: Option<Arc<StmtRecord>> = match (old, p_index) {
-                        (Some(old_block), Some(i)) => Some(Arc::clone(&old_block.stmts[*i])),
+                    let old_sid: Option<StmtId> = match (old_blk, p_index) {
+                        (Some(old_block), Some(i)) => Some(old_block.stmts[*i]),
                         _ => None,
                     };
-                    // Skip when nothing changed and no dirty inputs.
-                    if let Some(rec) = &old_rec {
+                    let old_rec: Option<&'a StmtRecord> =
+                        old_sid.map(|sid| self.old_stmt(sid));
+                    // Skip when nothing changed and no dirty inputs (the
+                    // diff half of the check is precomputed in the plan).
+                    if let Some(rec) = old_rec {
                         let clean = match rec.summary() {
                             Some(s) => !self.any_dirty(&s.reads),
                             None => true,
                         };
-                        if stmt_diff.is_unchanged() && clean {
+                        if *unchanged && clean {
                             self.skip_record(rec)?;
-                            records.push(Arc::clone(rec));
+                            // O(1) subtree sharing: the old id is valid in
+                            // the extending store.
+                            records.push(old_sid.expect("skip requires an old record"));
                             continue;
                         }
                     }
                     self.stats.visited += 1;
-                    let record = self.visit_stmt(stmt, stmt_diff, old_rec.as_deref())?;
-                    records.push(Arc::new(record));
+                    let record = self.visit_stmt(stmt, detail, old_rec)?;
+                    records.push(self.builder.push_stmt(record));
                 }
             }
         }
@@ -306,8 +368,8 @@ impl Propagator<'_> {
     fn visit_stmt(
         &mut self,
         stmt: &Stmt,
-        diff: &StmtDiff,
-        old_rec: Option<&StmtRecord>,
+        detail: &PlanStmt,
+        old_rec: Option<&'a StmtRecord>,
     ) -> Result<StmtRecord, PplError> {
         match stmt {
             Stmt::Skip => Ok(StmtRecord::Skip),
@@ -316,25 +378,26 @@ impl Propagator<'_> {
                 let value = self.eval(expr, &mut summary)?;
                 let old_final = old_rec.and_then(final_var_value(name));
                 let dirty = old_final.is_none_or(|old| !value.num_eq(old));
+                let name = intern_name(name);
                 self.env.insert(
-                    name.clone(),
+                    name,
                     Slot {
                         value: value.clone(),
                         dirty,
                     },
                 );
-                summary.effects.push(Effect::Var(name.clone(), value));
+                summary.effects.push(Effect::Var(name, value));
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::AssignIndex(name, idx, expr) => {
                 let mut summary = Summary::default();
                 let i = self.eval(idx, &mut summary)?.as_int()?;
                 let value = self.eval(expr, &mut summary)?;
-                summary.reads.insert(name.clone());
+                summary.reads.insert(intern_name(name));
                 let old_elem = old_rec.and_then(|r| {
                     r.summary().and_then(|s| {
                         s.effects.iter().find_map(|e| match e {
-                            Effect::Elem(n, j, v) if n == name && *j == i => Some(v),
+                            Effect::Elem(n, j, v) if *n == name.as_str() && *j == i => Some(v),
                             _ => None,
                         })
                     })
@@ -342,7 +405,7 @@ impl Propagator<'_> {
                 let changed = old_elem.is_none_or(|old| !value.num_eq(old));
                 let slot = self
                     .env
-                    .get_mut(name)
+                    .get_mut(name.as_str())
                     .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
                 let items = slot.value.as_array_mut()?;
                 if i < 0 || i as usize >= items.len() {
@@ -353,7 +416,7 @@ impl Propagator<'_> {
                 }
                 items[i as usize] = value.clone();
                 slot.dirty = slot.dirty || changed;
-                summary.effects.push(Effect::Elem(name.clone(), i, value));
+                summary.effects.push(Effect::Elem(intern_name(name), i, value));
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::Observe(rand, value_expr) => {
@@ -381,42 +444,51 @@ impl Propagator<'_> {
                 Ok(StmtRecord::Leaf { summary })
             }
             Stmt::If(cond, then_b, else_b) => {
+                let PlanStmt::If {
+                    matched,
+                    fresh_then,
+                    fresh_else,
+                } = detail
+                else {
+                    return Err(plan_shape_mismatch("if"));
+                };
                 let mut summary = Summary::default();
                 let took_then = self.eval(cond, &mut summary)?.truthy()?;
                 let branch = if took_then { then_b } else { else_b };
-                let branch_diff_owned;
-                let (branch_diff, old_body) = match (diff, old_rec) {
+                let (branch_plan, old_body) = match (matched, old_rec) {
                     (
-                        StmtDiff::IfDiff {
-                            then_diff,
-                            else_diff,
-                            ..
-                        },
+                        Some((then_plan, else_plan)),
                         Some(StmtRecord::If {
                             took_then: old_took,
                             body,
                             ..
                         }),
                     ) if *old_took == took_then => {
-                        let d: &BlockDiff = if took_then { then_diff } else { else_diff };
-                        (d, Some(&**body))
+                        let p = if took_then { then_plan } else { else_plan };
+                        (p, Some(*body))
                     }
                     _ => {
                         // Branch flipped, statement replaced, or no old
                         // record: the old executed branch is removed and
                         // the new branch runs fresh.
                         if let Some(StmtRecord::If { body, .. }) = old_rec {
-                            self.remove_record(&body.summary);
+                            let removed = &self.old_block(*body).summary;
+                            self.remove_record(removed);
                         }
-                        branch_diff_owned = fresh_block_diff(branch);
-                        (&branch_diff_owned, None)
+                        let p = if took_then { fresh_then } else { fresh_else };
+                        (p, None)
                     }
                 };
-                let body_records = self.exec_block(branch, branch_diff, old_body)?;
-                let body = Arc::new(BlockRecord::finalize(body_records));
-                summary.reads.extend(body.summary.reads.iter().cloned());
-                summary.effects.extend(body.summary.effects.iter().cloned());
-                summary.obs_score += body.summary.obs_score;
+                let body_records = self.exec_block(branch, branch_plan, old_body)?;
+                let body_block = BlockRecord::finalize(&self.builder, body_records);
+                summary
+                    .reads
+                    .extend(body_block.summary.reads.iter().cloned());
+                summary
+                    .effects
+                    .extend(body_block.summary.effects.iter().cloned());
+                summary.obs_score += body_block.summary.obs_score;
+                let body = self.builder.push_block(body_block);
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
                     self.reconcile_writes(old_summary);
                 }
@@ -427,96 +499,101 @@ impl Propagator<'_> {
                 })
             }
             Stmt::For(var, lo_e, hi_e, body) => {
+                let PlanStmt::For {
+                    body: body_plan,
+                    body_unchanged,
+                } = detail
+                else {
+                    return Err(plan_shape_mismatch("for"));
+                };
                 let mut summary = Summary::default();
                 let lo = self.eval(lo_e, &mut summary)?.as_int()?;
                 let hi = self.eval(hi_e, &mut summary)?.as_int()?;
-                let fresh_body;
-                let body_diff = match diff {
-                    StmtDiff::ForDiff { body_diff, .. } => &**body_diff,
-                    _ => {
-                        fresh_body = fresh_block_diff(body);
-                        &fresh_body
-                    }
-                };
-                let old_for: Option<(i64, i64, &Vec<Arc<BlockRecord>>)> = match old_rec {
+                let old_for: Option<(i64, i64, &'a [BlockId])> = match old_rec {
                     Some(StmtRecord::For { lo, hi, iters, .. }) => Some((*lo, *hi, iters)),
                     _ => None,
                 };
                 let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
-                let mut written: BTreeSet<String> = BTreeSet::new();
-                written.insert(var.clone());
+                let mut written: BTreeSet<&'static str> = BTreeSet::new();
+                let var_name = intern_name(var);
+                written.insert(var_name);
                 for i in lo..hi {
                     self.env.insert(
-                        var.clone(),
+                        var_name,
                         Slot {
                             value: Value::Int(i),
                             dirty: false,
                         },
                     );
-                    let old_iter: Option<&Arc<BlockRecord>> =
-                        old_for.as_ref().and_then(|(old_lo, old_hi, old_iters)| {
-                            if *old_lo <= i && i < *old_hi {
-                                old_iters.get((i - old_lo) as usize)
+                    let old_iter: Option<BlockId> =
+                        old_for.and_then(|(old_lo, old_hi, old_iters)| {
+                            if old_lo <= i && i < old_hi {
+                                old_iters.get((i - old_lo) as usize).copied()
                             } else {
                                 None
                             }
                         });
-                    let iter_rc = match old_iter {
-                        Some(old_iter)
-                            if body_diff.is_unchanged()
-                                && !self.any_dirty(&old_iter.summary.reads) =>
-                        {
-                            // Skip the whole iteration.
-                            crate::build::apply_effects(
-                                &mut self.env,
-                                &old_iter.summary.effects,
-                                false,
-                            )?;
+                    let skippable = *body_unchanged
+                        && match old_iter {
+                            Some(oid) => {
+                                let reads = &self.old_block(oid).summary.reads;
+                                !self.any_dirty(reads)
+                            }
+                            None => false,
+                        };
+                    let iter_id = match old_iter {
+                        Some(oid) if skippable => {
+                            // Skip the whole iteration; share its record
+                            // by id.
+                            let old_sum = &self.old_block(oid).summary;
+                            crate::build::apply_effects(&mut self.env, &old_sum.effects, false)?;
                             self.stats.skipped += 1;
                             self.stats.iter_skips += 1;
-                            Arc::clone(old_iter)
+                            oid
                         }
                         _ => {
                             self.stats.visited += 1;
-                            let old_iter = old_iter.cloned();
                             self.loops.push(i);
-                            let result = self.exec_block(body, body_diff, old_iter.as_deref());
+                            let result = self.exec_block(body, body_plan, old_iter);
                             self.loops.pop();
-                            Arc::new(BlockRecord::finalize(result?))
+                            let block = BlockRecord::finalize(&self.builder, result?);
+                            self.builder.push_block(block)
                         }
                     };
                     // Def-before-use across iterations: a read satisfied
                     // by an earlier iteration's write is loop-internal.
+                    let iter_sum = &self.builder.block(iter_id).summary;
                     summary.reads.extend(
-                        iter_rc
-                            .summary
+                        iter_sum
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
-                    summary.obs_score += iter_rc.summary.obs_score;
-                    for effect in &iter_rc.summary.effects {
-                        written.insert(effect.var_name().to_string());
+                    summary.obs_score += iter_sum.obs_score;
+                    for effect in &iter_sum.effects {
+                        written.insert(intern_name(effect.var_name()));
                     }
-                    iters.push(iter_rc);
+                    iters.push(iter_id);
                 }
                 // Old iterations beyond the new bounds were removed.
                 if let Some((old_lo, old_hi, old_iters)) = old_for {
                     for i in old_lo..old_hi {
                         if i < lo || i >= hi {
-                            self.remove_record(&old_iters[(i - old_lo) as usize].summary);
+                            let removed =
+                                &self.old_block(old_iters[(i - old_lo) as usize]).summary;
+                            self.remove_record(removed);
                         }
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(name) {
+                    if let Some(slot) = self.env.get(*name) {
                         summary
                             .effects
-                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                            .push(Effect::Var(*name, slot.value.clone()));
                     }
                 }
-                summary.reads.remove(var);
+                summary.reads.remove(var.as_str());
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
                     self.reconcile_writes(old_summary);
                 }
@@ -528,53 +605,53 @@ impl Propagator<'_> {
                 })
             }
             Stmt::While(cond_e, body) => {
-                let mut summary = Summary::default();
-                let fresh_body;
-                let (cond_changed, body_diff) = match diff {
-                    StmtDiff::WhileDiff {
-                        cond_changed,
-                        body_diff,
-                    } => (*cond_changed, &**body_diff),
-                    _ => {
-                        fresh_body = fresh_block_diff(body);
-                        (true, &fresh_body)
-                    }
+                let PlanStmt::While {
+                    body: body_plan,
+                    iter_skippable,
+                } = detail
+                else {
+                    return Err(plan_shape_mismatch("while"));
                 };
-                let old_iters: Option<&Vec<crate::record::WhileIter>> = match old_rec {
+                let mut summary = Summary::default();
+                let old_iters: Option<&'a Vec<crate::record::WhileIter>> = match old_rec {
                     Some(StmtRecord::While { iters, .. }) => Some(iters),
                     _ => None,
                 };
                 let mut iters: Vec<crate::record::WhileIter> = Vec::new();
-                let mut written: BTreeSet<String> = BTreeSet::new();
+                let mut written: BTreeSet<&'static str> = BTreeSet::new();
                 let mut i = 0_i64;
                 loop {
                     let old_iter = old_iters.and_then(|v| v.get(i as usize));
                     // Skip the iteration wholesale when nothing can have
                     // changed (same code, clean inputs).
                     if let Some(old_iter) = old_iter {
-                        let clean = !cond_changed
-                            && body_diff.is_unchanged()
+                        let clean = *iter_skippable
                             && !old_iter
-                                .reads()
+                                .reads(self.old.store())
                                 .any(|name| self.env.get(name).map(|s| s.dirty).unwrap_or(true));
                         if clean {
-                            if let Some(b) = &old_iter.body {
+                            if let Some(b) = old_iter.body {
+                                let body_sum = &self.old_block(b).summary;
                                 crate::build::apply_effects(
                                     &mut self.env,
-                                    &b.summary.effects,
+                                    &body_sum.effects,
                                     false,
                                 )?;
                             }
                             self.stats.skipped += 1;
                             self.stats.iter_skips += 1;
                             summary.reads.extend(
-                                old_iter.reads().filter(|r| !written.contains(*r)).cloned(),
+                                old_iter
+                                    .reads(self.old.store())
+                                    .filter(|r| !written.contains(*r)),
                             );
-                            summary.obs_score += old_iter.obs_score();
-                            for effect in
-                                old_iter.body.iter().flat_map(|b| b.summary.effects.iter())
+                            summary.obs_score += old_iter.obs_score(self.old.store());
+                            for effect in old_iter
+                                .body
+                                .iter()
+                                .flat_map(|b| self.old_block(*b).summary.effects.iter())
                             {
-                                written.insert(effect.var_name().to_string());
+                                written.insert(intern_name(effect.var_name()));
                             }
                             let continued = old_iter.continued;
                             iters.push(old_iter.clone());
@@ -604,7 +681,7 @@ impl Propagator<'_> {
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
@@ -617,32 +694,33 @@ impl Propagator<'_> {
                         // The old iteration at this index may have had a
                         // body that no longer runs.
                         if let Some(old_iter) = old_iter {
-                            if let Some(b) = &old_iter.body {
-                                self.remove_record(&b.summary);
+                            if let Some(b) = old_iter.body {
+                                let removed = &self.old_block(b).summary;
+                                self.remove_record(removed);
                             }
                         }
                         break;
                     }
-                    let old_body = old_iter.and_then(|it| it.body.clone());
-                    let body_result = self.exec_block(body, body_diff, old_body.as_deref());
+                    let old_body: Option<BlockId> = old_iter.and_then(|it| it.body);
+                    let body_result = self.exec_block(body, body_plan, old_body);
                     self.loops.pop();
-                    let body_rec = Arc::new(BlockRecord::finalize(body_result?));
+                    let body_rec = BlockRecord::finalize(&self.builder, body_result?);
                     summary.reads.extend(
                         body_rec
                             .summary
                             .reads
                             .iter()
                             .filter(|r| !written.contains(*r))
-                            .cloned(),
+                            .copied(),
                     );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
-                        written.insert(effect.var_name().to_string());
+                        written.insert(intern_name(effect.var_name()));
                     }
                     iters.push(crate::record::WhileIter {
                         cond: cond_sum,
                         continued: true,
-                        body: Some(body_rec),
+                        body: Some(self.builder.push_block(body_rec)),
                     });
                     i += 1;
                     if i > 10_000_000 {
@@ -653,17 +731,18 @@ impl Propagator<'_> {
                 // removed entirely.
                 if let Some(old_iters) = old_iters {
                     for old_iter in old_iters.iter().skip(iters.len()) {
-                        self.log_den += old_iter.obs_score();
-                        if let Some(b) = &old_iter.body {
-                            self.reconcile_writes(&b.summary);
+                        self.log_den += old_iter.obs_score(self.old.store());
+                        if let Some(b) = old_iter.body {
+                            let removed = &self.old_block(b).summary;
+                            self.reconcile_writes(removed);
                         }
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(name) {
+                    if let Some(slot) = self.env.get(*name) {
                         summary
                             .effects
-                            .push(Effect::Var(name.clone(), slot.value.clone()));
+                            .push(Effect::Var(*name, slot.value.clone()));
                     }
                 }
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
@@ -680,40 +759,18 @@ fn final_var_value(name: &str) -> impl Fn(&StmtRecord) -> Option<&Value> + '_ {
     move |record: &StmtRecord| {
         record.summary().and_then(|s| {
             s.effects.iter().rev().find_map(|e| match e {
-                Effect::Var(n, v) if n == name => Some(v),
+                Effect::Var(n, v) if *n == name => Some(v),
                 _ => None,
             })
         })
     }
 }
 
-/// A diff that treats every statement of `block` as new (fresh
-/// execution).
-fn fresh_block_diff(block: &Block) -> BlockDiff {
-    let ops = block
-        .stmts()
-        .iter()
-        .enumerate()
-        .map(|(j, stmt)| DiffOp::Stmt {
-            q_index: j,
-            p_index: None,
-            diff: fresh_stmt_diff(stmt),
-        })
-        .collect();
-    BlockDiff { ops }
-}
-
-fn fresh_stmt_diff(stmt: &Stmt) -> StmtDiff {
-    match stmt {
-        Stmt::If(_, t, e) => StmtDiff::IfDiff {
-            cond_changed: true,
-            then_diff: Box::new(fresh_block_diff(t)),
-            else_diff: Box::new(fresh_block_diff(e)),
-        },
-        Stmt::For(_, _, _, b) => StmtDiff::ForDiff {
-            bounds_changed: true,
-            body_diff: Box::new(fresh_block_diff(b)),
-        },
-        _ => StmtDiff::Edited,
-    }
+/// A [`StagePlan`] node's shape disagreed with the statement it was
+/// paired with — only possible if a plan built for a different edit is
+/// passed to [`translate_graph_with_plan`].
+fn plan_shape_mismatch(at: &str) -> PplError {
+    PplError::Other(format!(
+        "stage plan does not match the target program (at `{at}` statement)"
+    ))
 }

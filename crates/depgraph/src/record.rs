@@ -8,19 +8,50 @@
 //! tracked through variable read/write *summaries* on each record rather
 //! than explicit edges (the summaries are what change propagation needs).
 //!
-//! Records are reference-counted (`Arc`, so graphs are `Send + Sync` and
-//! particles can carry them across worker threads) so that the
-//! incremental translator can share unchanged subtrees between `G_t` and
-//! `G_u` in O(1) — the key to the `O(K)` hyperparameter edit of
-//! Figure 10.
+//! Records live in an arena ([`NodeStore`]): append-only segments of
+//! contiguous `StmtRecord`/`BlockRecord` buffers, addressed by `u32` node
+//! ids ([`StmtId`], [`BlockId`]). A translated graph's store *extends*
+//! its input's store — the old segments are shared by `Arc` and only one
+//! new tail segment is appended per translation — so old node ids stay
+//! valid in the new graph and the incremental translator shares an
+//! unchanged subtree between `G_t` and `G_u` by copying a 4-byte id
+//! (O(1), the key to the `O(K)` hyperparameter edit of Figure 10).
+//! Duplicating a graph under resampling clones `Arc` handles to the
+//! segment buffers, never the nodes. Segment buffers whose last graph
+//! drops return their capacity to a pool for reuse by later stages.
 
 use std::collections::BTreeSet;
 use std::hash::Hasher as _;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use ppl::ast::Program;
 use ppl::dist::Dist;
-use ppl::{Address, AddressId, AddressInterner, FxHashMap, LogWeight, PplError, Trace, Value};
+use ppl::{
+    Address, AddressId, AddressInterner, FxHashMap, FxHashSet, LogWeight, PplError, Trace, Value,
+};
+
+/// Interns a variable name into `'static` storage.
+///
+/// Dependency summaries hold reads as `&'static str`, so aggregating a
+/// child summary into its parent (done once per visited block, at every
+/// nesting level, for every particle) copies pointer-sized values
+/// instead of allocating a `String` per name. Like the address interner,
+/// the name universe is bounded by the program text, so leaking is a
+/// deliberate space-for-time trade.
+pub fn intern_name(name: &str) -> &'static str {
+    static GLOBAL: OnceLock<RwLock<FxHashSet<&'static str>>> = OnceLock::new();
+    let global = GLOBAL.get_or_init(|| RwLock::new(FxHashSet::default()));
+    if let Some(&interned) = global.read().expect("name interner poisoned").get(name) {
+        return interned;
+    }
+    let mut set = global.write().expect("name interner poisoned");
+    if let Some(&interned) = set.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
 
 /// The recorded data of one random choice.
 #[derive(Debug, Clone)]
@@ -48,17 +79,222 @@ pub struct ObsData {
 #[derive(Debug, Clone)]
 pub enum Effect {
     /// `x = value`
-    Var(String, Value),
+    Var(&'static str, Value),
     /// `x[i] = value`
-    Elem(String, i64, Value),
+    Elem(&'static str, i64, Value),
 }
 
 impl Effect {
-    /// The written variable's name.
-    pub fn var_name(&self) -> &str {
+    /// The written variable's name ([`intern_name`]-interned, so effect
+    /// aggregation copies pointers, not strings).
+    pub fn var_name(&self) -> &'static str {
         match self {
             Effect::Var(name, _) | Effect::Elem(name, _, _) => name,
         }
+    }
+}
+
+/// Arena id of a [`StmtRecord`] in a [`NodeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtId(u32);
+
+/// Arena id of a [`BlockRecord`] in a [`NodeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(u32);
+
+/// Record types whose segment buffers are capacity-pooled on drop.
+trait PooledRecord: Sized + 'static {
+    fn capacity_pool() -> &'static Mutex<Vec<Vec<Self>>>;
+}
+
+static STMT_POOL: Mutex<Vec<Vec<StmtRecord>>> = Mutex::new(Vec::new());
+static BLOCK_POOL: Mutex<Vec<Vec<BlockRecord>>> = Mutex::new(Vec::new());
+
+/// Retained pooled buffers per record type (beyond this, capacity is
+/// simply freed).
+const POOL_MAX: usize = 64;
+
+impl PooledRecord for StmtRecord {
+    fn capacity_pool() -> &'static Mutex<Vec<Vec<StmtRecord>>> {
+        &STMT_POOL
+    }
+}
+
+impl PooledRecord for BlockRecord {
+    fn capacity_pool() -> &'static Mutex<Vec<Vec<BlockRecord>>> {
+        &BLOCK_POOL
+    }
+}
+
+fn pooled_vec<T: PooledRecord>() -> Vec<T> {
+    match T::capacity_pool().lock().ok().and_then(|mut p| p.pop()) {
+        Some(v) => {
+            incremental::metrics::note_arena_recycle();
+            v
+        }
+        None => Vec::new(),
+    }
+}
+
+/// One contiguous arena segment. Dropping the last `Arc` to a segment
+/// drops its nodes and returns the buffer's capacity to the pool.
+#[derive(Debug)]
+struct Seg<T: PooledRecord> {
+    items: Vec<T>,
+}
+
+impl<T: PooledRecord> Drop for Seg<T> {
+    fn drop(&mut self) {
+        incremental::metrics::note_arena_free(self.items.len() as u64);
+        let mut buf = std::mem::take(&mut self.items);
+        buf.clear();
+        if buf.capacity() > 0 {
+            if let Ok(mut pool) = T::capacity_pool().lock() {
+                if pool.len() < POOL_MAX {
+                    pool.push(buf);
+                }
+            }
+        }
+    }
+}
+
+/// Arena-backed node storage of an [`ExecGraph`].
+///
+/// Node ids are global offsets; segments partition the id space in
+/// order, so a lookup binary-searches the (short) segment base list and
+/// indexes one contiguous buffer. A store built by
+/// [`StoreBuilder::extending`] shares every existing segment and appends
+/// one tail, which keeps all prior ids valid (the prefix property the
+/// incremental translator's O(1) subtree sharing relies on).
+#[derive(Debug, Clone, Default)]
+pub struct NodeStore {
+    stmt_segs: Vec<Arc<Seg<StmtRecord>>>,
+    stmt_bases: Vec<u32>,
+    stmt_len: u32,
+    block_segs: Vec<Arc<Seg<BlockRecord>>>,
+    block_bases: Vec<u32>,
+    block_len: u32,
+}
+
+fn seg_index(bases: &[u32], id: u32) -> usize {
+    bases.partition_point(|&b| b <= id) - 1
+}
+
+impl NodeStore {
+    /// Resolves a statement record.
+    pub fn stmt(&self, id: StmtId) -> &StmtRecord {
+        let i = seg_index(&self.stmt_bases, id.0);
+        &self.stmt_segs[i].items[(id.0 - self.stmt_bases[i]) as usize]
+    }
+
+    /// Resolves a block record.
+    pub fn block(&self, id: BlockId) -> &BlockRecord {
+        let i = seg_index(&self.block_bases, id.0);
+        &self.block_segs[i].items[(id.0 - self.block_bases[i]) as usize]
+    }
+
+    /// Total nodes (statement + block records) addressable in this
+    /// store, including segments shared with ancestor graphs.
+    pub fn len(&self) -> usize {
+        self.stmt_len as usize + self.block_len as usize
+    }
+
+    /// Whether the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of arena segments (grows by at most one per translation).
+    pub fn segments(&self) -> usize {
+        self.stmt_segs.len() + self.block_segs.len()
+    }
+}
+
+/// Append-side handle for building a [`NodeStore`]: either from scratch
+/// ([`StoreBuilder::new`]) or extending an existing graph's store with
+/// one tail segment ([`StoreBuilder::extending`]). Children must be
+/// pushed before the parents that reference them.
+#[derive(Debug)]
+pub struct StoreBuilder {
+    base: NodeStore,
+    stmt_tail: Vec<StmtRecord>,
+    block_tail: Vec<BlockRecord>,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreBuilder {
+    /// Starts an empty store (building a graph from scratch).
+    pub fn new() -> StoreBuilder {
+        Self::extending(&NodeStore::default())
+    }
+
+    /// Starts a store that shares every segment of `base` — all of
+    /// `base`'s node ids remain valid in the finished store.
+    pub fn extending(base: &NodeStore) -> StoreBuilder {
+        StoreBuilder {
+            base: base.clone(),
+            stmt_tail: pooled_vec(),
+            block_tail: pooled_vec(),
+        }
+    }
+
+    /// Appends a statement record, returning its id.
+    pub fn push_stmt(&mut self, record: StmtRecord) -> StmtId {
+        let id = StmtId(self.base.stmt_len + self.stmt_tail.len() as u32);
+        self.stmt_tail.push(record);
+        id
+    }
+
+    /// Appends a block record, returning its id.
+    pub fn push_block(&mut self, record: BlockRecord) -> BlockId {
+        let id = BlockId(self.base.block_len + self.block_tail.len() as u32);
+        self.block_tail.push(record);
+        id
+    }
+
+    /// Resolves a statement record (base prefix or pending tail).
+    pub fn stmt(&self, id: StmtId) -> &StmtRecord {
+        if id.0 >= self.base.stmt_len {
+            &self.stmt_tail[(id.0 - self.base.stmt_len) as usize]
+        } else {
+            self.base.stmt(id)
+        }
+    }
+
+    /// Resolves a block record (base prefix or pending tail).
+    pub fn block(&self, id: BlockId) -> &BlockRecord {
+        if id.0 >= self.base.block_len {
+            &self.block_tail[(id.0 - self.base.block_len) as usize]
+        } else {
+            self.base.block(id)
+        }
+    }
+
+    /// Seals the tail into a segment and returns the finished store.
+    pub fn finish(self) -> NodeStore {
+        let mut store = self.base;
+        let appended = (self.stmt_tail.len() + self.block_tail.len()) as u64;
+        if !self.stmt_tail.is_empty() {
+            store.stmt_bases.push(store.stmt_len);
+            store.stmt_len += self.stmt_tail.len() as u32;
+            store.stmt_segs.push(Arc::new(Seg {
+                items: self.stmt_tail,
+            }));
+        }
+        if !self.block_tail.is_empty() {
+            store.block_bases.push(store.block_len);
+            store.block_len += self.block_tail.len() as u32;
+            store.block_segs.push(Arc::new(Seg {
+                items: self.block_tail,
+            }));
+        }
+        incremental::metrics::note_arena_alloc(appended);
+        store
     }
 }
 
@@ -66,8 +302,9 @@ impl Effect {
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     /// Variables read anywhere in the subtree (including loop variables
-    /// and array index expressions).
-    pub reads: BTreeSet<String>,
+    /// and array index expressions), as [`intern_name`]-interned names so
+    /// summary aggregation copies pointers, not strings.
+    pub reads: BTreeSet<&'static str>,
     /// Writes, in execution order. Loop records compress element writes
     /// into one final [`Effect::Var`] snapshot per variable (O(1) to
     /// apply thanks to `Arc`-backed arrays).
@@ -97,7 +334,7 @@ pub enum StmtRecord {
         /// Whether the then-branch was taken.
         took_then: bool,
         /// The executed branch's records.
-        body: Arc<BlockRecord>,
+        body: BlockId,
         /// Summary covering the condition and the executed branch.
         summary: Summary,
     },
@@ -108,7 +345,7 @@ pub enum StmtRecord {
         /// Evaluated upper bound (exclusive).
         hi: i64,
         /// Per-iteration records, indexed `0 ↦ lo`, `1 ↦ lo+1`, ….
-        iters: Vec<Arc<BlockRecord>>,
+        iters: Vec<BlockId>,
         /// Summary with compressed (snapshot) effects.
         summary: Summary,
     },
@@ -132,26 +369,26 @@ pub struct WhileIter {
     /// Whether the condition evaluated to true (and the body ran).
     pub continued: bool,
     /// The body records (present iff `continued`).
-    pub body: Option<Arc<BlockRecord>>,
+    pub body: Option<BlockId>,
 }
 
 impl WhileIter {
     /// Aggregate observation score of the iteration (condition + body).
-    pub fn obs_score(&self) -> LogWeight {
+    pub fn obs_score(&self, store: &NodeStore) -> LogWeight {
         let body = self
             .body
-            .as_ref()
-            .map(|b| b.summary.obs_score)
+            .map(|b| store.block(b).summary.obs_score)
             .unwrap_or(LogWeight::ONE);
         self.cond.obs_score + body
     }
 
     /// Reads of the iteration (condition + body), for skip checks.
-    pub fn reads(&self) -> impl Iterator<Item = &String> {
-        self.cond
-            .reads
-            .iter()
-            .chain(self.body.iter().flat_map(|b| b.summary.reads.iter()))
+    pub fn reads<'s>(&'s self, store: &'s NodeStore) -> impl Iterator<Item = &'static str> + 's {
+        self.cond.reads.iter().copied().chain(
+            self.body
+                .iter()
+                .flat_map(move |b| store.block(*b).summary.reads.iter().copied()),
+        )
     }
 }
 
@@ -172,13 +409,15 @@ impl StmtRecord {
 #[derive(Debug, Clone, Default)]
 pub struct BlockRecord {
     /// One record per executed statement, in order.
-    pub stmts: Vec<Arc<StmtRecord>>,
+    pub stmts: Vec<StmtId>,
     /// Aggregate summary of the whole block.
     pub summary: Summary,
 }
 
 impl BlockRecord {
-    /// Builds the aggregate summary from the statement records.
+    /// Builds the aggregate summary from the statement records (resolved
+    /// through `builder`, which holds both the shared prefix and the
+    /// records pushed during the current build/translation).
     ///
     /// Reads are filtered def-before-use: a variable read by a statement
     /// does not become a *block* read if an earlier statement of the
@@ -189,17 +428,17 @@ impl BlockRecord {
     /// This is what lets change propagation skip an entire unchanged
     /// loop whose body wires its iterations together through variables
     /// defined inside the loop.
-    pub fn finalize(stmts: Vec<Arc<StmtRecord>>) -> BlockRecord {
+    pub fn finalize(builder: &StoreBuilder, stmts: Vec<StmtId>) -> BlockRecord {
         let mut summary = Summary::default();
-        let mut written: BTreeSet<String> = BTreeSet::new();
-        for stmt in &stmts {
-            if let Some(s) = stmt.summary() {
+        let mut written: BTreeSet<&str> = BTreeSet::new();
+        for &sid in &stmts {
+            if let Some(s) = builder.stmt(sid).summary() {
                 summary
                     .reads
-                    .extend(s.reads.iter().filter(|r| !written.contains(*r)).cloned());
+                    .extend(s.reads.iter().filter(|r| !written.contains(*r)).copied());
                 summary.effects.extend(s.effects.iter().cloned());
                 summary.obs_score += s.obs_score;
-                written.extend(s.effects.iter().map(|e| e.var_name().to_string()));
+                written.extend(s.effects.iter().map(|e| e.var_name()));
             }
         }
         BlockRecord { stmts, summary }
@@ -225,8 +464,11 @@ pub struct ExecGraph {
     /// by a chain of translations alias one allocation per program and
     /// validation can compare `Arc` identity).
     pub program: Arc<Program>,
+    /// Arena holding every record of this graph (plus the shared
+    /// segments of ancestor graphs along a translation chain).
+    store: NodeStore,
     /// The root block record.
-    pub root: Arc<BlockRecord>,
+    root: BlockId,
     /// The return value of the execution.
     pub return_value: Value,
     indexes: OnceLock<Indexes>,
@@ -248,16 +490,28 @@ impl ExecGraph {
     /// [`PplError::AddressCollision`] from [`ExecGraph::to_trace`].
     pub fn assemble(
         program: Arc<Program>,
-        root: Arc<BlockRecord>,
+        store: NodeStore,
+        root: BlockId,
         return_value: Value,
     ) -> ExecGraph {
         ExecGraph {
             program,
+            store,
             root,
             return_value,
             indexes: OnceLock::new(),
             fingerprint: OnceLock::new(),
         }
+    }
+
+    /// The arena the graph's records live in.
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// The root block's arena id.
+    pub fn root(&self) -> BlockId {
+        self.root
     }
 
     /// The fingerprint of this graph's program, computed once per graph.
@@ -270,7 +524,7 @@ impl ExecGraph {
     fn indexes(&self) -> &Indexes {
         self.indexes.get_or_init(|| {
             let mut idx = Indexes::default();
-            index_block(&self.root, &mut idx);
+            index_block(&self.store, self.store.block(self.root), &mut idx);
             idx
         })
     }
@@ -325,14 +579,15 @@ impl ExecGraph {
     /// Returns [`PplError::AddressCollision`] on duplicate addresses.
     pub fn to_trace(&self) -> Result<Trace, PplError> {
         let mut trace = Trace::new();
-        flatten_block(&self.root, &mut trace)?;
+        flatten_block(&self.store, self.store.block(self.root), &mut trace)?;
         trace.set_return_value(self.return_value.clone());
         Ok(trace)
     }
 }
 
-fn index_block(block: &BlockRecord, idx: &mut Indexes) {
-    for stmt in &block.stmts {
+fn index_block(store: &NodeStore, block: &BlockRecord, idx: &mut Indexes) {
+    for &sid in &block.stmts {
+        let stmt = store.stmt(sid);
         if let Some(summary) = stmt.summary() {
             for (addr, data) in &summary.choices {
                 idx.choices.entry(addr.id()).or_insert_with(|| data.clone());
@@ -343,11 +598,11 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
                     .or_insert_with(|| data.clone());
             }
         }
-        match &**stmt {
-            StmtRecord::If { body, .. } => index_block(body, idx),
+        match stmt {
+            StmtRecord::If { body, .. } => index_block(store, store.block(*body), idx),
             StmtRecord::For { iters, .. } => {
                 for iter in iters {
-                    index_block(iter, idx);
+                    index_block(store, store.block(*iter), idx);
                 }
             }
             StmtRecord::While { iters, .. } => {
@@ -360,8 +615,8 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
                             .entry(addr.id())
                             .or_insert_with(|| data.clone());
                     }
-                    if let Some(body) = &iter.body {
-                        index_block(body, idx);
+                    if let Some(body) = iter.body {
+                        index_block(store, store.block(body), idx);
                     }
                 }
             }
@@ -370,8 +625,9 @@ fn index_block(block: &BlockRecord, idx: &mut Indexes) {
     }
 }
 
-fn flatten_block(block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError> {
-    for stmt in &block.stmts {
+fn flatten_block(store: &NodeStore, block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError> {
+    for &sid in &block.stmts {
+        let stmt = store.stmt(sid);
         if let Some(summary) = stmt.summary() {
             for (addr, data) in &summary.choices {
                 trace.record_choice(
@@ -390,11 +646,11 @@ fn flatten_block(block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError>
                 )?;
             }
         }
-        match &**stmt {
-            StmtRecord::If { body, .. } => flatten_block(body, trace)?,
+        match stmt {
+            StmtRecord::If { body, .. } => flatten_block(store, store.block(*body), trace)?,
             StmtRecord::For { iters, .. } => {
                 for iter in iters {
-                    flatten_block(iter, trace)?;
+                    flatten_block(store, store.block(*iter), trace)?;
                 }
             }
             StmtRecord::While { iters, .. } => {
@@ -415,8 +671,8 @@ fn flatten_block(block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError>
                             data.log_prob,
                         )?;
                     }
-                    if let Some(body) = &iter.body {
-                        flatten_block(body, trace)?;
+                    if let Some(body) = iter.body {
+                        flatten_block(store, store.block(body), trace)?;
                     }
                 }
             }

@@ -9,7 +9,8 @@ use ppl::ast::Program;
 use ppl::{LogWeight, PplError, Trace};
 
 use crate::diff::{diff_programs, ProgramEdit};
-use crate::propagate::{translate_graph, IncrementalResult};
+use crate::plan::StagePlan;
+use crate::propagate::{translate_graph_with_plan, IncrementalResult};
 use crate::record::{program_fingerprint, ExecGraph};
 
 /// A trace translator between two programs related by an edit, running on
@@ -45,6 +46,9 @@ pub struct IncrementalTranslator {
     /// never re-hashes (let alone deep-compares) the program.
     p_fingerprint: u64,
     edit: ProgramEdit,
+    /// Stage-invariant translation plan, built once per edit and shared
+    /// (immutably) by every particle task in a stage.
+    plan: Arc<StagePlan>,
 }
 
 impl IncrementalTranslator {
@@ -61,17 +65,24 @@ impl IncrementalTranslator {
     pub fn from_shared(p: Arc<Program>, q: Arc<Program>) -> IncrementalTranslator {
         let edit = diff_programs(&p, &q);
         let p_fingerprint = program_fingerprint(&p);
+        let plan = Arc::new(StagePlan::new(&q, &edit));
         IncrementalTranslator {
             p,
             q,
             p_fingerprint,
             edit,
+            plan,
         }
     }
 
     /// The derived edit (diff + correspondence).
     pub fn edit(&self) -> &ProgramEdit {
         &self.edit
+    }
+
+    /// The stage-shared translation plan.
+    pub fn plan(&self) -> &Arc<StagePlan> {
+        &self.plan
     }
 
     /// The source program `P`.
@@ -123,7 +134,7 @@ impl IncrementalTranslator {
         rng: &mut dyn RngCore,
     ) -> Result<IncrementalResult, PplError> {
         self.validate_source(graph)?;
-        let result = translate_graph(&self.q, &self.edit, graph, rng)?;
+        let result = translate_graph_with_plan(&self.q, &self.edit, &self.plan, graph, rng)?;
         record_propagation(&result.stats);
         Ok(result)
     }

@@ -56,6 +56,12 @@ impl From<String> for Component {
     }
 }
 
+impl From<Arc<str>> for Component {
+    fn from(s: Arc<str>) -> Self {
+        Component::Sym(s)
+    }
+}
+
 impl From<i64> for Component {
     fn from(i: i64) -> Self {
         Component::Idx(i)

@@ -132,7 +132,7 @@ fn graph_native_matches_flat_across_resampling_schemes() {
         let config = SmcConfig {
             resample: ResamplePolicy::Always,
             scheme,
-            mcmc_steps: 0,
+            ..SmcConfig::translate_only()
         };
         let mut rng_flat = StdRng::seed_from_u64(43);
         let flat = run_edit_sequence(&ps, &init, &config, &FailurePolicy::FailFast, &mut rng_flat)
