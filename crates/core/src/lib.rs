@@ -99,8 +99,8 @@ pub use health::{
 };
 pub use mcmc::{IdentityKernel, McmcKernel};
 pub use metrics::{
-    ArenaTelemetry, MetricsGuard, MetricsRecorder, MetricsReport, MetricsSink, NoopSink,
-    PoolTelemetry, PropagationCounters, StageMetrics,
+    ArenaTelemetry, EvalTelemetry, MetricsGuard, MetricsRecorder, MetricsReport, MetricsSink,
+    NoopSink, PoolTelemetry, PropagationCounters, StageMetrics,
 };
 pub use particles::{Particle, ParticleCollection, ParticleState};
 pub use pool::WorkerPool;

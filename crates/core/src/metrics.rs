@@ -185,6 +185,28 @@ pub struct ArenaTelemetry {
     pub recycled_buffers: u64,
 }
 
+/// Compiled-evaluation telemetry snapshot: compile-cache effectiveness,
+/// compiled-vs-tree-walk execution mix, and eval-frame reuse. Counts are
+/// process-wide and schedule-dependent (frame pools are per worker
+/// thread, the compile cache persists across runs), so this section is
+/// report-only and deliberately excluded from the deterministic subset
+/// ([`MetricsReport::counters_json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalTelemetry {
+    /// Compile-cache lookups served from the cache.
+    pub compile_cache_hits: u64,
+    /// Compile-cache lookups that had to lower the program.
+    pub compile_cache_misses: u64,
+    /// Program executions through the compiled register path.
+    pub compiled_execs: u64,
+    /// Program executions through the tree-walk reference path.
+    pub tree_walk_execs: u64,
+    /// Eval frames allocated fresh.
+    pub frames_created: u64,
+    /// Eval frames reused from a worker's frame pool.
+    pub frames_reused: u64,
+}
+
 /// Consumer of per-stage metrics. Implementations must be cheap and
 /// non-blocking-ish: `record_stage` is called once per stage from the
 /// sequence-runner thread, never from workers.
@@ -222,6 +244,7 @@ impl MetricsRecorder {
             stages: lock(&self.stages).clone(),
             pool: pool_telemetry(),
             arena: arena_telemetry(),
+            eval: eval_telemetry(),
         }
     }
 }
@@ -244,6 +267,8 @@ pub struct MetricsReport {
     pub pool: PoolTelemetry,
     /// Arena telemetry accumulated over the run.
     pub arena: ArenaTelemetry,
+    /// Compiled-evaluation telemetry accumulated over the run.
+    pub eval: EvalTelemetry,
 }
 
 impl MetricsReport {
@@ -311,13 +336,36 @@ impl MetricsReport {
             self.arena.nodes_freed
         ));
         out.push_str(&format!("    \"occupancy\": {},\n", self.arena.occupancy));
-        out.push_str(&format!(
-            "    \"high_water\": {},\n",
-            self.arena.high_water
-        ));
+        out.push_str(&format!("    \"high_water\": {},\n", self.arena.high_water));
         out.push_str(&format!(
             "    \"recycled_buffers\": {}\n",
             self.arena.recycled_buffers
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"eval\": {\n");
+        out.push_str(&format!(
+            "    \"compile_cache_hits\": {},\n",
+            self.eval.compile_cache_hits
+        ));
+        out.push_str(&format!(
+            "    \"compile_cache_misses\": {},\n",
+            self.eval.compile_cache_misses
+        ));
+        out.push_str(&format!(
+            "    \"compiled_execs\": {},\n",
+            self.eval.compiled_execs
+        ));
+        out.push_str(&format!(
+            "    \"tree_walk_execs\": {},\n",
+            self.eval.tree_walk_execs
+        ));
+        out.push_str(&format!(
+            "    \"frames_created\": {},\n",
+            self.eval.frames_created
+        ));
+        out.push_str(&format!(
+            "    \"frames_reused\": {}\n",
+            self.eval.frames_reused
         ));
         out.push_str("  }\n");
         out.push_str("}\n");
@@ -394,6 +442,16 @@ impl MetricsReport {
             self.arena.occupancy,
             self.arena.high_water,
             self.arena.recycled_buffers,
+        ));
+        out.push_str(&format!(
+            "  eval: {} compiled / {} tree-walk execs, cache {} hits / {} misses, \
+             frames {} created / {} reused\n",
+            self.eval.compiled_execs,
+            self.eval.tree_walk_execs,
+            self.eval.compile_cache_hits,
+            self.eval.compile_cache_misses,
+            self.eval.frames_created,
+            self.eval.frames_reused,
         ));
         out
     }
@@ -551,6 +609,7 @@ pub fn install(sink: std::sync::Arc<dyn MetricsSink>) -> MetricsGuard {
     for b in &POOL_LATENCY {
         b.store(0, Ordering::SeqCst);
     }
+    ppl::compile::reset_eval_counters();
     *lock(&SINK) = Some(sink);
     ENABLED.store(true, Ordering::SeqCst);
     MetricsGuard {
@@ -715,6 +774,22 @@ pub fn arena_telemetry() -> ArenaTelemetry {
     }
 }
 
+/// Snapshot of the compiled-evaluation telemetry maintained by
+/// [`ppl::compile`]. Unlike the other accumulators these live in the
+/// `ppl` crate (the hot eval paths must not depend on `core`); they are
+/// zeroed by [`install`] so a report covers one run.
+pub fn eval_telemetry() -> EvalTelemetry {
+    let c = ppl::compile::eval_counters();
+    EvalTelemetry {
+        compile_cache_hits: c.compile_cache_hits,
+        compile_cache_misses: c.compile_cache_misses,
+        compiled_execs: c.compiled_execs,
+        tree_walk_execs: c.tree_walk_execs,
+        frames_created: c.frames_created,
+        frames_reused: c.frames_reused,
+    }
+}
+
 /// Records `n` tasks entering the pool's pending set, updating the
 /// queue-depth high-water mark.
 #[inline]
@@ -854,13 +929,18 @@ mod tests {
         assert!(json.contains("\"schema\": \"metrics/v1\""));
         assert!(json.contains("\"nodes_visited\": 3"));
         assert!(json.contains("\"queue_depth_hwm\": 3"));
+        assert!(json.contains("\"eval\": {"));
+        assert!(json.contains("\"compiled_execs\""));
+        assert!(json.contains("\"frames_reused\""));
         let counters = rep.counters_json();
         assert!(counters.contains("\"nodes_visited\": 3"));
         assert!(!counters.contains("translate_ms"));
         assert!(!counters.contains("pool"));
+        assert!(!counters.contains("compiled_execs"));
         let table = rep.render();
         assert!(table.contains("visited"));
         assert!(table.contains("1 whole-loop"));
+        assert!(table.contains("eval:"));
     }
 
     #[test]
@@ -895,6 +975,7 @@ mod tests {
             stages: vec![],
             pool: PoolTelemetry::default(),
             arena: ArenaTelemetry::default(),
+            eval: EvalTelemetry::default(),
         };
         assert!(rep.to_json().contains("a\\\"b\\\\c"));
     }

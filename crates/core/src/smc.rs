@@ -744,7 +744,9 @@ pub fn translate_states_parallel_with_policy<S: Send + Sync>(
     policy: &FailurePolicy,
     step: usize,
 ) -> Result<(ParticleCollection<S>, StepReport), SmcError> {
-    translate_states_chunked_with_policy(translator, particles, base_seed, threads, policy, step, None)
+    translate_states_chunked_with_policy(
+        translator, particles, base_seed, threads, policy, step, None,
+    )
 }
 
 /// [`translate_states_parallel_with_policy`] with an explicit

@@ -1,18 +1,27 @@
 //! Building execution graphs: run a program once, recording every
 //! statement instance, its dependencies, and its effects.
+//!
+//! Execution drives the compiled form of the program
+//! ([`ppl::compile`]): the program is lowered once (cached globally) and
+//! every build shares the artifact by `Arc`; the environment is a pooled
+//! slot frame instead of a string-keyed map.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use rand::RngCore;
 
-use ppl::ast::{Block, Program, Stmt};
+use ppl::ast::Program;
+use ppl::compile::{
+    acquire_frame, compiled_for_shared, note_compiled_exec, CBlockId, CStmt, CompiledProgram,
+    EvalFrame, ExprId,
+};
 use ppl::dist::Dist;
 use ppl::{Address, ChoiceMap, PplError, Trace, Value};
 
-use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
+use crate::eval::{ChoiceSource, ExprEval};
 use crate::record::{
-    intern_name, BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord, StoreBuilder, Summary,
+    BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord, StoreBuilder, Summary,
 };
 
 /// Samples every choice from its prior.
@@ -98,29 +107,24 @@ impl ExecGraph {
 }
 
 fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGraph, PplError> {
-    let mut env: Env = Env::new();
-    let mut loops: Vec<i64> = Vec::new();
+    let compiled = compiled_for_shared(program);
+    note_compiled_exec();
+    let mut frame = acquire_frame();
+    frame.prepare(compiled.slot_count());
     let mut store = StoreBuilder::new();
     let mut builder = Builder {
-        env: &mut env,
-        loops: &mut loops,
+        prog: &compiled,
+        frame: &mut frame,
         source,
         store: &mut store,
     };
-    let mut stmts = builder.exec_block(&program.body)?;
+    let mut stmts = builder.exec_block(compiled.body())?;
     // The return expression is recorded as a trailing pseudo-leaf so that
     // any choices it makes are part of the graph.
     let mut ret_summary = Summary::default();
-    let return_value = match &program.ret {
+    let return_value = match compiled.ret() {
         Some(e) => {
-            let v = {
-                let mut ev = ExprEval {
-                    env: builder.env,
-                    loops: builder.loops,
-                    source: builder.source,
-                };
-                ev.eval(e, &mut ret_summary)?
-            };
+            let v = builder.eval(e, &mut ret_summary)?;
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
                 stmts.push(builder.store.push_stmt(StmtRecord::Leaf {
                     summary: ret_summary,
@@ -141,61 +145,62 @@ fn build(program: &Arc<Program>, source: &mut dyn ChoiceSource) -> Result<ExecGr
 }
 
 struct Builder<'a> {
-    env: &'a mut Env,
-    loops: &'a mut Vec<i64>,
+    prog: &'a CompiledProgram,
+    frame: &'a mut EvalFrame,
     source: &'a mut dyn ChoiceSource,
     store: &'a mut StoreBuilder,
 }
 
 impl Builder<'_> {
-    fn eval(&mut self, expr: &ppl::ast::Expr, sum: &mut Summary) -> Result<Value, PplError> {
+    fn eval(&mut self, expr: ExprId, sum: &mut Summary) -> Result<Value, PplError> {
         let mut ev = ExprEval {
-            env: self.env,
-            loops: self.loops,
+            prog: self.prog,
+            frame: self.frame,
             source: self.source,
         };
         ev.eval(expr, sum)
     }
 
-    fn exec_block(&mut self, block: &Block) -> Result<Vec<StmtId>, PplError> {
-        let mut records = Vec::with_capacity(block.stmts().len());
-        for stmt in block.stmts() {
-            let record = self.exec_stmt(stmt)?;
+    fn exec_block(&mut self, block: CBlockId) -> Result<Vec<StmtId>, PplError> {
+        let n = self.prog.block(block).stmts.len();
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let sid = self.prog.block(block).stmts[i];
+            let record = self.exec_stmt(sid)?;
             records.push(self.store.push_stmt(record));
         }
         Ok(records)
     }
 
-
-    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<StmtRecord, PplError> {
-        match stmt {
-            Stmt::Skip => Ok(StmtRecord::Skip),
-            Stmt::Assign(name, expr) => {
+    fn exec_stmt(&mut self, id: ppl::compile::CStmtId) -> Result<StmtRecord, PplError> {
+        match self.prog.stmt(id) {
+            CStmt::Skip => Ok(StmtRecord::Skip),
+            CStmt::Assign { slot, name, expr } => {
+                let (slot, name, expr) = (*slot, *name, *expr);
                 let mut summary = Summary::default();
                 let value = self.eval(expr, &mut summary)?;
-                let name = intern_name(name);
-                self.env.insert(
-                    name,
-                    Slot {
-                        value: value.clone(),
-                        dirty: false,
-                    },
-                );
+                self.frame.bind(slot, value.clone(), false);
                 summary.effects.push(Effect::Var(name, value));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::AssignIndex(name, idx, expr) => {
+            CStmt::AssignIndex {
+                slot,
+                name,
+                index,
+                expr,
+            } => {
+                let (slot, name, index, expr) = (*slot, *name, *index, *expr);
                 let mut summary = Summary::default();
-                let i = self.eval(idx, &mut summary)?.as_int()?;
+                let i = self.eval(index, &mut summary)?.as_int()?;
                 let value = self.eval(expr, &mut summary)?;
                 // Element assignment reads the array (it preserves the
                 // other elements).
-                summary.reads.insert(intern_name(name));
-                let slot = self
-                    .env
-                    .get_mut(name.as_str())
-                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
-                let items = slot.value.as_array_mut()?;
+                summary.reads.insert(name);
+                let s = self
+                    .frame
+                    .get_mut(slot)
+                    .ok_or_else(|| PplError::UnboundVariable(name.to_string()))?;
+                let items = s.value.as_array_mut()?;
                 if i < 0 || i as usize >= items.len() {
                     return Err(PplError::IndexOutOfBounds {
                         index: i,
@@ -203,28 +208,22 @@ impl Builder<'_> {
                     });
                 }
                 items[i as usize] = value.clone();
-                summary.effects.push(Effect::Elem(intern_name(name), i, value));
+                summary.effects.push(Effect::Elem(name, i, value));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::Observe(rand, value_expr) => {
+            CStmt::Observe { rand, value } => {
+                let (rand, value_e) = (rand.clone(), *value);
                 let mut summary = Summary::default();
                 let dist = {
                     let mut ev = ExprEval {
-                        env: self.env,
-                        loops: self.loops,
+                        prog: self.prog,
+                        frame: self.frame,
                         source: self.source,
                     };
                     ev.build_dist(&rand.kind, &mut summary)?
                 };
-                let value = self.eval(value_expr, &mut summary)?;
-                let addr = {
-                    let ev = ExprEval {
-                        env: self.env,
-                        loops: self.loops,
-                        source: self.source,
-                    };
-                    ev.address_for(rand)
-                };
+                let value = self.eval(value_e, &mut summary)?;
+                let addr = self.frame.address_for(&rand.site);
                 let log_prob = dist.log_prob(&value);
                 summary.obs_score += log_prob;
                 summary.observations.push((
@@ -237,14 +236,23 @@ impl Builder<'_> {
                 ));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::If(cond, then_b, else_b) => {
+            CStmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let (cond, then_b, else_b) = (*cond, *then_b, *else_b);
                 let mut summary = Summary::default();
                 let took_then = self.eval(cond, &mut summary)?.truthy()?;
                 let branch = if took_then { then_b } else { else_b };
                 let stmts = self.exec_block(branch)?;
                 let body_block = BlockRecord::finalize(self.store, stmts);
-                summary.reads.extend(body_block.summary.reads.iter().cloned());
-                summary.effects.extend(body_block.summary.effects.iter().cloned());
+                summary
+                    .reads
+                    .extend(body_block.summary.reads.iter().cloned());
+                summary
+                    .effects
+                    .extend(body_block.summary.effects.iter().cloned());
                 summary.obs_score += body_block.summary.obs_score;
                 let body = self.store.push_block(body_block);
                 Ok(StmtRecord::If {
@@ -253,25 +261,25 @@ impl Builder<'_> {
                     summary,
                 })
             }
-            Stmt::For(var, lo_e, hi_e, body) => {
+            CStmt::For {
+                slot,
+                name,
+                lo,
+                hi,
+                body,
+            } => {
+                let (slot, var_name, lo_e, hi_e, body) = (*slot, *name, *lo, *hi, *body);
                 let mut summary = Summary::default();
                 let lo = self.eval(lo_e, &mut summary)?.as_int()?;
                 let hi = self.eval(hi_e, &mut summary)?.as_int()?;
                 let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
                 let mut written: BTreeSet<&'static str> = BTreeSet::new();
-                let var_name = intern_name(var);
                 written.insert(var_name);
                 for i in lo..hi {
-                    self.env.insert(
-                        var_name,
-                        Slot {
-                            value: Value::Int(i),
-                            dirty: false,
-                        },
-                    );
-                    self.loops.push(i);
+                    self.frame.bind(slot, Value::Int(i), false);
+                    self.frame.push_loop(i);
                     let iter_result = self.exec_block(body);
-                    self.loops.pop();
+                    self.frame.pop_loop();
                     let iter = BlockRecord::finalize(self.store, iter_result?);
                     // Def-before-use across iterations: a read satisfied
                     // by an earlier iteration's write is loop-internal.
@@ -284,22 +292,22 @@ impl Builder<'_> {
                     );
                     summary.obs_score += iter.summary.obs_score;
                     for effect in &iter.summary.effects {
-                        written.insert(intern_name(effect.var_name()));
+                        written.insert(effect.var_name());
                     }
                     iters.push(self.store.push_block(iter));
                 }
                 // Compress effects into one final snapshot per written
                 // variable (O(1) each thanks to Arc-backed arrays).
                 for name in &written {
-                    if let Some(slot) = self.env.get(*name) {
-                        summary
-                            .effects
-                            .push(Effect::Var(*name, slot.value.clone()));
+                    if let Some(slot) = self.prog.slot_of(name) {
+                        if let Some(s) = self.frame.get(slot) {
+                            summary.effects.push(Effect::Var(name, s.value.clone()));
+                        }
                     }
                 }
                 // The loop variable itself is loop-internal; reading it
                 // within the body does not create an external dependency.
-                summary.reads.remove(var.as_str());
+                summary.reads.remove(var_name);
                 Ok(StmtRecord::For {
                     lo,
                     hi,
@@ -307,19 +315,20 @@ impl Builder<'_> {
                     summary,
                 })
             }
-            Stmt::While(cond_e, body) => {
+            CStmt::While { cond, body } => {
+                let (cond_e, body) = (*cond, *body);
                 let mut summary = Summary::default();
                 let mut iters = Vec::new();
                 let mut written: BTreeSet<&'static str> = BTreeSet::new();
                 let mut i = 0_i64;
                 loop {
-                    self.loops.push(i);
+                    self.frame.push_loop(i);
                     let mut cond_sum = Summary::default();
                     let continued = self.eval(cond_e, &mut cond_sum).and_then(|v| v.truthy());
                     let continued = match continued {
                         Ok(b) => b,
                         Err(e) => {
-                            self.loops.pop();
+                            self.frame.pop_loop();
                             return Err(e);
                         }
                     };
@@ -332,7 +341,7 @@ impl Builder<'_> {
                     );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
-                        self.loops.pop();
+                        self.frame.pop_loop();
                         iters.push(crate::record::WhileIter {
                             cond: cond_sum,
                             continued: false,
@@ -341,7 +350,7 @@ impl Builder<'_> {
                         break;
                     }
                     let body_result = self.exec_block(body);
-                    self.loops.pop();
+                    self.frame.pop_loop();
                     let body_rec = BlockRecord::finalize(self.store, body_result?);
                     summary.reads.extend(
                         body_rec
@@ -353,7 +362,7 @@ impl Builder<'_> {
                     );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
-                        written.insert(intern_name(effect.var_name()));
+                        written.insert(effect.var_name());
                     }
                     iters.push(crate::record::WhileIter {
                         cond: cond_sum,
@@ -366,53 +375,16 @@ impl Builder<'_> {
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(*name) {
-                        summary
-                            .effects
-                            .push(Effect::Var(*name, slot.value.clone()));
+                    if let Some(slot) = self.prog.slot_of(name) {
+                        if let Some(s) = self.frame.get(slot) {
+                            summary.effects.push(Effect::Var(name, s.value.clone()));
+                        }
                     }
                 }
                 Ok(StmtRecord::While { iters, summary })
             }
         }
     }
-}
-
-/// Applies a recorded effect list to an environment, marking the written
-/// variables with the given dirtiness.
-pub(crate) fn apply_effects(
-    env: &mut Env,
-    effects: &[Effect],
-    dirty: bool,
-) -> Result<(), PplError> {
-    for effect in effects {
-        match effect {
-            Effect::Var(name, value) => {
-                env.insert(
-                    name,
-                    Slot {
-                        value: value.clone(),
-                        dirty,
-                    },
-                );
-            }
-            Effect::Elem(name, i, value) => {
-                let slot = env
-                    .get_mut(name)
-                    .ok_or_else(|| PplError::UnboundVariable((*name).to_string()))?;
-                let items = slot.value.as_array_mut()?;
-                if *i < 0 || *i as usize >= items.len() {
-                    return Err(PplError::IndexOutOfBounds {
-                        index: *i,
-                        len: items.len(),
-                    });
-                }
-                items[*i as usize] = value.clone();
-                slot.dirty = slot.dirty || dirty;
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -4,26 +4,21 @@
 //! reused from there), but additionally records into a [`Summary`] the
 //! variables read and the random choices made — the dependency
 //! information change propagation runs on.
+//!
+//! Since the compiled-evaluation rework, this evaluator walks a
+//! [`CompiledProgram`]'s flat expression arena instead of the AST:
+//! variables are already resolved to dense frame slots ([`EvalFrame`]),
+//! constants are pre-folded (folded subtrees are effect- and read-free,
+//! so folding never changes a [`Summary`]), and builtin arity is
+//! pre-checked. The frame doubles as the propagation environment — each
+//! slot carries the value plus the dirty bit change propagation tracks.
 
-use std::collections::HashMap;
-
-use ppl::ast::{Expr, RandExpr, RandKind};
+use ppl::compile::{bad_arity, CRand, CRandKind, CompiledProgram, EvalFrame, ExprId};
 use ppl::dist::Dist;
 use ppl::interp::{apply_binary, apply_builtin, apply_unary};
 use ppl::{Address, PplError, Value};
 
-use crate::record::{ChoiceData, Summary};
-
-/// An environment slot: the value plus whether it (possibly) differs from
-/// the corresponding old execution.
-#[derive(Debug, Clone)]
-pub(crate) struct Slot {
-    pub value: Value,
-    pub dirty: bool,
-}
-
-/// Variable environment.
-pub(crate) type Env = HashMap<&'static str, Slot>;
+use crate::record::{ChoiceData, Effect, Summary};
 
 /// Where choice values come from: prior sampling (graph building), replay
 /// (rebuilding a graph from a trace), or correspondence reuse (change
@@ -32,45 +27,42 @@ pub(crate) trait ChoiceSource {
     fn draw(&mut self, addr: &Address, dist: &Dist) -> Result<Value, PplError>;
 }
 
-/// Evaluates expressions against an environment and a choice source,
-/// recording reads and choices into summaries.
+/// Evaluates compiled expressions against a slot frame and a choice
+/// source, recording reads and choices into summaries.
 pub(crate) struct ExprEval<'a> {
-    pub env: &'a mut Env,
-    pub loops: &'a mut Vec<i64>,
+    pub prog: &'a CompiledProgram,
+    pub frame: &'a mut EvalFrame,
     pub source: &'a mut dyn ChoiceSource,
 }
 
 impl ExprEval<'_> {
-    pub fn address_for(&self, rand: &RandExpr) -> Address {
-        // Reuse the site's existing `Arc<str>` (refcount bump) instead of
-        // allocating a fresh one per visit.
-        let mut addr = Address::from_components([std::sync::Arc::clone(&rand.site.0).into()]);
-        for &i in self.loops.iter() {
-            addr.push(i);
-        }
-        addr
+    pub fn address_for(&self, rand: &CRand) -> Address {
+        self.frame.address_for(&rand.site)
     }
 
-    pub fn eval(&mut self, expr: &Expr, sum: &mut Summary) -> Result<Value, PplError> {
-        match expr {
-            Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(name) => {
-                sum.reads.insert(crate::record::intern_name(name));
-                self.env
-                    .get(name.as_str())
-                    .map(|slot| slot.value.clone())
-                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))
+    pub fn eval(&mut self, id: ExprId, sum: &mut Summary) -> Result<Value, PplError> {
+        use ppl::compile::CExpr;
+        match self.prog.expr(id) {
+            CExpr::Const { value, .. } => Ok(value.clone()),
+            CExpr::Var { slot, name } => {
+                sum.reads.insert(name);
+                self.frame
+                    .get(*slot)
+                    .map(|s| s.value.clone())
+                    .ok_or_else(|| PplError::UnboundVariable((*name).to_string()))
             }
-            Expr::Unary(op, e) => {
-                let v = self.eval(e, sum)?;
+            CExpr::Unary(op, e) => {
+                let v = self.eval(*e, sum)?;
                 apply_unary(*op, &v)
             }
-            Expr::Binary(op, a, b) => {
+            CExpr::Binary(op, a, b) => {
+                let (a, b) = (*a, *b);
                 let va = self.eval(a, sum)?;
                 let vb = self.eval(b, sum)?;
                 apply_binary(*op, &va, &vb)
             }
-            Expr::Index(arr, idx) => {
+            CExpr::Index(arr, idx) => {
+                let (arr, idx) = (*arr, *idx);
                 let a = self.eval(arr, sum)?;
                 let i = self.eval(idx, sum)?.as_int()?;
                 let items = a.as_array()?;
@@ -82,7 +74,8 @@ impl ExprEval<'_> {
                 }
                 Ok(items[i as usize].clone())
             }
-            Expr::ArrayInit(n, init) => {
+            CExpr::ArrayInit(n, init) => {
+                let (n, init) = (*n, *init);
                 let n = self.eval(n, sum)?.as_int()?;
                 if n < 0 {
                     return Err(PplError::Other(format!("array length is negative: {n}")));
@@ -90,31 +83,31 @@ impl ExprEval<'_> {
                 let init = self.eval(init, sum)?;
                 Ok(Value::array(vec![init; n as usize]))
             }
-            Expr::Call(builtin, args) => {
-                if args.len() != builtin.arity() {
-                    return Err(PplError::Other(format!(
-                        "{} expects {} argument(s), got {}",
-                        builtin.name(),
-                        builtin.arity(),
-                        args.len()
-                    )));
+            CExpr::Call { builtin, args } => {
+                let (builtin, args) = (*builtin, *args);
+                // Arity was verified at compile time and is at most 2:
+                // evaluate into fixed scratch, no per-eval allocation.
+                let mut vals: [Value; 2] = [Value::Int(0), Value::Int(0)];
+                let n = args.len();
+                for (k, val) in vals.iter_mut().enumerate().take(n) {
+                    let arg = self.prog.args(args)[k];
+                    *val = self.eval(arg, sum)?;
                 }
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a, sum)?);
-                }
-                apply_builtin(*builtin, &vals)
+                apply_builtin(builtin, &vals[..n])
             }
-            Expr::Ternary(c, t, e) => {
+            CExpr::CallBadArity { builtin, got } => Err(bad_arity(*builtin, *got)),
+            CExpr::Ternary(c, t, e) => {
+                let (c, t, e) = (*c, *t, *e);
                 if self.eval(c, sum)?.truthy()? {
                     self.eval(t, sum)
                 } else {
                     self.eval(e, sum)
                 }
             }
-            Expr::Random(rand) => {
+            CExpr::Random(rand) => {
+                let rand = rand.clone();
                 let dist = self.build_dist(&rand.kind, sum)?;
-                let addr = self.address_for(rand);
+                let addr = self.address_for(&rand);
                 let value = self.source.draw(&addr, &dist)?;
                 let log_prob = dist.log_prob(&value);
                 sum.choices.push((
@@ -130,51 +123,110 @@ impl ExprEval<'_> {
         }
     }
 
-    pub fn build_dist(&mut self, kind: &RandKind, sum: &mut Summary) -> Result<Dist, PplError> {
+    pub fn build_dist(&mut self, kind: &CRandKind, sum: &mut Summary) -> Result<Dist, PplError> {
         match kind {
-            RandKind::Flip(p) => {
-                let p = self.eval(p, sum)?.as_real()?;
+            CRandKind::Flip(p) => {
+                let p = self.eval(*p, sum)?.as_real()?;
                 Dist::try_flip(p)
             }
-            RandKind::UniformInt(lo, hi) => {
+            CRandKind::UniformInt(lo, hi) => {
+                let (lo, hi) = (*lo, *hi);
                 let lo = self.eval(lo, sum)?.as_int()?;
                 let hi = self.eval(hi, sum)?.as_int()?;
                 Dist::try_uniform_int(lo, hi)
             }
-            RandKind::UniformReal(lo, hi) => {
+            CRandKind::UniformReal(lo, hi) => {
+                let (lo, hi) = (*lo, *hi);
                 let lo = self.eval(lo, sum)?.as_real()?;
                 let hi = self.eval(hi, sum)?.as_real()?;
                 Dist::try_uniform_real(lo, hi)
             }
-            RandKind::Gauss(mean, std) => {
+            CRandKind::Gauss(mean, std) => {
+                let (mean, std) = (*mean, *std);
                 let mean = self.eval(mean, sum)?.as_real()?;
                 let std = self.eval(std, sum)?.as_real()?;
                 Dist::try_normal(mean, std)
             }
-            RandKind::Categorical(ws) => {
+            CRandKind::Categorical(ws) => {
+                let ws = *ws;
                 let mut probs = Vec::with_capacity(ws.len());
-                for w in ws {
+                for k in 0..ws.len() {
+                    let w = self.prog.args(ws)[k];
                     probs.push(self.eval(w, sum)?.as_real()?);
                 }
                 Dist::try_categorical(&probs)
             }
-            RandKind::Poisson(l) => {
-                let l = self.eval(l, sum)?.as_real()?;
+            CRandKind::Poisson(l) => {
+                let l = self.eval(*l, sum)?.as_real()?;
                 Dist::try_poisson(l)
             }
-            RandKind::GeometricDist(p) => {
-                let p = self.eval(p, sum)?.as_real()?;
+            CRandKind::GeometricDist(p) => {
+                let p = self.eval(*p, sum)?.as_real()?;
                 Dist::try_geometric(p)
             }
-            RandKind::Beta(a, b) => {
+            CRandKind::Beta(a, b) => {
+                let (a, b) = (*a, *b);
                 let a = self.eval(a, sum)?.as_real()?;
                 let b = self.eval(b, sum)?.as_real()?;
                 Dist::try_beta(a, b)
             }
-            RandKind::Exponential(r) => {
-                let r = self.eval(r, sum)?.as_real()?;
+            CRandKind::Exponential(r) => {
+                let r = self.eval(*r, sum)?.as_real()?;
                 Dist::try_exponential(r)
             }
         }
     }
+}
+
+/// Replays recorded effects into the frame, marking every written slot
+/// with the given dirtiness. Used when an unchanged record is skipped
+/// (`dirty = false`: the skipped subtree wrote exactly what it wrote
+/// before) and when an old branch's state must be reconstructed.
+pub(crate) fn apply_effects(
+    prog: &CompiledProgram,
+    frame: &mut EvalFrame,
+    effects: &[Effect],
+    dirty: bool,
+) -> Result<(), PplError> {
+    for effect in effects {
+        match effect {
+            Effect::Var(name, value) => {
+                let slot = prog
+                    .slot_of(name)
+                    .expect("pair-compiled slot table covers every old-program effect");
+                frame.bind(slot, value.clone(), dirty);
+            }
+            Effect::Elem(name, i, value) => {
+                let slot = prog
+                    .slot_of(name)
+                    .expect("pair-compiled slot table covers every old-program effect");
+                let s = frame
+                    .get_mut(slot)
+                    .ok_or_else(|| PplError::UnboundVariable((*name).to_string()))?;
+                let items = s.value.as_array_mut()?;
+                if *i < 0 || *i as usize >= items.len() {
+                    return Err(PplError::IndexOutOfBounds {
+                        index: *i,
+                        len: items.len(),
+                    });
+                }
+                items[*i as usize] = value.clone();
+                s.dirty = s.dirty || dirty;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether any of the named reads is (possibly) dirty. A name with no
+/// slot or no binding is conservatively dirty.
+pub(crate) fn any_dirty<'a>(
+    prog: &CompiledProgram,
+    frame: &EvalFrame,
+    mut reads: impl Iterator<Item = &'a str>,
+) -> bool {
+    reads.any(|name| match prog.slot_of(name) {
+        Some(slot) => frame.get(slot).map(|s| s.dirty).unwrap_or(true),
+        None => true,
+    })
 }

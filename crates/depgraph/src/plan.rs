@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use ppl::ast::{Block, Expr, Program, RandKind, Stmt};
+use ppl::compile::{compiled_for_pair, CompiledProgram};
 use ppl::Address;
 
 use crate::diff::{BlockDiff, DiffOp, ProgramEdit, StmtDiff};
@@ -32,6 +33,11 @@ pub struct StagePlan {
     /// Interned depth-0 addresses of `q`'s random sites (loop-indexed
     /// instances extend these and are memoized on first use).
     sites: Vec<Address>,
+    /// The compiled form of `q` whose slot universe also covers `p`'s
+    /// variables (old records replay `p`-named effects into the frame).
+    /// Compiled once per stage — through the global compile cache — and
+    /// shared by every particle task.
+    compiled: Arc<CompiledProgram>,
 }
 
 /// Plan for one block: mirrors [`BlockDiff`] with the per-op decisions
@@ -93,10 +99,13 @@ pub(crate) enum PlanStmt {
 }
 
 impl StagePlan {
-    /// Builds the plan for the edit underlying `edit` against the target
-    /// program `q`, and pre-warms the correspondence memo cache with the
-    /// interned base address of every random site in `q`.
-    pub fn new(q: &Program, edit: &ProgramEdit) -> StagePlan {
+    /// Builds the plan for the edit underlying `edit` from source program
+    /// `p` to target program `q`: precomputes the skip decisions, compiles
+    /// `q` (with `p`'s variables in the slot universe), and pre-warms the
+    /// correspondence memo cache with the interned base address of every
+    /// random site in `q`.
+    pub fn new(q: &Program, p: &Program, edit: &ProgramEdit) -> StagePlan {
+        let compiled = compiled_for_pair(q, p);
         let root = plan_block(&q.body, &edit.diff);
         let mut names: Vec<Arc<str>> = Vec::new();
         collect_block_sites(&q.body, &mut names);
@@ -115,7 +124,11 @@ impl StagePlan {
             // shared read path.
             let _ = edit.correspondence.lookup_id(addr.id());
         }
-        StagePlan { root, sites }
+        StagePlan {
+            root,
+            sites,
+            compiled,
+        }
     }
 
     /// The root block plan (what the propagator walks).
@@ -126,6 +139,11 @@ impl StagePlan {
     /// Number of distinct random sites in `q` (interned at plan build).
     pub fn site_count(&self) -> usize {
         self.sites.len()
+    }
+
+    /// The stage's compiled program (slot universe covers `p` and `q`).
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
     }
 }
 
@@ -324,7 +342,7 @@ mod tests {
         let q = parse("x = flip(0.6); if x { y = gauss(0.0, 1.0); } else { y = 0.0; } return y;")
             .unwrap();
         let edit = diff_programs(&p, &q);
-        let plan = StagePlan::new(&q, &edit);
+        let plan = StagePlan::new(&q, &p, &edit);
         assert_eq!(plan.root().ops.len(), edit.diff.ops.len());
         // Both random sites of q are interned and pre-warmed.
         assert_eq!(plan.site_count(), 2);

@@ -9,6 +9,13 @@
 //! so an unchanged subtree is shared between `G_t` and `G_u` by copying
 //! its 4-byte node id.
 //!
+//! Re-execution drives the stage's compiled program
+//! ([`StagePlan::compiled`]): expressions come from the flat arena,
+//! variables resolve to frame slots (the slot universe covers both `P`
+//! and `Q`, so old-record effects replay into the same frame), and the
+//! frame itself is pooled per worker — a particle task borrows warmed
+//! storage and returns it on drop.
+//!
 //! Weight accounting follows the paper's efficient scheme exactly:
 //!
 //! - every *visited* corresponding random choice contributes
@@ -26,16 +33,19 @@ use std::sync::Arc;
 use rand::RngCore;
 
 use incremental::Correspondence;
-use ppl::ast::{Block, Program, Stmt};
+use ppl::ast::Program;
+use ppl::compile::{
+    acquire_frame, note_compiled_exec, CBlockId, CRand, CRandKind, CStmt, CStmtId, CompiledProgram,
+    EvalFrame, ExprId,
+};
 use ppl::dist::Dist;
 use ppl::{Address, LogWeight, PplError, Value};
 
 use crate::diff::ProgramEdit;
-use crate::eval::{ChoiceSource, Env, ExprEval, Slot};
+use crate::eval::{any_dirty, apply_effects, ChoiceSource, ExprEval};
 use crate::plan::{PlanBlock, PlanOp, PlanStmt, StagePlan};
 use crate::record::{
-    intern_name, BlockId, BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord,
-    StoreBuilder, Summary,
+    BlockId, BlockRecord, Effect, ExecGraph, ObsData, StmtId, StmtRecord, StoreBuilder, Summary,
 };
 
 /// How much work a translation did — the quantity Figure 10 plots.
@@ -91,7 +101,7 @@ pub fn translate_graph(
     old: &ExecGraph,
     rng: &mut dyn RngCore,
 ) -> Result<IncrementalResult, PplError> {
-    let plan = StagePlan::new(q, edit);
+    let plan = StagePlan::new(q, &old.program, edit);
     translate_graph_with_plan(q, edit, &plan, old, rng)
 }
 
@@ -112,22 +122,26 @@ pub fn translate_graph_with_plan(
     old: &ExecGraph,
     rng: &mut dyn RngCore,
 ) -> Result<IncrementalResult, PplError> {
+    let prog = plan.compiled().as_ref();
+    note_compiled_exec();
+    let mut frame = acquire_frame();
+    frame.prepare(prog.slot_count());
     let mut propagator = Propagator {
         old,
+        prog,
         builder: StoreBuilder::extending(old.store()),
         rng,
         correspondence: &edit.correspondence,
-        env: Env::new(),
-        loops: Vec::new(),
+        frame: &mut frame,
         log_num: LogWeight::ONE,
         log_den: LogWeight::ONE,
         stats: VisitStats::default(),
     };
-    let mut stmts = propagator.exec_block(&q.body, plan.root(), Some(old.root()))?;
+    let mut stmts = propagator.exec_block(prog.body(), plan.root(), Some(old.root()))?;
     // Return expression: always evaluated (cheap), recorded like build.rs
     // does so flattening yields a complete trace.
     let mut ret_summary = Summary::default();
-    let return_value = match &q.ret {
+    let return_value = match prog.ret() {
         Some(e) => {
             let v = propagator.eval(e, &mut ret_summary)?;
             if !ret_summary.choices.is_empty() || !ret_summary.reads.is_empty() {
@@ -158,13 +172,14 @@ pub fn translate_graph_with_plan(
 
 struct Propagator<'a> {
     old: &'a ExecGraph,
+    /// The stage's compiled program (slot universe covers `P` and `Q`).
+    prog: &'a CompiledProgram,
     /// Output arena, extending the old graph's store — so old node ids
     /// remain valid and a skipped subtree is shared by pushing its id.
     builder: StoreBuilder,
     rng: &'a mut dyn RngCore,
     correspondence: &'a Correspondence,
-    env: Env,
-    loops: Vec<i64>,
+    frame: &'a mut EvalFrame,
     log_num: LogWeight,
     log_den: LogWeight,
     stats: VisitStats,
@@ -213,7 +228,7 @@ impl<'a> Propagator<'a> {
         self.old.store().block(id)
     }
 
-    fn eval(&mut self, expr: &ppl::ast::Expr, sum: &mut Summary) -> Result<Value, PplError> {
+    fn eval(&mut self, expr: ExprId, sum: &mut Summary) -> Result<Value, PplError> {
         let mut source = ReuseSource {
             old: self.old,
             correspondence: self.correspondence,
@@ -223,18 +238,14 @@ impl<'a> Propagator<'a> {
             stats: &mut self.stats,
         };
         let mut ev = ExprEval {
-            env: &mut self.env,
-            loops: &mut self.loops,
+            prog: self.prog,
+            frame: self.frame,
             source: &mut source,
         };
         ev.eval(expr, sum)
     }
 
-    fn build_dist(
-        &mut self,
-        kind: &ppl::ast::RandKind,
-        sum: &mut Summary,
-    ) -> Result<Dist, PplError> {
+    fn build_dist(&mut self, kind: &CRandKind, sum: &mut Summary) -> Result<Dist, PplError> {
         let mut source = ReuseSource {
             old: self.old,
             correspondence: self.correspondence,
@@ -244,34 +255,26 @@ impl<'a> Propagator<'a> {
             stats: &mut self.stats,
         };
         let mut ev = ExprEval {
-            env: &mut self.env,
-            loops: &mut self.loops,
+            prog: self.prog,
+            frame: self.frame,
             source: &mut source,
         };
         ev.build_dist(kind, sum)
     }
 
-    fn address_for(&self, rand: &ppl::ast::RandExpr) -> Address {
-        // Reuse the site's existing `Arc<str>` (refcount bump) instead of
-        // allocating a fresh one per visit.
-        let mut addr = Address::from_components([Arc::clone(&rand.site.0).into()]);
-        for &i in &self.loops {
-            addr.push(i);
-        }
-        addr
+    fn address_for(&self, rand: &CRand) -> Address {
+        self.frame.address_for(&rand.site)
     }
 
     fn any_dirty(&self, reads: &BTreeSet<&'static str>) -> bool {
-        reads
-            .iter()
-            .any(|name| self.env.get(*name).map(|s| s.dirty).unwrap_or(true))
+        any_dirty(self.prog, self.frame, reads.iter().copied())
     }
 
     /// Applies a skipped record's effects (clean: identical to the old
     /// execution).
     fn skip_record(&mut self, record: &StmtRecord) -> Result<(), PplError> {
         if let Some(summary) = record.summary() {
-            crate::build::apply_effects(&mut self.env, &summary.effects, false)?;
+            apply_effects(self.prog, self.frame, &summary.effects, false)?;
         }
         self.stats.skipped += 1;
         if matches!(record, StmtRecord::For { .. } | StmtRecord::While { .. }) {
@@ -295,9 +298,10 @@ impl<'a> Propagator<'a> {
         for effect in &old_summary.effects {
             match effect {
                 Effect::Var(name, old_value) => {
-                    if let Some(slot) = self.env.get_mut(name) {
-
-                        slot.dirty = !slot.value.num_eq(old_value);
+                    if let Some(slot) = self.prog.slot_of(name) {
+                        if let Some(s) = self.frame.get_mut(slot) {
+                            s.dirty = !s.value.num_eq(old_value);
+                        }
                     }
                 }
                 Effect::Elem(name, _, _) => {
@@ -312,12 +316,13 @@ impl<'a> Propagator<'a> {
 
     fn exec_block(
         &mut self,
-        block: &Block,
+        block: CBlockId,
         plan: &PlanBlock,
         old: Option<BlockId>,
     ) -> Result<Vec<StmtId>, PplError> {
+        let prog = self.prog;
         let old_blk: Option<&'a BlockRecord> = old.map(|b| self.old_block(b));
-        let mut records = Vec::with_capacity(block.stmts().len());
+        let mut records = Vec::with_capacity(prog.block(block).stmts.len());
         for op in &plan.ops {
             match op {
                 PlanOp::RemovedP(p_index) => {
@@ -334,13 +339,14 @@ impl<'a> Propagator<'a> {
                     unchanged,
                     detail,
                 } => {
-                    let stmt = &block.stmts()[*q_index];
+                    // Compiled blocks are index-aligned with the AST
+                    // blocks the plan was built from.
+                    let stmt = prog.block(block).stmts[*q_index];
                     let old_sid: Option<StmtId> = match (old_blk, p_index) {
                         (Some(old_block), Some(i)) => Some(old_block.stmts[*i]),
                         _ => None,
                     };
-                    let old_rec: Option<&'a StmtRecord> =
-                        old_sid.map(|sid| self.old_stmt(sid));
+                    let old_rec: Option<&'a StmtRecord> = old_sid.map(|sid| self.old_stmt(sid));
                     // Skip when nothing changed and no dirty inputs (the
                     // diff half of the check is precomputed in the plan).
                     if let Some(rec) = old_rec {
@@ -367,47 +373,48 @@ impl<'a> Propagator<'a> {
 
     fn visit_stmt(
         &mut self,
-        stmt: &Stmt,
+        stmt: CStmtId,
         detail: &PlanStmt,
         old_rec: Option<&'a StmtRecord>,
     ) -> Result<StmtRecord, PplError> {
-        match stmt {
-            Stmt::Skip => Ok(StmtRecord::Skip),
-            Stmt::Assign(name, expr) => {
+        let prog = self.prog;
+        match prog.stmt(stmt) {
+            CStmt::Skip => Ok(StmtRecord::Skip),
+            CStmt::Assign { slot, name, expr } => {
+                let (slot, name, expr) = (*slot, *name, *expr);
                 let mut summary = Summary::default();
                 let value = self.eval(expr, &mut summary)?;
                 let old_final = old_rec.and_then(final_var_value(name));
                 let dirty = old_final.is_none_or(|old| !value.num_eq(old));
-                let name = intern_name(name);
-                self.env.insert(
-                    name,
-                    Slot {
-                        value: value.clone(),
-                        dirty,
-                    },
-                );
+                self.frame.bind(slot, value.clone(), dirty);
                 summary.effects.push(Effect::Var(name, value));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::AssignIndex(name, idx, expr) => {
+            CStmt::AssignIndex {
+                slot,
+                name,
+                index,
+                expr,
+            } => {
+                let (slot, name, index, expr) = (*slot, *name, *index, *expr);
                 let mut summary = Summary::default();
-                let i = self.eval(idx, &mut summary)?.as_int()?;
+                let i = self.eval(index, &mut summary)?.as_int()?;
                 let value = self.eval(expr, &mut summary)?;
-                summary.reads.insert(intern_name(name));
+                summary.reads.insert(name);
                 let old_elem = old_rec.and_then(|r| {
                     r.summary().and_then(|s| {
                         s.effects.iter().find_map(|e| match e {
-                            Effect::Elem(n, j, v) if *n == name.as_str() && *j == i => Some(v),
+                            Effect::Elem(n, j, v) if *n == name && *j == i => Some(v),
                             _ => None,
                         })
                     })
                 });
                 let changed = old_elem.is_none_or(|old| !value.num_eq(old));
-                let slot = self
-                    .env
-                    .get_mut(name.as_str())
-                    .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
-                let items = slot.value.as_array_mut()?;
+                let s = self
+                    .frame
+                    .get_mut(slot)
+                    .ok_or_else(|| PplError::UnboundVariable(name.to_string()))?;
+                let items = s.value.as_array_mut()?;
                 if i < 0 || i as usize >= items.len() {
                     return Err(PplError::IndexOutOfBounds {
                         index: i,
@@ -415,15 +422,16 @@ impl<'a> Propagator<'a> {
                     });
                 }
                 items[i as usize] = value.clone();
-                slot.dirty = slot.dirty || changed;
-                summary.effects.push(Effect::Elem(intern_name(name), i, value));
+                s.dirty = s.dirty || changed;
+                summary.effects.push(Effect::Elem(name, i, value));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::Observe(rand, value_expr) => {
+            CStmt::Observe { rand, value } => {
+                let value_e = *value;
                 self.stats.observes_rescored += 1;
                 let mut summary = Summary::default();
                 let dist = self.build_dist(&rand.kind, &mut summary)?;
-                let value = self.eval(value_expr, &mut summary)?;
+                let value = self.eval(value_e, &mut summary)?;
                 let addr = self.address_for(rand);
                 let log_prob = dist.log_prob(&value);
                 // Numerator: the observation under Q.
@@ -443,7 +451,12 @@ impl<'a> Propagator<'a> {
                 ));
                 Ok(StmtRecord::Leaf { summary })
             }
-            Stmt::If(cond, then_b, else_b) => {
+            CStmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let (cond, then_b, else_b) = (*cond, *then_b, *else_b);
                 let PlanStmt::If {
                     matched,
                     fresh_then,
@@ -498,7 +511,14 @@ impl<'a> Propagator<'a> {
                     summary,
                 })
             }
-            Stmt::For(var, lo_e, hi_e, body) => {
+            CStmt::For {
+                slot,
+                name,
+                lo,
+                hi,
+                body,
+            } => {
+                let (slot, var_name, lo_e, hi_e, body) = (*slot, *name, *lo, *hi, *body);
                 let PlanStmt::For {
                     body: body_plan,
                     body_unchanged,
@@ -515,16 +535,9 @@ impl<'a> Propagator<'a> {
                 };
                 let mut iters = Vec::with_capacity((hi - lo).max(0) as usize);
                 let mut written: BTreeSet<&'static str> = BTreeSet::new();
-                let var_name = intern_name(var);
                 written.insert(var_name);
                 for i in lo..hi {
-                    self.env.insert(
-                        var_name,
-                        Slot {
-                            value: Value::Int(i),
-                            dirty: false,
-                        },
-                    );
+                    self.frame.bind(slot, Value::Int(i), false);
                     let old_iter: Option<BlockId> =
                         old_for.and_then(|(old_lo, old_hi, old_iters)| {
                             if old_lo <= i && i < old_hi {
@@ -546,16 +559,16 @@ impl<'a> Propagator<'a> {
                             // Skip the whole iteration; share its record
                             // by id.
                             let old_sum = &self.old_block(oid).summary;
-                            crate::build::apply_effects(&mut self.env, &old_sum.effects, false)?;
+                            apply_effects(self.prog, self.frame, &old_sum.effects, false)?;
                             self.stats.skipped += 1;
                             self.stats.iter_skips += 1;
                             oid
                         }
                         _ => {
                             self.stats.visited += 1;
-                            self.loops.push(i);
+                            self.frame.push_loop(i);
                             let result = self.exec_block(body, body_plan, old_iter);
-                            self.loops.pop();
+                            self.frame.pop_loop();
                             let block = BlockRecord::finalize(&self.builder, result?);
                             self.builder.push_block(block)
                         }
@@ -572,7 +585,7 @@ impl<'a> Propagator<'a> {
                     );
                     summary.obs_score += iter_sum.obs_score;
                     for effect in &iter_sum.effects {
-                        written.insert(intern_name(effect.var_name()));
+                        written.insert(effect.var_name());
                     }
                     iters.push(iter_id);
                 }
@@ -580,20 +593,19 @@ impl<'a> Propagator<'a> {
                 if let Some((old_lo, old_hi, old_iters)) = old_for {
                     for i in old_lo..old_hi {
                         if i < lo || i >= hi {
-                            let removed =
-                                &self.old_block(old_iters[(i - old_lo) as usize]).summary;
+                            let removed = &self.old_block(old_iters[(i - old_lo) as usize]).summary;
                             self.remove_record(removed);
                         }
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(*name) {
-                        summary
-                            .effects
-                            .push(Effect::Var(*name, slot.value.clone()));
+                    if let Some(slot) = prog.slot_of(name) {
+                        if let Some(s) = self.frame.get(slot) {
+                            summary.effects.push(Effect::Var(name, s.value.clone()));
+                        }
                     }
                 }
-                summary.reads.remove(var.as_str());
+                summary.reads.remove(var_name);
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {
                     self.reconcile_writes(old_summary);
                 }
@@ -604,7 +616,8 @@ impl<'a> Propagator<'a> {
                     summary,
                 })
             }
-            Stmt::While(cond_e, body) => {
+            CStmt::While { cond, body } => {
+                let (cond_e, body) = (*cond, *body);
                 let PlanStmt::While {
                     body: body_plan,
                     iter_skippable,
@@ -626,17 +639,11 @@ impl<'a> Propagator<'a> {
                     // changed (same code, clean inputs).
                     if let Some(old_iter) = old_iter {
                         let clean = *iter_skippable
-                            && !old_iter
-                                .reads(self.old.store())
-                                .any(|name| self.env.get(name).map(|s| s.dirty).unwrap_or(true));
+                            && !any_dirty(self.prog, self.frame, old_iter.reads(self.old.store()));
                         if clean {
                             if let Some(b) = old_iter.body {
                                 let body_sum = &self.old_block(b).summary;
-                                crate::build::apply_effects(
-                                    &mut self.env,
-                                    &body_sum.effects,
-                                    false,
-                                )?;
+                                apply_effects(self.prog, self.frame, &body_sum.effects, false)?;
                             }
                             self.stats.skipped += 1;
                             self.stats.iter_skips += 1;
@@ -651,7 +658,7 @@ impl<'a> Propagator<'a> {
                                 .iter()
                                 .flat_map(|b| self.old_block(*b).summary.effects.iter())
                             {
-                                written.insert(intern_name(effect.var_name()));
+                                written.insert(effect.var_name());
                             }
                             let continued = old_iter.continued;
                             iters.push(old_iter.clone());
@@ -666,13 +673,13 @@ impl<'a> Propagator<'a> {
                     // through the correspondence) and, when it holds, the
                     // body against the matched old records.
                     self.stats.visited += 1;
-                    self.loops.push(i);
+                    self.frame.push_loop(i);
                     let mut cond_sum = Summary::default();
                     let continued = self.eval(cond_e, &mut cond_sum).and_then(|v| v.truthy());
                     let continued = match continued {
                         Ok(b) => b,
                         Err(e) => {
-                            self.loops.pop();
+                            self.frame.pop_loop();
                             return Err(e);
                         }
                     };
@@ -685,7 +692,7 @@ impl<'a> Propagator<'a> {
                     );
                     summary.obs_score += cond_sum.obs_score;
                     if !continued {
-                        self.loops.pop();
+                        self.frame.pop_loop();
                         iters.push(crate::record::WhileIter {
                             cond: cond_sum,
                             continued: false,
@@ -703,7 +710,7 @@ impl<'a> Propagator<'a> {
                     }
                     let old_body: Option<BlockId> = old_iter.and_then(|it| it.body);
                     let body_result = self.exec_block(body, body_plan, old_body);
-                    self.loops.pop();
+                    self.frame.pop_loop();
                     let body_rec = BlockRecord::finalize(&self.builder, body_result?);
                     summary.reads.extend(
                         body_rec
@@ -715,7 +722,7 @@ impl<'a> Propagator<'a> {
                     );
                     summary.obs_score += body_rec.summary.obs_score;
                     for effect in &body_rec.summary.effects {
-                        written.insert(intern_name(effect.var_name()));
+                        written.insert(effect.var_name());
                     }
                     iters.push(crate::record::WhileIter {
                         cond: cond_sum,
@@ -739,10 +746,10 @@ impl<'a> Propagator<'a> {
                     }
                 }
                 for name in &written {
-                    if let Some(slot) = self.env.get(*name) {
-                        summary
-                            .effects
-                            .push(Effect::Var(*name, slot.value.clone()));
+                    if let Some(slot) = prog.slot_of(name) {
+                        if let Some(s) = self.frame.get(slot) {
+                            summary.effects.push(Effect::Var(name, s.value.clone()));
+                        }
                     }
                 }
                 if let Some(old_summary) = old_rec.and_then(StmtRecord::summary) {

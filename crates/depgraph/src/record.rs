@@ -22,36 +22,22 @@
 
 use std::collections::BTreeSet;
 use std::hash::Hasher as _;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ppl::ast::Program;
 use ppl::dist::Dist;
-use ppl::{
-    Address, AddressId, AddressInterner, FxHashMap, FxHashSet, LogWeight, PplError, Trace, Value,
-};
+use ppl::{Address, AddressId, AddressInterner, FxHashMap, LogWeight, PplError, Trace, Value};
 
-/// Interns a variable name into `'static` storage.
+/// The global variable-name interner, shared with the compiled-program
+/// slot tables in [`ppl::compile`].
 ///
 /// Dependency summaries hold reads as `&'static str`, so aggregating a
 /// child summary into its parent (done once per visited block, at every
 /// nesting level, for every particle) copies pointer-sized values
-/// instead of allocating a `String` per name. Like the address interner,
-/// the name universe is bounded by the program text, so leaking is a
-/// deliberate space-for-time trade.
-pub fn intern_name(name: &str) -> &'static str {
-    static GLOBAL: OnceLock<RwLock<FxHashSet<&'static str>>> = OnceLock::new();
-    let global = GLOBAL.get_or_init(|| RwLock::new(FxHashSet::default()));
-    if let Some(&interned) = global.read().expect("name interner poisoned").get(name) {
-        return interned;
-    }
-    let mut set = global.write().expect("name interner poisoned");
-    if let Some(&interned) = set.get(name) {
-        return interned;
-    }
-    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-    set.insert(leaked);
-    leaked
-}
+/// instead of allocating a `String` per name. Sharing one interner with
+/// `ppl` means a compiled slot name and a summary read of the same
+/// variable are the *same* pointer.
+pub use ppl::intern_name;
 
 /// The recorded data of one random choice.
 #[derive(Debug, Clone)]
@@ -625,7 +611,11 @@ fn index_block(store: &NodeStore, block: &BlockRecord, idx: &mut Indexes) {
     }
 }
 
-fn flatten_block(store: &NodeStore, block: &BlockRecord, trace: &mut Trace) -> Result<(), PplError> {
+fn flatten_block(
+    store: &NodeStore,
+    block: &BlockRecord,
+    trace: &mut Trace,
+) -> Result<(), PplError> {
     for &sid in &block.stmts {
         let stmt = store.stmt(sid);
         if let Some(summary) = stmt.summary() {

@@ -65,7 +65,7 @@ impl IncrementalTranslator {
     pub fn from_shared(p: Arc<Program>, q: Arc<Program>) -> IncrementalTranslator {
         let edit = diff_programs(&p, &q);
         let p_fingerprint = program_fingerprint(&p);
-        let plan = Arc::new(StagePlan::new(&q, &edit));
+        let plan = Arc::new(StagePlan::new(&q, &p, &edit));
         IncrementalTranslator {
             p,
             q,

@@ -467,6 +467,98 @@ impl Program {
     }
 }
 
+/// Appends every variable name `expr` mentions (reads only — expressions
+/// cannot bind), in evaluation order. Names may repeat; callers dedup.
+pub fn collect_expr_var_names<'a>(expr: &'a Expr, out: &mut Vec<&'a str>) {
+    match expr {
+        Expr::Const(_) => {}
+        Expr::Var(name) => out.push(name),
+        Expr::Unary(_, e) => collect_expr_var_names(e, out),
+        Expr::Binary(_, a, b) | Expr::Index(a, b) | Expr::ArrayInit(a, b) => {
+            collect_expr_var_names(a, out);
+            collect_expr_var_names(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_expr_var_names(a, out);
+            }
+        }
+        Expr::Ternary(c, t, e) => {
+            collect_expr_var_names(c, out);
+            collect_expr_var_names(t, out);
+            collect_expr_var_names(e, out);
+        }
+        Expr::Random(r) => collect_rand_var_names(&r.kind, out),
+    }
+}
+
+fn collect_rand_var_names<'a>(kind: &'a RandKind, out: &mut Vec<&'a str>) {
+    match kind {
+        RandKind::Flip(p)
+        | RandKind::Poisson(p)
+        | RandKind::GeometricDist(p)
+        | RandKind::Exponential(p) => collect_expr_var_names(p, out),
+        RandKind::UniformInt(a, b)
+        | RandKind::UniformReal(a, b)
+        | RandKind::Gauss(a, b)
+        | RandKind::Beta(a, b) => {
+            collect_expr_var_names(a, out);
+            collect_expr_var_names(b, out);
+        }
+        RandKind::Categorical(ws) => {
+            for w in ws {
+                collect_expr_var_names(w, out);
+            }
+        }
+    }
+}
+
+/// Appends every variable name `program` mentions — assignment targets,
+/// loop variables, and reads — in syntactic order. Names may repeat;
+/// callers dedup. This is the slot universe the compile pass
+/// ([`crate::compile`]) resolves against.
+pub fn collect_var_names<'a>(program: &'a Program, out: &mut Vec<&'a str>) {
+    fn walk_block<'a>(block: &'a Block, out: &mut Vec<&'a str>) {
+        for stmt in &block.0 {
+            match stmt {
+                Stmt::Skip => {}
+                Stmt::Assign(name, e) => {
+                    out.push(name);
+                    collect_expr_var_names(e, out);
+                }
+                Stmt::AssignIndex(name, i, e) => {
+                    out.push(name);
+                    collect_expr_var_names(i, out);
+                    collect_expr_var_names(e, out);
+                }
+                Stmt::If(c, t, e) => {
+                    collect_expr_var_names(c, out);
+                    walk_block(t, out);
+                    walk_block(e, out);
+                }
+                Stmt::While(c, b) => {
+                    collect_expr_var_names(c, out);
+                    walk_block(b, out);
+                }
+                Stmt::For(var, lo, hi, b) => {
+                    out.push(var);
+                    collect_expr_var_names(lo, out);
+                    collect_expr_var_names(hi, out);
+                    walk_block(b, out);
+                }
+                Stmt::Observe(r, e) => {
+                    collect_rand_var_names(&r.kind, out);
+                    collect_expr_var_names(e, out);
+                }
+            }
+        }
+    }
+    walk_block(&program.body, out);
+    if let Some(e) = &program.ret {
+        collect_expr_var_names(e, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

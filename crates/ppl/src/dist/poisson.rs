@@ -83,11 +83,28 @@ impl Poisson {
     }
 }
 
-/// `ln k!` via the log-gamma function (Lanczos approximation for large
-/// `k`, exact summation below 20).
+/// `ln k!`: an O(1) lookup for `k ≤ 64`, the log-gamma function above.
+///
+/// The table entries are seeded with exactly the formula they replace
+/// (exact summation below 20, `ln_gamma(k + 1)` from 20 up), so cached
+/// values are bit-identical to the direct O(k) evaluation this replaces
+/// and scoring stays reproducible across the change.
 pub(crate) fn ln_factorial(k: u64) -> f64 {
-    if k < 20 {
-        (2..=k).map(|i| (i as f64).ln()).sum()
+    const TABLE_LEN: usize = 65;
+    static TABLE: std::sync::OnceLock<[f64; TABLE_LEN]> = std::sync::OnceLock::new();
+    if (k as usize) < TABLE_LEN {
+        let table = TABLE.get_or_init(|| {
+            let mut t = [0.0; TABLE_LEN];
+            for (k, slot) in t.iter_mut().enumerate() {
+                *slot = if k < 20 {
+                    (2..=k as u64).map(|i| (i as f64).ln()).sum()
+                } else {
+                    ln_gamma(k as f64 + 1.0)
+                };
+            }
+            t
+        });
+        table[k as usize]
     } else {
         ln_gamma(k as f64 + 1.0)
     }
@@ -178,6 +195,34 @@ mod tests {
         }
         // Γ(1/2) = √π
         assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_table_matches_direct_formula_bitwise() {
+        // Pin the table to the formula it replaced: every entry must be
+        // bit-identical, not merely close.
+        for k in 0..=64u64 {
+            let direct: f64 = if k < 20 {
+                (2..=k).map(|i| (i as f64).ln()).sum()
+            } else {
+                ln_gamma(k as f64 + 1.0)
+            };
+            assert_eq!(
+                ln_factorial(k).to_bits(),
+                direct.to_bits(),
+                "k = {k}: {} vs {direct}",
+                ln_factorial(k)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_tail_matches_ln_gamma() {
+        for k in [65u64, 100, 1_000, 1_000_000] {
+            let direct = ln_gamma(k as f64 + 1.0);
+            assert_eq!(ln_factorial(k).to_bits(), direct.to_bits(), "k = {k}");
+            assert!((ln_factorial(k) - direct).abs() < 1e-12);
+        }
     }
 
     #[test]

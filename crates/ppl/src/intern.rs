@@ -1,0 +1,46 @@
+//! Global variable-name interner.
+//!
+//! Compiled programs, dependency summaries, and environments key
+//! variables by `&'static str` so that copying a name is pointer-sized
+//! and hashing never walks a `String`. Like the address interner, the
+//! name universe is bounded by the program text, so leaking the backing
+//! storage is a deliberate space-for-time trade.
+
+use std::sync::{OnceLock, RwLock};
+
+use crate::fxhash::FxHashSet;
+
+/// Interns a variable name into `'static` storage.
+///
+/// Repeated calls with equal strings return the same pointer, so interned
+/// names can be compared and hashed by content or identity
+/// interchangeably.
+pub fn intern_name(name: &str) -> &'static str {
+    static GLOBAL: OnceLock<RwLock<FxHashSet<&'static str>>> = OnceLock::new();
+    let global = GLOBAL.get_or_init(|| RwLock::new(FxHashSet::default()));
+    if let Some(&interned) = global.read().expect("name interner poisoned").get(name) {
+        return interned;
+    }
+    let mut set = global.write().expect("name interner poisoned");
+    if let Some(&interned) = set.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern_name("some_variable");
+        let b = intern_name("some_variable");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b));
+        let c = intern_name("another_variable");
+        assert_ne!(a, c);
+    }
+}

@@ -11,9 +11,11 @@ use std::collections::HashMap;
 
 use crate::address::Address;
 use crate::ast::{BinOp, Block, Builtin, Expr, Program, RandExpr, RandKind, Stmt, UnOp};
+use crate::compile::{acquire_frame, compiled_for, note_tree_walk_exec, run_compiled};
 use crate::dist::Dist;
 use crate::effects::{Handler, Model};
 use crate::error::PplError;
+use crate::intern::intern_name;
 use crate::value::Value;
 
 /// Default step budget: generous enough for every evaluation program, small
@@ -47,12 +49,35 @@ impl Interp {
     /// Runs `program` against `handler` and returns its return value (or
     /// `Value::Int(0)` if the program has no `return`).
     ///
+    /// Execution goes through the compiled path ([`crate::compile`]): the
+    /// program is lowered once (cached globally by fingerprint) and
+    /// evaluated against a pooled register frame. Semantics are
+    /// bit-identical to [`Interp::run_tree_walk`], which the differential
+    /// suite holds this path against.
+    ///
     /// # Errors
     ///
     /// Propagates evaluation errors (unbound variables, type errors,
     /// invalid distribution parameters, fuel exhaustion) and handler
     /// errors.
     pub fn run(&self, program: &Program, handler: &mut dyn Handler) -> Result<Value, PplError> {
+        let compiled = compiled_for(program);
+        let mut frame = acquire_frame();
+        run_compiled(&compiled, &mut frame, self.fuel, handler)
+    }
+
+    /// Runs `program` by direct tree-walk over the AST — the reference
+    /// semantics the compiled path is tested against.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interp::run`].
+    pub fn run_tree_walk(
+        &self,
+        program: &Program,
+        handler: &mut dyn Handler,
+    ) -> Result<Value, PplError> {
+        note_tree_walk_exec();
         let mut state = State {
             env: HashMap::new(),
             loops: Vec::new(),
@@ -68,7 +93,10 @@ impl Interp {
 }
 
 struct State {
-    env: HashMap<String, Value>,
+    // Keys are interned: binding a variable copies a pointer, not a
+    // `String` (names recur across iterations and runs, so the interner
+    // is warm after the first execution).
+    env: HashMap<&'static str, Value>,
     loops: Vec<i64>,
     fuel: u64,
     budget: u64,
@@ -230,7 +258,7 @@ impl State {
             Stmt::Skip => Ok(()),
             Stmt::Assign(name, e) => {
                 let v = self.eval(e, handler)?;
-                self.env.insert(name.clone(), v);
+                self.env.insert(intern_name(name), v);
                 Ok(())
             }
             Stmt::AssignIndex(name, idx, e) => {
@@ -238,7 +266,7 @@ impl State {
                 let v = self.eval(e, handler)?;
                 let slot = self
                     .env
-                    .get_mut(name)
+                    .get_mut(name.as_str())
                     .ok_or_else(|| PplError::UnboundVariable(name.clone()))?;
                 let items = slot.as_array_mut()?;
                 if i < 0 || i as usize >= items.len() {
@@ -282,8 +310,9 @@ impl State {
             Stmt::For(var, lo, hi, body) => {
                 let lo = self.eval(lo, handler)?.as_int()?;
                 let hi = self.eval(hi, handler)?.as_int()?;
+                let var = intern_name(var);
                 for i in lo..hi {
-                    self.env.insert(var.clone(), Value::Int(i));
+                    self.env.insert(var, Value::Int(i));
                     self.loops.push(i);
                     let r = self.exec_block(body, handler);
                     self.loops.pop();

@@ -44,6 +44,7 @@
 pub mod address;
 pub mod ast;
 pub mod check;
+pub mod compile;
 pub mod dist;
 pub mod effects;
 pub mod enumerate;
@@ -51,6 +52,7 @@ pub mod error;
 pub mod fxhash;
 pub mod gen;
 pub mod handlers;
+pub mod intern;
 pub mod interp;
 pub mod logweight;
 pub mod parser;
@@ -61,10 +63,15 @@ pub mod trace_io;
 pub mod value;
 
 pub use address::{Address, AddressId, AddressInterner};
+pub use compile::{
+    compiled_for, compiled_for_pair, compiled_for_shared, CompiledProgram, EvalFrame, PooledFrame,
+    SlotId,
+};
 pub use effects::{Handler, Model};
 pub use enumerate::Enumeration;
 pub use error::PplError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::intern_name;
 pub use interp::Interp;
 pub use logweight::LogWeight;
 pub use parser::parse;

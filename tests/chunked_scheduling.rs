@@ -18,9 +18,9 @@ use depgraph::{
     edit_chain_shared, lift_collection, run_edit_sequence_parallel_with_policy, ExecGraph,
 };
 use incremental::{
-    run_state_sequence_parallel_with_policy, run_state_sequence_supervised, Backoff,
-    FailurePolicy, FaultKind, FaultPlan, FaultSpec, FaultyTranslator, ParticleCollection,
-    SequenceRun, SmcConfig, StagePolicy, StateTranslator, TraceTranslator,
+    run_state_sequence_parallel_with_policy, run_state_sequence_supervised, Backoff, FailurePolicy,
+    FaultKind, FaultPlan, FaultSpec, FaultyTranslator, ParticleCollection, SequenceRun, SmcConfig,
+    StagePolicy, StateTranslator, TraceTranslator,
 };
 use ppl::ast::Program;
 use ppl::handlers::simulate;
