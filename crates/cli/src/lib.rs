@@ -3,7 +3,8 @@
 //! Drives the workspace from program *source text*:
 //!
 //! ```text
-//! ppl check <file>                      # parse + static diagnostics
+//! ppl check <file> [--deny-warnings]    # parse + static diagnostics
+//! ppl analyze <old> <new> [--json]      # static diff-impact slice of an edit
 //! ppl fmt <file>                        # canonical pretty-printed form
 //! ppl run <file> [--seed N]             # simulate one trace
 //! ppl enumerate <file> [--limit N]      # exact posterior (finite discrete)
@@ -25,8 +26,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use depgraph::{
-    program_fingerprint, resume_collection, run_edit_sequence_parallel_with_policy,
-    run_edit_sequence_supervised, ExecGraph, IncrementalTranslator,
+    diff_programs, impact_of_edit, program_fingerprint, resume_collection,
+    run_edit_sequence_parallel_with_policy, run_edit_sequence_supervised, ExecGraph,
+    IncrementalTranslator,
 };
 use incremental::{
     collection_checksum, Checkpoint, CheckpointError, FailurePolicy, McmcKernel, MetricsRecorder,
@@ -34,21 +36,26 @@ use incremental::{
 };
 use inference::{ExactPosterior, SingleSiteMh};
 use ppl::ast::Program;
-use ppl::check::{check, Severity};
+use ppl::check::{check_with_spans, Severity};
 use ppl::handlers::simulate;
-use ppl::{parse, Enumeration, PplError, Trace, Value};
+use ppl::{parse, parse_with_spans, Enumeration, PplError, Trace, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Parses and statically checks a program; renders the diagnostics.
+/// Parses and statically checks a program; renders the diagnostics with
+/// source spans and stable codes (`PPL001`, …).
+///
+/// Exits non-zero when the program has findings: any `error`-severity
+/// diagnostic fails the check, and with `deny_warnings` so does any
+/// warning (for CI lint gates).
 ///
 /// # Errors
 ///
-/// Returns parse errors; static findings are part of the *output*, not an
-/// error.
-pub fn cmd_check(source: &str) -> Result<String, PplError> {
-    let program = parse(source)?;
-    let diagnostics = check(&program);
+/// Returns parse errors and failed checks, both with exit code 1; the
+/// rendered diagnostics ride in the error message.
+pub fn cmd_check(source: &str, deny_warnings: bool) -> Result<String, CliError> {
+    let (program, spans) = parse_with_spans(source).map_err(CliError::from)?;
+    let diagnostics = check_with_spans(&program, Some(&spans));
     if diagnostics.is_empty() {
         return Ok("no issues found\n".to_string());
     }
@@ -60,12 +67,141 @@ pub fn cmd_check(source: &str) -> Result<String, PplError> {
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
+    let warnings = diagnostics.len() - errors;
+    let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        if errors == 0 {
+            let _ = writeln!(out, "check failed: warnings denied (--deny-warnings)");
+        }
+        return Err(CliError::usage(out.trim_end().to_string()));
+    }
+    Ok(out)
+}
+
+/// Renders a JSON string literal (escaping quotes, backslashes, and
+/// control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a JSON array of strings from any string iterator.
+fn json_string_array<'a>(items: impl Iterator<Item = &'a str>) -> String {
+    let rendered: Vec<String> = items.map(json_string).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
+/// Static diff-impact analysis across a program edit: diffs the two
+/// programs, infers per-statement effects of the new program, and
+/// computes the over-approximate impact slice — which statements any
+/// execution could revisit under the edit and which variables may go
+/// dirty. Statements outside the slice are proven skippable, so this
+/// predicts (without running anything) how much work the incremental
+/// runtime can statically pre-prune.
+///
+/// With `json`, emits a versioned machine-readable report
+/// (`ppl-analyze/v1`) instead of the human table.
+///
+/// # Errors
+///
+/// Returns parse errors.
+pub fn cmd_analyze(old_source: &str, new_source: &str, json: bool) -> Result<String, PplError> {
+    let p = parse(old_source)?;
+    let q = parse(new_source)?;
+    let edit = diff_programs(&p, &q);
+    let (effects, impact) = impact_of_edit(&q, &p, &edit);
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"ppl-analyze/v1\",");
+        let _ = writeln!(out, "  \"statements\": {},", impact.total);
+        let _ = writeln!(out, "  \"impacted\": {},", impact.impacted.len());
+        let _ = writeln!(out, "  \"skippable\": {},", impact.skippable_count());
+        let _ = writeln!(
+            out,
+            "  \"may_dirty\": {},",
+            json_string_array(impact.may_dirty.iter().map(String::as_str))
+        );
+        let _ = writeln!(
+            out,
+            "  \"sites\": {},",
+            json_string_array(impact.sites.iter().map(String::as_str))
+        );
+        let _ = writeln!(out, "  \"stmts\": [");
+        for (i, facts) in effects.stmts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"index\": {}, \"depth\": {}, \"label\": {}, \
+                 \"impacted\": {}, \"reads\": {}, \"writes\": {}, \"samples\": {}}}{}",
+                facts.index,
+                facts.depth,
+                json_string(&facts.label),
+                impact.contains(facts.index),
+                json_string_array(facts.subtree.reads.iter().map(String::as_str)),
+                json_string_array(facts.subtree.writes.iter().map(String::as_str)),
+                json_string_array(facts.subtree.samples.iter().map(String::as_str)),
+                if i + 1 < effects.stmts.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        return Ok(out);
+    }
     let _ = writeln!(
         out,
-        "{} error(s), {} warning(s)",
-        errors,
-        diagnostics.len() - errors
+        "impact slice: {} of {} statement(s) impacted, {} proven skippable",
+        impact.impacted.len(),
+        impact.total,
+        impact.skippable_count()
     );
+    for facts in &effects.stmts {
+        let verdict = if impact.contains(facts.index) {
+            "impacted "
+        } else {
+            "skippable"
+        };
+        let _ = writeln!(
+            out,
+            "  #{:<3} {}{:<24} {}  reads={{{}}} writes={{{}}}",
+            facts.index,
+            "  ".repeat(facts.depth),
+            facts.label,
+            verdict,
+            facts
+                .subtree
+                .reads
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", "),
+            facts
+                .subtree
+                .writes
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    let dirty: Vec<&str> = impact.may_dirty.iter().map(String::as_str).collect();
+    let sites: Vec<&str> = impact.sites.iter().map(String::as_str).collect();
+    let _ = writeln!(out, "may-dirty variables: {{{}}}", dirty.join(", "));
+    let _ = writeln!(out, "revisited sites: {{{}}}", sites.join(", "));
     Ok(out)
 }
 
@@ -829,7 +965,11 @@ pub fn cmd_translate_stats(p_source: &str, q_source: &str, seed: u64) -> Result<
 pub fn usage() -> String {
     "usage: ppl <command> [args]\n\
      commands:\n\
-       check <file>                         parse and statically check\n\
+       check <file> [--deny-warnings]       parse and statically check (spans +\n\
+                                            stable codes; exit 1 on errors, or on\n\
+                                            warnings under --deny-warnings)\n\
+       analyze <old> <new> [--json]         static diff-impact slice of an edit\n\
+                                            (--json: versioned ppl-analyze/v1 report)\n\
        fmt <file>                           canonical pretty-printed form\n\
        run <file> [--seed N] [--save F]     simulate one trace\n\
        enumerate <file> [--limit N]         exact posterior (finite discrete)\n\
@@ -840,7 +980,7 @@ pub fn usage() -> String {
                                             (P: fail-fast | drop:<max_loss> | retry:<n>[:<seed>])\n\
        sequence <p0> <p1> [<p2> ...] [--traces M] [--seed N] [--threads T] [--policy P]\n\
                 [--checkpoint DIR] [--checkpoint-every N] [--deadline-ms N] [--resume]\n\
-                [--metrics-out FILE] [--chunk-size K]\n\
+                [--metrics-out FILE] [--chunk-size K] [--verify-slices]\n\
                                             graph-native SMC across an edit history;\n\
                                             output is identical for any --threads\n\
                                             and any --chunk-size (particles per\n\
@@ -849,7 +989,9 @@ pub fn usage() -> String {
                                             --resume restarts from the latest one,\n\
                                             --deadline-ms supervises hung translations,\n\
                                             --metrics-out writes a metrics/v1 JSON report\n\
-                                            (propagation counters, stage timings, pool stats)\n\
+                                            (propagation counters, stage timings, pool stats),\n\
+                                            --verify-slices checks every dynamically visited\n\
+                                            statement against the static impact slice\n\
      exit codes: 0 ok, 1 usage/parse/eval error, 2 inference failure, 3 I/O error\n"
         .to_string()
 }
@@ -862,11 +1004,56 @@ mod tests {
 
     #[test]
     fn check_reports_clean_and_dirty() {
-        assert_eq!(cmd_check(COIN).unwrap(), "no issues found\n");
-        let out = cmd_check("y = ghost; return y;").unwrap();
-        assert!(out.contains("error:"), "{out}");
-        assert!(out.contains("1 error(s)"), "{out}");
-        assert!(cmd_check("x = ;").is_err());
+        assert_eq!(cmd_check(COIN, false).unwrap(), "no issues found\n");
+        // Errors carry a span and a stable code, and fail the command.
+        let err = cmd_check("y = ghost; return y;", false).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("error[PPL001]"), "{}", err.message);
+        assert!(err.message.contains("1:1: "), "{}", err.message);
+        assert!(err.message.contains("1 error(s)"), "{}", err.message);
+        assert!(cmd_check("x = ;", false).is_err());
+    }
+
+    #[test]
+    fn check_denies_warnings_only_when_asked() {
+        // `w` is assigned but never read: PPL010, a warning.
+        let dusty = "w = 1; x = flip(0.5) @ x; return x;";
+        let out = cmd_check(dusty, false).unwrap();
+        assert!(out.contains("warning[PPL010]"), "{out}");
+        assert!(out.contains("0 error(s), 1 warning(s)"), "{out}");
+        let err = cmd_check(dusty, true).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("warnings denied"), "{}", err.message);
+    }
+
+    #[test]
+    fn analyze_renders_the_impact_slice() {
+        let p = "a = 1; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let q = "a = 2; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let out = cmd_analyze(p, q, false).unwrap();
+        assert!(
+            out.contains("2 of 3 statement(s) impacted, 1 proven skippable"),
+            "{out}"
+        );
+        assert!(out.contains("a = …"), "{out}");
+        assert!(out.contains("skippable"), "{out}");
+        assert!(out.contains("may-dirty variables: {a, b}"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_is_versioned_and_structured() {
+        let p = "a = 1; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let q = "a = 2; b = flip(a / 3) @ b; c = flip(0.5) @ c; return b;";
+        let out = cmd_analyze(p, q, true).unwrap();
+        assert!(out.contains("\"schema\": \"ppl-analyze/v1\""), "{out}");
+        assert!(out.contains("\"statements\": 3"), "{out}");
+        assert!(out.contains("\"impacted\": 2"), "{out}");
+        assert!(out.contains("\"skippable\": 1"), "{out}");
+        assert!(out.contains("\"sites\": [\"b\"]"), "{out}");
+        // An identity edit impacts nothing.
+        let same = cmd_analyze(p, p, true).unwrap();
+        assert!(same.contains("\"impacted\": 0"), "{same}");
+        assert!(same.contains("\"skippable\": 3"), "{same}");
     }
 
     #[test]

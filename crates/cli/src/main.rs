@@ -44,9 +44,21 @@ fn run(args: &[String]) -> Result<String, CliError> {
     };
     let render = |r: Result<String, ppl::PplError>| r.map_err(CliError::from);
 
+    if args.iter().any(|a| a == "--verify-slices") {
+        depgraph::set_verify_slices(true);
+    }
+
     match command {
         "help" | "--help" | "-h" => Ok(ppl_cli::usage()),
-        "check" => render(ppl_cli::cmd_check(&read(positional(0)?)?)),
+        "check" => ppl_cli::cmd_check(
+            &read(positional(0)?)?,
+            args.iter().any(|a| a == "--deny-warnings"),
+        ),
+        "analyze" => render(ppl_cli::cmd_analyze(
+            &read(positional(0)?)?,
+            &read(positional(1)?)?,
+            args.iter().any(|a| a == "--json"),
+        )),
         "fmt" => render(ppl_cli::cmd_fmt(&read(positional(0)?)?)),
         "run" => {
             let source = read(positional(0)?)?;
@@ -132,8 +144,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     skip_next = false;
                     continue;
                 }
-                if arg == "--resume" {
-                    // The one boolean sequence flag: takes no value.
+                if arg == "--resume" || arg == "--verify-slices" {
+                    // Boolean sequence flags: take no value.
                     continue;
                 }
                 if arg.starts_with("--") {

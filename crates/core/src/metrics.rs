@@ -64,6 +64,12 @@ pub struct PropagationCounters {
     pub choices_fresh: u64,
     /// Observation statements re-scored.
     pub observes_rescored: u64,
+    /// Statement records skipped purely from static impact-slice facts,
+    /// with no runtime dirty check (subset of `nodes_skipped`).
+    pub static_skips: u64,
+    /// Slice-soundness oracle membership checks performed (non-zero only
+    /// under `--verify-slices`).
+    pub oracle_checks: u64,
 }
 
 impl PropagationCounters {
@@ -78,6 +84,8 @@ impl PropagationCounters {
             choices_reused: self.choices_reused + other.choices_reused,
             choices_fresh: self.choices_fresh + other.choices_fresh,
             observes_rescored: self.observes_rescored + other.observes_rescored,
+            static_skips: self.static_skips + other.static_skips,
+            oracle_checks: self.oracle_checks + other.oracle_checks,
         }
     }
 
@@ -433,6 +441,10 @@ impl MetricsReport {
             total.observes_rescored,
         ));
         out.push_str(&format!(
+            "  static: {} records pre-pruned by the impact slice, {} oracle checks\n",
+            total.static_skips, total.oracle_checks,
+        ));
+        out.push_str(&format!(
             "  pool: {} tasks, queue depth high-water {}, {} respawns, {} retirements\n",
             self.pool.tasks, self.pool.queue_depth_hwm, self.pool.respawns, self.pool.retirements,
         ));
@@ -478,7 +490,9 @@ fn stage_counter_fields(s: &StageMetrics, pad: &str) -> String {
          {pad}\"iter_skips\": {},\n\
          {pad}\"choices_reused\": {},\n\
          {pad}\"choices_fresh\": {},\n\
-         {pad}\"observes_rescored\": {},\n",
+         {pad}\"observes_rescored\": {},\n\
+         {pad}\"static_skips\": {},\n\
+         {pad}\"oracle_checks\": {},\n",
         s.step,
         s.input_particles,
         s.output_particles,
@@ -496,6 +510,8 @@ fn stage_counter_fields(s: &StageMetrics, pad: &str) -> String {
         p.choices_reused,
         p.choices_fresh,
         p.observes_rescored,
+        p.static_skips,
+        p.oracle_checks,
     )
 }
 
@@ -529,6 +545,8 @@ static P_ITER_SKIPS: AtomicU64 = AtomicU64::new(0);
 static P_REUSED: AtomicU64 = AtomicU64::new(0);
 static P_FRESH: AtomicU64 = AtomicU64::new(0);
 static P_OBSERVES: AtomicU64 = AtomicU64::new(0);
+static P_STATIC_SKIPS: AtomicU64 = AtomicU64::new(0);
+static P_ORACLE_CHECKS: AtomicU64 = AtomicU64::new(0);
 
 // Phase-time accumulators, nanoseconds (drained per stage).
 static T_TRANSLATE_NS: AtomicU64 = AtomicU64::new(0);
@@ -589,6 +607,8 @@ pub fn install(sink: std::sync::Arc<dyn MetricsSink>) -> MetricsGuard {
         &P_REUSED,
         &P_FRESH,
         &P_OBSERVES,
+        &P_STATIC_SKIPS,
+        &P_ORACLE_CHECKS,
         &T_TRANSLATE_NS,
         &T_RESAMPLE_NS,
         &T_CHECKPOINT_NS,
@@ -631,6 +651,8 @@ pub fn record_propagation(c: &PropagationCounters) {
     P_REUSED.fetch_add(c.choices_reused, Ordering::Relaxed);
     P_FRESH.fetch_add(c.choices_fresh, Ordering::Relaxed);
     P_OBSERVES.fetch_add(c.observes_rescored, Ordering::Relaxed);
+    P_STATIC_SKIPS.fetch_add(c.static_skips, Ordering::Relaxed);
+    P_ORACLE_CHECKS.fetch_add(c.oracle_checks, Ordering::Relaxed);
 }
 
 /// `Some(now)` iff metrics are enabled — phase timing reads the OS clock
@@ -690,6 +712,8 @@ pub fn stage_complete(report: &StepReport) {
         choices_reused: drain(&P_REUSED),
         choices_fresh: drain(&P_FRESH),
         observes_rescored: drain(&P_OBSERVES),
+        static_skips: drain(&P_STATIC_SKIPS),
+        oracle_checks: drain(&P_ORACLE_CHECKS),
     };
     let to_ms = |ns: u64| ns as f64 / 1e6;
     let stage = StageMetrics {
@@ -908,6 +932,8 @@ mod tests {
                 choices_reused: 5,
                 choices_fresh: 2,
                 observes_rescored: 4,
+                static_skips: 6,
+                oracle_checks: 3,
             });
             note_pool_enqueue(3);
             note_pool_task_done(1_500_000); // 1.5 ms → 1500 µs → bucket 10
@@ -922,12 +948,16 @@ mod tests {
         assert_eq!(rep.stages[0].propagation.loop_skips, 1);
         assert!(rep.stages[1].propagation.is_zero());
         assert_eq!(rep.total_propagation().nodes_skipped, 7);
+        assert_eq!(rep.stages[0].propagation.static_skips, 6);
+        assert_eq!(rep.total_propagation().oracle_checks, 3);
         assert_eq!(rep.pool.tasks, 3);
         assert_eq!(rep.pool.queue_depth_hwm, 3);
         assert_eq!(rep.pool.latency_buckets[10], 1);
         let json = rep.to_json();
         assert!(json.contains("\"schema\": \"metrics/v1\""));
         assert!(json.contains("\"nodes_visited\": 3"));
+        assert!(json.contains("\"static_skips\": 6"));
+        assert!(json.contains("\"oracle_checks\": 3"));
         assert!(json.contains("\"queue_depth_hwm\": 3"));
         assert!(json.contains("\"eval\": {"));
         assert!(json.contains("\"compiled_execs\""));

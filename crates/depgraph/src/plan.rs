@@ -20,11 +20,13 @@
 
 use std::sync::Arc;
 
+use ppl::analysis::{ImpactSet, ProgramEffects};
 use ppl::ast::{Block, Expr, Program, RandKind, Stmt};
 use ppl::compile::{compiled_for_pair, CompiledProgram};
 use ppl::Address;
 
 use crate::diff::{BlockDiff, DiffOp, ProgramEdit, StmtDiff};
+use crate::impact::impact_of_edit;
 
 /// Per-stage immutable translation plan; see the module docs.
 #[derive(Debug)]
@@ -38,6 +40,13 @@ pub struct StagePlan {
     /// Compiled once per stage — through the global compile cache — and
     /// shared by every particle task.
     compiled: Arc<CompiledProgram>,
+    /// Static effect facts for `q`, in pre-order (the indexing used by
+    /// [`PlanOp::Stmt::pre_index`]).
+    effects: ProgramEffects,
+    /// The static impact slice of the edit: statements outside it are
+    /// proven skippable and pre-pruned via [`PlanOp::Stmt::static_skip`];
+    /// the `--verify-slices` oracle checks dynamic visits against it.
+    impact: ImpactSet,
 }
 
 /// Plan for one block: mirrors [`BlockDiff`] with the per-op decisions
@@ -62,6 +71,14 @@ pub(crate) enum PlanOp {
         /// Precomputed `StmtDiff::is_unchanged()` — the skip-eligibility
         /// half of the propagator's per-statement check.
         unchanged: bool,
+        /// Pre-order index of the statement in `q` (the indexing of
+        /// [`ppl::analysis::ProgramEffects`]); fresh sub-plans of the
+        /// same AST block carry the same indices as matched ones.
+        pre_index: usize,
+        /// Statically proven skippable: unchanged *and* outside the
+        /// edit's [`ImpactSet`], so the propagator may skip without
+        /// consulting runtime dirty bits.
+        static_skip: bool,
         /// Control-structure sub-plans.
         detail: PlanStmt,
     },
@@ -106,7 +123,12 @@ impl StagePlan {
     /// random site in `q`.
     pub fn new(q: &Program, p: &Program, edit: &ProgramEdit) -> StagePlan {
         let compiled = compiled_for_pair(q, p);
-        let root = plan_block(&q.body, &edit.diff);
+        let (effects, impact) = impact_of_edit(q, p, edit);
+        let ctx = PlanCtx {
+            effects: &effects,
+            impact: &impact,
+        };
+        let root = plan_block(&q.body, &edit.diff, 0, &ctx);
         let mut names: Vec<Arc<str>> = Vec::new();
         collect_block_sites(&q.body, &mut names);
         if let Some(ret) = &q.ret {
@@ -128,12 +150,24 @@ impl StagePlan {
             root,
             sites,
             compiled,
+            effects,
+            impact,
         }
     }
 
     /// The root block plan (what the propagator walks).
     pub(crate) fn root(&self) -> &PlanBlock {
         &self.root
+    }
+
+    /// Static effect facts for `q` (pre-order indexing).
+    pub fn effects(&self) -> &ProgramEffects {
+        &self.effects
+    }
+
+    /// The static impact slice of the edit.
+    pub fn impact(&self) -> &ImpactSet {
+        &self.impact
     }
 
     /// Number of distinct random sites in `q` (interned at plan build).
@@ -147,10 +181,36 @@ impl StagePlan {
     }
 }
 
+/// Static context threaded through plan construction: the pre-order
+/// effect facts of `q` and the edit's impact slice.
+struct PlanCtx<'a> {
+    effects: &'a ProgramEffects,
+    impact: &'a ImpactSet,
+}
+
+impl PlanCtx<'_> {
+    /// Pre-order indices of a block's statements, given the pre-order
+    /// index of its first statement.
+    fn child_indices(&self, start: usize, count: usize) -> Vec<usize> {
+        self.effects.block_child_indices(start, count)
+    }
+
+    /// One past the last pre-order index of `count` siblings at `start`.
+    fn block_end(&self, start: usize, count: usize) -> usize {
+        let mut i = start;
+        for _ in 0..count {
+            i = self.effects.stmts[i].end;
+        }
+        i
+    }
+}
+
 /// Mirrors the propagator's `(stmt, diff)` dispatch: matched sub-plans
 /// are derived only where the old runtime would have used the matched
 /// diff, and fresh sub-plans replace `fresh_block_diff` allocations.
-fn plan_block(block: &Block, diff: &BlockDiff) -> PlanBlock {
+/// `start` is the pre-order index of the block's first statement.
+fn plan_block(block: &Block, diff: &BlockDiff, start: usize, ctx: &PlanCtx<'_>) -> PlanBlock {
+    let indices = ctx.child_indices(start, block.stmts().len());
     let ops = diff
         .ops
         .iter()
@@ -160,41 +220,54 @@ fn plan_block(block: &Block, diff: &BlockDiff) -> PlanBlock {
                 q_index,
                 p_index,
                 diff,
-            } => PlanOp::Stmt {
-                q_index: *q_index,
-                p_index: *p_index,
-                unchanged: diff.is_unchanged(),
-                detail: plan_stmt(&block.stmts()[*q_index], diff),
-            },
+            } => {
+                let pre_index = indices[*q_index];
+                let unchanged = diff.is_unchanged();
+                PlanOp::Stmt {
+                    q_index: *q_index,
+                    p_index: *p_index,
+                    unchanged,
+                    pre_index,
+                    // Sound pre-pruning: unchanged statements outside the
+                    // impact slice are skippable without dirty checks.
+                    static_skip: unchanged && ctx.impact.skippable(pre_index),
+                    detail: plan_stmt(&block.stmts()[*q_index], diff, pre_index, ctx),
+                }
+            }
         })
         .collect();
     PlanBlock { ops }
 }
 
-fn plan_stmt(stmt: &Stmt, diff: &StmtDiff) -> PlanStmt {
+fn plan_stmt(stmt: &Stmt, diff: &StmtDiff, pre_index: usize, ctx: &PlanCtx<'_>) -> PlanStmt {
     match stmt {
         Stmt::If(_, then_b, else_b) => {
+            let then_start = pre_index + 1;
+            let else_start = ctx.block_end(then_start, then_b.stmts().len());
             let matched = match diff {
                 StmtDiff::IfDiff {
                     then_diff,
                     else_diff,
                     ..
-                } => Some((plan_block(then_b, then_diff), plan_block(else_b, else_diff))),
+                } => Some((
+                    plan_block(then_b, then_diff, then_start, ctx),
+                    plan_block(else_b, else_diff, else_start, ctx),
+                )),
                 _ => None,
             };
             PlanStmt::If {
                 matched,
-                fresh_then: fresh_block(then_b),
-                fresh_else: fresh_block(else_b),
+                fresh_then: fresh_block(then_b, then_start, ctx),
+                fresh_else: fresh_block(else_b, else_start, ctx),
             }
         }
         Stmt::For(_, _, _, body) => match diff {
             StmtDiff::ForDiff { body_diff, .. } => PlanStmt::For {
-                body: plan_block(body, body_diff),
+                body: plan_block(body, body_diff, pre_index + 1, ctx),
                 body_unchanged: body_diff.is_unchanged(),
             },
             _ => PlanStmt::For {
-                body: fresh_block(body),
+                body: fresh_block(body, pre_index + 1, ctx),
                 body_unchanged: false,
             },
         },
@@ -203,11 +276,11 @@ fn plan_stmt(stmt: &Stmt, diff: &StmtDiff) -> PlanStmt {
                 cond_changed,
                 body_diff,
             } => PlanStmt::While {
-                body: plan_block(body, body_diff),
+                body: plan_block(body, body_diff, pre_index + 1, ctx),
                 iter_skippable: !cond_changed && body_diff.is_unchanged(),
             },
             _ => PlanStmt::While {
-                body: fresh_block(body),
+                body: fresh_block(body, pre_index + 1, ctx),
                 iter_skippable: false,
             },
         },
@@ -217,7 +290,10 @@ fn plan_stmt(stmt: &Stmt, diff: &StmtDiff) -> PlanStmt {
 
 /// Plan for executing `block` fresh (no old records, nothing skippable) —
 /// the plan-level analogue of the propagator's old `fresh_block_diff`.
-fn fresh_block(block: &Block) -> PlanBlock {
+/// Fresh plans carry the same pre-order indices as the matched plans of
+/// the same AST block, so oracle visit attribution is path-independent.
+fn fresh_block(block: &Block, start: usize, ctx: &PlanCtx<'_>) -> PlanBlock {
+    let indices = ctx.child_indices(start, block.stmts().len());
     let ops = block
         .stmts()
         .iter()
@@ -226,25 +302,31 @@ fn fresh_block(block: &Block) -> PlanBlock {
             q_index: j,
             p_index: None,
             unchanged: false,
-            detail: fresh_stmt(stmt),
+            pre_index: indices[j],
+            static_skip: false,
+            detail: fresh_stmt(stmt, indices[j], ctx),
         })
         .collect();
     PlanBlock { ops }
 }
 
-fn fresh_stmt(stmt: &Stmt) -> PlanStmt {
+fn fresh_stmt(stmt: &Stmt, pre_index: usize, ctx: &PlanCtx<'_>) -> PlanStmt {
     match stmt {
-        Stmt::If(_, t, e) => PlanStmt::If {
-            matched: None,
-            fresh_then: fresh_block(t),
-            fresh_else: fresh_block(e),
-        },
+        Stmt::If(_, t, e) => {
+            let then_start = pre_index + 1;
+            let else_start = ctx.block_end(then_start, t.stmts().len());
+            PlanStmt::If {
+                matched: None,
+                fresh_then: fresh_block(t, then_start, ctx),
+                fresh_else: fresh_block(e, else_start, ctx),
+            }
+        }
         Stmt::For(_, _, _, b) => PlanStmt::For {
-            body: fresh_block(b),
+            body: fresh_block(b, pre_index + 1, ctx),
             body_unchanged: false,
         },
         Stmt::While(_, b) => PlanStmt::While {
-            body: fresh_block(b),
+            body: fresh_block(b, pre_index + 1, ctx),
             iter_skippable: false,
         },
         _ => PlanStmt::Opaque,
@@ -360,17 +442,90 @@ mod tests {
              while s > 10.0 { s = s - 1.0; } return s;",
         )
         .unwrap();
-        let fresh = fresh_block(&q.body);
+        let effects = ppl::analysis::infer_effects(&q);
+        let impact = ppl::analysis::impact(
+            &effects,
+            &ppl::analysis::ChangeSeed::identity(effects.len()),
+        );
+        let ctx = PlanCtx {
+            effects: &effects,
+            impact: &impact,
+        };
+        let fresh = fresh_block(&q.body, 0, &ctx);
         for op in &fresh.ops {
             match op {
                 PlanOp::Stmt {
-                    p_index, unchanged, ..
+                    p_index,
+                    unchanged,
+                    static_skip,
+                    ..
                 } => {
                     assert!(p_index.is_none());
                     assert!(!unchanged);
+                    assert!(!static_skip);
                 }
                 PlanOp::RemovedP(_) => panic!("fresh plan cannot remove"),
             }
         }
+    }
+
+    #[test]
+    fn static_skip_marks_unaffected_statements() {
+        let p = parse("a = 1; b = a + 1; c = 7; observe(flip(0.5) @ o == c); return b;").unwrap();
+        let q = parse("a = 2; b = a + 1; c = 7; observe(flip(0.5) @ o == c); return b;").unwrap();
+        let edit = diff_programs(&p, &q);
+        let plan = StagePlan::new(&q, &p, &edit);
+        let flags: Vec<(usize, bool)> = plan
+            .root()
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                PlanOp::Stmt {
+                    pre_index,
+                    static_skip,
+                    ..
+                } => Some((*pre_index, *static_skip)),
+                PlanOp::RemovedP(_) => None,
+            })
+            .collect();
+        // a (edited) and b (reads a) are impacted; c and the observe are
+        // statically skippable.
+        assert_eq!(flags, vec![(0, false), (1, false), (2, true), (3, true)]);
+        assert_eq!(plan.impact().skippable_count(), 2);
+        assert_eq!(plan.effects().len(), 4);
+    }
+
+    #[test]
+    fn nested_pre_indices_align_between_matched_and_fresh_plans() {
+        let src = "p = 1; if p > 0 { x = 1; y = 2; } else { z = 3; } return p;";
+        let p = parse(src).unwrap();
+        let q = parse(src).unwrap();
+        let edit = diff_programs(&p, &q);
+        let plan = StagePlan::new(&q, &p, &edit);
+        let PlanOp::Stmt { detail, .. } = &plan.root().ops[1] else {
+            panic!("expected a statement op");
+        };
+        let PlanStmt::If {
+            matched,
+            fresh_then,
+            fresh_else,
+        } = detail
+        else {
+            panic!("expected an if plan");
+        };
+        let indices = |b: &PlanBlock| -> Vec<usize> {
+            b.ops
+                .iter()
+                .filter_map(|op| match op {
+                    PlanOp::Stmt { pre_index, .. } => Some(*pre_index),
+                    PlanOp::RemovedP(_) => None,
+                })
+                .collect()
+        };
+        let (mt, me) = matched.as_ref().expect("matched plans");
+        assert_eq!(indices(mt), vec![2, 3]);
+        assert_eq!(indices(me), vec![4]);
+        assert_eq!(indices(fresh_then), indices(mt));
+        assert_eq!(indices(fresh_else), indices(me));
     }
 }

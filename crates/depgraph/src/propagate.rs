@@ -28,6 +28,7 @@
 //! - everything else cancels and is never touched.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use rand::RngCore;
@@ -76,7 +77,47 @@ pub struct VisitStats {
     pub choices_fresh: usize,
     /// Observation statements re-scored during visited statements.
     pub observes_rescored: usize,
+    /// Statement records skipped purely from static facts — the plan
+    /// proved them outside the edit's impact slice, so no runtime dirty
+    /// check ran (subset of `skipped`).
+    pub static_skips: usize,
+    /// Slice-soundness oracle membership checks performed (non-zero only
+    /// under `--verify-slices` / `PPL_VERIFY_SLICES`).
+    pub oracle_checks: usize,
 }
+
+/// Whether the slice-soundness oracle is enabled: every dynamically
+/// visited statement is checked for membership in the static
+/// [`ImpactSet`](ppl::analysis::ImpactSet), and translation fails with a
+/// structured report on any violation.
+///
+/// Initialized from the `PPL_VERIFY_SLICES` environment variable (any
+/// value but `0`); overridable with [`set_verify_slices`] (the CLI's
+/// `--verify-slices` flag).
+pub fn verify_slices_enabled() -> bool {
+    match VERIFY_SLICES.load(Ordering::Relaxed) {
+        VERIFY_ON => true,
+        VERIFY_OFF => false,
+        _ => {
+            let on = std::env::var_os("PPL_VERIFY_SLICES").is_some_and(|v| v != *"0");
+            let encoded = if on { VERIFY_ON } else { VERIFY_OFF };
+            // Racing initializers agree: both read the same environment.
+            VERIFY_SLICES.store(encoded, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the slice-soundness oracle on or off, overriding
+/// `PPL_VERIFY_SLICES`.
+pub fn set_verify_slices(on: bool) {
+    VERIFY_SLICES.store(if on { VERIFY_ON } else { VERIFY_OFF }, Ordering::Relaxed);
+}
+
+const VERIFY_UNSET: u8 = 0;
+const VERIFY_OFF: u8 = 1;
+const VERIFY_ON: u8 = 2;
+static VERIFY_SLICES: AtomicU8 = AtomicU8::new(VERIFY_UNSET);
 
 /// The result of one incremental translation.
 #[derive(Debug, Clone)]
@@ -136,6 +177,7 @@ pub fn translate_graph_with_plan(
         log_num: LogWeight::ONE,
         log_den: LogWeight::ONE,
         stats: VisitStats::default(),
+        oracle: verify_slices_enabled().then(BTreeSet::new),
     };
     let mut stmts = propagator.exec_block(prog.body(), plan.root(), Some(old.root()))?;
     // Return expression: always evaluated (cheap), recorded like build.rs
@@ -157,9 +199,14 @@ pub fn translate_graph_with_plan(
         mut builder,
         log_num,
         log_den,
-        stats,
+        mut stats,
+        oracle,
         ..
     } = propagator;
+    if let Some(visited) = oracle {
+        stats.oracle_checks += visited.len();
+        verify_visited_in_slice(&visited, plan)?;
+    }
     let root_block = BlockRecord::finalize(&builder, stmts);
     let root = builder.push_block(root_block);
     let graph = ExecGraph::assemble(Arc::clone(q), builder.finish(), root, return_value);
@@ -183,6 +230,42 @@ struct Propagator<'a> {
     log_num: LogWeight,
     log_den: LogWeight,
     stats: VisitStats,
+    /// Pre-order indices of visited statements, collected only when the
+    /// slice-soundness oracle is enabled.
+    oracle: Option<BTreeSet<usize>>,
+}
+
+/// The slice-soundness check: every dynamically visited statement must
+/// lie inside the static impact slice. A violation is a bug in the
+/// static analysis (or an unsound skip rule) and produces a structured
+/// report naming each escaping statement.
+fn verify_visited_in_slice(visited: &BTreeSet<usize>, plan: &StagePlan) -> Result<(), PplError> {
+    let impact = plan.impact();
+    let violations: Vec<usize> = visited
+        .iter()
+        .copied()
+        .filter(|i| !impact.contains(*i))
+        .collect();
+    if violations.is_empty() {
+        return Ok(());
+    }
+    let effects = plan.effects();
+    let mut report = format!(
+        "slice-soundness violation: {} dynamically visited statement(s) \
+         outside the static impact slice ({} impacted of {} total)",
+        violations.len(),
+        impact.impacted.len(),
+        impact.total,
+    );
+    for i in violations {
+        let detail = effects
+            .stmts
+            .get(i)
+            .map(|f| format!("`{}` (depth {})", f.label, f.depth))
+            .unwrap_or_else(|| "<unknown statement>".to_string());
+        report.push_str(&format!("\n  - statement #{i}: {detail}"));
+    }
+    Err(PplError::Other(report))
 }
 
 /// Choice source used inside visited statements: reuse through the
@@ -337,6 +420,8 @@ impl<'a> Propagator<'a> {
                     q_index,
                     p_index,
                     unchanged,
+                    pre_index,
+                    static_skip,
                     detail,
                 } => {
                     // Compiled blocks are index-aligned with the AST
@@ -350,6 +435,17 @@ impl<'a> Propagator<'a> {
                     // Skip when nothing changed and no dirty inputs (the
                     // diff half of the check is precomputed in the plan).
                     if let Some(rec) = old_rec {
+                        // Static pre-pruning: the plan proved this
+                        // statement outside the impact slice, so its
+                        // inputs cannot be dirty — skip without scanning
+                        // the recorded read set. Bit-identical to the
+                        // dynamic path (the dirty scan consumes no RNG).
+                        if *static_skip {
+                            self.skip_record(rec)?;
+                            self.stats.static_skips += 1;
+                            records.push(old_sid.expect("skip requires an old record"));
+                            continue;
+                        }
                         let clean = match rec.summary() {
                             Some(s) => !self.any_dirty(&s.reads),
                             None => true,
@@ -363,6 +459,9 @@ impl<'a> Propagator<'a> {
                         }
                     }
                     self.stats.visited += 1;
+                    if let Some(visited) = &mut self.oracle {
+                        visited.insert(*pre_index);
+                    }
                     let record = self.visit_stmt(stmt, detail, old_rec)?;
                     records.push(self.builder.push_stmt(record));
                 }

@@ -151,6 +151,8 @@ fn record_propagation(stats: &crate::VisitStats) {
         choices_reused: stats.choices_reused as u64,
         choices_fresh: stats.choices_fresh as u64,
         observes_rescored: stats.observes_rescored as u64,
+        static_skips: stats.static_skips as u64,
+        oracle_checks: stats.oracle_checks as u64,
     });
 }
 

@@ -10,12 +10,35 @@
 //!   expressions with the same label on one execution path at the same
 //!   loop depth);
 //! - **obvious type errors** (an array used where a number is needed, a
-//!   number indexed like an array) via a simple abstract interpretation.
+//!   number indexed like an array) via a simple abstract interpretation;
+//! - **dead or vacuous probabilistic structure**: variables assigned but
+//!   never read, branches whose condition is a constant, and
+//!   observations whose success probability is statically 0 or 1.
+//!
+//! Every diagnostic carries a stable machine-readable code (`PPL001`,
+//! …), and — when the program was parsed with
+//! [`crate::parser::parse_with_spans`] — the source position of the
+//! offending statement:
+//!
+//! | code     | severity | meaning                                          |
+//! |----------|----------|--------------------------------------------------|
+//! | `PPL001` | error    | variable used before being defined               |
+//! | `PPL002` | warning  | variable possibly undefined (path-dependent)     |
+//! | `PPL003` | error    | duplicate site label on one execution path       |
+//! | `PPL004` | error    | type error (array/number misuse)                 |
+//! | `PPL005` | warning  | element assignment to a possibly-undefined array |
+//! | `PPL010` | warning  | variable assigned but never read                 |
+//! | `PPL011` | warning  | statically unreachable branch or loop body       |
+//! | `PPL012` | warning  | observation statically certain (probability 1)   |
+//! | `PPL013` | error    | observation statically impossible (probability 0)|
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::ast::{Block, Expr, Program, RandExpr, RandKind, Stmt};
+use crate::interp::{apply_binary, apply_unary};
+use crate::parser::{Span, SpanTable};
+use crate::value::Value;
 
 /// Severity of a diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,16 +54,25 @@ pub enum Severity {
 pub struct Diagnostic {
     /// How severe the finding is.
     pub severity: Severity,
+    /// Stable machine-readable code (`"PPL001"`, …).
+    pub code: &'static str,
+    /// Source position of the offending statement, when the program was
+    /// checked with a [`SpanTable`] (see [`check_with_spans`]).
+    pub span: Option<Span>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.severity {
-            Severity::Error => write!(f, "error: {}", self.message),
-            Severity::Warning => write!(f, "warning: {}", self.message),
+        if let Some(span) = self.span {
+            write!(f, "{span}: ")?;
         }
+        let kind = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{kind}[{}]: {}", self.code, self.message)
     }
 }
 
@@ -105,24 +137,56 @@ impl Env {
     }
 }
 
-struct Checker {
+struct Checker<'a> {
     diagnostics: Vec<Diagnostic>,
+    spans: Option<&'a SpanTable>,
+    /// Pre-order index of the next statement to enter (matches the
+    /// parser's statement numbering).
+    next_index: usize,
+    /// Span of the statement currently being checked.
+    current: Option<Span>,
 }
 
 /// Checks `program`, returning all diagnostics (errors first).
 pub fn check(program: &Program) -> Vec<Diagnostic> {
+    check_with_spans(program, None)
+}
+
+/// Checks `program` with source positions from `spans` (as produced by
+/// [`crate::parser::parse_with_spans`]) attached to each diagnostic.
+///
+/// # Examples
+///
+/// ```
+/// let (p, spans) = ppl::parse_with_spans("x = 1;\ny = ghost;\nreturn y;")?;
+/// let diags = ppl::check::check_with_spans(&p, Some(&spans));
+/// assert_eq!(diags[0].code, "PPL001");
+/// assert_eq!(diags[0].span.unwrap().line, 2);
+/// # Ok::<(), ppl::PplError>(())
+/// ```
+pub fn check_with_spans(program: &Program, spans: Option<&SpanTable>) -> Vec<Diagnostic> {
     let mut checker = Checker {
         diagnostics: Vec::new(),
+        spans,
+        next_index: 0,
+        current: None,
     };
     let mut env = Env::default();
     let mut path_sites = HashSet::new();
     checker.check_block(&program.body, &mut env, &mut path_sites, 0);
+    checker.current = spans.and_then(|t| t.ret);
     if let Some(ret) = &program.ret {
         checker.check_expr(ret, &env, &mut path_sites, 0);
     }
-    checker
-        .diagnostics
-        .sort_by_key(|d| (d.severity != Severity::Error, d.message.clone()));
+    checker.check_unused(program);
+    checker.diagnostics.sort_by_key(|d| {
+        (
+            d.severity != Severity::Error,
+            d.code,
+            d.span,
+            d.message.clone(),
+        )
+    });
     checker.diagnostics.dedup();
     checker.diagnostics
 }
@@ -132,19 +196,141 @@ pub fn is_clean(program: &Program) -> bool {
     check(program).iter().all(|d| d.severity != Severity::Error)
 }
 
-impl Checker {
-    fn error(&mut self, message: String) {
+/// Evaluates a variable- and randomness-free expression to a constant.
+fn const_value(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Const(v) => Some(v.clone()),
+        Expr::Unary(op, e) => apply_unary(*op, &const_value(e)?).ok(),
+        Expr::Binary(op, a, b) => apply_binary(*op, &const_value(a)?, &const_value(b)?).ok(),
+        Expr::Ternary(c, t, e) => {
+            if const_value(c)?.truthy().ok()? {
+                const_value(t)
+            } else {
+                const_value(e)
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Checker<'_> {
+    fn error(&mut self, code: &'static str, message: String) {
         self.diagnostics.push(Diagnostic {
             severity: Severity::Error,
+            code,
+            span: self.current,
             message,
         });
     }
 
-    fn warning(&mut self, message: String) {
+    fn warning(&mut self, code: &'static str, message: String) {
         self.diagnostics.push(Diagnostic {
             severity: Severity::Warning,
+            code,
+            span: self.current,
             message,
         });
+    }
+
+    /// Flags variables that are assigned somewhere but read nowhere —
+    /// dead state that silently widens every dependence slice. Loop
+    /// variables are exempt (iterating without using the index is
+    /// idiomatic).
+    fn check_unused(&mut self, program: &Program) {
+        let effects = crate::analysis::infer_effects(program);
+        let mut used: HashSet<&str> = effects.ret_reads.iter().map(String::as_str).collect();
+        for facts in &effects.stmts {
+            used.extend(facts.head.reads.iter().map(String::as_str));
+        }
+        let mut reported = HashSet::new();
+        for facts in &effects.stmts {
+            for name in &facts.head.writes {
+                if facts.loop_var.as_deref() == Some(name.as_str()) {
+                    continue;
+                }
+                if !used.contains(name.as_str()) && reported.insert(name.clone()) {
+                    self.current = self.spans.and_then(|t| t.stmts.get(facts.index)).copied();
+                    self.warning(
+                        "PPL010",
+                        format!("variable `{name}` is assigned but never read"),
+                    );
+                }
+            }
+        }
+        self.current = None;
+    }
+
+    /// Flags observations whose success probability is statically 0
+    /// (every execution rejected) or 1 (the observation is a no-op).
+    fn check_observe_determinism(&mut self, rand: &RandExpr, expr: &Expr) {
+        let Some(observed) = const_value(expr) else {
+            return;
+        };
+        match &rand.kind {
+            RandKind::Flip(p) => {
+                let Some(p) = const_value(p).and_then(|v| v.as_real().ok()) else {
+                    return;
+                };
+                // Only 0/1-like observed values have a clear coercion.
+                let want = match observed {
+                    Value::Bool(b) => b,
+                    Value::Int(0) => false,
+                    Value::Int(1) => true,
+                    _ => return,
+                };
+                let prob = if want { p } else { 1.0 - p };
+                if prob == 0.0 {
+                    self.error(
+                        "PPL013",
+                        format!(
+                            "observation at site `{}` is statically impossible \
+                             (probability 0); every execution would be rejected",
+                            rand.site
+                        ),
+                    );
+                } else if prob == 1.0 {
+                    self.warning(
+                        "PPL012",
+                        format!(
+                            "observation at site `{}` is statically certain \
+                             (probability 1); it never constrains the posterior",
+                            rand.site
+                        ),
+                    );
+                }
+            }
+            RandKind::UniformInt(lo, hi) => {
+                let (Some(lo), Some(hi)) = (
+                    const_value(lo).and_then(|v| v.as_int().ok()),
+                    const_value(hi).and_then(|v| v.as_int().ok()),
+                ) else {
+                    return;
+                };
+                let Value::Int(k) = observed else {
+                    return;
+                };
+                if k < lo || k > hi {
+                    self.error(
+                        "PPL013",
+                        format!(
+                            "observation at site `{}` is statically impossible: \
+                             {k} is outside uniform({lo}, {hi})",
+                            rand.site
+                        ),
+                    );
+                } else if lo == hi {
+                    self.warning(
+                        "PPL012",
+                        format!(
+                            "observation at site `{}` is statically certain \
+                             (probability 1); it never constrains the posterior",
+                            rand.site
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
     }
 
     fn check_block(
@@ -166,6 +352,14 @@ impl Checker {
         path_sites: &mut HashSet<String>,
         loop_depth: usize,
     ) {
+        // Statements are visited in the parser's pre-order, so the span
+        // table lines up index-for-index.
+        self.current = self
+            .spans
+            .and_then(|t| t.stmts.get(self.next_index))
+            .copied();
+        self.next_index += 1;
+        let span_here = self.current;
         match stmt {
             Stmt::Skip => {}
             Stmt::Assign(name, expr) => {
@@ -175,30 +369,54 @@ impl Checker {
             Stmt::AssignIndex(name, idx, expr) => {
                 let idx_ty = self.check_expr(idx, env, path_sites, loop_depth);
                 if idx_ty == AbsType::Array {
-                    self.error(format!("index expression for `{name}` is an array"));
+                    self.error(
+                        "PPL004",
+                        format!("index expression for `{name}` is an array"),
+                    );
                 }
                 self.check_expr(expr, env, path_sites, loop_depth);
                 match env.vars.get(name) {
-                    None => self.error(format!(
-                        "element assignment to `{name}` before the array is defined"
-                    )),
-                    Some((Defined::Maybe, _)) => self.warning(format!(
-                        "element assignment to `{name}`, which may be undefined here"
-                    )),
-                    Some((Defined::Definitely, AbsType::Number)) => {
-                        self.error(format!("`{name}` is a number but is indexed like an array"))
-                    }
+                    None => self.error(
+                        "PPL004",
+                        format!("element assignment to `{name}` before the array is defined"),
+                    ),
+                    Some((Defined::Maybe, _)) => self.warning(
+                        "PPL005",
+                        format!("element assignment to `{name}`, which may be undefined here"),
+                    ),
+                    Some((Defined::Definitely, AbsType::Number)) => self.error(
+                        "PPL004",
+                        format!("`{name}` is a number but is indexed like an array"),
+                    ),
                     _ => {}
                 }
             }
             Stmt::Observe(rand, expr) => {
                 self.check_rand(rand, env, path_sites, loop_depth);
                 self.check_expr(expr, env, path_sites, loop_depth);
+                self.check_observe_determinism(rand, expr);
             }
             Stmt::If(cond, then_b, else_b) => {
                 let cond_ty = self.check_expr(cond, env, path_sites, loop_depth);
                 if cond_ty == AbsType::Array {
-                    self.error("`if` condition is an array".to_string());
+                    self.error("PPL004", "`if` condition is an array".to_string());
+                }
+                if let Some(truthy) = const_value(cond).and_then(|v| v.truthy().ok()) {
+                    let dead = if truthy { "else" } else { "then" };
+                    let dead_empty = if truthy {
+                        else_b.stmts().is_empty()
+                    } else {
+                        then_b.stmts().is_empty()
+                    };
+                    if !dead_empty {
+                        self.warning(
+                            "PPL011",
+                            format!(
+                                "`{dead}` branch is statically unreachable: the condition \
+                                 is constantly {truthy}"
+                            ),
+                        );
+                    }
                 }
                 // Branches see independent site paths (they never both
                 // execute).
@@ -217,6 +435,17 @@ impl Checker {
                 // Condition checked in the pre-loop environment; the body
                 // may run zero times, so its definitions are only Maybe.
                 self.check_expr(cond, env, path_sites, loop_depth);
+                if const_value(cond).and_then(|v| v.truthy().ok()) == Some(false)
+                    && !body.stmts().is_empty()
+                {
+                    self.current = span_here;
+                    self.warning(
+                        "PPL011",
+                        "`while` body is statically unreachable: the condition is \
+                         constantly false"
+                            .to_string(),
+                    );
+                }
                 let mut body_env = env.clone();
                 let mut body_sites = HashSet::new();
                 self.check_block(body, &mut body_env, &mut body_sites, loop_depth + 1);
@@ -226,7 +455,7 @@ impl Checker {
                 let lo_ty = self.check_expr(lo, env, path_sites, loop_depth);
                 let hi_ty = self.check_expr(hi, env, path_sites, loop_depth);
                 if lo_ty == AbsType::Array || hi_ty == AbsType::Array {
-                    self.error(format!("loop bounds of `for {var}` are arrays"));
+                    self.error("PPL004", format!("loop bounds of `for {var}` are arrays"));
                 }
                 let mut body_env = env.clone();
                 body_env.define(var, AbsType::Number);
@@ -250,20 +479,26 @@ impl Checker {
         // A site executed twice on the same path at the same loop depth
         // collides at runtime.
         if !path_sites.insert(rand.site.as_str().to_string()) {
-            self.error(format!(
-                "site `{}` is used by more than one random expression on the same \
-                 execution path; the addresses would collide",
-                rand.site
-            ));
+            self.error(
+                "PPL003",
+                format!(
+                    "site `{}` is used by more than one random expression on the same \
+                     execution path; the addresses would collide",
+                    rand.site
+                ),
+            );
         }
         let mut check_param = |e: &Expr, what: &str| {
             let ty = self.check_expr_inner(e, env, path_sites, loop_depth);
             if ty == AbsType::Array {
-                self.error(format!(
-                    "{what} of `{}` at site `{}` is an array",
-                    rand.kind.family(),
-                    rand.site
-                ));
+                self.error(
+                    "PPL004",
+                    format!(
+                        "{what} of `{}` at site `{}` is an array",
+                        rand.kind.family(),
+                        rand.site
+                    ),
+                );
             }
         };
         match &rand.kind {
@@ -310,14 +545,20 @@ impl Checker {
             },
             Expr::Var(name) => match env.vars.get(name) {
                 None => {
-                    self.error(format!("variable `{name}` is used before being defined"));
+                    self.error(
+                        "PPL001",
+                        format!("variable `{name}` is used before being defined"),
+                    );
                     AbsType::Unknown
                 }
                 Some((Defined::Maybe, ty)) => {
-                    self.warning(format!(
-                        "variable `{name}` may be undefined here (it is not assigned on \
-                         every path)"
-                    ));
+                    self.warning(
+                        "PPL002",
+                        format!(
+                            "variable `{name}` may be undefined here (it is not assigned on \
+                             every path)"
+                        ),
+                    );
                     *ty
                 }
                 Some((Defined::Definitely, ty)) => *ty,
@@ -325,7 +566,7 @@ impl Checker {
             Expr::Unary(_, e) => {
                 let ty = self.check_expr_inner(e, env, path_sites, loop_depth);
                 if ty == AbsType::Array {
-                    self.error("unary operator applied to an array".to_string());
+                    self.error("PPL004", "unary operator applied to an array".to_string());
                 }
                 AbsType::Number
             }
@@ -336,27 +577,28 @@ impl Checker {
                 // `==`/`!=` compare arrays fine; everything else needs
                 // numbers.
                 if !matches!(op, Eq | Ne) && (ta == AbsType::Array || tb == AbsType::Array) {
-                    self.error(format!(
-                        "binary operator `{op:?}` applied to an array operand"
-                    ));
+                    self.error(
+                        "PPL004",
+                        format!("binary operator `{op:?}` applied to an array operand"),
+                    );
                 }
                 AbsType::Number
             }
             Expr::Index(arr, idx) => {
                 let ta = self.check_expr_inner(arr, env, path_sites, loop_depth);
                 if ta == AbsType::Number {
-                    self.error("indexing into a number".to_string());
+                    self.error("PPL004", "indexing into a number".to_string());
                 }
                 let ti = self.check_expr_inner(idx, env, path_sites, loop_depth);
                 if ti == AbsType::Array {
-                    self.error("array used as an index".to_string());
+                    self.error("PPL004", "array used as an index".to_string());
                 }
                 AbsType::Unknown
             }
             Expr::ArrayInit(n, init) => {
                 let tn = self.check_expr_inner(n, env, path_sites, loop_depth);
                 if tn == AbsType::Array {
-                    self.error("array length is an array".to_string());
+                    self.error("PPL004", "array length is an array".to_string());
                 }
                 self.check_expr_inner(init, env, path_sites, loop_depth);
                 AbsType::Array
@@ -373,7 +615,7 @@ impl Checker {
             Expr::Ternary(c, t, e) => {
                 let tc = self.check_expr_inner(c, env, path_sites, loop_depth);
                 if tc == AbsType::Array {
-                    self.error("ternary condition is an array".to_string());
+                    self.error("PPL004", "ternary condition is an array".to_string());
                 }
                 let tt = self.check_expr_inner(t, env, path_sites, loop_depth);
                 let te = self.check_expr_inner(e, env, path_sites, loop_depth);
@@ -391,6 +633,7 @@ impl Checker {
 mod tests {
     use super::*;
     use crate::parse;
+    use crate::parser::parse_with_spans;
 
     fn errors(src: &str) -> Vec<String> {
         check(&parse(src).unwrap())
@@ -405,6 +648,13 @@ mod tests {
             .into_iter()
             .filter(|d| d.severity == Severity::Warning)
             .map(|d| d.message)
+            .collect()
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        check(&parse(src).unwrap())
+            .into_iter()
+            .map(|d| d.code)
             .collect()
     }
 
@@ -425,6 +675,7 @@ mod tests {
     fn unbound_variable_is_an_error() {
         let errs = errors("x = ghost + 1; return x;");
         assert!(errs.iter().any(|m| m.contains("`ghost`")), "{errs:?}");
+        assert!(codes("x = ghost + 1; return x;").contains(&"PPL001"));
     }
 
     #[test]
@@ -513,5 +764,79 @@ mod tests {
         assert!(warns.iter().any(|m| m.contains("`m`")), "{warns:?}");
         let errs = errors("while ghost { skip; }");
         assert!(errs.iter().any(|m| m.contains("`ghost`")), "{errs:?}");
+    }
+
+    #[test]
+    fn unused_variable_is_ppl010() {
+        let src = "x = flip(0.5); dead = 7; return x;";
+        assert!(
+            codes(src).contains(&"PPL010"),
+            "{:?}",
+            check(&parse(src).unwrap())
+        );
+        // Loop variables are exempt.
+        assert!(
+            !codes("for i in [0..3) { x = flip(0.5); observe(flip(0.5) == x); } return 0;")
+                .contains(&"PPL010")
+        );
+    }
+
+    #[test]
+    fn unreachable_branches_are_ppl011() {
+        let src = "if 1 < 2 { x = 1; } else { x = 2; } return x;";
+        assert!(codes(src).contains(&"PPL011"));
+        let src = "if false { x = 1; } else { x = 2; } return x;";
+        assert!(codes(src).contains(&"PPL011"));
+        let src = "while false { skip; } return 0;";
+        assert!(codes(src).contains(&"PPL011"));
+        // An always-true condition with an *empty* else is fine.
+        assert!(!codes("x = 0; if true { x = 1; } return x;").contains(&"PPL011"));
+    }
+
+    #[test]
+    fn deterministic_observes_are_flagged() {
+        // Probability 0: error.
+        let src = "observe(flip(0.0) == 1);";
+        let d = check(&parse(src).unwrap());
+        assert!(
+            d.iter()
+                .any(|x| x.code == "PPL013" && x.severity == Severity::Error),
+            "{d:?}"
+        );
+        let src = "observe(uniform(0, 3) == 7);";
+        assert!(codes(src).contains(&"PPL013"));
+        // Probability 1: warning.
+        let src = "observe(flip(1.0) == 1);";
+        let d = check(&parse(src).unwrap());
+        assert!(
+            d.iter()
+                .any(|x| x.code == "PPL012" && x.severity == Severity::Warning),
+            "{d:?}"
+        );
+        // Non-constant parameters or values are never flagged.
+        assert!(
+            !codes("p = flip(0.5); observe(flip(p ? 0.0 : 1.0) == 1); return p;")
+                .iter()
+                .any(|c| *c == "PPL012" || *c == "PPL013")
+        );
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_statement() {
+        let (p, spans) =
+            parse_with_spans("x = 1;\ny = ghost;\nif false { z = 2; }\nreturn x;").unwrap();
+        let diags = check_with_spans(&p, Some(&spans));
+        let ghost = diags.iter().find(|d| d.code == "PPL001").unwrap();
+        assert_eq!(ghost.span.unwrap().line, 2);
+        let dead = diags.iter().find(|d| d.code == "PPL011").unwrap();
+        assert_eq!(dead.span.unwrap().line, 3);
+        let rendered = ghost.to_string();
+        assert!(rendered.starts_with("2:1: error[PPL001]"), "{rendered}");
+    }
+
+    #[test]
+    fn spanless_check_still_renders_codes() {
+        let d = &check(&parse("x = ghost; return x;").unwrap())[0];
+        assert_eq!(d.to_string(), format!("error[PPL001]: {}", d.message));
     }
 }

@@ -42,6 +42,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 pub mod address;
+pub mod analysis;
 pub mod ast;
 pub mod check;
 pub mod compile;
@@ -74,7 +75,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::intern_name;
 pub use interp::Interp;
 pub use logweight::LogWeight;
-pub use parser::parse;
+pub use parser::{parse, parse_with_spans, Span, SpanTable};
 pub use trace::{ChoiceMap, ChoiceRecord, ObsRecord, Trace};
 pub use value::Value;
 

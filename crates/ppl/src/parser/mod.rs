@@ -17,12 +17,43 @@
 pub mod lexer;
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::ast::{BinOp, Block, Builtin, Expr, Program, RandExpr, RandKind, SiteId, Stmt, UnOp};
 use crate::error::PplError;
 use crate::value::Value;
 
 use lexer::{lex, Tok, Token};
+
+/// A 1-based source position (line and column) of a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source spans for a parsed program, kept out of the AST so structural
+/// equality of [`Program`]s ignores formatting.
+///
+/// `stmts` holds one span per statement in *pre-order* (the order
+/// statements are entered during parsing: a statement before the
+/// statements of its sub-blocks). The same pre-order indexing is used by
+/// [`crate::check::check_with_spans`] and [`crate::analysis`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    /// Per-statement spans, indexed by statement pre-order.
+    pub stmts: Vec<Span>,
+    /// Position of the `return` expression, if present.
+    pub ret: Option<Span>,
+}
 
 /// Parses a complete program.
 ///
@@ -39,21 +70,42 @@ use lexer::{lex, Tok, Token};
 /// # Ok::<(), ppl::PplError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Program, PplError> {
+    parse_with_spans(source).map(|(program, _)| program)
+}
+
+/// Parses a complete program together with its statement [`SpanTable`].
+///
+/// # Errors
+///
+/// Returns [`PplError::Other`] with line/column information on syntax
+/// errors.
+///
+/// # Examples
+///
+/// ```
+/// let (program, spans) = ppl::parser::parse_with_spans("x = flip(0.5);\ny = x;\nreturn y;")?;
+/// assert_eq!(spans.stmts.len(), 2);
+/// assert_eq!(spans.stmts[1].line, 2);
+/// # Ok::<(), ppl::PplError>(())
+/// ```
+pub fn parse_with_spans(source: &str) -> Result<(Program, SpanTable), PplError> {
     let tokens = lex(source)?;
     let mut parser = Parser {
         tokens,
         pos: 0,
         site_counters: HashMap::new(),
+        spans: SpanTable::default(),
     };
     let program = parser.program()?;
     parser.expect(&Tok::Eof)?;
-    Ok(program)
+    Ok((program, parser.spans))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     site_counters: HashMap<&'static str, usize>,
+    spans: SpanTable,
 }
 
 impl Parser {
@@ -147,6 +199,7 @@ impl Parser {
         let mut ret = None;
         while self.peek() != &Tok::Eof {
             if self.peek() == &Tok::Ident("return".into()) {
+                self.spans.ret = Some(self.here());
                 self.advance();
                 let e = self.expr()?;
                 self.expect(&Tok::Semi)?;
@@ -168,7 +221,18 @@ impl Parser {
         Ok(Block::new(stmts))
     }
 
+    fn here(&self) -> Span {
+        let t = &self.tokens[self.pos];
+        Span {
+            line: t.line,
+            col: t.col,
+        }
+    }
+
     fn stmt(&mut self) -> Result<Stmt, PplError> {
+        // Statements are recorded in pre-order: a statement's span lands
+        // before the spans of the statements inside its sub-blocks.
+        self.spans.stmts.push(self.here());
         match self.peek().clone() {
             Tok::Ident(name) if name == "skip" => {
                 self.advance();

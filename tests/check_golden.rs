@@ -1,0 +1,52 @@
+//! Golden renderings for the static checker's diagnostic codes: each
+//! fixture under `tests/golden/diagnostics/` pins the exact span, stable
+//! code, and message text of one check, so accidental wording or
+//! numbering drift fails loudly. The same fixtures serve as the seeded
+//! negative inputs for the CI lint gate.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ppl_cli::cmd_check;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/diagnostics")
+}
+
+/// Renders a fixture the way the `ppl check` binary would print it:
+/// stdout text on success, the error message (plus newline) on failure.
+fn rendered(name: &str) -> String {
+    let source = fs::read_to_string(fixture_dir().join(format!("{name}.ppl"))).unwrap();
+    match cmd_check(&source, false) {
+        Ok(out) => out,
+        Err(e) => format!("{}\n", e.message),
+    }
+}
+
+fn expected(name: &str) -> String {
+    fs::read_to_string(fixture_dir().join(format!("{name}.expected"))).unwrap()
+}
+
+#[test]
+fn diagnostic_renderings_match_the_golden_files() {
+    for name in ["ppl010", "ppl011", "ppl012", "ppl013"] {
+        assert_eq!(rendered(name), expected(name), "fixture {name}");
+    }
+}
+
+#[test]
+fn warning_fixtures_fail_only_under_deny_warnings() {
+    for name in ["ppl010", "ppl011", "ppl012"] {
+        let source = fs::read_to_string(fixture_dir().join(format!("{name}.ppl"))).unwrap();
+        assert!(cmd_check(&source, false).is_ok(), "fixture {name}");
+        let err = cmd_check(&source, true).unwrap_err();
+        assert_eq!(err.code, 1, "fixture {name}");
+    }
+}
+
+#[test]
+fn error_fixture_fails_with_or_without_deny_warnings() {
+    let source = fs::read_to_string(fixture_dir().join("ppl013.ppl")).unwrap();
+    assert_eq!(cmd_check(&source, false).unwrap_err().code, 1);
+    assert_eq!(cmd_check(&source, true).unwrap_err().code, 1);
+}

@@ -1,0 +1,67 @@
+//! Shared generators for the property-based differential suites: random
+//! surface programs and the "hyperparameter edit" constant perturbation.
+//! Used by `random_edits.rs` (weight-oracle differential tests) and
+//! `static_slices.rs` (static impact-slice soundness tests).
+
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+/// A generator of small, runtime-safe surface programs: all variables are
+/// pre-initialized, flip probabilities stay in (0, 1), no division.
+pub fn program_strategy() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        (0usize..3, 1u32..99).prop_map(|(v, p)| format!("v{v} = flip(0.{p:02});")),
+        (0usize..3, 0i64..4, 1i64..5)
+            .prop_map(|(v, lo, k)| format!("v{v} = uniform({lo}, {});", lo + k)),
+        (0usize..3, 0usize..3, 0usize..3)
+            .prop_map(|(v, a, b)| { format!("v{v} = va{a} + va{b};") }),
+        (0usize..3, 1u32..99, 0usize..3, 0usize..3).prop_map(|(c, p, a, b)| {
+            format!("if va{c} > 0 {{ va{a} = flip(0.{p:02}); }} else {{ va{b} = 1; }}")
+        }),
+        (1u32..99, 0usize..3)
+            .prop_map(|(p, v)| { format!("observe(flip(0.{p:02}) == (va{v} > 0));") }),
+        (0usize..3, 1i64..4, 1u32..99).prop_map(|(v, n, p)| {
+            format!("for i{v} in [0..{n}) {{ va{v} = flip(0.{p:02}); }}")
+        }),
+    ];
+    proptest::collection::vec(stmt, 1..6).prop_map(|stmts| {
+        let mut src = String::from("va0 = 1; va1 = 0; va2 = 1; v0 = 0; v1 = 0; v2 = 0;\n");
+        for s in stmts {
+            src.push_str(&s);
+            src.push('\n');
+        }
+        src.push_str("return va0;");
+        src
+    })
+}
+
+/// Perturbs every `0.XX` constant by a deterministic amount, producing a
+/// semantically different but structurally identical program — the
+/// "hyperparameter edit" shape.
+pub fn perturb_constants(src: &str, delta: u32) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '0' && chars.peek() == Some(&'.') {
+            chars.next(); // '.'
+            let mut digits = String::new();
+            while chars.peek().map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                digits.push(chars.next().unwrap());
+            }
+            if digits.is_empty() {
+                // Not a real literal — e.g. the `0..` of a range.
+                out.push_str("0.");
+                continue;
+            }
+            let value: u32 = digits.parse().unwrap_or(50);
+            let scale = 10u32.pow(digits.len() as u32);
+            // Stay strictly inside (0, scale).
+            let perturbed = (value + delta) % (scale - 1) + 1;
+            out.push_str(&format!("0.{perturbed:0width$}", width = digits.len()));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

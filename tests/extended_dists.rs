@@ -163,7 +163,7 @@ fn geometric_support_discipline() {
 /// The static checker understands the new families.
 #[test]
 fn checker_covers_new_families() {
-    let ok = parse("x = poisson(2.0); y = beta(1.0, 1.0); return x;").unwrap();
+    let ok = parse("x = poisson(2.0); y = beta(1.0, 1.0); return x + y;").unwrap();
     assert!(ppl::check::check(&ok).is_empty());
     let bad = parse("a = array(2, 0); x = poisson(a); return x;").unwrap();
     assert!(!ppl::check::is_clean(&bad));
